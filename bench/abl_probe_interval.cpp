@@ -1,0 +1,46 @@
+// Ablation: probe-interval sweep. Probing faster discovers requests sooner
+// (lower completion latency) but spends more low-priority network and
+// compute-node memory bandwidth — the trade-off Section 5.2 describes
+// (1 probe / 2 us in the paper's FASTER prototype).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "workload/hash_workload.h"
+
+using namespace cowbird;
+using workload::LatencyProbeConfig;
+using workload::Paradigm;
+
+int main() {
+  bench::Banner("Ablation: probe interval",
+                "completion latency vs probe bandwidth (256 B reads)");
+
+  const double intervals_us[] = {0.5, 1, 2, 4, 8, 16};
+  bench::Table table({"probe interval (us)", "median lat (us)",
+                      "p99 lat (us)", "probe bw (Mbps)"});
+  double lat_fast = 0, lat_slow = 0;
+  for (double us : intervals_us) {
+    LatencyProbeConfig c;
+    c.paradigm = Paradigm::kCowbirdNoBatch;
+    c.record_size = 256;
+    c.inflight = 1;
+    c.samples = 800;
+    c.agent.probe_interval = Micros(us);
+    const auto lat = RunLatencyProbe(c);
+    // Probe cost: one ~94 B read request + one response carrying the green
+    // blocks (~24 B per thread + headers) per interval.
+    const double probe_bytes = 94.0 + 94.0 + 24.0;
+    const double mbps = probe_bytes * 8.0 / (us * 1000.0) * 1000.0;
+    table.Row({bench::Fmt(us, 1), bench::Fmt(lat.median_us, 2),
+               bench::Fmt(lat.p99_us, 2), bench::Fmt(mbps, 1)});
+    if (us == 0.5) lat_fast = lat.median_us;
+    if (us == 16) lat_slow = lat.median_us;
+  }
+  table.Print();
+
+  std::printf("\nShape checks:\n");
+  bench::ShapeCheck(lat_slow > lat_fast + 4,
+                    "slower probing shows up as completion latency (the "
+                    "ramp-up trade-off of Section 5.2)");
+  return 0;
+}

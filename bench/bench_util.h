@@ -1,0 +1,65 @@
+// Shared output helpers for the figure/table benchmarks.
+//
+// Every bench prints (a) a header identifying the paper artifact it
+// regenerates, (b) a gnuplot-friendly data table (series as columns), and
+// (c) a short "shape check" comparing the measured relationships with what
+// the paper reports. Absolute numbers are simulator-calibrated, not testbed
+// numbers — the shapes are the reproduction target (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace cowbird::bench {
+
+inline void Banner(const char* artifact, const char* description) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", artifact, description);
+  std::printf("==============================================================\n");
+}
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  void Row(const std::vector<std::string>& cells) { rows_.push_back(cells); }
+
+  void Print() const {
+    std::vector<std::size_t> widths(columns_.size());
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      widths[c] = columns_[c].size();
+      for (const auto& row : rows_) {
+        if (c < row.size()) widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < columns_.size(); ++c) {
+        std::printf("%-*s  ", static_cast<int>(widths[c]),
+                    c < cells.size() ? cells[c].c_str() : "");
+      }
+      std::printf("\n");
+    };
+    print_row(columns_);
+    rows_checked_ = true;
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+  mutable bool rows_checked_ = false;
+};
+
+inline std::string Fmt(double v, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+inline void ShapeCheck(bool ok, const char* claim) {
+  std::printf("  [%s] %s\n", ok ? "ok" : "MISMATCH", claim);
+}
+
+}  // namespace cowbird::bench

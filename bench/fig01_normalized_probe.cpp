@@ -1,0 +1,63 @@
+// Figure 1: throughput of a hash-index probe of 256-byte elements in remote
+// memory, for each communication primitive, normalized to local memory.
+#include <vector>
+
+#include "bench_util.h"
+#include "workload/hash_workload.h"
+
+using namespace cowbird;
+using workload::HashWorkloadConfig;
+using workload::Paradigm;
+using workload::RunHashWorkload;
+
+int main() {
+  bench::Banner("Figure 1",
+                "hash probe of 256 B records, normalized to local memory");
+
+  const int threads[] = {1, 2, 4};
+  const Paradigm series[] = {
+      Paradigm::kTwoSidedSync, Paradigm::kOneSidedSync,
+      Paradigm::kOneSidedAsync, Paradigm::kCowbirdNoBatch,
+      Paradigm::kCowbird,
+  };
+
+  bench::Table table({"threads", "two-sided(sync)", "one-sided(sync)",
+                      "one-sided(async)", "cowbird(nobatch)", "cowbird",
+                      "local(MOPS)"});
+  double cowbird_norm_last = 0, async_norm_last = 0, sync_norm_last = 0;
+  for (int t : threads) {
+    auto run = [t](Paradigm p) {
+      HashWorkloadConfig c;
+      c.paradigm = p;
+      c.threads = t;
+      c.record_size = 256;
+      c.records = 400'000;
+      c.measure = Millis(1.5);
+      return RunHashWorkload(c).mops;
+    };
+    const double local = run(Paradigm::kLocalMemory);
+    std::vector<std::string> row{std::to_string(t)};
+    double norms[5];
+    int i = 0;
+    for (Paradigm p : series) {
+      norms[i] = run(p) / local;
+      row.push_back(bench::Fmt(norms[i], 3));
+      ++i;
+    }
+    row.push_back(bench::Fmt(local, 2));
+    table.Row(row);
+    sync_norm_last = norms[1];
+    async_norm_last = norms[2];
+    cowbird_norm_last = norms[4];
+  }
+  table.Print();
+
+  std::printf("\nShape checks vs the paper:\n");
+  bench::ShapeCheck(cowbird_norm_last > 0.8,
+                    "Cowbird bridges the gap to local memory (>0.8x)");
+  bench::ShapeCheck(async_norm_last > 3.5 * sync_norm_last,
+                    "async I/O is ~an order of magnitude above sync");
+  bench::ShapeCheck(cowbird_norm_last > async_norm_last,
+                    "offloading beats compute-issued async RDMA");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Figure 9 (a–b): FASTER throughput on YCSB (Zipfian theta = 0.99) with
+// each storage backend, for 64 B and 512 B values, 1..16 FASTER threads.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "faster/ycsb.h"
+
+using namespace cowbird;
+using faster::Backend;
+using faster::RunYcsb;
+using faster::YcsbConfig;
+
+int main() {
+  const std::uint32_t value_sizes[] = {64, 512};
+  const int threads[] = {1, 2, 4, 8, 16};
+  const Backend series[] = {
+      Backend::kSsd,         Backend::kOneSidedSync,
+      Backend::kOneSidedAsync, Backend::kCowbirdP4,
+      Backend::kCowbirdSpot, Backend::kLocal,
+  };
+
+  bench::Banner("Figure 9", "FASTER on YCSB (Zipfian 0.99) by backend");
+
+  double min_remote_vs_ssd = 1e9;
+  double max_cowbird_speedup_over_ssd = 0;
+  bool cowbird_near_local = true;
+  bool engines_similar = true;
+
+  for (std::uint32_t vs : value_sizes) {
+    std::printf("\n(%c) %u-byte records\n", vs == 64 ? 'a' : 'b', vs);
+    bench::Table table({"threads", "ssd", "1s-sync", "1s-async",
+                        "cowbird-p4", "cowbird-spot", "local"});
+    for (int t : threads) {
+      std::vector<std::string> row{std::to_string(t)};
+      double mops[6];
+      int i = 0;
+      for (Backend b : series) {
+        YcsbConfig c;
+        c.backend = b;
+        c.threads = t;
+        c.value_size = vs;
+        c.records = vs == 64 ? 60'000 : 20'000;
+        c.memory_fraction = 0.12;  // stress the storage layer, as in the paper
+        c.measure = Millis(1.5);
+        mops[i] = RunYcsb(c).mops;
+        row.push_back(bench::Fmt(mops[i], 3));
+        ++i;
+      }
+      table.Row(row);
+      min_remote_vs_ssd = std::min(min_remote_vs_ssd, mops[1] / mops[0]);
+      max_cowbird_speedup_over_ssd =
+          std::max(max_cowbird_speedup_over_ssd, mops[4] / mops[0]);
+      if (mops[4] < 0.75 * mops[5]) cowbird_near_local = false;
+      if (mops[3] < 0.55 * mops[4] || mops[3] > 1.8 * mops[4]) {
+        engines_similar = false;
+      }
+    }
+    table.Print();
+  }
+
+  std::printf("\nShape checks vs the paper:\n");
+  bench::ShapeCheck(min_remote_vs_ssd >= 2.3,
+                    "remote memory is at least 2.3x faster than SSD");
+  bench::ShapeCheck(max_cowbird_speedup_over_ssd >= 12,
+                    "Cowbird speedup over SSD reaches the 12x-84x band");
+  bench::ShapeCheck(cowbird_near_local,
+                    "Cowbird stays within ~a quarter of local memory "
+                    "(paper: within 8% on the testbed)");
+  bench::ShapeCheck(engines_similar,
+                    "Cowbird-P4 and Cowbird-Spot perform similarly");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 11: FASTER throughput with Cowbird-Spot vs Redy (YCSB, 64-byte
+// records, uniform keys, small local memory). Redy pins one I/O thread per
+// FASTER thread to a compute-node core; past half the cores the machine is
+// out of cores and Redy stops scaling, while Cowbird keeps all cores for
+// the application.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "faster/ycsb.h"
+
+using namespace cowbird;
+using faster::Backend;
+using faster::RunYcsb;
+using faster::YcsbConfig;
+
+int main() {
+  bench::Banner("Figure 11", "FASTER throughput: Cowbird-Spot vs Redy");
+
+  const int threads[] = {1, 2, 4, 8, 12, 16};
+  bench::Table table({"threads", "redy", "cowbird-spot", "note"});
+  double redy8 = 0, redy16 = 0, cow16 = 0, cow8 = 0;
+  for (int t : threads) {
+    auto run = [t](Backend b) {
+      YcsbConfig c;
+      c.backend = b;
+      c.threads = t;
+      c.value_size = 64;
+      c.records = 60'000;
+      c.zipfian = false;  // uniform, as in the paper's Figure 11 setup
+      c.memory_fraction = 0.12;  // 1 GB of ~18 GB
+      c.measure = Millis(1.5);
+      return RunYcsb(c).mops;
+    };
+    const double redy = run(Backend::kRedy);
+    const double cowbird = run(Backend::kCowbirdSpot);
+    // 16 logical cores: t app threads + t pinned Redy I/O threads.
+    const bool out_of_cores = 2 * t > 16;
+    table.Row({std::to_string(t), bench::Fmt(redy, 3),
+               bench::Fmt(cowbird, 3),
+               out_of_cores ? "redy out of cores" : ""});
+    if (t == 8) { redy8 = redy; cow8 = cow8 + cowbird; }
+    if (t == 16) { redy16 = redy; cow16 = cowbird; }
+  }
+  table.Print();
+
+  std::printf("\nShape checks vs the paper:\n");
+  bench::ShapeCheck(cow16 > redy16 * 1.3,
+                    "past the core budget Cowbird clearly outperforms Redy");
+  bench::ShapeCheck(redy16 < redy8 * 1.6,
+                    "Redy stops scaling once I/O threads exhaust cores");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Figure 13: median and p99 latency of reading records of different sizes
+// from remote memory — sync one-sided RDMA, async one-sided RDMA (batched),
+// Cowbird without batching, Cowbird with batching.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "workload/hash_workload.h"
+
+using namespace cowbird;
+using workload::LatencyProbeConfig;
+using workload::LatencyResult;
+using workload::Paradigm;
+using workload::RunLatencyProbe;
+
+int main() {
+  bench::Banner("Figure 13", "read latency by record size (median / p99, us)");
+
+  const Bytes sizes[] = {8, 64, 256, 512, 1024, 2048};
+  bench::Table table({"size", "1s-sync p50/p99", "1s-async p50/p99",
+                      "cowbird-nobatch p50/p99", "cowbird-batch p50/p99"});
+
+  bool nobatch_close_to_sync = true;
+  bool batch_below_async = true;
+  bool batch_bounds_hold = true;
+
+  for (Bytes size : sizes) {
+    auto run = [size](Paradigm p, int inflight) {
+      LatencyProbeConfig c;
+      c.paradigm = p;
+      c.record_size = size;
+      c.inflight = inflight;
+      c.samples = 1500;
+      return RunLatencyProbe(c);
+    };
+    const LatencyResult sync = run(Paradigm::kOneSidedSync, 1);
+    const LatencyResult async_b = run(Paradigm::kOneSidedAsync, 100);
+    const LatencyResult nobatch = run(Paradigm::kCowbirdNoBatch, 1);
+    // Deep enough that batches form without draining the pipeline.
+    const LatencyResult batch = run(Paradigm::kCowbird, 48);
+
+    auto cell = [](const LatencyResult& r) {
+      return bench::Fmt(r.median_us, 1) + " / " + bench::Fmt(r.p99_us, 1);
+    };
+    table.Row({std::to_string(size), cell(sync), cell(async_b),
+               cell(nobatch), cell(batch)});
+
+    if (nobatch.median_us > 3.5 * sync.median_us) {
+      nobatch_close_to_sync = false;
+    }
+    if (batch.median_us > async_b.median_us) batch_below_async = false;
+    // The paper reports <10 us median / <20 us p99 on its testbed (RTT
+    // ~1.3 us); our calibrated fabric RTT is ~2.3 us, shifting the chain by
+    // ~3 us. Check the bound with that shift applied (see EXPERIMENTS.md).
+    if (size <= 512 && (batch.median_us > 13.0 || batch.p99_us > 20.0)) {
+      batch_bounds_hold = false;
+    }
+  }
+  table.Print();
+
+  std::printf("\nShape checks vs the paper:\n");
+  bench::ShapeCheck(nobatch_close_to_sync,
+                    "unbatched Cowbird is similar to sync one-sided RDMA "
+                    "(2 extra RTTs + probe interval, minus post/poll)");
+  bench::ShapeCheck(batch_below_async,
+                    "batched Cowbird stays well below batched async RDMA");
+  bench::ShapeCheck(batch_bounds_hold,
+                    "batched Cowbird keeps ~10 us median / <20 us p99 for "
+                    "small records (paper bound + fabric RTT shift)");
+  return 0;
+}

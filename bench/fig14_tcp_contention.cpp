@@ -1,0 +1,63 @@
+// Figure 14: aggregate bandwidth of 10 contending TCP flows from the
+// compute node toward a bystander server (25 Gbps NIC) while Cowbird runs
+// FASTER-style 512 B traffic — with Cowbird-P4, Cowbird-Spot, and without
+// Cowbird. RDMA packets ride *above* user traffic on the priority-scheduled
+// uplink, bounding the worst case as in the paper.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "workload/hash_workload.h"
+
+using namespace cowbird;
+using workload::ContentionResult;
+using workload::HashWorkloadConfig;
+using workload::Paradigm;
+using workload::RunContentionExperiment;
+
+int main() {
+  bench::Banner("Figure 14",
+                "TCP goodput under Cowbird contention (10 flows, 512 B)");
+
+  const int threads[] = {1, 2, 4, 8};
+  // The shared uplink is provisioned at the contending path's capacity so
+  // the interference is visible (see EXPERIMENTS.md).
+  const BitRate uplink = BitRate::Gbps(25);
+
+  bench::Table table({"app-threads", "cowbird-p4 (Gbps)",
+                      "cowbird-spot (Gbps)", "w/o cowbird (Gbps)"});
+  double baseline8 = 0, p4_8 = 0, spot8 = 0;
+  for (int t : threads) {
+    auto run = [t, uplink](Paradigm p) {
+      HashWorkloadConfig c;
+      c.paradigm = p;
+      c.threads = t;
+      c.record_size = 512;
+      c.records = 200'000;
+      c.measure = Millis(3);
+      return RunContentionExperiment(c, /*tcp_flows=*/10, uplink);
+    };
+    const ContentionResult p4 = run(Paradigm::kCowbirdP4);
+    const ContentionResult spot = run(Paradigm::kCowbird);
+    const ContentionResult none = run(Paradigm::kLocalMemory);
+    table.Row({std::to_string(t), bench::Fmt(p4.tcp_gbps, 1),
+               bench::Fmt(spot.tcp_gbps, 1), bench::Fmt(none.tcp_gbps, 1)});
+    if (t == 8) {
+      baseline8 = none.tcp_gbps;
+      p4_8 = p4.tcp_gbps;
+      spot8 = spot.tcp_gbps;
+    }
+  }
+  table.Print();
+
+  const double p4_drop = 1.0 - p4_8 / baseline8;
+  const double spot_drop = 1.0 - spot8 / baseline8;
+  std::printf("\nAt 8 application threads: P4 drop %.0f%%, Spot drop %.0f%%\n",
+              p4_drop * 100, spot_drop * 100);
+  std::printf("\nShape checks vs the paper:\n");
+  bench::ShapeCheck(spot_drop < 0.10,
+                    "Cowbird-Spot overhead on user traffic is negligible");
+  bench::ShapeCheck(p4_drop > spot_drop && p4_drop <= 0.45,
+                    "Cowbird-P4 costs user TCP up to ~30% (no response "
+                    "batching)");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Table 5: data-plane resource usage of the Cowbird-P4 program on a 32-port
+// L3-forwarding Tofino switch (worst case: all ports drive Cowbird). The
+// totals are computed by summing what each match-action stage declares.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "p4/resources.h"
+
+using namespace cowbird;
+
+int main() {
+  bench::Banner("Table 5", "Cowbird-P4 data-plane resource usage");
+
+  p4::P4SpecParams params;  // 32 instances x 16 threads, worst case
+  const p4::P4PipelineSpec spec = p4::BuildCowbirdP4Spec(params);
+
+  std::printf("\nPHV allocation:\n");
+  bench::Table phv({"field", "bits"});
+  for (const auto& f : spec.phv) phv.Row({f.name, std::to_string(f.bits)});
+  phv.Print();
+
+  std::printf("\nStage layout:\n");
+  bench::Table stages({"stage", "SRAM(KiB)", "TCAM(KiB)", "VLIW", "sALU"});
+  for (const auto& s : spec.stages) {
+    stages.Row({s.name, bench::Fmt(s.sram_bits / 8.0 / 1024.0, 1),
+                bench::Fmt(s.tcam_bits / 8.0 / 1024.0, 2),
+                std::to_string(s.vliw_instructions),
+                std::to_string(s.stateful_alus)});
+  }
+  stages.Print();
+
+  const auto totals = spec.Sum();
+  std::printf("\nTotals (computed vs paper Table 5):\n");
+  bench::Table cmp({"resource", "computed", "paper"});
+  cmp.Row({"PHV", std::to_string(totals.phv_bits) + " b", "1085 b"});
+  cmp.Row({"SRAM", bench::Fmt(totals.sram_kib, 0) + " KB", "1424 KB"});
+  cmp.Row({"TCAM", bench::Fmt(totals.tcam_kib, 2) + " KB", "1.28 KB"});
+  cmp.Row({"Stages", std::to_string(totals.stages), "12"});
+  cmp.Row({"VLIW instrs.", std::to_string(totals.vliw_instructions), "38"});
+  cmp.Row({"sALU", std::to_string(totals.stateful_alus), "11"});
+  cmp.Print();
+
+  std::printf("\nShape checks vs the paper:\n");
+  bench::ShapeCheck(totals.phv_bits == 1085, "PHV allocation matches");
+  bench::ShapeCheck(totals.stages == 12, "fits 12 stages, no recirculation");
+  bench::ShapeCheck(std::abs(totals.sram_kib - 1424) < 30,
+                    "SRAM within 2% of the reported 1424 KB");
+  bench::ShapeCheck(totals.stateful_alus == 11 &&
+                        totals.vliw_instructions == 38,
+                    "sALU / VLIW budgets match");
+  return 0;
+}

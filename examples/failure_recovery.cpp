@@ -1,0 +1,108 @@
+// Fault tolerance demo (Section 5.3): 1% of all RDMA packets are dropped on
+// every link while a client writes and reads back 500 records through
+// Cowbird-P4. Go-Back-N recovery (PSN rewind + pending-FIFO replay in the
+// switch, plus host-side duplicate absorption) delivers every byte intact.
+// Run it:   ./build/examples/failure_recovery
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/client.h"
+#include "p4/engine.h"
+#include "workload/testbed.h"
+
+using namespace cowbird;
+
+namespace {
+
+constexpr std::uint64_t kPoolBase = 0x100'0000;
+constexpr std::uint64_t kAppBuf = 0x8000'0000;
+constexpr std::uint16_t kRegion = 1;
+constexpr net::NodeId kSwitchId = 100;
+
+sim::Task<void> Run(core::CowbirdClient& client, sim::SimThread& thread,
+                    SparseMemory& memory, sim::Simulation& sim,
+                    int& verified, int& corrupt) {
+  auto& ctx = client.thread(0);
+  const core::PollId poll = ctx.PollCreate();
+  Rng rng(42);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint32_t len =
+        static_cast<std::uint32_t>(rng.Between(16, 1500));
+    std::vector<std::uint8_t> data(len);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.Next());
+    memory.Write(kAppBuf, data);
+
+    std::optional<core::ReqId> id;
+    while (!(id = co_await ctx.AsyncWrite(thread, kRegion, kAppBuf, i * 2048,
+                                          len))) {
+      co_await thread.Idle(Micros(5));
+    }
+    ctx.PollAdd(poll, *id);
+    while ((co_await ctx.PollWait(thread, poll, 1, Millis(2))).empty()) {
+    }
+
+    while (!(id = co_await ctx.AsyncRead(thread, kRegion, i * 2048,
+                                         kAppBuf + 4096, len))) {
+      co_await thread.Idle(Micros(5));
+    }
+    ctx.PollAdd(poll, *id);
+    while ((co_await ctx.PollWait(thread, poll, 1, Millis(2))).empty()) {
+    }
+
+    std::vector<std::uint8_t> out(len);
+    memory.Read(kAppBuf + 4096, out);
+    if (out == data) {
+      ++verified;
+    } else {
+      ++corrupt;
+    }
+  }
+  sim.Halt();
+}
+
+}  // namespace
+
+int main() {
+  workload::Testbed bed;
+  const auto* pool_mr = bed.memory_dev.RegisterMemory(kPoolBase, MiB(16));
+
+  // 1% RDMA loss on every host-facing link, both directions.
+  auto rng = std::make_shared<Rng>(1234);
+  auto lossy = [rng](const net::Packet& p) {
+    return rdma::LooksLikeRdma(p) && rng->Bernoulli(0.01);
+  };
+  bed.sw.EgressLink(bed.compute_nic.switch_port()).set_drop_filter(lossy);
+  bed.sw.EgressLink(bed.memory_nic.switch_port()).set_drop_filter(lossy);
+
+  core::CowbirdClient::Config cc;
+  cc.layout.base = 0x10000;
+  cc.layout.threads = 1;
+  core::CowbirdClient client(bed.compute_dev, cc);
+  client.RegisterRegion(core::RegionInfo{kRegion, workload::Testbed::kMemoryId,
+                                         kPoolBase, pool_mr->rkey, MiB(16)});
+
+  p4::CowbirdP4Engine::Config ec;
+  ec.switch_node_id = kSwitchId;
+  p4::CowbirdP4Engine engine(bed.sw, ec);
+  auto conn = p4::ConnectP4Engine(engine, kSwitchId, bed.compute_dev,
+                                  bed.memory_dev, 0x800);
+  engine.AddInstance(client.descriptor(), conn.compute, conn.probe,
+                     conn.memory);
+  engine.Start();
+
+  sim::SimThread thread(bed.compute_machine, "app");
+  int verified = 0, corrupt = 0;
+  bed.sim.Spawn(Run(client, thread, bed.compute_mem, bed.sim, verified,
+                    corrupt));
+  bed.sim.Run();
+
+  std::printf("500 write+read-back rounds under 1%% packet loss:\n");
+  std::printf("  verified intact : %d\n", verified);
+  std::printf("  corrupt         : %d\n", corrupt);
+  std::printf("  GBN recoveries  : %llu (switch rewound and replayed)\n",
+              static_cast<unsigned long long>(engine.recoveries()));
+  std::printf("  virtual time    : %.2f ms\n", bed.sim.Now() / 1e6);
+  return corrupt == 0 ? 0 : 1;
+}

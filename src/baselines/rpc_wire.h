@@ -1,0 +1,65 @@
+// Request/response format for the two-sided RDMA baseline.
+//
+// The classic disaggregation RPC (Section 1): the client SENDs a request
+// descriptor; a server thread on the memory pool receives it, performs the
+// memory access, and SENDs the payload back. Every byte still crosses the
+// same fabric — the difference from Cowbird is *who* spends CPU.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/check.h"
+#include "net/bytes.h"
+
+namespace cowbird::baselines {
+
+enum class RpcOp : std::uint8_t { kRead = 1, kWrite = 2 };
+
+struct RpcRequest {
+  RpcOp op = RpcOp::kRead;
+  std::uint64_t remote_addr = 0;
+  std::uint32_t length = 0;
+  std::uint64_t client_cookie = 0;  // echoed in the response
+
+  static constexpr std::size_t kHeaderBytes = 21;
+
+  void SerializeHeader(std::span<std::uint8_t> buf) const {
+    COWBIRD_DCHECK(buf.size() >= kHeaderBytes);
+    net::PutU8(buf, 0, static_cast<std::uint8_t>(op));
+    net::PutU64(buf, 1, remote_addr);
+    net::PutU32(buf, 9, length);
+    net::PutU64(buf, 13, client_cookie);
+  }
+  static RpcRequest ParseHeader(std::span<const std::uint8_t> buf) {
+    COWBIRD_DCHECK(buf.size() >= kHeaderBytes);
+    RpcRequest r;
+    r.op = static_cast<RpcOp>(net::GetU8(buf, 0));
+    r.remote_addr = net::GetU64(buf, 1);
+    r.length = net::GetU32(buf, 9);
+    r.client_cookie = net::GetU64(buf, 13);
+    return r;
+  }
+};
+
+struct RpcResponse {
+  std::uint64_t client_cookie = 0;
+  std::uint32_t payload_length = 0;
+
+  static constexpr std::size_t kHeaderBytes = 12;
+
+  void SerializeHeader(std::span<std::uint8_t> buf) const {
+    COWBIRD_DCHECK(buf.size() >= kHeaderBytes);
+    net::PutU64(buf, 0, client_cookie);
+    net::PutU32(buf, 8, payload_length);
+  }
+  static RpcResponse ParseHeader(std::span<const std::uint8_t> buf) {
+    COWBIRD_DCHECK(buf.size() >= kHeaderBytes);
+    RpcResponse r;
+    r.client_cookie = net::GetU64(buf, 0);
+    r.payload_length = net::GetU32(buf, 8);
+    return r;
+  }
+};
+
+}  // namespace cowbird::baselines

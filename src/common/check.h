@@ -1,0 +1,37 @@
+// Lightweight invariant checking used across the Cowbird codebase.
+//
+// CHECK() is always on: simulator correctness depends on invariants that are
+// cheap relative to event dispatch, and a silently-corrupt simulation is worse
+// than an aborted one. DCHECK() compiles out in release builds and is meant
+// for hot paths (per-packet, per-ring-slot).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cowbird {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace cowbird
+
+#define COWBIRD_CHECK(expr)                             \
+  do {                                                  \
+    if (!(expr)) [[unlikely]] {                         \
+      ::cowbird::CheckFailed(#expr, __FILE__, __LINE__); \
+    }                                                   \
+  } while (0)
+
+#define CHECK_COWBIRD COWBIRD_CHECK  // alias guard against macro collisions
+
+#ifndef NDEBUG
+#define COWBIRD_DCHECK(expr) COWBIRD_CHECK(expr)
+#else
+#define COWBIRD_DCHECK(expr) \
+  do {                       \
+  } while (0)
+#endif

@@ -1,0 +1,130 @@
+// Arithmetic for the circular buffers of Section 4.2.
+//
+// Cowbird's rings use *monotonic* 64-bit head/tail cursors: the cursor value
+// never wraps (2^64 ns-scale operations outlive any run), and the physical
+// slot is cursor % capacity. This makes fullness/emptiness unambiguous
+// without a reserved empty slot and lets the offload engine reason about
+// progress with plain integer comparison — exactly the property Section 4.3
+// relies on for lock-free coordination.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace cowbird {
+
+// Cursor bookkeeping for a ring of `capacity` fixed-size slots.
+// Producer owns `tail`, consumer owns `head`; both only ever increase.
+class RingCursors {
+ public:
+  RingCursors() = default;
+  explicit RingCursors(std::uint64_t capacity) : capacity_(capacity) {
+    COWBIRD_CHECK(capacity > 0);
+  }
+
+  std::uint64_t capacity() const { return capacity_; }
+  std::uint64_t head() const { return head_; }
+  std::uint64_t tail() const { return tail_; }
+
+  std::uint64_t Size() const { return tail_ - head_; }
+  bool Empty() const { return head_ == tail_; }
+  bool Full() const { return Size() == capacity_; }
+  std::uint64_t Free() const { return capacity_ - Size(); }
+
+  // Physical slot index for a cursor value.
+  std::uint64_t Slot(std::uint64_t cursor) const { return cursor % capacity_; }
+
+  // Producer: reserve one slot; returns the cursor of the reserved slot.
+  std::uint64_t Push() {
+    COWBIRD_DCHECK(!Full());
+    return tail_++;
+  }
+  // Consumer: release one slot; returns the cursor of the released slot.
+  std::uint64_t Pop() {
+    COWBIRD_DCHECK(!Empty());
+    return head_++;
+  }
+
+  void AdvanceHeadTo(std::uint64_t new_head) {
+    COWBIRD_CHECK(new_head >= head_ && new_head <= tail_);
+    head_ = new_head;
+  }
+  void AdvanceTailTo(std::uint64_t new_tail) {
+    COWBIRD_CHECK(new_tail >= tail_ && new_tail - head_ <= capacity_);
+    tail_ = new_tail;
+  }
+
+ private:
+  std::uint64_t capacity_ = 1;
+  std::uint64_t head_ = 0;
+  std::uint64_t tail_ = 0;
+};
+
+// Byte-granularity ring (for the request/response *data* buffers, whose
+// entries are variable length). Same monotonic-cursor discipline, but
+// reservations span byte ranges. A range may wrap the physical end of the
+// buffer; SplitSpan() exposes the (at most two) contiguous pieces.
+class ByteRing {
+ public:
+  ByteRing() = default;
+  explicit ByteRing(std::uint64_t capacity_bytes) : capacity_(capacity_bytes) {
+    COWBIRD_CHECK(capacity_bytes > 0);
+  }
+
+  std::uint64_t capacity() const { return capacity_; }
+  std::uint64_t head() const { return head_; }
+  std::uint64_t tail() const { return tail_; }
+  std::uint64_t Used() const { return tail_ - head_; }
+  std::uint64_t Free() const { return capacity_ - Used(); }
+
+  bool CanReserve(std::uint64_t len) const { return Free() >= len; }
+
+  // Reserve `len` bytes; returns the starting cursor of the reservation.
+  std::uint64_t Reserve(std::uint64_t len) {
+    COWBIRD_DCHECK(CanReserve(len));
+    const std::uint64_t at = tail_;
+    tail_ += len;
+    return at;
+  }
+
+  void Release(std::uint64_t len) {
+    COWBIRD_DCHECK(Used() >= len);
+    head_ += len;
+  }
+
+  void AdvanceHeadTo(std::uint64_t new_head) {
+    COWBIRD_CHECK(new_head >= head_ && new_head <= tail_);
+    head_ = new_head;
+  }
+  void AdvanceTailTo(std::uint64_t new_tail) {
+    COWBIRD_CHECK(new_tail >= tail_ && new_tail - head_ <= capacity_);
+    tail_ = new_tail;
+  }
+
+  struct Span {
+    std::uint64_t offset;  // physical byte offset into the buffer
+    std::uint64_t len;
+  };
+  struct SplitResult {
+    Span first;
+    Span second;  // len == 0 when the range does not wrap
+  };
+
+  SplitResult SplitSpan(std::uint64_t cursor, std::uint64_t len) const {
+    COWBIRD_DCHECK(len <= capacity_);
+    const std::uint64_t off = cursor % capacity_;
+    if (off + len <= capacity_) {
+      return {{off, len}, {0, 0}};
+    }
+    const std::uint64_t first_len = capacity_ - off;
+    return {{off, first_len}, {0, len - first_len}};
+  }
+
+ private:
+  std::uint64_t capacity_ = 1;
+  std::uint64_t head_ = 0;
+  std::uint64_t tail_ = 0;
+};
+
+}  // namespace cowbird

@@ -1,0 +1,71 @@
+// Deterministic, fast PRNG for workload generation and fault injection.
+//
+// xoshiro256** (Blackman & Vigna). We avoid std::mt19937 for speed and
+// because we want identical streams across standard library versions —
+// benchmark output must be reproducible bit-for-bit from a seed.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace cowbird {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) { Seed(seed); }
+
+  // SplitMix64 expansion of a single seed word into the full state, as
+  // recommended by the xoshiro authors.
+  void Seed(std::uint64_t seed) {
+    for (auto& word : state_) {
+      seed += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). Uses Lemire's multiply-shift reduction;
+  // the modulo bias is < 2^-64 * bound, negligible for simulation purposes.
+  std::uint64_t Below(std::uint64_t bound) {
+    COWBIRD_DCHECK(bound > 0);
+    return static_cast<std::uint64_t>(
+        (static_cast<__uint128_t>(Next()) * bound) >> 64);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::uint64_t Between(std::uint64_t lo, std::uint64_t hi) {
+    COWBIRD_DCHECK(lo <= hi);
+    return lo + Below(hi - lo + 1);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static constexpr std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace cowbird

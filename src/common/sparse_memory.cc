@@ -1,0 +1,55 @@
+#include "common/sparse_memory.h"
+
+#include <algorithm>
+
+namespace cowbird {
+
+std::uint8_t* SparseMemory::EnsurePage(std::uint64_t page_index) {
+  auto it = pages_.find(page_index);
+  if (it == pages_.end()) {
+    auto page = std::make_unique<std::uint8_t[]>(kPageSize);
+    std::memset(page.get(), 0, kPageSize);
+    it = pages_.emplace(page_index, std::move(page)).first;
+  }
+  return it->second.get();
+}
+
+const std::uint8_t* SparseMemory::FindPage(std::uint64_t page_index) const {
+  auto it = pages_.find(page_index);
+  return it == pages_.end() ? nullptr : it->second.get();
+}
+
+void SparseMemory::Write(std::uint64_t addr,
+                         std::span<const std::uint8_t> data) {
+  std::uint64_t pos = addr;
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const std::uint64_t page_index = pos / kPageSize;
+    const std::uint64_t in_page = pos % kPageSize;
+    const std::size_t chunk = static_cast<std::size_t>(
+        std::min<std::uint64_t>(kPageSize - in_page, data.size() - done));
+    std::memcpy(EnsurePage(page_index) + in_page, data.data() + done, chunk);
+    pos += chunk;
+    done += chunk;
+  }
+}
+
+void SparseMemory::Read(std::uint64_t addr, std::span<std::uint8_t> out) const {
+  std::uint64_t pos = addr;
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const std::uint64_t page_index = pos / kPageSize;
+    const std::uint64_t in_page = pos % kPageSize;
+    const std::size_t chunk = static_cast<std::size_t>(
+        std::min<std::uint64_t>(kPageSize - in_page, out.size() - done));
+    if (const std::uint8_t* page = FindPage(page_index)) {
+      std::memcpy(out.data() + done, page + in_page, chunk);
+    } else {
+      std::memset(out.data() + done, 0, chunk);
+    }
+    pos += chunk;
+    done += chunk;
+  }
+}
+
+}  // namespace cowbird

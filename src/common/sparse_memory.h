@@ -1,0 +1,64 @@
+// Byte-addressable memory for simulated nodes.
+//
+// Node address spaces in the simulation can be large (a memory pool is tens
+// of GiB in the paper), but benchmarks only touch a fraction. SparseMemory
+// materializes 4 KiB pages on first write; reads of never-written memory
+// return zeros, like fresh anonymous mappings.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace cowbird {
+
+class SparseMemory {
+ public:
+  static constexpr std::uint64_t kPageSize = 4096;
+
+  SparseMemory() = default;
+  SparseMemory(const SparseMemory&) = delete;
+  SparseMemory& operator=(const SparseMemory&) = delete;
+  SparseMemory(SparseMemory&&) = default;
+  SparseMemory& operator=(SparseMemory&&) = default;
+
+  void Write(std::uint64_t addr, std::span<const std::uint8_t> data);
+  void Read(std::uint64_t addr, std::span<std::uint8_t> out) const;
+
+  // Typed helpers for the fixed-width fields the protocol moves around.
+  template <typename T>
+  void WriteValue(std::uint64_t addr, const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::uint8_t raw[sizeof(T)];
+    std::memcpy(raw, &value, sizeof(T));
+    Write(addr, std::span<const std::uint8_t>(raw, sizeof(T)));
+  }
+
+  template <typename T>
+  T ReadValue(std::uint64_t addr) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::uint8_t raw[sizeof(T)];
+    Read(addr, std::span<std::uint8_t>(raw, sizeof(T)));
+    T value;
+    std::memcpy(&value, raw, sizeof(T));
+    return value;
+  }
+
+  std::size_t ResidentPages() const { return pages_.size(); }
+  Bytes ResidentBytes() const { return pages_.size() * kPageSize; }
+
+ private:
+  using Page = std::unique_ptr<std::uint8_t[]>;
+
+  std::uint8_t* EnsurePage(std::uint64_t page_index);
+  const std::uint8_t* FindPage(std::uint64_t page_index) const;
+
+  std::unordered_map<std::uint64_t, Page> pages_;
+};
+
+}  // namespace cowbird

@@ -1,0 +1,82 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace cowbird {
+
+void OnlineStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double PercentileSampler::Quantile(double q) const {
+  COWBIRD_CHECK(q >= 0.0 && q <= 1.0);
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const double rank = q * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double PercentileSampler::Mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+void LogHistogram::Add(std::uint64_t value) {
+  const int bucket = value == 0 ? 0 : 64 - std::countl_zero(value);
+  COWBIRD_DCHECK(bucket < kBuckets);
+  ++buckets_[bucket];
+  ++count_;
+}
+
+std::uint64_t LogHistogram::QuantileUpperBound(double q) const {
+  if (count_ == 0) return 0;
+  const auto target =
+      static_cast<std::uint64_t>(q * static_cast<double>(count_));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen > target) return i == 0 ? 0 : (1ull << i) - 1;
+  }
+  return ~0ull;
+}
+
+std::string LogHistogram::ToString() const {
+  std::string out;
+  for (int i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    out += "[<2^" + std::to_string(i) + "]=" + std::to_string(buckets_[i]) +
+           " ";
+  }
+  return out;
+}
+
+}  // namespace cowbird

@@ -1,0 +1,69 @@
+// Statistics collectors used by tests and the benchmark harness.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace cowbird {
+
+// Streaming mean/variance/min/max (Welford).
+class OnlineStats {
+ public:
+  void Add(double x);
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Exact percentile sampler: stores every sample. Our benchmark runs collect
+// at most a few million latency samples, so exactness is affordable and we
+// avoid the bin-boundary artifacts of streaming sketches in the p99 plots.
+class PercentileSampler {
+ public:
+  void Add(double x) { samples_.push_back(x); }
+  void Reserve(std::size_t n) { samples_.reserve(n); }
+
+  std::size_t count() const { return samples_.size(); }
+  // q in [0, 1]; q=0.5 is the median. Linear interpolation between ranks.
+  double Quantile(double q) const;
+  double Median() const { return Quantile(0.5); }
+  double P99() const { return Quantile(0.99); }
+  double Mean() const;
+  void Clear() { samples_.clear(); }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+// Log-scaled latency histogram (power-of-two buckets) for cheap always-on
+// distribution tracking inside the simulator.
+class LogHistogram {
+ public:
+  void Add(std::uint64_t value);
+  std::uint64_t count() const { return count_; }
+  // Upper bound of the bucket that contains quantile q.
+  std::uint64_t QuantileUpperBound(double q) const;
+  std::string ToString() const;
+
+ private:
+  static constexpr int kBuckets = 64;
+  std::uint64_t buckets_[kBuckets] = {};
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace cowbird

@@ -1,0 +1,66 @@
+// Strongly-named units for the simulation.
+//
+// All simulated time is in integer nanoseconds (Nanos). All data quantities
+// are in bytes. Rates are expressed in bits per second and converted through
+// the helpers below so that "how long does it take to serialize N bytes at
+// R Gbps" is written exactly one way everywhere.
+#pragma once
+
+#include <cstdint>
+
+namespace cowbird {
+
+using Nanos = std::int64_t;   // virtual time / durations, ns
+using Bytes = std::uint64_t;  // data sizes
+
+constexpr Nanos kNanosPerMicro = 1'000;
+constexpr Nanos kNanosPerMilli = 1'000'000;
+constexpr Nanos kNanosPerSec = 1'000'000'000;
+
+constexpr Nanos Micros(double us) {
+  return static_cast<Nanos>(us * static_cast<double>(kNanosPerMicro));
+}
+constexpr Nanos Millis(double ms) {
+  return static_cast<Nanos>(ms * static_cast<double>(kNanosPerMilli));
+}
+constexpr Nanos Seconds(double s) {
+  return static_cast<Nanos>(s * static_cast<double>(kNanosPerSec));
+}
+
+constexpr Bytes KiB(Bytes n) { return n * 1024; }
+constexpr Bytes MiB(Bytes n) { return n * 1024 * 1024; }
+constexpr Bytes GiB(Bytes n) { return n * 1024 * 1024 * 1024; }
+
+// A link/NIC rate in bits per second.
+struct BitRate {
+  std::uint64_t bits_per_sec = 0;
+
+  static constexpr BitRate Gbps(double g) {
+    return BitRate{static_cast<std::uint64_t>(g * 1e9)};
+  }
+  static constexpr BitRate Mbps(double m) {
+    return BitRate{static_cast<std::uint64_t>(m * 1e6)};
+  }
+
+  // Time to push `bytes` onto the wire at this rate, rounded up to a whole
+  // nanosecond so that back-to-back packets never overlap.
+  constexpr Nanos TransmitTime(Bytes bytes) const {
+    if (bits_per_sec == 0) return 0;
+    const auto bits = static_cast<__uint128_t>(bytes) * 8u;
+    const auto ns =
+        (bits * kNanosPerSec + bits_per_sec - 1) / bits_per_sec;
+    return static_cast<Nanos>(ns);
+  }
+
+  constexpr double GbpsValue() const {
+    return static_cast<double>(bits_per_sec) / 1e9;
+  }
+};
+
+// Throughput helper: operations per virtual second, expressed in MOPS.
+constexpr double Mops(std::uint64_t ops, Nanos elapsed) {
+  if (elapsed <= 0) return 0.0;
+  return static_cast<double>(ops) * 1e3 / static_cast<double>(elapsed);
+}
+
+}  // namespace cowbird

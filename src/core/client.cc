@@ -1,0 +1,270 @@
+#include "core/client.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace cowbird::core {
+
+namespace {
+std::uint32_t next_instance_id = 1;
+}  // namespace
+
+CowbirdClient::CowbirdClient(rdma::Device& device, Config config)
+    : device_(&device), config_(config) {
+  const auto* mr = device.RegisterMemory(config_.layout.base,
+                                         config_.layout.TotalBytes());
+  descriptor_.instance_id = next_instance_id++;
+  descriptor_.compute_node = device.node_id();
+  descriptor_.compute_rkey = mr->rkey;
+  descriptor_.layout = config_.layout;
+  for (int i = 0; i < config_.layout.threads; ++i) {
+    threads_.push_back(std::make_unique<ThreadContext>(*this, i));
+  }
+  // Zero-initialize both bookkeeping blocks so the engine's first probe
+  // reads a consistent (empty) state.
+  for (int i = 0; i < config_.layout.threads; ++i) {
+    GreenBlock green;
+    RedBlock red;
+    auto& mem = device.memory();
+    const auto g = config_.layout.GreenAddr(i);
+    mem.WriteValue<std::uint64_t>(g, green.meta_tail);
+    mem.WriteValue<std::uint64_t>(g + 8, green.data_tail);
+    mem.WriteValue<std::uint64_t>(g + 16, green.resp_head);
+    const auto r = config_.layout.RedAddr(i);
+    mem.WriteValue<std::uint64_t>(r, red.meta_head);
+    mem.WriteValue<std::uint64_t>(r + 8, red.data_head);
+    mem.WriteValue<std::uint64_t>(r + 16, red.resp_tail);
+    mem.WriteValue<std::uint64_t>(r + 24, red.write_progress);
+    mem.WriteValue<std::uint64_t>(r + 32, red.read_progress);
+  }
+}
+
+void CowbirdClient::RegisterRegion(const RegionInfo& region) {
+  COWBIRD_CHECK(descriptor_.FindRegion(region.region_id) == nullptr);
+  descriptor_.regions.push_back(region);
+}
+
+CowbirdClient::ThreadContext::ThreadContext(CowbirdClient& client, int index)
+    : client_(&client),
+      index_(index),
+      meta_ring_(client.config_.layout.meta_slots),
+      data_ring_(client.config_.layout.data_capacity),
+      resp_ring_(client.config_.layout.resp_capacity) {}
+
+std::optional<std::uint64_t> CowbirdClient::ThreadContext::ContiguousPad(
+    const ByteRing& ring, std::uint64_t len) {
+  COWBIRD_CHECK(len <= ring.capacity());
+  const std::uint64_t offset = ring.tail() % ring.capacity();
+  const std::uint64_t pad =
+      offset + len > ring.capacity() ? ring.capacity() - offset : 0;
+  if (!ring.CanReserve(pad + len)) return std::nullopt;
+  return pad;
+}
+
+sim::Task<std::optional<ReqId>> CowbirdClient::ThreadContext::AsyncRead(
+    sim::SimThread& thread, std::uint16_t region_id,
+    std::uint64_t remote_src_offset, std::uint64_t local_dest,
+    std::uint32_t length) {
+  const RegionInfo* region = client_->descriptor_.FindRegion(region_id);
+  COWBIRD_CHECK(region != nullptr);
+  COWBIRD_CHECK(remote_src_offset + length <= region->size);
+  COWBIRD_CHECK(length > 0);
+
+  // The issue path itself: a handful of local-memory writes.
+  co_await thread.Work(client_->config_.costs.cowbird_post,
+                       sim::CpuCategory::kCommunication);
+
+  auto pad = ContiguousPad(resp_ring_, length);
+  if (!pad.has_value() || meta_ring_.Full()) {
+    // Out of space: sync with engine progress once, then retry the
+    // reservation; if still full the caller must drain completions.
+    co_await Reconcile(thread);
+    pad = ContiguousPad(resp_ring_, length);
+    if (!pad.has_value() || meta_ring_.Full()) {
+      ++issue_failures_;
+      co_return std::nullopt;
+    }
+  }
+
+  const std::uint64_t cursor = resp_ring_.Reserve(*pad + length);
+  const std::uint64_t data_start = cursor + *pad;
+  const auto& layout = client_->config_.layout;
+  const std::uint64_t resp_addr =
+      layout.RespRingAddr(index_) + (data_start % resp_ring_.capacity());
+
+  RequestMetadata meta;
+  meta.rw_type = RwType::kRead;
+  meta.region_id = region_id;
+  meta.length = length;
+  meta.req_addr = region->remote_base + remote_src_offset;
+  meta.resp_addr = resp_addr;
+  const std::uint64_t slot = meta_ring_.Push();
+  auto& mem = client_->device_->memory();
+  meta.Publish(mem, layout.MetaSlotAddr(index_, slot));
+  // Publish the new tail in the green block (plain store; engine probes it).
+  mem.WriteValue<std::uint64_t>(layout.GreenAddr(index_), meta_ring_.tail());
+
+  const std::uint64_t seq = ++next_read_seq_;
+  outstanding_reads_.push_back(
+      OutstandingRead{seq, cursor, *pad, length, local_dest});
+  ++reads_issued_;
+  co_return ReqId::Make(RwType::kRead, index_, seq);
+}
+
+sim::Task<std::optional<ReqId>> CowbirdClient::ThreadContext::AsyncWrite(
+    sim::SimThread& thread, std::uint16_t region_id, std::uint64_t local_src,
+    std::uint64_t remote_dest_offset, std::uint32_t length) {
+  const RegionInfo* region = client_->descriptor_.FindRegion(region_id);
+  COWBIRD_CHECK(region != nullptr);
+  COWBIRD_CHECK(remote_dest_offset + length <= region->size);
+  COWBIRD_CHECK(length > 0);
+
+  co_await thread.Work(client_->config_.costs.cowbird_post,
+                       sim::CpuCategory::kCommunication);
+
+  auto pad = ContiguousPad(data_ring_, length);
+  if (!pad.has_value() || meta_ring_.Full()) {
+    co_await Reconcile(thread);
+    pad = ContiguousPad(data_ring_, length);
+    if (!pad.has_value() || meta_ring_.Full()) {
+      ++issue_failures_;
+      co_return std::nullopt;
+    }
+  }
+
+  const std::uint64_t cursor = data_ring_.Reserve(*pad + length);
+  const std::uint64_t data_start = cursor + *pad;
+  const auto& layout = client_->config_.layout;
+  const std::uint64_t ring_addr =
+      layout.DataRingAddr(index_) + (data_start % data_ring_.capacity());
+
+  // Stage the payload into the request data ring (the one copy the write
+  // path pays; the engine fetches it from here asynchronously).
+  auto& mem = client_->device_->memory();
+  std::vector<std::uint8_t> staging(length);
+  mem.Read(local_src, staging);
+  mem.Write(ring_addr, staging);
+  co_await thread.Work(client_->config_.costs.CopyCost(length),
+                       sim::CpuCategory::kCommunication);
+
+  RequestMetadata meta;
+  meta.rw_type = RwType::kWrite;
+  meta.region_id = region_id;
+  meta.length = length;
+  meta.req_addr = ring_addr;
+  meta.resp_addr = region->remote_base + remote_dest_offset;
+  const std::uint64_t slot = meta_ring_.Push();
+  meta.Publish(mem, layout.MetaSlotAddr(index_, slot));
+  mem.WriteValue<std::uint64_t>(layout.GreenAddr(index_), meta_ring_.tail());
+  mem.WriteValue<std::uint64_t>(layout.GreenAddr(index_) + 8,
+                                data_ring_.tail());
+
+  const std::uint64_t seq = ++next_write_seq_;
+  outstanding_writes_.push_back(OutstandingWrite{seq, *pad + length});
+  ++writes_issued_;
+  co_return ReqId::Make(RwType::kWrite, index_, seq);
+}
+
+sim::Task<void> CowbirdClient::ThreadContext::Reconcile(
+    sim::SimThread& thread) {
+  co_await thread.Work(client_->config_.costs.cowbird_poll,
+                       sim::CpuCategory::kCommunication);
+  auto& mem = client_->device_->memory();
+  const auto& layout = client_->config_.layout;
+  const std::uint64_t red_addr = layout.RedAddr(index_);
+  RedBlock red;
+  red.meta_head = mem.ReadValue<std::uint64_t>(red_addr);
+  red.write_progress = mem.ReadValue<std::uint64_t>(red_addr + 24);
+  red.read_progress = mem.ReadValue<std::uint64_t>(red_addr + 32);
+
+  meta_ring_.AdvanceHeadTo(red.meta_head);
+
+  while (!outstanding_writes_.empty() &&
+         outstanding_writes_.front().seq <= red.write_progress) {
+    data_ring_.Release(outstanding_writes_.front().reserved_bytes);
+    outstanding_writes_.pop_front();
+  }
+  retired_write_seq_ = std::max(retired_write_seq_, red.write_progress);
+
+  while (!outstanding_reads_.empty() &&
+         outstanding_reads_.front().seq <= red.read_progress) {
+    const OutstandingRead& done = outstanding_reads_.front();
+    // Copy the payload out of the response ring to the user's buffer.
+    const std::uint64_t ring_addr =
+        layout.RespRingAddr(index_) +
+        ((done.ring_cursor + done.pad) % resp_ring_.capacity());
+    std::vector<std::uint8_t> payload(done.length);
+    mem.Read(ring_addr, payload);
+    mem.Write(done.user_dest, payload);
+    co_await thread.Work(
+        client_->config_.costs.DeliveryCopyCost(done.length),
+        sim::CpuCategory::kCommunication);
+    resp_ring_.Release(done.pad + done.length);
+    mem.WriteValue<std::uint64_t>(layout.GreenAddr(index_) + 16,
+                                  resp_ring_.head());
+    outstanding_reads_.pop_front();
+  }
+  retired_read_seq_ = std::max(retired_read_seq_, red.read_progress);
+}
+
+PollId CowbirdClient::ThreadContext::PollCreate() {
+  poll_groups_.emplace_back();
+  poll_groups_.back().live = true;
+  return static_cast<PollId>(poll_groups_.size() - 1);
+}
+
+void CowbirdClient::ThreadContext::PollAdd(PollId poll_id, ReqId req_id) {
+  COWBIRD_CHECK(poll_id < poll_groups_.size() && poll_groups_[poll_id].live);
+  auto& group = poll_groups_[poll_id];
+  auto& queue =
+      req_id.type() == RwType::kRead ? group.reads : group.writes;
+  COWBIRD_DCHECK(queue.empty() || queue.back().seq() < req_id.seq());
+  queue.push_back(req_id);
+}
+
+void CowbirdClient::ThreadContext::PollRemove(PollId poll_id, ReqId req_id) {
+  COWBIRD_CHECK(poll_id < poll_groups_.size() && poll_groups_[poll_id].live);
+  auto& group = poll_groups_[poll_id];
+  auto& queue =
+      req_id.type() == RwType::kRead ? group.reads : group.writes;
+  queue.erase(std::remove(queue.begin(), queue.end(), req_id), queue.end());
+}
+
+sim::Task<std::vector<ReqId>> CowbirdClient::ThreadContext::PollWait(
+    sim::SimThread& thread, PollId poll_id, int max_ret, Nanos timeout) {
+  COWBIRD_CHECK(poll_id < poll_groups_.size() && poll_groups_[poll_id].live);
+  auto& group = poll_groups_[poll_id];
+  const Nanos deadline = thread.simulation().Now() + timeout;
+  std::vector<ReqId> results;
+  for (;;) {
+    co_await Reconcile(thread);
+    // Completion checks are integer comparisons against the progress
+    // counters (Section 4.4).
+    while (static_cast<int>(results.size()) < max_ret && !group.reads.empty() &&
+           group.reads.front().seq() <= retired_read_seq_) {
+      results.push_back(group.reads.front());
+      group.reads.pop_front();
+    }
+    while (static_cast<int>(results.size()) < max_ret &&
+           !group.writes.empty() &&
+           group.writes.front().seq() <= retired_write_seq_) {
+      results.push_back(group.writes.front());
+      group.writes.pop_front();
+    }
+    if (static_cast<int>(results.size()) >= max_ret ||
+        thread.simulation().Now() >= deadline) {
+      co_return results;
+    }
+    const Nanos remaining = deadline - thread.simulation().Now();
+    co_await thread.Idle(
+        std::min<Nanos>(client_->config_.poll_interval, remaining));
+  }
+}
+
+bool CowbirdClient::ThreadContext::IsRetired(ReqId id) const {
+  if (id.type() == RwType::kRead) return id.seq() <= retired_read_seq_;
+  return id.seq() <= retired_write_seq_;
+}
+
+}  // namespace cowbird::core

@@ -1,0 +1,155 @@
+// The Cowbird client library (Sections 4.1 and 4.3, Table 2).
+//
+// Every API call executes only local-memory loads and stores on the calling
+// thread — there is no RDMA verb, no doorbell, no fence on this path, and no
+// background activity. Issuing a request is: reserve ring space, fill the
+// 24-byte metadata entry (rw_type last), bump the green-block tail. Checking
+// completions is: load the engine-written progress counters and compare
+// integers. The per-call CPU charges (CostModel::cowbird_post/cowbird_poll)
+// are an order of magnitude below a verbs post/poll — Figure 2.
+//
+// Completion-side data movement: when a read completes, the engine has
+// already deposited the payload in the response ring; the library copies it
+// to the caller's destination buffer during the poll that discovers the
+// completion, then frees the ring space.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/ring.h"
+#include "common/units.h"
+#include "core/instance.h"
+#include "core/request.h"
+#include "rdma/device.h"
+#include "rdma/params.h"
+#include "sim/task.h"
+#include "sim/thread.h"
+
+namespace cowbird::core {
+
+using PollId = std::uint32_t;
+
+class CowbirdClient {
+ public:
+  struct Config {
+    InstanceLayout layout;
+    rdma::CostModel costs;
+    // Gap between completion checks inside PollWait. The CPU is *not*
+    // charged for this gap (a real application overlaps it with compute);
+    // each check itself is charged.
+    Nanos poll_interval = 200;
+  };
+
+  // Registers the client buffer area with the compute node's RDMA device so
+  // offload engines can reach it.
+  CowbirdClient(rdma::Device& device, Config config);
+
+  void RegisterRegion(const RegionInfo& region);
+  const InstanceDescriptor& descriptor() const { return descriptor_; }
+
+  class ThreadContext;
+  ThreadContext& thread(int index) { return *threads_[index]; }
+  int thread_count() const { return static_cast<int>(threads_.size()); }
+
+  class ThreadContext {
+   public:
+    ThreadContext(CowbirdClient& client, int index);
+
+    // Table 2: async_read(region_id, src, dest, length).
+    // `remote_src_offset` is relative to the region base; `local_dest` is a
+    // compute-node address the data will be copied to on completion.
+    // Returns nullopt when a ring is full (caller should poll, then retry).
+    sim::Task<std::optional<ReqId>> AsyncRead(sim::SimThread& thread,
+                                              std::uint16_t region_id,
+                                              std::uint64_t remote_src_offset,
+                                              std::uint64_t local_dest,
+                                              std::uint32_t length);
+
+    // Table 2: async_write(region_id, src, dest, length).
+    sim::Task<std::optional<ReqId>> AsyncWrite(
+        sim::SimThread& thread, std::uint16_t region_id,
+        std::uint64_t local_src, std::uint64_t remote_dest_offset,
+        std::uint32_t length);
+
+    PollId PollCreate();
+    void PollAdd(PollId poll_id, ReqId req_id);
+    void PollRemove(PollId poll_id, ReqId req_id);
+
+    // Table 2: poll_wait(poll_id, responses, max_ret, timeout). Returns up
+    // to `max_ret` completed request IDs, waiting at most `timeout`.
+    sim::Task<std::vector<ReqId>> PollWait(sim::SimThread& thread,
+                                           PollId poll_id, int max_ret,
+                                           Nanos timeout);
+
+    // Completion state without a poll group (used by tests/integrations):
+    // true once the request's sequence number is covered by the engine's
+    // progress counter *and* the library has retired it.
+    bool IsRetired(ReqId id) const;
+
+    std::uint64_t reads_issued() const { return reads_issued_; }
+    std::uint64_t writes_issued() const { return writes_issued_; }
+    std::uint64_t issue_failures() const { return issue_failures_; }
+    std::uint64_t reads_retired() const { return retired_read_seq_; }
+    std::uint64_t writes_retired() const { return retired_write_seq_; }
+
+   private:
+    friend class CowbirdClient;
+
+    struct OutstandingRead {
+      std::uint64_t seq;
+      std::uint64_t ring_cursor;  // reservation start (monotonic, incl. pad)
+      std::uint64_t pad;
+      std::uint32_t length;
+      std::uint64_t user_dest;
+    };
+    struct OutstandingWrite {
+      std::uint64_t seq;
+      std::uint64_t reserved_bytes;  // pad + length
+    };
+    struct PollGroup {
+      bool live = false;
+      std::deque<ReqId> reads;   // ascending seq
+      std::deque<ReqId> writes;  // ascending seq
+    };
+
+    // Synchronize with the engine-written red block: advance ring heads,
+    // retire completed operations (copying read payloads to their user
+    // destinations). Charges one cowbird_poll plus copy costs.
+    sim::Task<void> Reconcile(sim::SimThread& thread);
+
+    // Computes a contiguous reservation in a byte ring: returns pad bytes
+    // to skip (ring-wrap padding), or nullopt if it does not fit.
+    static std::optional<std::uint64_t> ContiguousPad(const ByteRing& ring,
+                                                      std::uint64_t len);
+
+    CowbirdClient* client_;
+    int index_;
+    RingCursors meta_ring_;
+    ByteRing data_ring_;
+    ByteRing resp_ring_;
+    std::uint64_t next_read_seq_ = 0;
+    std::uint64_t next_write_seq_ = 0;
+    std::uint64_t retired_read_seq_ = 0;
+    std::uint64_t retired_write_seq_ = 0;
+    std::deque<OutstandingRead> outstanding_reads_;
+    std::deque<OutstandingWrite> outstanding_writes_;
+    std::vector<PollGroup> poll_groups_;
+    std::uint64_t reads_issued_ = 0;
+    std::uint64_t writes_issued_ = 0;
+    std::uint64_t issue_failures_ = 0;
+  };
+
+ private:
+  friend class ThreadContext;
+
+  rdma::Device* device_;
+  Config config_;
+  InstanceDescriptor descriptor_;
+  std::vector<std::unique_ptr<ThreadContext>> threads_;
+};
+
+}  // namespace cowbird::core

@@ -1,0 +1,103 @@
+// Convenience layers over the core API (Section 4.1: "Simple extensions can
+// be made to the API to allow convenience methods like traditional
+// select/poll semantics or an implicit notification group tied to each read
+// and write").
+#pragma once
+
+#include <optional>
+
+#include "core/client.h"
+
+namespace cowbird::core {
+
+// Wraps a ThreadContext with an implicit notification group: every issued
+// request is auto-added, and completions are harvested with select-style
+// calls. This is the interface most ports (like the FASTER IDevice) want.
+class ImplicitGroup {
+ public:
+  explicit ImplicitGroup(CowbirdClient::ThreadContext& ctx)
+      : ctx_(&ctx), poll_(ctx.PollCreate()) {}
+
+  // async_read with implicit registration.
+  sim::Task<std::optional<ReqId>> Read(sim::SimThread& thread,
+                                       std::uint16_t region_id,
+                                       std::uint64_t remote_src_offset,
+                                       std::uint64_t local_dest,
+                                       std::uint32_t length) {
+    auto id = co_await ctx_->AsyncRead(thread, region_id, remote_src_offset,
+                                       local_dest, length);
+    if (id.has_value()) {
+      ctx_->PollAdd(poll_, *id);
+      ++outstanding_;
+    }
+    co_return id;
+  }
+
+  // async_write with implicit registration.
+  sim::Task<std::optional<ReqId>> Write(sim::SimThread& thread,
+                                        std::uint16_t region_id,
+                                        std::uint64_t local_src,
+                                        std::uint64_t remote_dest_offset,
+                                        std::uint32_t length) {
+    auto id = co_await ctx_->AsyncWrite(thread, region_id, local_src,
+                                        remote_dest_offset, length);
+    if (id.has_value()) {
+      ctx_->PollAdd(poll_, *id);
+      ++outstanding_;
+    }
+    co_return id;
+  }
+
+  // select()-style: returns the first completion, waiting up to `timeout`.
+  sim::Task<std::optional<ReqId>> Select(sim::SimThread& thread,
+                                         Nanos timeout) {
+    auto done = co_await ctx_->PollWait(thread, poll_, 1, timeout);
+    if (done.empty()) co_return std::nullopt;
+    --outstanding_;
+    co_return done.front();
+  }
+
+  // Blocks (up to `timeout`) until a *specific* request completes; other
+  // completions harvested along the way are dropped from the group but
+  // remain retired in the library (their data is already delivered).
+  sim::Task<bool> WaitFor(sim::SimThread& thread, ReqId target,
+                          Nanos timeout) {
+    const Nanos deadline = thread.simulation().Now() + timeout;
+    if (ctx_->IsRetired(target)) co_return true;
+    for (;;) {
+      const Nanos now = thread.simulation().Now();
+      if (now >= deadline) co_return false;
+      auto done = co_await ctx_->PollWait(thread, poll_, 16, deadline - now);
+      outstanding_ -= static_cast<int>(done.size());
+      for (const ReqId& id : done) {
+        if (id == target) co_return true;
+      }
+      if (done.empty() && ctx_->IsRetired(target)) co_return true;
+    }
+  }
+
+  // Synchronous-looking read: issue (retrying on ring pressure) and wait.
+  sim::Task<bool> ReadSync(sim::SimThread& thread, std::uint16_t region_id,
+                           std::uint64_t remote_src_offset,
+                           std::uint64_t local_dest, std::uint32_t length,
+                           Nanos timeout = Millis(10)) {
+    std::optional<ReqId> id;
+    const Nanos deadline = thread.simulation().Now() + timeout;
+    while (!(id = co_await Read(thread, region_id, remote_src_offset,
+                                local_dest, length))) {
+      if (thread.simulation().Now() >= deadline) co_return false;
+      (void)co_await Select(thread, Micros(5));
+    }
+    co_return co_await WaitFor(thread, *id,
+                               deadline - thread.simulation().Now());
+  }
+
+  int outstanding() const { return outstanding_; }
+
+ private:
+  CowbirdClient::ThreadContext* ctx_;
+  PollId poll_;
+  int outstanding_ = 0;
+};
+
+}  // namespace cowbird::core

@@ -1,0 +1,41 @@
+// Descriptor shared between the client library and the offload engines.
+//
+// This is the information the compute node ships to the engine during the
+// Setup phase (Section 5.2, Phase I): where the client buffers live (base +
+// rkey of the compute-side MR, per-thread layout) and the table of remote
+// memory regions (node, base address, rkey, size) that region_ids refer to.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+#include "core/layout.h"
+#include "net/packet.h"
+
+namespace cowbird::core {
+
+struct RegionInfo {
+  std::uint16_t region_id = 0;
+  net::NodeId memory_node = 0;
+  std::uint64_t remote_base = 0;  // virtual address on the memory node
+  std::uint32_t rkey = 0;         // memory-pool MR rkey
+  Bytes size = 0;
+};
+
+struct InstanceDescriptor {
+  std::uint32_t instance_id = 0;
+  net::NodeId compute_node = 0;
+  std::uint32_t compute_rkey = 0;  // MR covering the client buffer area
+  InstanceLayout layout;
+  std::vector<RegionInfo> regions;
+
+  const RegionInfo* FindRegion(std::uint16_t region_id) const {
+    for (const auto& region : regions) {
+      if (region.region_id == region_id) return &region;
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace cowbird::core

@@ -1,0 +1,109 @@
+// Memory-pool region management.
+//
+// Section 3: pool memory "can be reserved or harvested from fragmented
+// resources [47] but should be registered with the compute node client
+// library". This allocator manages the pool side of that hand-shake: it
+// carves registered-MR-backed regions out of a node's pool (first-fit over
+// a free list, with coalescing on release) and emits the RegionInfo records
+// the client registers and the engines resolve.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+
+#include "common/check.h"
+#include "core/instance.h"
+#include "rdma/device.h"
+
+namespace cowbird::core {
+
+class RegionAllocator {
+ public:
+  // Registers `capacity` bytes at `base` on the memory node's device as one
+  // MR; individual regions are sub-ranges (a single rkey serves them all,
+  // as with harvested slabs in practice).
+  RegionAllocator(rdma::Device& device, std::uint64_t base, Bytes capacity)
+      : node_(device.node_id()), base_(base), capacity_(capacity) {
+    mr_ = device.RegisterMemory(base, capacity);
+    free_.push_back(Extent{base, capacity});
+  }
+
+  // Carves a region of `size` bytes; returns nullopt when fragmented full.
+  std::optional<RegionInfo> Allocate(std::uint16_t region_id, Bytes size) {
+    COWBIRD_CHECK(size > 0);
+    const Bytes aligned = (size + 63) & ~Bytes{63};
+    for (auto it = free_.begin(); it != free_.end(); ++it) {
+      if (it->length < aligned) continue;
+      RegionInfo region;
+      region.region_id = region_id;
+      region.memory_node = node_;
+      region.remote_base = it->start;
+      region.rkey = mr_->rkey;
+      region.size = aligned;
+      it->start += aligned;
+      it->length -= aligned;
+      if (it->length == 0) free_.erase(it);
+      allocated_ += aligned;
+      return region;
+    }
+    return std::nullopt;
+  }
+
+  // Returns a region to the pool (harvested memory being reclaimed, or a
+  // channel torn down). Coalesces with free neighbours.
+  void Release(const RegionInfo& region) {
+    COWBIRD_CHECK(region.memory_node == node_);
+    COWBIRD_CHECK(region.remote_base >= base_ &&
+                  region.remote_base + region.size <= base_ + capacity_);
+    COWBIRD_CHECK(allocated_ >= region.size);
+    allocated_ -= region.size;
+    Extent freed{region.remote_base, region.size};
+    auto it = free_.begin();
+    while (it != free_.end() && it->start < freed.start) ++it;
+    // Coalesce with the previous extent.
+    if (it != free_.begin()) {
+      auto prev = std::prev(it);
+      COWBIRD_CHECK(prev->start + prev->length <= freed.start);
+      if (prev->start + prev->length == freed.start) {
+        prev->length += freed.length;
+        // And possibly with the next one too.
+        if (it != free_.end() && prev->start + prev->length == it->start) {
+          prev->length += it->length;
+          free_.erase(it);
+        }
+        return;
+      }
+    }
+    // Coalesce with the next extent.
+    if (it != free_.end()) {
+      COWBIRD_CHECK(freed.start + freed.length <= it->start);
+      if (freed.start + freed.length == it->start) {
+        it->start = freed.start;
+        it->length += freed.length;
+        return;
+      }
+    }
+    free_.insert(it, freed);
+  }
+
+  Bytes allocated() const { return allocated_; }
+  Bytes free_bytes() const { return capacity_ - allocated_; }
+  std::size_t fragments() const { return free_.size(); }
+  std::uint32_t rkey() const { return mr_->rkey; }
+
+ private:
+  struct Extent {
+    std::uint64_t start;
+    Bytes length;
+  };
+
+  net::NodeId node_;
+  std::uint64_t base_;
+  Bytes capacity_;
+  const rdma::MemoryRegion* mr_ = nullptr;
+  std::list<Extent> free_;  // sorted by start address
+  Bytes allocated_ = 0;
+};
+
+}  // namespace cowbird::core

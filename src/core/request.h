@@ -1,0 +1,111 @@
+// Request metadata entries (Table 3) and request-ID encoding (Section 4.4).
+//
+// A metadata entry is a fixed 24-byte block. rw_type doubles as the validity
+// flag and is written *last* when the client issues a request (Section 4.3):
+// under x86-TSO the earlier field writes are visible before it, so the
+// offload engine can never observe a half-written entry with a valid type.
+// Entries are serialized little-endian (host memory layout, fetched by RDMA
+// as raw bytes).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/check.h"
+#include "common/sparse_memory.h"
+#include "core/layout.h"
+
+namespace cowbird::core {
+
+enum class RwType : std::uint16_t {
+  kInvalid = 0,
+  kRead = 1,
+  kWrite = 2,
+};
+
+struct RequestMetadata {
+  RwType rw_type = RwType::kInvalid;
+  std::uint16_t region_id = 0;
+  std::uint32_t length = 0;
+  std::uint64_t req_addr = 0;   // read: memory-node addr; write: compute addr
+  std::uint64_t resp_addr = 0;  // read: compute addr; write: memory-node addr
+
+  // Field offsets within the 24-byte entry.
+  static constexpr std::uint64_t kRwTypeOffset = 0;
+  static constexpr std::uint64_t kRegionOffset = 2;
+  static constexpr std::uint64_t kLengthOffset = 4;
+  static constexpr std::uint64_t kReqAddrOffset = 8;
+  static constexpr std::uint64_t kRespAddrOffset = 16;
+
+  // Writes the entry into `mem` at `addr`, rw_type last (the publish).
+  void Publish(SparseMemory& mem, std::uint64_t addr) const {
+    mem.WriteValue<std::uint16_t>(addr + kRegionOffset, region_id);
+    mem.WriteValue<std::uint32_t>(addr + kLengthOffset, length);
+    mem.WriteValue<std::uint64_t>(addr + kReqAddrOffset, req_addr);
+    mem.WriteValue<std::uint64_t>(addr + kRespAddrOffset, resp_addr);
+    mem.WriteValue<std::uint16_t>(addr + kRwTypeOffset,
+                                  static_cast<std::uint16_t>(rw_type));
+  }
+
+  static RequestMetadata ParseBytes(std::span<const std::uint8_t> raw) {
+    COWBIRD_CHECK(raw.size() >= kMetadataEntryBytes);
+    auto rd16 = [&](std::uint64_t at) {
+      return static_cast<std::uint16_t>(raw[at] | (raw[at + 1] << 8));
+    };
+    auto rd32 = [&](std::uint64_t at) {
+      return static_cast<std::uint32_t>(raw[at]) |
+             (static_cast<std::uint32_t>(raw[at + 1]) << 8) |
+             (static_cast<std::uint32_t>(raw[at + 2]) << 16) |
+             (static_cast<std::uint32_t>(raw[at + 3]) << 24);
+    };
+    auto rd64 = [&](std::uint64_t at) {
+      return static_cast<std::uint64_t>(rd32(at)) |
+             (static_cast<std::uint64_t>(rd32(at + 4)) << 32);
+    };
+    RequestMetadata m;
+    m.rw_type = static_cast<RwType>(rd16(kRwTypeOffset));
+    m.region_id = rd16(kRegionOffset);
+    m.length = rd32(kLengthOffset);
+    m.req_addr = rd64(kReqAddrOffset);
+    m.resp_addr = rd64(kRespAddrOffset);
+    return m;
+  }
+};
+
+// Request IDs encode type, issuing thread, and a per-thread per-type
+// sequence number so that completion checks are integer comparisons against
+// the progress counters (Section 4.4).
+//
+//   bit 63      : type (0 = read, 1 = write)
+//   bits 48..62 : thread index
+//   bits 0..47  : 1-based sequence number
+class ReqId {
+ public:
+  ReqId() = default;
+
+  static ReqId Make(RwType type, int thread, std::uint64_t seq) {
+    COWBIRD_DCHECK(type == RwType::kRead || type == RwType::kWrite);
+    COWBIRD_DCHECK(thread >= 0 && thread < (1 << 15));
+    COWBIRD_DCHECK(seq > 0 && seq < (1ull << 48));
+    std::uint64_t v = seq;
+    v |= static_cast<std::uint64_t>(thread) << 48;
+    if (type == RwType::kWrite) v |= 1ull << 63;
+    return ReqId(v);
+  }
+
+  RwType type() const {
+    return (value_ >> 63) ? RwType::kWrite : RwType::kRead;
+  }
+  int thread() const { return static_cast<int>((value_ >> 48) & 0x7FFF); }
+  std::uint64_t seq() const { return value_ & ((1ull << 48) - 1); }
+
+  std::uint64_t value() const { return value_; }
+  bool valid() const { return value_ != 0; }
+  friend bool operator==(ReqId a, ReqId b) { return a.value_ == b.value_; }
+
+ private:
+  explicit ReqId(std::uint64_t v) : value_(v) {}
+  std::uint64_t value_ = 0;
+};
+
+}  // namespace cowbird::core

@@ -1,0 +1,76 @@
+// Byte-order helpers for wire formats.
+//
+// All protocol headers (Ethernet/IPv4/UDP and the RoCEv2 BTH/RETH/AETH) are
+// serialized in network byte order, exactly as they appear on the wire; the
+// P4 parser operates on these bytes.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+#include "common/check.h"
+
+namespace cowbird::net {
+
+inline void PutU8(std::span<std::uint8_t> buf, std::size_t at,
+                  std::uint8_t v) {
+  COWBIRD_DCHECK(at < buf.size());
+  buf[at] = v;
+}
+inline void PutU16(std::span<std::uint8_t> buf, std::size_t at,
+                   std::uint16_t v) {
+  COWBIRD_DCHECK(at + 2 <= buf.size());
+  buf[at] = static_cast<std::uint8_t>(v >> 8);
+  buf[at + 1] = static_cast<std::uint8_t>(v);
+}
+inline void PutU24(std::span<std::uint8_t> buf, std::size_t at,
+                   std::uint32_t v) {
+  COWBIRD_DCHECK(at + 3 <= buf.size());
+  buf[at] = static_cast<std::uint8_t>(v >> 16);
+  buf[at + 1] = static_cast<std::uint8_t>(v >> 8);
+  buf[at + 2] = static_cast<std::uint8_t>(v);
+}
+inline void PutU32(std::span<std::uint8_t> buf, std::size_t at,
+                   std::uint32_t v) {
+  COWBIRD_DCHECK(at + 4 <= buf.size());
+  buf[at] = static_cast<std::uint8_t>(v >> 24);
+  buf[at + 1] = static_cast<std::uint8_t>(v >> 16);
+  buf[at + 2] = static_cast<std::uint8_t>(v >> 8);
+  buf[at + 3] = static_cast<std::uint8_t>(v);
+}
+inline void PutU64(std::span<std::uint8_t> buf, std::size_t at,
+                   std::uint64_t v) {
+  PutU32(buf, at, static_cast<std::uint32_t>(v >> 32));
+  PutU32(buf, at + 4, static_cast<std::uint32_t>(v));
+}
+
+inline std::uint8_t GetU8(std::span<const std::uint8_t> buf, std::size_t at) {
+  COWBIRD_DCHECK(at < buf.size());
+  return buf[at];
+}
+inline std::uint16_t GetU16(std::span<const std::uint8_t> buf,
+                            std::size_t at) {
+  COWBIRD_DCHECK(at + 2 <= buf.size());
+  return static_cast<std::uint16_t>((buf[at] << 8) | buf[at + 1]);
+}
+inline std::uint32_t GetU24(std::span<const std::uint8_t> buf,
+                            std::size_t at) {
+  COWBIRD_DCHECK(at + 3 <= buf.size());
+  return (static_cast<std::uint32_t>(buf[at]) << 16) |
+         (static_cast<std::uint32_t>(buf[at + 1]) << 8) | buf[at + 2];
+}
+inline std::uint32_t GetU32(std::span<const std::uint8_t> buf,
+                            std::size_t at) {
+  COWBIRD_DCHECK(at + 4 <= buf.size());
+  return (static_cast<std::uint32_t>(buf[at]) << 24) |
+         (static_cast<std::uint32_t>(buf[at + 1]) << 16) |
+         (static_cast<std::uint32_t>(buf[at + 2]) << 8) | buf[at + 3];
+}
+inline std::uint64_t GetU64(std::span<const std::uint8_t> buf,
+                            std::size_t at) {
+  return (static_cast<std::uint64_t>(GetU32(buf, at)) << 32) |
+         GetU32(buf, at + 4);
+}
+
+}  // namespace cowbird::net

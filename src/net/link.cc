@@ -1,0 +1,54 @@
+#include "net/link.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace cowbird::net {
+
+void Link::Send(Packet packet) {
+  queue_.push_back(std::move(packet));
+  if (!busy_) StartNext();
+}
+
+void Link::StartNext() {
+  COWBIRD_CHECK(!queue_.empty());
+  busy_ = true;
+  auto next = queue_.begin();
+  if (priority_scheduling_) {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (static_cast<int>(it->priority) > static_cast<int>(next->priority)) {
+        next = it;
+      }
+    }
+  }
+  Packet packet = std::move(*next);
+  queue_.erase(next);
+  const Nanos tx = rate_.TransmitTime(packet.WireBytes());
+  // Delivery is scheduled independently of transmitter availability so that
+  // back-to-back packets pipeline across the propagation delay.
+  sim_->ScheduleAfter(tx + propagation_,
+                      [this, p = std::move(packet)]() mutable {
+                        Deliver(std::move(p));
+                      });
+  sim_->ScheduleAfter(tx, [this] {
+    busy_ = false;
+    if (!queue_.empty()) {
+      StartNext();
+    } else if (idle_callback_) {
+      idle_callback_();
+    }
+  });
+}
+
+void Link::Deliver(Packet packet) {
+  if (drop_filter_ && drop_filter_(packet)) {
+    ++packets_dropped_;
+    return;
+  }
+  ++packets_delivered_;
+  bytes_delivered_ += packet.bytes.size();
+  if (receiver_) receiver_(std::move(packet));
+}
+
+}  // namespace cowbird::net

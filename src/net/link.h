@@ -1,0 +1,77 @@
+// Point-to-point unidirectional link with a serializing transmitter.
+//
+// A link transmits one packet at a time at its configured rate; completed
+// packets propagate for `propagation` ns and are handed to the receiver.
+// Multiple packets can be in flight on the wire simultaneously (transmission
+// pipelines with propagation). Loss is injected at delivery time through an
+// optional drop filter — corruption and congestive loss look identical to
+// the endpoints, which is all the Go-Back-N recovery path (Section 5.3)
+// can observe anyway.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "common/units.h"
+#include "net/packet.h"
+#include "sim/simulation.h"
+
+namespace cowbird::net {
+
+class Link {
+ public:
+  Link(sim::Simulation& sim, BitRate rate, Nanos propagation)
+      : sim_(&sim), rate_(rate), propagation_(propagation) {}
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  void set_receiver(std::function<void(Packet)> receiver) {
+    receiver_ = std::move(receiver);
+  }
+  // Fires whenever the transmitter drains its queue and goes idle.
+  void set_idle_callback(std::function<void()> cb) {
+    idle_callback_ = std::move(cb);
+  }
+  // Return true to drop the packet (applied as the packet would arrive).
+  void set_drop_filter(std::function<bool(const Packet&)> filter) {
+    drop_filter_ = std::move(filter);
+  }
+
+  void Send(Packet packet);
+
+  // Host NICs can schedule their transmit queue by traffic class (strict
+  // priority, highest first) instead of FIFO — how RDMA traffic is
+  // prioritized above user TCP in the Figure 14 worst case.
+  void set_priority_scheduling(bool enabled) {
+    priority_scheduling_ = enabled;
+  }
+
+  bool TransmitterIdle() const { return !busy_; }
+  std::size_t QueuedPackets() const { return queue_.size(); }
+  BitRate rate() const { return rate_; }
+  Nanos propagation() const { return propagation_; }
+
+  std::uint64_t packets_delivered() const { return packets_delivered_; }
+  std::uint64_t bytes_delivered() const { return bytes_delivered_; }
+  std::uint64_t packets_dropped() const { return packets_dropped_; }
+
+ private:
+  void StartNext();
+  void Deliver(Packet packet);
+
+  sim::Simulation* sim_;
+  BitRate rate_;
+  Nanos propagation_;
+  std::function<void(Packet)> receiver_;
+  std::function<void()> idle_callback_;
+  std::function<bool(const Packet&)> drop_filter_;
+  std::deque<Packet> queue_;
+  bool priority_scheduling_ = false;
+  bool busy_ = false;
+  std::uint64_t packets_delivered_ = 0;
+  std::uint64_t bytes_delivered_ = 0;
+  std::uint64_t packets_dropped_ = 0;
+};
+
+}  // namespace cowbird::net

@@ -1,0 +1,176 @@
+// Packets and the Ethernet/IPv4/UDP encapsulation carried by every RoCEv2
+// message in the simulation.
+//
+// A Packet owns its full wire bytes; the struct-level header types here are
+// views that serialize to / parse from those bytes at fixed offsets (none of
+// the protocols involved have options in our use). Higher layers (rdma/wire)
+// append BTH/RETH/AETH after the UDP header.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+#include "common/units.h"
+#include "net/bytes.h"
+
+namespace cowbird::net {
+
+using NodeId = std::uint32_t;
+
+constexpr std::size_t kEthernetHeaderBytes = 14;
+constexpr std::size_t kIpv4HeaderBytes = 20;
+constexpr std::size_t kUdpHeaderBytes = 8;
+constexpr std::size_t kL2L3L4Bytes =
+    kEthernetHeaderBytes + kIpv4HeaderBytes + kUdpHeaderBytes;
+// Preamble (8) + inter-frame gap (12) + FCS (4): occupies wire time but is
+// not part of the buffered bytes.
+constexpr std::size_t kWireExtraBytes = 24;
+constexpr std::uint16_t kRoceUdpPort = 4791;
+constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+constexpr std::uint8_t kIpProtoUdp = 17;
+
+struct EthernetHeader {
+  std::uint64_t dst_mac = 0;  // low 48 bits used
+  std::uint64_t src_mac = 0;
+  std::uint16_t ether_type = kEtherTypeIpv4;
+
+  void Serialize(std::span<std::uint8_t> buf) const {
+    COWBIRD_DCHECK(buf.size() >= kEthernetHeaderBytes);
+    PutU16(buf, 0, static_cast<std::uint16_t>(dst_mac >> 32));
+    PutU32(buf, 2, static_cast<std::uint32_t>(dst_mac));
+    PutU16(buf, 6, static_cast<std::uint16_t>(src_mac >> 32));
+    PutU32(buf, 8, static_cast<std::uint32_t>(src_mac));
+    PutU16(buf, 12, ether_type);
+  }
+  static EthernetHeader Parse(std::span<const std::uint8_t> buf) {
+    COWBIRD_DCHECK(buf.size() >= kEthernetHeaderBytes);
+    EthernetHeader h;
+    h.dst_mac = (static_cast<std::uint64_t>(GetU16(buf, 0)) << 32) |
+                GetU32(buf, 2);
+    h.src_mac = (static_cast<std::uint64_t>(GetU16(buf, 6)) << 32) |
+                GetU32(buf, 8);
+    h.ether_type = GetU16(buf, 12);
+    return h;
+  }
+};
+
+struct Ipv4Header {
+  std::uint8_t dscp = 0;  // carries the priority class on the wire
+  std::uint16_t total_length = 0;
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = kIpProtoUdp;
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+
+  void Serialize(std::span<std::uint8_t> buf) const {
+    COWBIRD_DCHECK(buf.size() >= kIpv4HeaderBytes);
+    PutU8(buf, 0, 0x45);  // version 4, IHL 5
+    PutU8(buf, 1, static_cast<std::uint8_t>(dscp << 2));
+    PutU16(buf, 2, total_length);
+    PutU16(buf, 4, 0);  // identification
+    PutU16(buf, 6, 0x4000);  // don't fragment
+    PutU8(buf, 8, ttl);
+    PutU8(buf, 9, protocol);
+    PutU16(buf, 10, 0);  // checksum: computed lazily by real NICs; unused here
+    PutU32(buf, 12, src_ip);
+    PutU32(buf, 16, dst_ip);
+  }
+  static Ipv4Header Parse(std::span<const std::uint8_t> buf) {
+    COWBIRD_DCHECK(buf.size() >= kIpv4HeaderBytes);
+    Ipv4Header h;
+    h.dscp = static_cast<std::uint8_t>(GetU8(buf, 1) >> 2);
+    h.total_length = GetU16(buf, 2);
+    h.ttl = GetU8(buf, 8);
+    h.protocol = GetU8(buf, 9);
+    h.src_ip = GetU32(buf, 12);
+    h.dst_ip = GetU32(buf, 16);
+    return h;
+  }
+};
+
+struct UdpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = 0;
+
+  void Serialize(std::span<std::uint8_t> buf) const {
+    COWBIRD_DCHECK(buf.size() >= kUdpHeaderBytes);
+    PutU16(buf, 0, src_port);
+    PutU16(buf, 2, dst_port);
+    PutU16(buf, 4, length);
+    PutU16(buf, 6, 0);  // checksum unused
+  }
+  static UdpHeader Parse(std::span<const std::uint8_t> buf) {
+    COWBIRD_DCHECK(buf.size() >= kUdpHeaderBytes);
+    UdpHeader h;
+    h.src_port = GetU16(buf, 0);
+    h.dst_port = GetU16(buf, 2);
+    h.length = GetU16(buf, 4);
+    return h;
+  }
+};
+
+// Traffic classes used in the evaluation. Lower numeric value = lower
+// priority. Probes ride the lowest class (Section 5.2, Phase II).
+enum class Priority : std::uint8_t {
+  kProbe = 0,     // Cowbird-P4 probe packets, scavenger class
+  kBulk = 1,      // contending user traffic (Fig 14 TCP flows)
+  kRdma = 2,      // RDMA data packets (configured *above* user traffic in
+                  // Fig 14 to bound the worst case, per the paper)
+  kControl = 3,   // ACKs / control
+  kLevels = 4,
+};
+
+struct Packet {
+  std::vector<std::uint8_t> bytes;  // full frame: Eth + IP + UDP + payload
+  NodeId src = 0;
+  NodeId dst = 0;
+  Priority priority = Priority::kRdma;
+
+  Bytes WireBytes() const { return bytes.size() + kWireExtraBytes; }
+
+  std::span<const std::uint8_t> L3() const {
+    return std::span<const std::uint8_t>(bytes).subspan(kEthernetHeaderBytes);
+  }
+  std::span<const std::uint8_t> L4Payload() const {
+    return std::span<const std::uint8_t>(bytes).subspan(kL2L3L4Bytes);
+  }
+  std::span<std::uint8_t> MutableL4Payload() {
+    return std::span<std::uint8_t>(bytes).subspan(kL2L3L4Bytes);
+  }
+};
+
+// Builds the L2–L4 encapsulation around `payload_len` bytes of upper-layer
+// content and returns the packet with payload zeroed, ready to be filled.
+inline Packet MakeUdpPacket(NodeId src, NodeId dst, std::size_t payload_len,
+                            Priority priority,
+                            std::uint16_t dst_port = kRoceUdpPort) {
+  Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.priority = priority;
+  p.bytes.resize(kL2L3L4Bytes + payload_len);
+  EthernetHeader eth;
+  eth.dst_mac = 0x0200'0000'0000ull | dst;
+  eth.src_mac = 0x0200'0000'0000ull | src;
+  eth.Serialize(p.bytes);
+  Ipv4Header ip;
+  ip.dscp = static_cast<std::uint8_t>(priority);
+  ip.src_ip = 0x0A000000u | src;  // 10.0.0.0/8
+  ip.dst_ip = 0x0A000000u | dst;
+  ip.total_length =
+      static_cast<std::uint16_t>(kIpv4HeaderBytes + kUdpHeaderBytes +
+                                 payload_len);
+  ip.Serialize(std::span<std::uint8_t>(p.bytes).subspan(kEthernetHeaderBytes));
+  UdpHeader udp;
+  udp.src_port = 0xC000;
+  udp.dst_port = dst_port;
+  udp.length = static_cast<std::uint16_t>(kUdpHeaderBytes + payload_len);
+  udp.Serialize(std::span<std::uint8_t>(p.bytes).subspan(
+      kEthernetHeaderBytes + kIpv4HeaderBytes));
+  return p;
+}
+
+}  // namespace cowbird::net

@@ -1,0 +1,91 @@
+#include "net/switch.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace cowbird::net {
+
+int Switch::AddPort(BitRate rate, Nanos propagation) {
+  auto port = std::make_unique<Port>();
+  port->link = std::make_unique<Link>(*sim_, rate, propagation);
+  const int index = static_cast<int>(ports_.size());
+  port->link->set_idle_callback([this, index] { Drain(index); });
+  ports_.push_back(std::move(port));
+  return index;
+}
+
+void Switch::SetRoute(NodeId node, int port) {
+  COWBIRD_CHECK(port >= 0 && port < PortCount());
+  routes_.emplace_back(node, port);
+}
+
+int Switch::RouteFor(NodeId node) const {
+  for (const auto& [n, p] : routes_) {
+    if (n == node) return p;
+  }
+  return -1;
+}
+
+void Switch::OnIngress(int ingress_port, Packet packet) {
+  sim_->ScheduleAfter(config_.pipeline_latency,
+                      [this, ingress_port, p = std::move(packet)]() mutable {
+                        RunPipeline(ingress_port, std::move(p));
+                      });
+}
+
+void Switch::InjectGenerated(int gen_port, Packet packet) {
+  // Generated packets enter the pipeline directly; generator-to-parser
+  // latency is folded into the pipeline latency.
+  sim_->ScheduleAfter(config_.pipeline_latency,
+                      [this, gen_port, p = std::move(packet)]() mutable {
+                        RunPipeline(gen_port, std::move(p));
+                      });
+}
+
+void Switch::RunPipeline(int ingress_port, Packet packet) {
+  std::vector<ForwardAction> actions;
+  if (processor_ != nullptr) {
+    processor_->Process(*this, ingress_port, std::move(packet), actions);
+  } else {
+    const int port = RouteFor(packet.dst);
+    if (port >= 0) actions.push_back({port, std::move(packet)});
+  }
+  for (auto& action : actions) {
+    if (action.egress_port < 0) continue;
+    EnqueueEgress(action.egress_port, std::move(action.packet));
+  }
+}
+
+void Switch::EnqueueEgress(int port_index, Packet packet) {
+  COWBIRD_CHECK(port_index >= 0 && port_index < PortCount());
+  Port& port = *ports_[port_index];
+  const Bytes size = packet.bytes.size();
+  if (port.queued_bytes + size > config_.egress_queue_capacity) {
+    ++port.drops;
+    return;
+  }
+  port.queued_bytes += size;
+  port.queues[static_cast<std::size_t>(packet.priority)].push_back(
+      std::move(packet));
+  if (port.link->TransmitterIdle()) Drain(port_index);
+}
+
+void Switch::Drain(int port_index) {
+  Port& port = *ports_[port_index];
+  if (!port.link->TransmitterIdle()) return;
+  // Strict priority: highest class first.
+  for (int prio = static_cast<int>(Priority::kLevels) - 1; prio >= 0;
+       --prio) {
+    auto& queue = port.queues[static_cast<std::size_t>(prio)];
+    if (queue.empty()) continue;
+    Packet packet = std::move(queue.front());
+    queue.pop_front();
+    port.queued_bytes -= packet.bytes.size();
+    ++forwarded_;
+    port.link->Send(std::move(packet));
+    return;
+  }
+}
+
+}  // namespace cowbird::net

@@ -1,0 +1,159 @@
+// Output-queued switch with strict-priority egress scheduling and a
+// pluggable packet processor.
+//
+// The processor hook is where Cowbird-P4 lives: every ingress packet flows
+// through Process(), which may rewrite it, consume it, or emit additional
+// packets (packet "recycling", Section 5.2). The default processor is plain
+// L3 forwarding. Generated packets (probes) enter through InjectGenerated(),
+// mirroring the Tofino packet generator feeding the ingress pipeline.
+#pragma once
+
+#include <array>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/units.h"
+#include "net/link.h"
+#include "net/packet.h"
+#include "sim/simulation.h"
+
+namespace cowbird::net {
+
+class Switch;
+
+struct ForwardAction {
+  int egress_port = -1;  // -1 → drop
+  Packet packet;
+};
+
+class PacketProcessor {
+ public:
+  virtual ~PacketProcessor() = default;
+  // Transform one ingress packet into zero or more egress actions.
+  virtual void Process(Switch& sw, int ingress_port, Packet packet,
+                       std::vector<ForwardAction>& out) = 0;
+};
+
+class Switch {
+ public:
+  struct Config {
+    Bytes egress_queue_capacity = MiB(4);  // per port, across priorities
+    Nanos pipeline_latency = 400;          // ingress→egress, Tofino-like
+  };
+
+  Switch(sim::Simulation& sim, Config config)
+      : sim_(&sim), config_(config) {}
+  Switch(const Switch&) = delete;
+  Switch& operator=(const Switch&) = delete;
+
+  // Creates the egress (switch→device) link for a new port.
+  int AddPort(BitRate rate, Nanos propagation);
+  Link& EgressLink(int port) { return *ports_[port]->link; }
+  int PortCount() const { return static_cast<int>(ports_.size()); }
+
+  void SetRoute(NodeId node, int port);
+  // Port a node is reachable through; -1 if unknown.
+  int RouteFor(NodeId node) const;
+
+  // Entry point for device uplinks (wire this as the uplink's receiver).
+  void OnIngress(int ingress_port, Packet packet);
+
+  // Entry point for the switch's internal packet generator: the packet goes
+  // through the same pipeline as an ingress packet would. `gen_port` is the
+  // nominal ingress port the generator is bound to.
+  void InjectGenerated(int gen_port, Packet packet);
+
+  void SetProcessor(PacketProcessor* processor) { processor_ = processor; }
+
+  // Places a processed packet on an egress queue (tail-drops when full).
+  void EnqueueEgress(int port, Packet packet);
+
+  sim::Simulation& simulation() { return *sim_; }
+
+  std::uint64_t egress_drops(int port) const { return ports_[port]->drops; }
+  std::uint64_t forwarded() const { return forwarded_; }
+
+ private:
+  struct Port {
+    std::unique_ptr<Link> link;
+    std::array<std::deque<Packet>,
+               static_cast<std::size_t>(Priority::kLevels)>
+        queues;
+    Bytes queued_bytes = 0;
+    std::uint64_t drops = 0;
+  };
+
+  void RunPipeline(int ingress_port, Packet packet);
+  void Drain(int port);
+
+  sim::Simulation* sim_;
+  Config config_;
+  std::vector<std::unique_ptr<Port>> ports_;
+  std::vector<std::pair<NodeId, int>> routes_;
+  PacketProcessor* processor_ = nullptr;  // null → L3 forwarding
+  std::uint64_t forwarded_ = 0;
+};
+
+// Star topology host endpoint: one full-duplex attachment to the switch,
+// with per-UDP-port receiver demultiplexing (RoCE traffic and benchmark
+// flows share a host in Fig 14).
+class HostNic {
+ public:
+  HostNic(sim::Simulation& sim, NodeId id, BitRate rate, Nanos propagation)
+      : sim_(&sim),
+        id_(id),
+        uplink_(std::make_unique<Link>(sim, rate, propagation)) {}
+
+  NodeId id() const { return id_; }
+
+  void ConnectTo(Switch& sw) {
+    switch_port_ = sw.AddPort(uplink_->rate(), uplink_->propagation());
+    sw.SetRoute(id_, switch_port_);
+    uplink_->set_receiver([&sw, port = switch_port_](Packet p) {
+      sw.OnIngress(port, std::move(p));
+    });
+    sw.EgressLink(switch_port_).set_receiver([this](Packet p) {
+      Dispatch(std::move(p));
+    });
+  }
+
+  void Send(Packet packet) { uplink_->Send(packet); }
+
+  void SetPortReceiver(std::uint16_t udp_port,
+                       std::function<void(Packet)> receiver) {
+    port_receivers_.emplace_back(udp_port, std::move(receiver));
+  }
+  void SetDefaultReceiver(std::function<void(Packet)> receiver) {
+    default_receiver_ = std::move(receiver);
+  }
+
+  Link& uplink() { return *uplink_; }
+  int switch_port() const { return switch_port_; }
+  sim::Simulation& simulation() { return *sim_; }
+
+ private:
+  void Dispatch(Packet packet) {
+    const auto udp = UdpHeader::Parse(
+        std::span<const std::uint8_t>(packet.bytes)
+            .subspan(kEthernetHeaderBytes + kIpv4HeaderBytes));
+    for (auto& [port, receiver] : port_receivers_) {
+      if (port == udp.dst_port) {
+        receiver(std::move(packet));
+        return;
+      }
+    }
+    if (default_receiver_) default_receiver_(std::move(packet));
+  }
+
+  sim::Simulation* sim_;
+  NodeId id_;
+  std::unique_ptr<Link> uplink_;
+  int switch_port_ = -1;
+  std::vector<std::pair<std::uint16_t, std::function<void(Packet)>>>
+      port_receivers_;
+  std::function<void(Packet)> default_receiver_;
+};
+
+}  // namespace cowbird::net

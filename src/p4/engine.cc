@@ -1,0 +1,868 @@
+#include "p4/engine.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace cowbird::p4 {
+
+namespace {
+
+rdma::Opcode RecycleToWrite(rdma::Opcode response_opcode) {
+  // The header-rewrite table of the recycling trick (Section 5.2, Phase
+  // III): read responses become the corresponding write packets.
+  switch (response_opcode) {
+    case rdma::Opcode::kReadResponseFirst: return rdma::Opcode::kWriteFirst;
+    case rdma::Opcode::kReadResponseMiddle: return rdma::Opcode::kWriteMiddle;
+    case rdma::Opcode::kReadResponseLast: return rdma::Opcode::kWriteLast;
+    case rdma::Opcode::kReadResponseOnly: return rdma::Opcode::kWriteOnly;
+    default: break;
+  }
+  COWBIRD_CHECK(false);
+}
+
+bool IsReadKindImpl(int kind_raw) {
+  return kind_raw <= 3;  // kProbe, kMetaFetch, kWriteDataFetch, kPoolRead
+}
+
+}  // namespace
+
+CowbirdP4Engine::CowbirdP4Engine(net::Switch& sw, Config config)
+    : sw_(&sw), sim_(&sw.simulation()), config_(config) {
+  sw_->SetProcessor(this);
+}
+
+void CowbirdP4Engine::AddInstance(const core::InstanceDescriptor& descriptor,
+                                  HostEndpoint compute, HostEndpoint probe,
+                                  HostEndpoint memory) {
+  // Instances can be added before or after Start (the control plane
+  // registers them at application startup, Section 5.2 Phase I).
+  // Exactly one memory node per instance in Cowbird-P4 (testbed topology).
+  for (const auto& region : descriptor.regions) {
+    COWBIRD_CHECK(region.memory_node == memory.node);
+  }
+  auto inst = std::make_unique<Instance>();
+  inst->descriptor = descriptor;
+  inst->to_compute.host = compute;
+  inst->to_compute.next_psn = compute.start_psn;
+  inst->to_compute.committed_psn = compute.start_psn;
+  inst->to_probe.host = probe;
+  inst->to_probe.next_psn = probe.start_psn;
+  inst->to_probe.committed_psn = probe.start_psn;
+  inst->to_memory.host = memory;
+  inst->to_memory.next_psn = memory.start_psn;
+  inst->to_memory.committed_psn = memory.start_psn;
+  inst->threads.resize(descriptor.layout.threads);
+  instances_.push_back(std::move(inst));
+}
+
+void CowbirdP4Engine::Start() {
+  COWBIRD_CHECK(!started_);
+  started_ = true;
+  current_interval_ = config_.probe_interval;
+  sim_->ScheduleAfter(current_interval_, [this] { ProbeTick(); });
+}
+
+bool CowbirdP4Engine::RemoveInstance(std::uint32_t instance_id) {
+  for (auto it = instances_.begin(); it != instances_.end(); ++it) {
+    if ((*it)->descriptor.instance_id != instance_id) continue;
+    // Quiesce: cancel retransmission timers so no callback touches the
+    // instance after destruction; in-flight packets for its QPNs fall
+    // through InstanceForQpn as stale and are dropped.
+    (*it)->to_compute.timer.Cancel();
+    (*it)->to_probe.timer.Cancel();
+    (*it)->to_memory.timer.Cancel();
+    instances_.erase(it);
+    return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Probe generator (Phase II)
+// ---------------------------------------------------------------------------
+
+void CowbirdP4Engine::ProbeTick() {
+  if (!instances_.empty()) {
+    // Time-division multiplexing across instances (Section 5.4). The
+    // activity-weighted policy probes the instance with the most recent
+    // tail movement, with a round-robin pass every 4th tick so idle
+    // instances are never starved of discovery.
+    Instance* pick = nullptr;
+    if (config_.probe_policy == ProbePolicy::kActivityWeighted &&
+        (probe_rr_ % 4) != 0) {
+      for (auto& inst : instances_) {
+        if (inst->probe_inflight) continue;
+        if (pick == nullptr || inst->activity_credit > pick->activity_credit) {
+          pick = inst.get();
+        }
+      }
+    }
+    if (pick == nullptr) {
+      pick = instances_[probe_rr_ % instances_.size()].get();
+    }
+    ++probe_rr_;
+    if (!pick->probe_inflight) EmitProbe(*pick);
+  }
+  sim_->ScheduleAfter(current_interval_, [this] { ProbeTick(); });
+}
+
+void CowbirdP4Engine::EmitProbe(Instance& inst) {
+  inst.probe_inflight = true;
+  ++probes_sent_;
+  Pending p;
+  p.kind = PendingKind::kProbe;
+  p.segments = rdma::SegmentCount(inst.descriptor.layout.GreenBytesTotal());
+  p.raddr = inst.descriptor.layout.GreenBase();
+  p.rkey = inst.descriptor.compute_rkey;
+  p.length =
+      static_cast<std::uint32_t>(inst.descriptor.layout.GreenBytesTotal());
+  Admit(inst, inst.to_probe, p);
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline entry
+// ---------------------------------------------------------------------------
+
+void CowbirdP4Engine::Process(net::Switch& sw, int ingress_port,
+                              net::Packet packet,
+                              std::vector<net::ForwardAction>& out) {
+  (void)ingress_port;
+  if (packet.dst == config_.switch_node_id) {
+    if (rdma::LooksLikeRdma(packet)) {
+      ConsumeRdma(std::move(packet));
+      return;
+    }
+    // Control-plane RPC (Phase I) rides the switch's UDP control port.
+    if (control_handler_ && packet.bytes.size() >= net::kL2L3L4Bytes) {
+      const auto udp = net::UdpHeader::Parse(
+          std::span<const std::uint8_t>(packet.bytes)
+              .subspan(net::kEthernetHeaderBytes + net::kIpv4HeaderBytes));
+      if (udp.dst_port == 9000) {
+        control_handler_(packet);
+        return;
+      }
+    }
+    return;  // other traffic to the switch endpoint is dropped
+  }
+  const int port = sw.RouteFor(packet.dst);
+  if (port >= 0) out.push_back({port, std::move(packet)});
+}
+
+CowbirdP4Engine::Instance* CowbirdP4Engine::InstanceForQpn(
+    std::uint32_t switch_qpn, SwitchQp** qp) {
+  // The QPN→instance mapping of Section 5.4.
+  for (auto& inst : instances_) {
+    if (inst->to_compute.host.switch_qpn == switch_qpn) {
+      *qp = &inst->to_compute;
+      return inst.get();
+    }
+    if (inst->to_probe.host.switch_qpn == switch_qpn) {
+      *qp = &inst->to_probe;
+      return inst.get();
+    }
+    if (inst->to_memory.host.switch_qpn == switch_qpn) {
+      *qp = &inst->to_memory;
+      return inst.get();
+    }
+  }
+  return nullptr;
+}
+
+void CowbirdP4Engine::ConsumeRdma(net::Packet packet) {
+  const rdma::RdmaMessageView view = rdma::ParseRdmaPacket(packet);
+  SwitchQp* qp = nullptr;
+  Instance* inst = InstanceForQpn(view.bth.dest_qp, &qp);
+  if (inst == nullptr) return;  // stale packet from a removed instance
+  if (rdma::IsReadResponse(view.bth.opcode)) {
+    HandleReadResponse(*inst, *qp, view, packet);
+  } else if (view.bth.opcode == rdma::Opcode::kAcknowledge) {
+    HandleAck(*inst, *qp, view);
+  }
+  // Anything else addressed to the switch endpoint is dropped.
+}
+
+void CowbirdP4Engine::HandleReadResponse(Instance& inst, SwitchQp& qp,
+                                         const rdma::RdmaMessageView& view,
+                                         const net::Packet& packet) {
+  (void)packet;
+  // Responses arrive in request order: find the oldest read-kind pending
+  // still collecting bytes.
+  Pending* target = nullptr;
+  for (auto& p : qp.pending) {
+    if (!p.done && IsReadKindImpl(static_cast<int>(p.kind))) {
+      target = &p;
+      break;
+    }
+  }
+  if (target == nullptr) return;  // stale duplicate after recovery
+  const std::uint32_t expected = rdma::PsnAdd(
+      target->first_psn, target->bytes_done / rdma::kPathMtu);
+  if (view.bth.psn != expected) return;  // gap; the GBN timer recovers
+
+  const std::uint32_t chunk_offset = target->bytes_done;
+  target->bytes_done += static_cast<std::uint32_t>(view.payload.size());
+  const bool complete = target->bytes_done >= target->length;
+  if (complete) target->done = true;
+
+  switch (target->kind) {
+    case PendingKind::kProbe:
+      OnProbeData(inst, view);
+      break;
+    case PendingKind::kMetaFetch:
+      OnMetaData(inst, *target, view);
+      break;
+    case PendingKind::kWriteDataFetch:
+      OnWritePayloadChunk(inst, *target, view, chunk_offset);
+      break;
+    case PendingKind::kPoolRead:
+      OnPoolReadChunk(inst, *target, view, chunk_offset);
+      break;
+    default:
+      COWBIRD_CHECK(false);
+  }
+  PopDonePendings(qp);
+  WalkAndEmit(inst, qp);  // admits deferred requests; re-arms the timer
+}
+
+void CowbirdP4Engine::HandleAck(Instance& inst, SwitchQp& qp,
+                                const rdma::RdmaMessageView& view) {
+  COWBIRD_CHECK(view.aeth.has_value());
+  if (view.aeth->syndrome != rdma::kSyndromeAck) {
+    // NAK: sequence gap at the host. Recover this QP.
+    Recover(inst, qp);
+    return;
+  }
+  const std::uint32_t acked = view.bth.psn;
+  // Index-based: completion effects (EmitRedWrite) may append to this very
+  // deque, which invalidates iterators but not indices/references.
+  for (std::size_t i = 0; i < qp.pending.size(); ++i) {
+    Pending& p = qp.pending[i];
+    if (p.done || IsReadKindImpl(static_cast<int>(p.kind))) continue;
+    if (!p.emitted && p.bytes_sent == 0) continue;  // never on the wire yet
+    const std::uint32_t last = rdma::PsnAdd(p.first_psn, p.segments - 1);
+    if (rdma::PsnDistance(acked, last) < 0) continue;
+    p.done = true;
+    switch (p.kind) {
+      case PendingKind::kPayloadWrite:
+        OnPayloadWriteAcked(inst, p);
+        break;
+      case PendingKind::kPoolWrite:
+        OnPoolWriteAcked(inst, p);
+        break;
+      case PendingKind::kRedWrite:
+        break;
+      default:
+        COWBIRD_CHECK(false);
+    }
+  }
+  PopDonePendings(qp);
+  WalkAndEmit(inst, qp);  // admits deferred requests; re-arms the timer
+}
+
+// ---------------------------------------------------------------------------
+// Completion effects
+// ---------------------------------------------------------------------------
+
+void CowbirdP4Engine::OnProbeData(Instance& inst,
+                                  const rdma::RdmaMessageView& view) {
+  inst.probe_inflight = false;
+  bool found_work = false;
+  // Parse the packed green blocks straight out of the packet payload: this
+  // is the "compare the received tail pointer" step of Figure 5.
+  for (int t = 0; t < inst.descriptor.layout.threads; ++t) {
+    const std::size_t at = static_cast<std::size_t>(t) *
+                           core::kGreenBlockBytes;
+    if (at + 8 > view.payload.size()) break;
+    std::uint64_t tail = 0;
+    for (int b = 0; b < 8; ++b) {
+      tail |= static_cast<std::uint64_t>(view.payload[at + b]) << (8 * b);
+    }
+    ThreadState& ts = inst.threads[t];
+    if (tail > ts.tail_seen) {
+      inst.activity_credit += tail - ts.tail_seen;
+      ts.tail_seen = tail;
+      found_work = true;
+    }
+    MaybeFetchMetadata(inst, t);
+  }
+  // Credits decay so stale activity does not dominate the TDM pick.
+  inst.activity_credit -= inst.activity_credit / 4;
+  if (config_.adaptive_probe) {
+    current_interval_ = found_work
+                            ? config_.probe_interval
+                            : std::min(current_interval_ * 2,
+                                       config_.probe_interval_max);
+  }
+  RefetchOrphans(inst);
+}
+
+void CowbirdP4Engine::RefetchOrphans(Instance& inst) {
+  // Conversion chunks discarded while another stream held the QP leave
+  // their op with no live pending anywhere; re-issue the (idempotent)
+  // source fetch. Runs on every probe completion.
+  for (int t = 0; t < static_cast<int>(inst.threads.size()); ++t) {
+    ThreadState& ts = inst.threads[t];
+    for (Op& op : ts.inflight) {
+      if (!op.refetch_needed || op.done) continue;
+      op.refetch_needed = false;
+      Pending fetch;
+      fetch.thread = t;
+      fetch.seq = op.seq;
+      fetch.length = op.meta.length;
+      fetch.segments = rdma::SegmentCount(op.meta.length);
+      if (op.is_write) {
+        fetch.kind = PendingKind::kWriteDataFetch;
+        fetch.is_write_op = true;
+        fetch.raddr = op.meta.req_addr;
+        fetch.rkey = inst.descriptor.compute_rkey;
+        Admit(inst, inst.to_compute, fetch);
+      } else {
+        const core::RegionInfo* region =
+            inst.descriptor.FindRegion(op.meta.region_id);
+        fetch.kind = PendingKind::kPoolRead;
+        fetch.raddr = op.meta.req_addr;
+        fetch.rkey = region->rkey;
+        Admit(inst, inst.to_memory, fetch);
+      }
+    }
+  }
+}
+
+void CowbirdP4Engine::MaybeFetchMetadata(Instance& inst, int thread) {
+  ThreadState& ts = inst.threads[thread];
+  if (ts.meta_fetch_inflight || ts.fetch_cursor >= ts.tail_seen) return;
+  if (ts.inflight.size() >=
+      static_cast<std::size_t>(config_.max_inflight_per_thread)) {
+    return;
+  }
+  const auto& layout = inst.descriptor.layout;
+  const std::uint64_t available = ts.tail_seen - ts.fetch_cursor;
+  const std::uint64_t start_slot = ts.fetch_cursor % layout.meta_slots;
+  const std::uint64_t contiguous = layout.meta_slots - start_slot;
+  const std::uint64_t count = std::min<std::uint64_t>(
+      {available, contiguous,
+       static_cast<std::uint64_t>(config_.meta_entries_per_fetch)});
+  Pending p;
+  p.kind = PendingKind::kMetaFetch;
+  p.thread = thread;
+  p.fetch_cursor = ts.fetch_cursor;
+  p.fetch_count = static_cast<std::uint32_t>(count);
+  p.length = static_cast<std::uint32_t>(count * core::kMetadataEntryBytes);
+  p.segments = rdma::SegmentCount(p.length);
+  p.raddr = layout.MetaSlotAddr(thread, ts.fetch_cursor);
+  p.rkey = inst.descriptor.compute_rkey;
+  ts.meta_fetch_inflight = true;
+  ts.fetch_cursor += count;  // optimistic; rewound on read-pause
+  Admit(inst, inst.to_compute, p);
+}
+
+void CowbirdP4Engine::OnMetaData(Instance& inst, Pending& pending,
+                                 const rdma::RdmaMessageView& view) {
+  const int thread = pending.thread;
+  ThreadState& ts = inst.threads[thread];
+  ts.meta_fetch_inflight = false;
+
+  std::uint32_t consumed = 0;
+  for (std::uint32_t i = 0; i < pending.fetch_count; ++i) {
+    const std::size_t at = static_cast<std::size_t>(i) *
+                           core::kMetadataEntryBytes;
+    if (at + core::kMetadataEntryBytes > view.payload.size()) break;
+    const core::RequestMetadata meta = core::RequestMetadata::ParseBytes(
+        view.payload.subspan(at, core::kMetadataEntryBytes));
+    if (meta.rw_type == core::RwType::kInvalid) break;
+    if (ts.inflight.size() >=
+        static_cast<std::size_t>(config_.max_inflight_per_thread)) {
+      break;
+    }
+    if (meta.rw_type == core::RwType::kRead && ts.writes_active > 0) {
+      // Section 5.3: RMT pipelines cannot range-match in-flight writes, so
+      // *all* newly probed reads pause until the writes drain. The entry
+      // stays in the ring and is re-fetched.
+      ++reads_paused_by_writes_;
+      break;
+    }
+
+    Op op;
+    op.meta = meta;
+    op.is_write = meta.rw_type == core::RwType::kWrite;
+    op.seq = op.is_write ? ++ts.next_write_seq : ++ts.next_read_seq;
+    ts.inflight.push_back(op);
+    ++consumed;
+
+    const core::RegionInfo* region =
+        inst.descriptor.FindRegion(meta.region_id);
+    COWBIRD_CHECK(region != nullptr);
+
+    if (op.is_write) {
+      ++ts.writes_active;
+      // Phase III, Step 1b: fetch the to-be-written payload from the
+      // compute node's request data ring.
+      Pending fetch;
+      fetch.kind = PendingKind::kWriteDataFetch;
+      fetch.thread = thread;
+      fetch.seq = op.seq;
+      fetch.is_write_op = true;
+      fetch.length = meta.length;
+      fetch.segments = rdma::SegmentCount(meta.length);
+      fetch.raddr = meta.req_addr;
+      fetch.rkey = inst.descriptor.compute_rkey;
+      Admit(inst, inst.to_compute, fetch);
+    } else {
+      // Phase III, Step 1a: read the requested data from the memory pool.
+      Pending fetch;
+      fetch.kind = PendingKind::kPoolRead;
+      fetch.thread = thread;
+      fetch.seq = op.seq;
+      fetch.length = meta.length;
+      fetch.segments = rdma::SegmentCount(meta.length);
+      fetch.raddr = meta.req_addr;
+      fetch.rkey = region->rkey;
+      Admit(inst, inst.to_memory, fetch);
+    }
+  }
+
+  // Entries not consumed (pause / PHV budget) rewind the fetch cursor.
+  ts.fetch_cursor = pending.fetch_cursor + consumed;
+  MaybeFetchMetadata(inst, thread);
+}
+
+namespace {
+CowbirdP4Engine::Op* FindOpImpl(std::deque<CowbirdP4Engine::Op>& ops,
+                                std::uint64_t seq, bool is_write) {
+  for (auto& op : ops) {
+    if (op.is_write == is_write && op.seq == seq) return &op;
+  }
+  return nullptr;
+}
+}  // namespace
+
+void CowbirdP4Engine::OnWritePayloadChunk(Instance& inst, Pending& pending,
+                                          const rdma::RdmaMessageView& view,
+                                          std::uint32_t chunk_offset) {
+  ThreadState& ts = inst.threads[pending.thread];
+  Op* op = FindOpImpl(ts.inflight, pending.seq, /*is_write=*/true);
+  if (op == nullptr) return;  // stale duplicate: op already completed
+
+  // Find or create the pool-write pending whose PSN span carries this data.
+  SwitchQp& pool = inst.to_memory;
+  Pending* dest = nullptr;
+  for (auto& p : pool.pending) {
+    if (p.kind == PendingKind::kPoolWrite && p.thread == pending.thread &&
+        p.seq == pending.seq) {
+      dest = &p;
+      break;
+    }
+  }
+  if (dest == nullptr) {
+    if (pool.unemitted > 0) {
+      op->refetch_needed = true;  // orphan: re-fetched on next probe
+      return;
+    }
+    const core::RegionInfo* region =
+        inst.descriptor.FindRegion(op->meta.region_id);
+    Pending w;
+    w.kind = PendingKind::kPoolWrite;
+    w.thread = pending.thread;
+    w.seq = pending.seq;
+    w.is_write_op = true;
+    w.length = op->meta.length;
+    w.segments = rdma::SegmentCount(op->meta.length);
+    w.raddr = op->meta.resp_addr;  // pool destination
+    w.rkey = region->rkey;
+    dest = &AppendPending(pool, w);
+  }
+  if (chunk_offset != dest->bytes_sent) return;  // replayed chunk, skip
+  if (!IsFrontier(pool, *dest)) return;          // out of order: drop
+
+  // Recycle: response payload becomes a pool write packet (Figure 7, 2b).
+  const std::uint32_t index = dest->bytes_sent / rdma::kPathMtu;
+  const rdma::Opcode opcode = RecycleToWrite(view.bth.opcode);
+  const bool last = rdma::IsLastOrOnly(opcode);
+  rdma::Reth reth{dest->raddr, dest->rkey, dest->length};
+  ++packets_recycled_;
+  SendPacket(BuildRequest(pool, opcode,
+                          rdma::PsnAdd(dest->first_psn, index), last,
+                          rdma::HasReth(opcode) ? &reth : nullptr,
+                          view.payload, net::Priority::kRdma));
+  dest->bytes_sent += static_cast<std::uint32_t>(view.payload.size());
+  if (dest->bytes_sent >= dest->length) {
+    dest->emitted = true;
+    --pool.unemitted;
+  }
+  WalkAndEmit(inst, pool);
+}
+
+void CowbirdP4Engine::OnPoolReadChunk(Instance& inst, Pending& pending,
+                                      const rdma::RdmaMessageView& view,
+                                      std::uint32_t chunk_offset) {
+  ThreadState& ts = inst.threads[pending.thread];
+  Op* op = FindOpImpl(ts.inflight, pending.seq, /*is_write=*/false);
+  if (op == nullptr) return;  // stale duplicate: op already completed
+
+  SwitchQp& compute = inst.to_compute;
+  Pending* dest = nullptr;
+  for (auto& p : compute.pending) {
+    if (p.kind == PendingKind::kPayloadWrite && p.thread == pending.thread &&
+        p.seq == pending.seq) {
+      dest = &p;
+      break;
+    }
+  }
+  if (dest == nullptr) {
+    if (compute.unemitted > 0) {
+      op->refetch_needed = true;  // orphan: re-fetched on next probe
+      return;
+    }
+    Pending w;
+    w.kind = PendingKind::kPayloadWrite;
+    w.thread = pending.thread;
+    w.seq = pending.seq;
+    w.length = op->meta.length;
+    w.segments = rdma::SegmentCount(op->meta.length);
+    w.raddr = op->meta.resp_addr;  // compute response ring
+    w.rkey = inst.descriptor.compute_rkey;
+    dest = &AppendPending(compute, w);
+  }
+  if (chunk_offset != dest->bytes_sent) return;
+  if (!IsFrontier(compute, *dest)) return;  // out of order: drop
+
+  // Recycle: pool read response → write into the response ring (Figure 6,
+  // 2a) — header rewritten, payload untouched.
+  const std::uint32_t index = dest->bytes_sent / rdma::kPathMtu;
+  const rdma::Opcode opcode = RecycleToWrite(view.bth.opcode);
+  const bool last = rdma::IsLastOrOnly(opcode);
+  rdma::Reth reth{dest->raddr, dest->rkey, dest->length};
+  ++packets_recycled_;
+  SendPacket(BuildRequest(compute, opcode,
+                          rdma::PsnAdd(dest->first_psn, index), last,
+                          rdma::HasReth(opcode) ? &reth : nullptr,
+                          view.payload, net::Priority::kRdma));
+  dest->bytes_sent += static_cast<std::uint32_t>(view.payload.size());
+  if (dest->bytes_sent >= dest->length) {
+    dest->emitted = true;
+    --compute.unemitted;
+  }
+  WalkAndEmit(inst, compute);
+}
+
+void CowbirdP4Engine::OnPayloadWriteAcked(Instance& inst, Pending& pending) {
+  ThreadState& ts = inst.threads[pending.thread];
+  Op* op = FindOpImpl(ts.inflight, pending.seq, /*is_write=*/false);
+  if (op == nullptr) return;  // already completed via an earlier ACK
+  op->done = true;
+  CompleteOpsInOrder(inst, pending.thread);
+}
+
+void CowbirdP4Engine::OnPoolWriteAcked(Instance& inst, Pending& pending) {
+  ThreadState& ts = inst.threads[pending.thread];
+  Op* op = FindOpImpl(ts.inflight, pending.seq, /*is_write=*/true);
+  if (op == nullptr) return;  // already completed via an earlier ACK
+  if (op->done) return;
+  op->done = true;
+  COWBIRD_CHECK(ts.writes_active > 0);
+  --ts.writes_active;
+  CompleteOpsInOrder(inst, pending.thread);
+  // Draining writes may release paused reads.
+  MaybeFetchMetadata(inst, pending.thread);
+}
+
+void CowbirdP4Engine::CompleteOpsInOrder(Instance& inst, int thread) {
+  ThreadState& ts = inst.threads[thread];
+  bool any = false;
+  while (!ts.inflight.empty() && ts.inflight.front().done) {
+    const Op& op = ts.inflight.front();
+    if (op.is_write) {
+      ts.write_progress = op.seq;
+      ts.data_head += op.meta.length;
+    } else {
+      ts.read_progress = op.seq;
+      ts.resp_tail += op.meta.length;
+    }
+    ++ts.meta_head;
+    ++ops_completed_;
+    ts.inflight.pop_front();
+    any = true;
+  }
+  if (any) EmitRedWrite(inst, thread);
+}
+
+void CowbirdP4Engine::EmitRedWrite(Instance& inst, int thread) {
+  // Phase IV: one write covering every pointer and counter, recycled from
+  // the ACK that reported the data transfer.
+  Pending p;
+  p.kind = PendingKind::kRedWrite;
+  p.thread = thread;
+  p.length = static_cast<std::uint32_t>(core::kRedBlockBytes);
+  p.segments = 1;
+  p.raddr = inst.descriptor.layout.RedAddr(thread);
+  p.rkey = inst.descriptor.compute_rkey;
+  Admit(inst, inst.to_compute, p);
+}
+
+// ---------------------------------------------------------------------------
+// Ordered emission / Go-Back-N
+// ---------------------------------------------------------------------------
+
+CowbirdP4Engine::Pending& CowbirdP4Engine::AppendPending(SwitchQp& qp,
+                                                         Pending pending) {
+  pending.first_psn = qp.next_psn;
+  qp.next_psn = rdma::PsnAdd(qp.next_psn, pending.segments);
+  pending.emitted = false;
+  ++qp.unemitted;
+  qp.pending.push_back(pending);
+  return qp.pending.back();
+}
+
+void CowbirdP4Engine::Admit(Instance& inst, SwitchQp& qp, Pending pending) {
+  // PSN order must equal emission order: while anything already admitted is
+  // still (partially) off the wire, switch-generated requests wait.
+  if (qp.unemitted > 0) {
+    qp.deferred.push_back(std::move(pending));
+    return;
+  }
+  AppendPending(qp, pending);
+  WalkAndEmit(inst, qp);
+}
+
+bool CowbirdP4Engine::IsFrontier(const SwitchQp& qp,
+                                 const Pending& pending) const {
+  for (const auto& p : qp.pending) {
+    if (&p == &pending) return true;
+    if (!p.emitted) return false;
+  }
+  return false;
+}
+
+void CowbirdP4Engine::WalkAndEmit(Instance& inst, SwitchQp& qp) {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    bool blocked = false;
+    for (auto& p : qp.pending) {
+      if (p.emitted) continue;
+      if (p.kind == PendingKind::kPayloadWrite ||
+          p.kind == PendingKind::kPoolWrite) {
+        if (p.bytes_sent >= p.length) {
+          p.emitted = true;
+          --qp.unemitted;
+          progress = true;
+          continue;
+        }
+        if (p.pool_reissue_needed) {
+          p.pool_reissue_needed = false;
+          // Rebuild the source read on the other QP (idempotent re-fetch);
+          // its responses re-convert onto this pending's reserved PSN span.
+          // Skip when the original source read is still pending — its
+          // responses will arrive and convert.
+          SwitchQp& source_qp = p.kind == PendingKind::kPoolWrite
+                                    ? inst.to_compute
+                                    : inst.to_memory;
+          const PendingKind source_kind = p.kind == PendingKind::kPoolWrite
+                                              ? PendingKind::kWriteDataFetch
+                                              : PendingKind::kPoolRead;
+          bool source_alive = false;
+          for (const auto& sp : source_qp.pending) {
+            if (sp.kind == source_kind && sp.thread == p.thread &&
+                sp.seq == p.seq && !sp.done) {
+              source_alive = true;
+              break;
+            }
+          }
+          if (!source_alive) {
+            ThreadState& ts = inst.threads[p.thread];
+            Op* op = FindOpImpl(ts.inflight, p.seq,
+                                p.kind == PendingKind::kPoolWrite);
+            COWBIRD_CHECK(op != nullptr);
+            Pending fetch;
+            fetch.thread = p.thread;
+            fetch.seq = p.seq;
+            fetch.length = op->meta.length;
+            fetch.segments = rdma::SegmentCount(op->meta.length);
+            if (p.kind == PendingKind::kPoolWrite) {
+              fetch.kind = PendingKind::kWriteDataFetch;
+              fetch.is_write_op = true;
+              fetch.raddr = op->meta.req_addr;
+              fetch.rkey = inst.descriptor.compute_rkey;
+              Admit(inst, inst.to_compute, fetch);
+            } else {
+              const core::RegionInfo* region =
+                  inst.descriptor.FindRegion(op->meta.region_id);
+              fetch.kind = PendingKind::kPoolRead;
+              fetch.raddr = op->meta.req_addr;
+              fetch.rkey = region->rkey;
+              Admit(inst, inst.to_memory, fetch);
+            }
+          }
+        }
+        // Later entries wait for this write to finish streaming (strict
+        // PSN order on the wire).
+        blocked = true;
+        break;
+      }
+      EmitRequestPacket(inst, qp, p);
+      p.emitted = true;
+      --qp.unemitted;
+      progress = true;
+    }
+    // Everything on the wire: admit one deferred request and loop.
+    if (!blocked && qp.unemitted == 0 && !qp.deferred.empty()) {
+      Pending d = std::move(qp.deferred.front());
+      qp.deferred.pop_front();
+      AppendPending(qp, d);
+      progress = true;
+    }
+  }
+  ArmTimer(inst, qp);
+}
+
+void CowbirdP4Engine::EmitRequestPacket(Instance& inst, SwitchQp& qp,
+                                        Pending& pending) {
+  switch (pending.kind) {
+    case PendingKind::kProbe:
+    case PendingKind::kMetaFetch:
+    case PendingKind::kWriteDataFetch:
+    case PendingKind::kPoolRead: {
+      rdma::Reth reth{pending.raddr, pending.rkey, pending.length};
+      const net::Priority priority = pending.kind == PendingKind::kProbe
+                                         ? net::Priority::kProbe
+                                         : net::Priority::kRdma;
+      SendPacket(BuildRequest(qp, rdma::Opcode::kReadRequest,
+                              pending.first_psn, false, &reth, {},
+                              priority));
+      break;
+    }
+    case PendingKind::kRedWrite: {
+      // Payload composed from the progress registers *at emission time* —
+      // cumulative values make replays safe.
+      const ThreadState& ts = inst.threads[pending.thread];
+      std::uint8_t block[core::kRedBlockBytes];
+      auto put64 = [&block](std::size_t at, std::uint64_t v) {
+        for (int b = 0; b < 8; ++b) {
+          block[at + b] = static_cast<std::uint8_t>(v >> (8 * b));
+        }
+      };
+      put64(0, ts.meta_head);
+      put64(8, ts.data_head);
+      put64(16, ts.resp_tail);
+      put64(24, ts.write_progress);
+      put64(32, ts.read_progress);
+      rdma::Reth reth{pending.raddr, pending.rkey, pending.length};
+      SendPacket(BuildRequest(qp, rdma::Opcode::kWriteOnly,
+                              pending.first_psn, /*ack_request=*/true, &reth,
+                              std::span<const std::uint8_t>(
+                                  block, core::kRedBlockBytes),
+                              net::Priority::kRdma));
+      break;
+    }
+    default:
+      COWBIRD_CHECK(false);  // conversion-driven kinds never come here
+  }
+}
+
+void CowbirdP4Engine::PopDonePendings(SwitchQp& qp) {
+  while (!qp.pending.empty() && qp.pending.front().done) {
+    const Pending& p = qp.pending.front();
+    qp.committed_psn = rdma::PsnAdd(p.first_psn, p.segments);
+    qp.pending.pop_front();
+  }
+  if (qp.pending.empty()) qp.timer.Cancel();
+}
+
+void CowbirdP4Engine::ArmTimer(Instance& inst, SwitchQp& qp) {
+  qp.timer.Cancel();
+  if (qp.pending.empty()) return;
+  qp.timer = sim_->ScheduleCancelableAfter(
+      config_.gbn_timeout, [this, &inst, &qp] { Recover(inst, qp); });
+}
+
+void CowbirdP4Engine::Recover(Instance& inst, SwitchQp& qp) {
+  if (qp.pending.empty()) return;
+  ++recoveries_;
+  // Go-Back-N (Section 5.3): rewind the send PSN to the committed boundary
+  // and re-walk the pending FIFO. Duplicate packets are absorbed by the
+  // host responder (reads re-execute, writes re-ACK).
+  std::uint32_t psn = qp.committed_psn;
+  qp.unemitted = 0;
+  for (auto& p : qp.pending) {
+    p.emitted = false;
+    ++qp.unemitted;
+    p.first_psn = psn;
+    psn = rdma::PsnAdd(psn, p.segments);
+    if (IsReadKindImpl(static_cast<int>(p.kind))) {
+      p.bytes_done = 0;
+    } else if (p.kind == PendingKind::kPayloadWrite ||
+               p.kind == PendingKind::kPoolWrite) {
+      p.bytes_sent = 0;
+      p.pool_reissue_needed = true;
+    }
+  }
+  qp.next_psn = psn;
+  WalkAndEmit(inst, qp);
+}
+
+// ---------------------------------------------------------------------------
+// Packet construction
+// ---------------------------------------------------------------------------
+
+net::Packet CowbirdP4Engine::BuildRequest(
+    const SwitchQp& qp, rdma::Opcode opcode, std::uint32_t psn,
+    bool ack_request, const rdma::Reth* reth,
+    std::span<const std::uint8_t> payload, net::Priority priority) {
+  rdma::Bth bth;
+  bth.opcode = opcode;
+  bth.ack_request = ack_request;
+  bth.dest_qp = qp.host.host_qpn;
+  bth.psn = psn & rdma::kPsnMask;
+  return rdma::BuildRdmaPacket(config_.switch_node_id, qp.host.node,
+                               priority, bth, reth, nullptr, payload);
+}
+
+void CowbirdP4Engine::SendPacket(net::Packet packet) {
+  const int port = sw_->RouteFor(packet.dst);
+  COWBIRD_CHECK(port >= 0);
+  // Direct egress enqueue: recycling happens in the same pipeline pass, no
+  // recirculation (requirement S2).
+  sw_->EnqueueEgress(port, std::move(packet));
+}
+
+P4PipelineSpec CowbirdP4Engine::BuildPipelineSpec() const {
+  P4SpecParams params;
+  params.instances = std::max<int>(1, static_cast<int>(instances_.size()));
+  params.threads = instances_.empty()
+                       ? 16
+                       : instances_[0]->descriptor.layout.threads;
+  params.max_inflight = config_.max_inflight_per_thread;
+  params.meta_entries_per_fetch = config_.meta_entries_per_fetch;
+  return BuildCowbirdP4Spec(params);
+}
+
+// ---------------------------------------------------------------------------
+// Phase I plumbing
+// ---------------------------------------------------------------------------
+
+P4Connection ConnectP4Engine(CowbirdP4Engine& engine, net::NodeId switch_id,
+                             rdma::Device& compute, rdma::Device& memory,
+                             std::uint32_t qpn_base) {
+  (void)engine;
+  P4Connection conn;
+  auto setup = [&](rdma::Device& dev, std::uint32_t switch_qpn,
+                   std::uint32_t host_psn,
+                   std::uint32_t switch_psn) -> HostEndpoint {
+    auto* cq = dev.CreateCq();
+    auto* qp = dev.CreateQp(cq, cq);
+    qp->Connect(switch_id, switch_qpn, host_psn, switch_psn);
+    HostEndpoint ep;
+    ep.node = dev.node_id();
+    ep.host_qpn = qp->qpn();
+    ep.switch_qpn = switch_qpn;
+    ep.start_psn = switch_psn;
+    return ep;
+  };
+  conn.compute = setup(compute, qpn_base, 1000, 5000);
+  conn.probe = setup(compute, qpn_base + 1, 1500, 5500);
+  conn.memory = setup(memory, qpn_base + 2, 2000, 6000);
+  return conn;
+}
+
+}  // namespace cowbird::p4

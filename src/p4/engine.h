@@ -1,0 +1,296 @@
+// Cowbird-P4 offload engine (Section 5).
+//
+// The engine lives inside the switch's packet pipeline (net::PacketProcessor)
+// and *recycles* RDMA packets instead of running a host stack:
+//
+//   Probe (Phase II)  — a packet generator emits lowest-priority RDMA read
+//     requests for the packed green-block region; the response's payload is
+//     parsed in the pipeline and compared against tail registers.
+//   Fetch             — a moved tail recycles the probe response into a read
+//     of the request-metadata ring (bounded entries per fetch — what fits
+//     in the PHV).
+//   Execute (Phase III) — read ops: a read request is sent to the memory
+//     pool; each response packet is rewritten header-only (READ_RESP_* →
+//     WRITE_*) toward the compute node's response ring, payload untouched.
+//     Write ops: the payload is fetched from the compute data ring and the
+//     response packets are rewritten into WRITE_* toward the pool.
+//   Complete (Phase IV) — the ACK returning from the payload write is
+//     recycled into a single RDMA write of the packed red block (pointers +
+//     progress counters).
+//
+// Consistency: the pipeline is the serialization point. Within a type,
+// execution follows metadata order. Across types, the engine *pauses all
+// newly probed reads* while any write of that thread is in flight — RMT
+// pipelines cannot do range comparisons over in-flight sets, so the paper's
+// Cowbird-P4 conservatively fences everything (Section 5.3); contrast with
+// the exact range check in spot/agent.h.
+//
+// Fault tolerance: per-QP Go-Back-N. Every request the switch makes is held
+// in a pending FIFO with enough register state to rebuild it. On timeout or
+// NAK, the switch resets its send PSN to the committed boundary and re-walks
+// the FIFO in order; payload writes (whose bytes the switch never stores)
+// are rebuilt by re-issuing the idempotent pool read and re-converting the
+// responses onto their original, reserved PSN span.
+//
+// Multiple instances are probed in a time-division round-robin (Section
+// 5.4); a QPN→instance mapping resolves all non-probe packets.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/units.h"
+#include "core/instance.h"
+#include "core/request.h"
+#include "net/switch.h"
+#include "rdma/device.h"
+#include "rdma/qp.h"
+#include "p4/resources.h"
+#include "rdma/wire.h"
+#include "sim/simulation.h"
+
+namespace cowbird::p4 {
+
+// Host-side endpoint the switch speaks RDMA with (established by the
+// control plane in Phase I).
+struct HostEndpoint {
+  net::NodeId node = 0;
+  std::uint32_t host_qpn = 0;    // QP on the host, responder role
+  std::uint32_t switch_qpn = 0;  // QPN the host believes it is talking to
+  std::uint32_t start_psn = 0;   // switch's initial send PSN toward the host
+};
+
+class CowbirdP4Engine : public net::PacketProcessor {
+ public:
+  enum class ProbePolicy : std::uint8_t {
+    kRoundRobin,        // plain TDM (the paper's prototype, Section 5.4)
+    kActivityWeighted,  // prefer instances with recent activity (the
+                        // "more complex policies" the paper leaves to
+                        // future work)
+  };
+
+  struct Config {
+    net::NodeId switch_node_id = 100;
+    Nanos probe_interval = Micros(2);  // 1 probe / 2 us (Section 5.2)
+    ProbePolicy probe_policy = ProbePolicy::kRoundRobin;
+    // Section 5.2 ramp-up: back off while idle, snap back on activity.
+    bool adaptive_probe = false;
+    Nanos probe_interval_max = Micros(64);
+    Nanos gbn_timeout = Micros(100);
+    // Metadata entries fetched per read: limited by what the parser can
+    // walk through the PHV (Section 5.2 fetches head→tail; the PHV bounds
+    // one packet's parsed entries).
+    int meta_entries_per_fetch = 8;
+    // In-flight operations per thread the pending "hash table" can hold.
+    int max_inflight_per_thread = 64;
+  };
+
+  CowbirdP4Engine(net::Switch& sw, Config config);
+
+  // Control-plane RPC (Phase I): registers an instance with its descriptor
+  // and established QPs. Exactly one memory endpoint per instance (the
+  // testbed topology; multi-pool instances use Cowbird-Spot).
+  void AddInstance(const core::InstanceDescriptor& descriptor,
+                   HostEndpoint compute, HostEndpoint probe,
+                   HostEndpoint memory);
+
+  // Tears down an instance (control-plane channel termination). Returns
+  // false if the instance id is unknown.
+  bool RemoveInstance(std::uint32_t instance_id);
+
+  // Installs the control-plane endpoint handler (packets to the switch's
+  // UDP control port are routed here instead of the RDMA pipeline).
+  void SetControlHandler(std::function<void(const net::Packet&)> handler) {
+    control_handler_ = std::move(handler);
+  }
+
+  void Start();
+
+  // net::PacketProcessor: every packet entering the switch.
+  void Process(net::Switch& sw, int ingress_port, net::Packet packet,
+               std::vector<net::ForwardAction>& out) override;
+
+  // Table 5: resource usage of the configured pipeline.
+  P4PipelineSpec BuildPipelineSpec() const;
+
+  // Counters.
+  std::uint64_t probes_sent() const { return probes_sent_; }
+  std::uint64_t pending_depth_compute(std::size_t instance) const {
+    return instances_[instance]->to_compute.pending.size();
+  }
+  std::uint64_t packets_recycled() const { return packets_recycled_; }
+  std::uint64_t ops_completed() const { return ops_completed_; }
+  std::uint64_t reads_paused_by_writes() const {
+    return reads_paused_by_writes_;
+  }
+  std::uint64_t recoveries() const { return recoveries_; }
+
+ public:
+  enum class PendingKind : std::uint8_t {
+    kProbe,           // read of the green region
+    kMetaFetch,       // read of request-metadata entries
+    kWriteDataFetch,  // read of the compute data ring (write op payload)
+    kPoolRead,        // read of the pool (read op data)
+    kPayloadWrite,    // write of read-op data toward the compute node
+    kPoolWrite,       // write of write-op data toward the pool
+    kRedWrite,        // Phase IV bookkeeping write
+  };
+
+  struct Op {
+    core::RequestMetadata meta;
+    std::uint64_t seq = 0;
+    bool is_write = false;
+    bool done = false;
+    // Set when a conversion chunk had to be discarded before its
+    // destination stream existed; the probe-periodic sweep re-fetches.
+    bool refetch_needed = false;
+  };
+
+  struct Pending {
+    PendingKind kind;
+    std::uint32_t first_psn = 0;
+    std::uint32_t segments = 1;
+    std::uint32_t bytes_done = 0;   // read-response progress
+    bool emitted = false;           // request sent since last (re)walk
+    bool done = false;              // response/ack received
+    int thread = 0;
+    std::uint64_t seq = 0;          // op sequence (per type)
+    bool is_write_op = false;
+    // Rebuild info for reads the switch originates.
+    std::uint64_t raddr = 0;
+    std::uint32_t rkey = 0;
+    std::uint32_t length = 0;
+    // kMetaFetch: ring cursor + entry count.
+    std::uint64_t fetch_cursor = 0;
+    std::uint32_t fetch_count = 0;
+    // kPayloadWrite: conversion progress (bytes of payload re-emitted).
+    std::uint32_t bytes_sent = 0;
+    bool pool_reissue_needed = false;
+  };
+
+  struct SwitchQp {
+    HostEndpoint host;
+    std::uint32_t next_psn = 0;       // next request PSN to assign
+    std::uint32_t committed_psn = 0;  // everything below is fully done
+    // Invariant: `pending` is in PSN order AND emission order. Entries are
+    // admitted (PSN assigned) only when everything before them is fully on
+    // the wire; switch-generated requests that arrive while a conversion
+    // stream is mid-flight wait in `deferred`.
+    std::deque<Pending> pending;
+    std::deque<Pending> deferred;
+    int unemitted = 0;
+    sim::TimerHandle timer;
+  };
+
+  struct ThreadState {
+    std::uint64_t tail_seen = 0;
+    std::uint64_t fetch_cursor = 0;   // metadata entries fetched
+    std::uint64_t meta_head = 0;      // completed boundary (published)
+    std::uint64_t next_read_seq = 0;
+    std::uint64_t next_write_seq = 0;
+    std::uint64_t read_progress = 0;
+    std::uint64_t write_progress = 0;
+    std::uint64_t data_head = 0;
+    std::uint64_t resp_tail = 0;
+    int writes_active = 0;            // pause-all-reads fence
+    std::deque<Op> inflight;          // fetch order
+    bool meta_fetch_inflight = false;
+  };
+
+  struct Instance {
+    core::InstanceDescriptor descriptor;
+    std::uint64_t activity_credit = 0;  // recent tail movement (TDM weight)
+    SwitchQp to_compute;  // metadata/data-ring reads, payload + red writes
+    SwitchQp to_probe;    // dedicated QP for lowest-priority probes: probe
+                          // packets may be overtaken by higher classes, so
+                          // they cannot share a PSN space with data
+    SwitchQp to_memory;
+    std::vector<ThreadState> threads;
+    bool probe_inflight = false;
+  };
+
+  // --- probe generator ---
+ private:
+  void ProbeTick();
+  void EmitProbe(Instance& inst);
+
+  // --- pipeline packet handling ---
+  void ConsumeRdma(net::Packet packet);
+  void HandleReadResponse(Instance& inst, SwitchQp& qp,
+                          const rdma::RdmaMessageView& view,
+                          const net::Packet& packet);
+  void HandleAck(Instance& inst, SwitchQp& qp,
+                 const rdma::RdmaMessageView& view);
+
+  // --- pending completion effects ---
+  void OnProbeData(Instance& inst, const rdma::RdmaMessageView& view);
+  void OnMetaData(Instance& inst, Pending& pending,
+                  const rdma::RdmaMessageView& view);
+  void OnWritePayloadChunk(Instance& inst, Pending& pending,
+                           const rdma::RdmaMessageView& view,
+                           std::uint32_t chunk_offset);
+  void OnPoolReadChunk(Instance& inst, Pending& pending,
+                       const rdma::RdmaMessageView& view,
+                       std::uint32_t chunk_offset);
+  void OnPayloadWriteAcked(Instance& inst, Pending& pending);
+  void OnPoolWriteAcked(Instance& inst, Pending& pending);
+  void CompleteOpsInOrder(Instance& inst, int thread);
+  void EmitRedWrite(Instance& inst, int thread);
+
+  // --- request scheduling with ordered emission (GBN-safe) ---
+  Pending& AppendPending(SwitchQp& qp, Pending pending);
+  void Admit(Instance& inst, SwitchQp& qp, Pending pending);
+  bool IsFrontier(const SwitchQp& qp, const Pending& pending) const;
+  void WalkAndEmit(Instance& inst, SwitchQp& qp);
+  void EmitRequestPacket(Instance& inst, SwitchQp& qp, Pending& pending);
+  void PopDonePendings(SwitchQp& qp);
+  void MaybeFetchMetadata(Instance& inst, int thread);
+  void RefetchOrphans(Instance& inst);
+  void StartOps(Instance& inst, int thread);
+
+  // --- fault tolerance ---
+  void ArmTimer(Instance& inst, SwitchQp& qp);
+  void Recover(Instance& inst, SwitchQp& qp);
+
+  void SendPacket(net::Packet packet);
+  net::Packet BuildRequest(const SwitchQp& qp, rdma::Opcode opcode,
+                           std::uint32_t psn, bool ack_request,
+                           const rdma::Reth* reth,
+                           std::span<const std::uint8_t> payload,
+                           net::Priority priority);
+
+  Instance* InstanceForQpn(std::uint32_t switch_qpn, SwitchQp** qp);
+
+  net::Switch* sw_;
+  sim::Simulation* sim_;
+  Config config_;
+  std::vector<std::unique_ptr<Instance>> instances_;
+  std::size_t probe_rr_ = 0;  // TDM round-robin cursor (Section 5.4)
+  std::function<void(const net::Packet&)> control_handler_;
+  Nanos current_interval_ = 0;
+  bool started_ = false;
+  std::uint32_t next_switch_qpn_ = 0x800;
+
+  std::uint64_t probes_sent_ = 0;
+  std::uint64_t packets_recycled_ = 0;
+  std::uint64_t ops_completed_ = 0;
+  std::uint64_t reads_paused_by_writes_ = 0;
+  std::uint64_t recoveries_ = 0;
+};
+
+// Phase I helper: creates responder QPs on the hosts and wires them to the
+// switch endpoint identity.
+struct P4Connection {
+  HostEndpoint compute;
+  HostEndpoint probe;
+  HostEndpoint memory;
+};
+P4Connection ConnectP4Engine(CowbirdP4Engine& engine, net::NodeId switch_id,
+                             rdma::Device& compute, rdma::Device& memory,
+                             std::uint32_t qpn_base);
+
+}  // namespace cowbird::p4

@@ -1,0 +1,78 @@
+#include "rdma/device.h"
+
+#include <utility>
+
+#include "rdma/qp.h"
+
+namespace cowbird::rdma {
+
+namespace {
+// rkeys are sparse, non-sequential tokens (a real NIC hands out opaque
+// values); a fixed multiplicative hash over the registration index keeps
+// them deterministic across runs.
+std::uint32_t MakeRkey(std::size_t index) {
+  return static_cast<std::uint32_t>((index + 1) * 2654435761u) | 1u;
+}
+}  // namespace
+
+Device::Device(net::HostNic& nic, SparseMemory& memory, NicConfig config)
+    : nic_(&nic), memory_(&memory), config_(config) {
+  nic_->SetPortReceiver(net::kRoceUdpPort,
+                        [this](net::Packet p) { OnPacket(std::move(p)); });
+}
+
+Device::~Device() = default;
+
+const MemoryRegion* Device::RegisterMemory(std::uint64_t base, Bytes length) {
+  auto region = std::make_unique<MemoryRegion>();
+  region->base = base;
+  region->length = length;
+  region->rkey = MakeRkey(regions_.size());
+  regions_.push_back(std::move(region));
+  return regions_.back().get();
+}
+
+const MemoryRegion* Device::LookupRkey(std::uint32_t rkey) const {
+  for (const auto& region : regions_) {
+    if (region->rkey == rkey) return region.get();
+  }
+  return nullptr;
+}
+
+CompletionQueue* Device::CreateCq() {
+  cqs_.push_back(std::make_unique<CompletionQueue>());
+  return cqs_.back().get();
+}
+
+QueuePair* Device::CreateQp(CompletionQueue* send_cq,
+                            CompletionQueue* recv_cq) {
+  const auto qpn = static_cast<std::uint32_t>(qps_.size() + 1);
+  qps_.push_back(std::make_unique<QueuePair>(*this, qpn, send_cq, recv_cq));
+  return qps_.back().get();
+}
+
+QueuePair* Device::FindQp(std::uint32_t qpn) const {
+  if (qpn == 0 || qpn > qps_.size()) return nullptr;
+  return qps_[qpn - 1].get();
+}
+
+void Device::EmitPacket(net::Packet packet) {
+  ++packets_sent_;
+  simulation().ScheduleAfter(config_.processing_delay,
+                             [this, p = std::move(packet)]() mutable {
+                               nic_->Send(std::move(p));
+                             });
+}
+
+void Device::OnPacket(net::Packet packet) {
+  ++packets_received_;
+  simulation().ScheduleAfter(
+      config_.processing_delay, [this, p = std::move(packet)]() mutable {
+        const RdmaMessageView view = ParseRdmaPacket(p);
+        QueuePair* qp = FindQp(view.bth.dest_qp);
+        if (qp == nullptr || !qp->Connected()) return;  // stale packet
+        qp->HandlePacket(p, view);
+      });
+}
+
+}  // namespace cowbird::rdma

@@ -1,0 +1,115 @@
+// RNIC device model: protection domain, memory regions, completion queues,
+// and packet demultiplexing to queue pairs.
+//
+// A Device is the per-host RDMA endpoint. It owns the MR table (rkey
+// validation happens here, as it would in NIC hardware), hands out QPs and
+// CQs, and moves packets between QPs and the host's NIC with the configured
+// per-packet processing latency. Nothing in this file charges application
+// CPU time — that is the whole point of one-sided RDMA; the *verbs* wrappers
+// (verbs.h) are where the compute node pays.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/sparse_memory.h"
+#include "common/units.h"
+#include "net/switch.h"
+#include "rdma/params.h"
+#include "rdma/wire.h"
+#include "sim/simulation.h"
+
+namespace cowbird::rdma {
+
+class QueuePair;
+
+struct MemoryRegion {
+  std::uint64_t base = 0;
+  Bytes length = 0;
+  std::uint32_t rkey = 0;
+
+  bool Contains(std::uint64_t vaddr, std::uint64_t len) const {
+    return vaddr >= base && vaddr + len <= base + length && len <= length;
+  }
+};
+
+enum class CqeStatus : std::uint8_t { kSuccess, kRemoteAccessError };
+enum class CqeOpcode : std::uint8_t { kRead, kWrite, kSend, kRecv };
+
+struct Cqe {
+  std::uint64_t wr_id = 0;
+  CqeOpcode opcode = CqeOpcode::kRead;
+  CqeStatus status = CqeStatus::kSuccess;
+  std::uint32_t byte_len = 0;
+};
+
+class CompletionQueue {
+ public:
+  void Push(const Cqe& cqe) {
+    entries_.push_back(cqe);
+    if (on_completion_) on_completion_();
+  }
+  std::optional<Cqe> Pop() {
+    if (entries_.empty()) return std::nullopt;
+    Cqe cqe = entries_.front();
+    entries_.pop_front();
+    return cqe;
+  }
+  std::size_t Size() const { return entries_.size(); }
+  bool Empty() const { return entries_.empty(); }
+
+  // Event hook for event-driven consumers (the Cowbird-Spot agent). Fires
+  // after each push; the consumer drains with Pop().
+  void SetCompletionCallback(std::function<void()> cb) {
+    on_completion_ = std::move(cb);
+  }
+
+ private:
+  std::deque<Cqe> entries_;
+  std::function<void()> on_completion_;
+};
+
+class Device {
+ public:
+  Device(net::HostNic& nic, SparseMemory& memory, NicConfig config);
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+  ~Device();
+
+  const MemoryRegion* RegisterMemory(std::uint64_t base, Bytes length);
+  const MemoryRegion* LookupRkey(std::uint32_t rkey) const;
+
+  CompletionQueue* CreateCq();
+  QueuePair* CreateQp(CompletionQueue* send_cq, CompletionQueue* recv_cq);
+  QueuePair* FindQp(std::uint32_t qpn) const;
+
+  // Hands a fully-built packet to the NIC after the TX processing delay.
+  void EmitPacket(net::Packet packet);
+
+  SparseMemory& memory() { return *memory_; }
+  net::HostNic& nic() { return *nic_; }
+  sim::Simulation& simulation() { return nic_->simulation(); }
+  const NicConfig& config() const { return config_; }
+  net::NodeId node_id() const { return nic_->id(); }
+
+  std::uint64_t packets_sent() const { return packets_sent_; }
+  std::uint64_t packets_received() const { return packets_received_; }
+
+ private:
+  void OnPacket(net::Packet packet);
+
+  net::HostNic* nic_;
+  SparseMemory* memory_;
+  NicConfig config_;
+  std::vector<std::unique_ptr<MemoryRegion>> regions_;
+  std::vector<std::unique_ptr<CompletionQueue>> cqs_;
+  std::vector<std::unique_ptr<QueuePair>> qps_;
+  std::uint64_t packets_sent_ = 0;
+  std::uint64_t packets_received_ = 0;
+};
+
+}  // namespace cowbird::rdma

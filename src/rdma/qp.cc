@@ -1,0 +1,407 @@
+#include "rdma/qp.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace cowbird::rdma {
+
+namespace {
+
+Opcode SegmentOpcode(WqeOp op, std::uint32_t index, std::uint32_t count) {
+  const bool only = count == 1;
+  const bool first = index == 0;
+  const bool last = index == count - 1;
+  switch (op) {
+    case WqeOp::kWrite:
+      if (only) return Opcode::kWriteOnly;
+      if (first) return Opcode::kWriteFirst;
+      return last ? Opcode::kWriteLast : Opcode::kWriteMiddle;
+    case WqeOp::kSend:
+      if (only) return Opcode::kSendOnly;
+      if (first) return Opcode::kSendFirst;
+      return last ? Opcode::kSendLast : Opcode::kSendMiddle;
+    case WqeOp::kRead:
+      break;
+  }
+  COWBIRD_CHECK(false);
+}
+
+Opcode ReadResponseOpcode(std::uint32_t index, std::uint32_t count) {
+  if (count == 1) return Opcode::kReadResponseOnly;
+  if (index == 0) return Opcode::kReadResponseFirst;
+  return index == count - 1 ? Opcode::kReadResponseLast
+                            : Opcode::kReadResponseMiddle;
+}
+
+CqeOpcode ToCqeOpcode(WqeOp op) {
+  switch (op) {
+    case WqeOp::kRead: return CqeOpcode::kRead;
+    case WqeOp::kWrite: return CqeOpcode::kWrite;
+    case WqeOp::kSend: return CqeOpcode::kSend;
+  }
+  COWBIRD_CHECK(false);
+}
+
+}  // namespace
+
+QueuePair::QueuePair(Device& device, std::uint32_t qpn,
+                     CompletionQueue* send_cq, CompletionQueue* recv_cq)
+    : device_(&device), qpn_(qpn), send_cq_(send_cq), recv_cq_(recv_cq) {
+  COWBIRD_CHECK(send_cq != nullptr);
+}
+
+void QueuePair::Connect(net::NodeId remote_node, std::uint32_t remote_qpn,
+                        std::uint32_t my_start_psn,
+                        std::uint32_t peer_start_psn) {
+  remote_node_ = remote_node;
+  remote_qpn_ = remote_qpn;
+  next_psn_ = my_start_psn & kPsnMask;
+  epsn_ = peer_start_psn & kPsnMask;
+  connected_ = true;
+}
+
+void QueuePair::PostSend(SendWqe wqe) {
+  COWBIRD_CHECK(connected_);
+  COWBIRD_CHECK(wqe.length > 0);
+  pending_.push_back(wqe);
+  TryTransmit();
+}
+
+void QueuePair::PostRecv(RecvWqe wqe) { recv_queue_.push_back(wqe); }
+
+// ---------------------------------------------------------------------------
+// Requester side
+// ---------------------------------------------------------------------------
+
+void QueuePair::TryTransmit() {
+  while (!pending_.empty() &&
+         inflight_.size() <
+             static_cast<std::size_t>(device_->config().max_outstanding)) {
+    InflightWqe entry;
+    entry.wqe = pending_.front();
+    pending_.pop_front();
+    entry.segments = SegmentCount(entry.wqe.length);
+    entry.first_psn = next_psn_;
+    entry.last_psn = PsnAdd(next_psn_, entry.segments - 1);
+    next_psn_ = PsnAdd(next_psn_, entry.segments);
+    inflight_.push_back(entry);
+    EmitMessage(inflight_.back());
+  }
+  if (!inflight_.empty()) ArmTimer();
+}
+
+void QueuePair::EmitMessage(const InflightWqe& entry) {
+  const SendWqe& wqe = entry.wqe;
+  if (wqe.op == WqeOp::kRead) {
+    Reth reth{wqe.raddr, wqe.rkey, wqe.length};
+    Emit(Opcode::kReadRequest, entry.first_psn, /*ack_request=*/false, &reth,
+         nullptr, {});
+    return;
+  }
+  std::vector<std::uint8_t> chunk;
+  for (std::uint32_t i = 0; i < entry.segments; ++i) {
+    const std::uint64_t offset = std::uint64_t{i} * kPathMtu;
+    const auto len = static_cast<std::size_t>(
+        std::min<std::uint64_t>(kPathMtu, wqe.length - offset));
+    chunk.resize(len);
+    device_->memory().Read(wqe.laddr + offset, chunk);
+    const Opcode opcode = SegmentOpcode(wqe.op, i, entry.segments);
+    const bool last = i == entry.segments - 1;
+    Reth reth{wqe.raddr, wqe.rkey, wqe.length};
+    Emit(opcode, PsnAdd(entry.first_psn, i), /*ack_request=*/last,
+         HasReth(opcode) ? &reth : nullptr, nullptr, chunk);
+  }
+}
+
+void QueuePair::HandleReadResponse(const RdmaMessageView& view) {
+  // Responses arrive in PSN order for the oldest incomplete read.
+  InflightWqe* target = nullptr;
+  for (auto& entry : inflight_) {
+    if (entry.wqe.op == WqeOp::kRead && !entry.done) {
+      target = &entry;
+      break;
+    }
+  }
+  if (target == nullptr) return;  // stale duplicate after recovery
+  const std::uint32_t expected =
+      PsnAdd(target->first_psn, target->bytes_done / kPathMtu);
+  if (view.bth.psn != expected) return;  // gap or stale; timer recovers
+
+  device_->memory().Write(target->wqe.laddr + target->bytes_done,
+                          view.payload);
+  target->bytes_done += static_cast<std::uint32_t>(view.payload.size());
+  if (target->bytes_done >= target->wqe.length) {
+    COWBIRD_CHECK(target->bytes_done == target->wqe.length);
+    target->done = true;
+  }
+  OnProgress();
+  CompleteInOrder();
+}
+
+void QueuePair::HandleAck(const RdmaMessageView& view) {
+  COWBIRD_CHECK(view.aeth.has_value());
+  const std::uint8_t syndrome = view.aeth->syndrome;
+  if (syndrome == kSyndromeAck) {
+    const std::uint32_t acked = view.bth.psn;
+    for (auto& entry : inflight_) {
+      if (entry.wqe.op == WqeOp::kRead || entry.done) continue;
+      if (PsnDistance(acked, entry.last_psn) >= 0) {
+        entry.acked = true;
+        entry.done = true;
+      }
+    }
+    OnProgress();
+    CompleteInOrder();
+    return;
+  }
+  if (syndrome == kSyndromeNakSequenceError) {
+    GoBackN();
+    return;
+  }
+  if (syndrome == kSyndromeRnrNak) {
+    // Receiver-not-ready: back off briefly before rewinding so we do not
+    // hammer a responder that has no RECV posted yet.
+    retransmit_timer_.Cancel();
+    retransmit_timer_ = device_->simulation().ScheduleCancelableAfter(
+        device_->config().retransmit_timeout / 8, [this] { GoBackN(); });
+    return;
+  }
+  if (syndrome == kSyndromeNakRemoteAccess) {
+    // Fatal for the offending WQE: complete it with an error status.
+    for (auto& entry : inflight_) {
+      if (!entry.done) {
+        entry.done = true;
+        entry.status = CqeStatus::kRemoteAccessError;
+        break;
+      }
+    }
+    OnProgress();
+    CompleteInOrder();
+  }
+}
+
+void QueuePair::CompleteInOrder() {
+  bool freed = false;
+  while (!inflight_.empty() && inflight_.front().done) {
+    const InflightWqe& entry = inflight_.front();
+    if (entry.wqe.signaled) {
+      send_cq_->Push(Cqe{entry.wqe.wr_id, ToCqeOpcode(entry.wqe.op),
+                         entry.status, entry.wqe.length});
+    }
+    inflight_.pop_front();
+    freed = true;
+  }
+  if (freed) TryTransmit();
+  if (inflight_.empty()) retransmit_timer_.Cancel();
+}
+
+void QueuePair::GoBackN() {
+  retransmit_timer_.Cancel();
+  if (inflight_.empty()) return;
+  ++retransmissions_;
+  for (auto& entry : inflight_) {
+    if (entry.done) continue;
+    entry.bytes_done = 0;
+    EmitMessage(entry);
+  }
+  ArmTimer();
+}
+
+void QueuePair::ArmTimer() {
+  if (retransmit_timer_.Pending()) return;
+  retransmit_timer_ = device_->simulation().ScheduleCancelableAfter(
+      device_->config().retransmit_timeout, [this] { GoBackN(); });
+}
+
+void QueuePair::OnProgress() {
+  retransmit_timer_.Cancel();
+  if (!inflight_.empty()) ArmTimer();
+}
+
+// ---------------------------------------------------------------------------
+// Responder side
+// ---------------------------------------------------------------------------
+
+void QueuePair::HandlePacket(const net::Packet& packet,
+                             const RdmaMessageView& view) {
+  (void)packet;
+  const Opcode op = view.bth.opcode;
+  if (IsReadResponse(op)) {
+    HandleReadResponse(view);
+    return;
+  }
+  if (op == Opcode::kAcknowledge) {
+    HandleAck(view);
+    return;
+  }
+  HandleRequest(view);
+}
+
+void QueuePair::HandleRequest(const RdmaMessageView& view) {
+  const std::uint32_t psn = view.bth.psn;
+  const std::int32_t distance = PsnDistance(psn, epsn_);
+  const Opcode op = view.bth.opcode;
+
+  if (distance < 0) {
+    // Duplicate from a Go-Back-N retransmission. Reads are re-executed
+    // (idempotent); writes/sends are *not* re-applied — only re-ACKed so the
+    // requester can make progress.
+    if (op == Opcode::kReadRequest) {
+      COWBIRD_CHECK(view.reth.has_value());
+      ExecuteReadRequest(view, /*duplicate=*/true);
+    } else if (view.bth.ack_request || IsLastOrOnly(op)) {
+      SendAck(kSyndromeAck, PsnAdd(epsn_, kPsnMask));  // epsn − 1
+    }
+    return;
+  }
+  if (distance > 0) {
+    // Sequence gap: NAK once, drop everything until the requester rewinds.
+    if (!nak_outstanding_) {
+      SendAck(kSyndromeNakSequenceError, epsn_);
+      nak_outstanding_ = true;
+    }
+    return;
+  }
+
+  nak_outstanding_ = false;
+  switch (op) {
+    case Opcode::kWriteFirst:
+    case Opcode::kWriteOnly: {
+      COWBIRD_CHECK(view.reth.has_value());
+      const MemoryRegion* mr = device_->LookupRkey(view.reth->rkey);
+      if (mr == nullptr ||
+          !mr->Contains(view.reth->vaddr, view.reth->dma_length)) {
+        SendAck(kSyndromeNakRemoteAccess, epsn_);
+        return;
+      }
+      write_target_ = view.reth->vaddr;
+      [[fallthrough]];
+    }
+    case Opcode::kWriteMiddle:
+    case Opcode::kWriteLast: {
+      device_->memory().Write(write_target_, view.payload);
+      write_target_ += view.payload.size();
+      epsn_ = PsnAdd(epsn_, 1);
+      if (IsLastOrOnly(op)) {
+        ++msn_;
+        if (view.bth.ack_request) SendAck(kSyndromeAck, psn);
+      }
+      return;
+    }
+    case Opcode::kReadRequest: {
+      COWBIRD_CHECK(view.reth.has_value());
+      ExecuteReadRequest(view, /*duplicate=*/false);
+      return;
+    }
+    case Opcode::kSendFirst:
+    case Opcode::kSendOnly: {
+      if (recv_queue_.empty()) {
+        // Receiver not ready: NAK so the requester retries the message.
+        SendAck(kSyndromeRnrNak, epsn_);
+        return;
+      }
+      active_recv_ = recv_queue_.front();
+      recv_queue_.pop_front();
+      recv_active_ = true;
+      send_target_ = active_recv_.addr;
+      send_received_ = 0;
+      [[fallthrough]];
+    }
+    case Opcode::kSendMiddle:
+    case Opcode::kSendLast: {
+      if (!recv_active_) {
+        SendAck(kSyndromeNakSequenceError, epsn_);
+        return;
+      }
+      COWBIRD_CHECK(send_received_ + view.payload.size() <=
+                    active_recv_.length);
+      device_->memory().Write(send_target_, view.payload);
+      send_target_ += view.payload.size();
+      send_received_ += static_cast<std::uint32_t>(view.payload.size());
+      epsn_ = PsnAdd(epsn_, 1);
+      if (IsLastOrOnly(op)) {
+        ++msn_;
+        recv_active_ = false;
+        if (recv_cq_ != nullptr) {
+          recv_cq_->Push(Cqe{active_recv_.wr_id, CqeOpcode::kRecv,
+                             CqeStatus::kSuccess, send_received_});
+        }
+        if (view.bth.ack_request) SendAck(kSyndromeAck, psn);
+      }
+      return;
+    }
+    default:
+      COWBIRD_CHECK(false);
+  }
+}
+
+void QueuePair::ExecuteReadRequest(const RdmaMessageView& view,
+                                   bool duplicate) {
+  const Reth& reth = *view.reth;
+  const MemoryRegion* mr = device_->LookupRkey(reth.rkey);
+  if (mr == nullptr || !mr->Contains(reth.vaddr, reth.dma_length)) {
+    SendAck(kSyndromeNakRemoteAccess, view.bth.psn);
+    return;
+  }
+  const std::uint32_t segments = SegmentCount(reth.dma_length);
+  if (!duplicate) {
+    epsn_ = PsnAdd(epsn_, segments);
+    ++msn_;
+  }
+  std::vector<std::uint8_t> chunk;
+  for (std::uint32_t i = 0; i < segments; ++i) {
+    const std::uint64_t offset = std::uint64_t{i} * kPathMtu;
+    const auto len = static_cast<std::size_t>(
+        std::min<std::uint64_t>(kPathMtu, reth.dma_length - offset));
+    chunk.resize(len);
+    device_->memory().Read(reth.vaddr + offset, chunk);
+    const Opcode opcode = ReadResponseOpcode(i, segments);
+    Aeth aeth{kSyndromeAck, msn_};
+    Emit(opcode, PsnAdd(view.bth.psn, i), /*ack_request=*/false, nullptr,
+         HasAeth(opcode) ? &aeth : nullptr, chunk);
+  }
+}
+
+void QueuePair::SendAck(std::uint8_t syndrome, std::uint32_t psn) {
+  Aeth aeth{syndrome, msn_};
+  Bth bth;
+  bth.opcode = Opcode::kAcknowledge;
+  bth.dest_qp = remote_qpn_;
+  bth.psn = psn & kPsnMask;
+  net::Packet packet =
+      BuildRdmaPacket(device_->node_id(), remote_node_,
+                      net::Priority::kControl, bth, nullptr, &aeth, {});
+  device_->EmitPacket(std::move(packet));
+}
+
+void QueuePair::Emit(Opcode opcode, std::uint32_t psn, bool ack_request,
+                     const Reth* reth, const Aeth* aeth,
+                     std::span<const std::uint8_t> payload) {
+  Bth bth;
+  bth.opcode = opcode;
+  bth.ack_request = ack_request;
+  bth.dest_qp = remote_qpn_;
+  bth.psn = psn & kPsnMask;
+  net::Packet packet = BuildRdmaPacket(
+      device_->node_id(), remote_node_, data_priority_, bth, reth, aeth,
+      payload);
+  device_->EmitPacket(std::move(packet));
+}
+
+QpPair ConnectQueuePairs(Device& a, Device& b, std::uint32_t start_psn_a,
+                         std::uint32_t start_psn_b) {
+  QpPair pair;
+  pair.a_send_cq = a.CreateCq();
+  pair.a_recv_cq = a.CreateCq();
+  pair.b_send_cq = b.CreateCq();
+  pair.b_recv_cq = b.CreateCq();
+  pair.a = a.CreateQp(pair.a_send_cq, pair.a_recv_cq);
+  pair.b = b.CreateQp(pair.b_send_cq, pair.b_recv_cq);
+  pair.a->Connect(b.node_id(), pair.b->qpn(), start_psn_a, start_psn_b);
+  pair.b->Connect(a.node_id(), pair.a->qpn(), start_psn_b, start_psn_a);
+  return pair;
+}
+
+}  // namespace cowbird::rdma

@@ -1,0 +1,147 @@
+// Reliable-Connection queue pair.
+//
+// Implements the RC requester and responder state machines over the
+// simulated fabric: MTU segmentation into First/Middle/Last/Only packets,
+// 24-bit PSN sequencing, one ACK per message (ack-request on the last
+// segment), NAK on sequence gaps, and Go-Back-N recovery on NAK or
+// retransmission timeout. Read requests consume as many PSNs as their
+// response will span, exactly as in InfiniBand — this is what lets the
+// Cowbird-P4 switch predict and rewrite response PSNs.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/units.h"
+#include "rdma/device.h"
+#include "rdma/wire.h"
+
+namespace cowbird::rdma {
+
+enum class WqeOp : std::uint8_t { kRead, kWrite, kSend };
+
+struct SendWqe {
+  WqeOp op = WqeOp::kRead;
+  std::uint64_t wr_id = 0;
+  std::uint64_t laddr = 0;   // local buffer (source for write/send,
+                             // destination for read)
+  std::uint64_t raddr = 0;   // remote address (read/write)
+  std::uint32_t rkey = 0;
+  std::uint32_t length = 0;
+  bool signaled = true;
+};
+
+struct RecvWqe {
+  std::uint64_t wr_id = 0;
+  std::uint64_t addr = 0;
+  std::uint32_t length = 0;
+};
+
+class QueuePair {
+ public:
+  QueuePair(Device& device, std::uint32_t qpn, CompletionQueue* send_cq,
+            CompletionQueue* recv_cq);
+
+  // Connects this QP to its peer. Both sides must agree on the starting
+  // PSNs (this one's send PSN is the peer's expected PSN).
+  void Connect(net::NodeId remote_node, std::uint32_t remote_qpn,
+               std::uint32_t my_start_psn, std::uint32_t peer_start_psn);
+
+  // Raw posting interfaces. These model the NIC-visible effect only; the
+  // CPU cost of invoking the verb is charged by the wrappers in verbs.h.
+  void PostSend(SendWqe wqe);
+  void PostRecv(RecvWqe wqe);
+
+  std::uint32_t qpn() const { return qpn_; }
+  net::NodeId remote_node() const { return remote_node_; }
+  std::uint32_t remote_qpn() const { return remote_qpn_; }
+  bool Connected() const { return connected_; }
+
+  std::size_t OutstandingWqes() const {
+    return inflight_.size() + pending_.size();
+  }
+  std::size_t PostedRecvs() const { return recv_queue_.size(); }
+  std::uint32_t next_psn() const { return next_psn_; }
+  std::uint32_t expected_psn() const { return epsn_; }
+  std::uint64_t retransmissions() const { return retransmissions_; }
+
+  // Priority used for data packets (ACKs always use kControl).
+  void set_data_priority(net::Priority p) { data_priority_ = p; }
+
+  // Packet entry point (called by Device demux).
+  void HandlePacket(const net::Packet& packet, const RdmaMessageView& view);
+
+ private:
+  struct InflightWqe {
+    SendWqe wqe;
+    std::uint32_t first_psn = 0;
+    std::uint32_t last_psn = 0;
+    std::uint32_t segments = 1;
+    std::uint32_t bytes_done = 0;  // read-response progress
+    bool acked = false;            // write/send: covered by cumulative ACK
+    bool done = false;             // ready to complete in order
+    CqeStatus status = CqeStatus::kSuccess;
+  };
+
+  // ---- requester side ----
+  void TryTransmit();
+  void EmitMessage(const InflightWqe& entry);
+  void HandleReadResponse(const RdmaMessageView& view);
+  void HandleAck(const RdmaMessageView& view);
+  void CompleteInOrder();
+  void GoBackN();
+  void ArmTimer();
+  void OnProgress();
+
+  // ---- responder side ----
+  void HandleRequest(const RdmaMessageView& view);
+  void ExecuteReadRequest(const RdmaMessageView& view, bool duplicate);
+  void SendAck(std::uint8_t syndrome, std::uint32_t psn);
+
+  void Emit(Opcode opcode, std::uint32_t psn, bool ack_request,
+            const Reth* reth, const Aeth* aeth,
+            std::span<const std::uint8_t> payload);
+
+  Device* device_;
+  std::uint32_t qpn_;
+  CompletionQueue* send_cq_;
+  CompletionQueue* recv_cq_;
+  net::NodeId remote_node_ = 0;
+  std::uint32_t remote_qpn_ = 0;
+  bool connected_ = false;
+  net::Priority data_priority_ = net::Priority::kRdma;
+
+  // Requester state.
+  std::deque<SendWqe> pending_;       // posted, not yet transmitted
+  std::deque<InflightWqe> inflight_;  // transmitted, not completed
+  std::uint32_t next_psn_ = 0;
+  sim::TimerHandle retransmit_timer_;
+  std::uint64_t retransmissions_ = 0;
+
+  // Responder state.
+  std::uint32_t epsn_ = 0;
+  std::uint32_t msn_ = 0;
+  bool nak_outstanding_ = false;
+  std::uint64_t write_target_ = 0;  // cursor for WRITE_MIDDLE/LAST
+  std::uint64_t send_target_ = 0;   // cursor within the active RECV buffer
+  std::uint32_t send_received_ = 0;
+  bool recv_active_ = false;
+  std::deque<RecvWqe> recv_queue_;
+  RecvWqe active_recv_{};
+};
+
+// Convenience for tests and engines: a connected QP pair with fresh CQs.
+struct QpPair {
+  QueuePair* a = nullptr;
+  QueuePair* b = nullptr;
+  CompletionQueue* a_send_cq = nullptr;
+  CompletionQueue* a_recv_cq = nullptr;
+  CompletionQueue* b_send_cq = nullptr;
+  CompletionQueue* b_recv_cq = nullptr;
+};
+QpPair ConnectQueuePairs(Device& a, Device& b, std::uint32_t start_psn_a = 100,
+                         std::uint32_t start_psn_b = 200);
+
+}  // namespace cowbird::rdma

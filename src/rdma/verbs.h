@@ -1,0 +1,90 @@
+// CPU-charged verb wrappers.
+//
+// The raw QueuePair/CompletionQueue interfaces model what the NIC does; the
+// functions here model what the *CPU* pays to ask for it (Figure 2): locks,
+// WQE marshalling, doorbell MMIO for a post; lock and CQE check for a poll.
+// Every baseline in the evaluation (sync/async one-sided, two-sided, Redy)
+// calls through these wrappers from a SimThread; Cowbird never does — its
+// client library touches only local memory.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "rdma/params.h"
+#include "rdma/qp.h"
+#include "sim/task.h"
+#include "sim/thread.h"
+
+namespace cowbird::rdma {
+
+// ibv_post_send analogue: charges lock + WQE build + doorbell.
+inline sim::Task<void> PostSendVerb(sim::SimThread& thread,
+                                    const CostModel& costs, QueuePair& qp,
+                                    SendWqe wqe) {
+  co_await thread.Work(costs.post_lock + costs.post_wqe,
+                       sim::CpuCategory::kCommunication);
+  qp.PostSend(wqe);
+  co_await thread.Work(costs.post_doorbell,
+                       sim::CpuCategory::kCommunication);
+}
+
+// ibv_post_recv analogue.
+inline sim::Task<void> PostRecvVerb(sim::SimThread& thread,
+                                    const CostModel& costs, QueuePair& qp,
+                                    RecvWqe wqe) {
+  co_await thread.Work(costs.post_lock + costs.post_wqe,
+                       sim::CpuCategory::kCommunication);
+  qp.PostRecv(wqe);
+  co_await thread.Work(costs.post_doorbell,
+                       sim::CpuCategory::kCommunication);
+}
+
+// One ibv_poll_cq check: charges the lock + CQE read whether or not a
+// completion is found (the paper's Figure 2 measures exactly this floor).
+inline sim::Task<std::optional<Cqe>> PollCqVerb(sim::SimThread& thread,
+                                                const CostModel& costs,
+                                                CompletionQueue& cq) {
+  co_await thread.Work(costs.poll_lock + costs.poll_cqe,
+                       sim::CpuCategory::kCommunication);
+  co_return cq.Pop();
+}
+
+// Busy-poll until a completion arrives; the CPU burns a full poll cost per
+// check, exactly like a spin loop on a real completion queue.
+inline sim::Task<Cqe> BusyPollCqVerb(sim::SimThread& thread,
+                                     const CostModel& costs,
+                                     CompletionQueue& cq) {
+  for (;;) {
+    auto cqe = co_await PollCqVerb(thread, costs, cq);
+    if (cqe.has_value()) co_return *cqe;
+  }
+}
+
+// Doorbell-batched post: one lock + one doorbell for the whole linked list
+// of work requests, marginal cost per WQE. The engines (Cowbird-Spot, Redy)
+// live on this; per-access application code cannot (requests arrive one at
+// a time on its critical path).
+inline sim::Task<void> PostSendBatchVerb(sim::SimThread& thread,
+                                         const CostModel& costs,
+                                         QueuePair& qp,
+                                         std::span<const SendWqe> wqes) {
+  if (wqes.empty()) co_return;
+  co_await thread.Work(costs.PostBatch(static_cast<int>(wqes.size())),
+                       sim::CpuCategory::kCommunication);
+  for (const SendWqe& wqe : wqes) qp.PostSend(wqe);
+}
+
+// Engine-tier batched post: the dedicated single-threaded agent loop pays
+// no lock and an amortized doorbell (see CostModel::engine_post_fixed).
+inline sim::Task<void> EnginePostBatchVerb(sim::SimThread& thread,
+                                           const CostModel& costs,
+                                           QueuePair& qp,
+                                           std::span<const SendWqe> wqes) {
+  if (wqes.empty()) co_return;
+  co_await thread.Work(costs.EnginePostBatch(static_cast<int>(wqes.size())),
+                       sim::CpuCategory::kCommunication);
+  for (const SendWqe& wqe : wqes) qp.PostSend(wqe);
+}
+
+}  // namespace cowbird::rdma

@@ -1,0 +1,70 @@
+#include "sim/simulation.h"
+
+namespace cowbird::sim {
+
+Simulation::~Simulation() {
+  // Destroy still-suspended root processes (server loops etc). Destroying a
+  // root frame cascades: Task objects held in its frame destroy their own
+  // child frames. No events are dispatched during teardown.
+  // Copy first: destruction does not unregister (only final_suspend does),
+  // but guard against any future re-entrancy.
+  auto roots = std::move(live_roots_);
+  for (auto& [addr, handle] : roots) {
+    (void)addr;
+    handle.destroy();
+  }
+}
+
+void Simulation::ScheduleAt(Nanos when, std::function<void()> fn) {
+  COWBIRD_CHECK(when >= now_);
+  queue_.push(Event{when, next_seq_++, std::move(fn), nullptr});
+}
+
+TimerHandle Simulation::ScheduleCancelableAfter(Nanos delay,
+                                                std::function<void()> fn) {
+  auto alive = std::make_shared<bool>(true);
+  queue_.push(Event{now_ + delay, next_seq_++, std::move(fn), alive});
+  return TimerHandle(std::move(alive));
+}
+
+bool Simulation::PopAndDispatchOne() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; the event is moved out via const_cast,
+  // which is safe because pop() immediately removes the moved-from element
+  // and the heap property does not depend on the function payload.
+  Event event = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  COWBIRD_CHECK(event.when >= now_);
+  now_ = event.when;
+  if (event.alive && !*event.alive) return true;  // canceled timer
+  ++events_processed_;
+  event.fn();
+  return true;
+}
+
+void Simulation::Run() {
+  halted_ = false;
+  while (!halted_ && PopAndDispatchOne()) {
+  }
+}
+
+void Simulation::RunUntil(Nanos deadline) {
+  halted_ = false;
+  while (!halted_ && !queue_.empty() && queue_.top().when <= deadline) {
+    PopAndDispatchOne();
+  }
+  if (now_ < deadline && !halted_) now_ = deadline;
+}
+
+Simulation::RootTask Simulation::RunRoot(Task<void> task) {
+  co_await std::move(task);
+}
+
+void Simulation::Spawn(Task<void> task) {
+  RootTask root = RunRoot(std::move(task));
+  root.handle.promise().sim = this;
+  live_roots_.emplace(root.handle.address(), root.handle);
+  ScheduleAt(now_, [h = root.handle] { h.resume(); });
+}
+
+}  // namespace cowbird::sim

@@ -1,0 +1,152 @@
+// Discrete-event simulation core.
+//
+// A Simulation owns a virtual clock and an event queue of (time, sequence,
+// callback) entries. Events at equal times fire in schedule order, which —
+// together with the seeded PRNGs — makes every run bit-reproducible.
+//
+// Coroutine processes (sim::Task<void>) are attached with Spawn(); they
+// interact with the clock via `co_await sim.Delay(ns)` and with each other
+// via the primitives in sync.h. All coroutine resumptions are funneled
+// through the event queue (never resumed inline), so there is no reentrancy
+// and no unbounded recursion between communicating processes.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/units.h"
+#include "sim/task.h"
+
+namespace cowbird::sim {
+
+// Handle to a scheduled event that may be canceled (e.g. retransmission
+// timers). Cancellation is lazy: the queue entry stays but becomes a no-op.
+class TimerHandle {
+ public:
+  TimerHandle() = default;
+
+  void Cancel() {
+    if (alive_) *alive_ = false;
+  }
+  bool Pending() const { return alive_ && *alive_; }
+
+ private:
+  friend class Simulation;
+  explicit TimerHandle(std::shared_ptr<bool> alive)
+      : alive_(std::move(alive)) {}
+  std::shared_ptr<bool> alive_;
+};
+
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+  ~Simulation();
+
+  Nanos Now() const { return now_; }
+
+  void ScheduleAt(Nanos when, std::function<void()> fn);
+  void ScheduleAfter(Nanos delay, std::function<void()> fn) {
+    ScheduleAt(now_ + delay, std::move(fn));
+  }
+  TimerHandle ScheduleCancelableAfter(Nanos delay, std::function<void()> fn);
+
+  // Runs until the event queue drains or Halt() is called.
+  void Run();
+  // Runs until virtual time reaches `deadline` (events exactly at the
+  // deadline still fire), the queue drains, or Halt() is called.
+  void RunUntil(Nanos deadline);
+  void RunFor(Nanos duration) { RunUntil(now_ + duration); }
+  void Halt() { halted_ = true; }
+
+  // Attach a root process. It is started via the event queue at the current
+  // time; its frame is owned by the simulation and destroyed either on
+  // completion or, if still suspended (e.g. a server loop), at simulation
+  // destruction.
+  void Spawn(Task<void> task);
+
+  // Resume a suspended coroutine through the event queue at the current time.
+  void Resume(std::coroutine_handle<> h) {
+    ScheduleAt(now_, [h] { h.resume(); });
+  }
+
+  struct DelayAwaiter {
+    Simulation* sim;
+    Nanos delay;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      sim->ScheduleAfter(delay, [h] { h.resume(); });
+    }
+    void await_resume() const noexcept {}
+  };
+
+  // Suspend the calling coroutine for `delay` virtual nanoseconds.
+  // Delay(0) still round-trips through the event queue, providing a
+  // deterministic yield point.
+  DelayAwaiter Delay(Nanos delay) {
+    COWBIRD_CHECK(delay >= 0);
+    return DelayAwaiter{this, delay};
+  }
+
+  std::uint64_t EventsProcessed() const { return events_processed_; }
+
+ private:
+  struct Event {
+    Nanos when;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> alive;  // null → not cancelable
+
+    bool operator>(const Event& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  // Driver coroutine wrapping a spawned task; destroys itself on completion.
+  struct RootTask {
+    struct promise_type {
+      Simulation* sim = nullptr;
+
+      RootTask get_return_object() {
+        return RootTask{
+            std::coroutine_handle<promise_type>::from_promise(*this)};
+      }
+      std::suspend_always initial_suspend() noexcept { return {}; }
+      struct FinalAwaiter {
+        bool await_ready() noexcept { return false; }
+        void await_suspend(std::coroutine_handle<promise_type> h) noexcept {
+          Simulation* sim = h.promise().sim;
+          sim->live_roots_.erase(h.address());
+          h.destroy();
+        }
+        void await_resume() noexcept {}
+      };
+      FinalAwaiter final_suspend() noexcept { return {}; }
+      void return_void() {}
+      void unhandled_exception() { std::terminate(); }
+    };
+    std::coroutine_handle<promise_type> handle;
+  };
+
+  static RootTask RunRoot(Task<void> task);
+
+  bool PopAndDispatchOne();
+
+  Nanos now_ = 0;
+  bool halted_ = false;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  // address → handle of still-live root coroutines, for teardown.
+  std::unordered_map<void*, std::coroutine_handle<>> live_roots_;
+};
+
+}  // namespace cowbird::sim

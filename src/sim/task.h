@@ -1,0 +1,151 @@
+// Coroutine task type for simulation processes.
+//
+// Task<T> is a lazy coroutine: it starts suspended and runs when awaited
+// (or when handed to Simulation::Spawn as a root process). Completion uses
+// symmetric transfer to resume the awaiting parent, so arbitrarily deep
+// protocol call chains do not grow the native stack.
+//
+// Exceptions thrown inside a task propagate to the awaiter; an exception
+// escaping a root (spawned) task terminates the program — in a deterministic
+// simulator an unexpected error means the run is invalid.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+
+namespace cowbird::sim {
+
+template <typename T>
+class Task;
+
+namespace internal {
+
+template <typename T>
+struct TaskPromiseBase {
+  std::coroutine_handle<> continuation;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<Promise> h) noexcept {
+      auto next = h.promise().continuation;
+      return next ? next : std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+  };
+  FinalAwaiter final_suspend() noexcept { return {}; }
+};
+
+}  // namespace internal
+
+template <typename T = void>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : internal::TaskPromiseBase<T> {
+    std::variant<std::monostate, T, std::exception_ptr> result;
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_value(T value) { result.template emplace<1>(std::move(value)); }
+    void unhandled_exception() {
+      result.template emplace<2>(std::current_exception());
+    }
+  };
+
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      if (handle_) handle_.destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  ~Task() {
+    if (handle_) handle_.destroy();
+  }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) {
+    handle_.promise().continuation = parent;
+    return handle_;
+  }
+  T await_resume() {
+    auto& result = handle_.promise().result;
+    if (result.index() == 2) {
+      std::rethrow_exception(std::get<2>(std::move(result)));
+    }
+    COWBIRD_CHECK(result.index() == 1);
+    return std::get<1>(std::move(result));
+  }
+
+ private:
+  friend class Simulation;
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+
+  std::coroutine_handle<promise_type> Release() {
+    return std::exchange(handle_, {});
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : internal::TaskPromiseBase<void> {
+    std::exception_ptr exception;
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_void() {}
+    void unhandled_exception() { exception = std::current_exception(); }
+  };
+
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      if (handle_) handle_.destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  ~Task() {
+    if (handle_) handle_.destroy();
+  }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) {
+    handle_.promise().continuation = parent;
+    return handle_;
+  }
+  void await_resume() {
+    if (handle_.promise().exception) {
+      std::rethrow_exception(handle_.promise().exception);
+    }
+  }
+
+ private:
+  friend class Simulation;
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+
+  std::coroutine_handle<promise_type> Release() {
+    return std::exchange(handle_, {});
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace cowbird::sim

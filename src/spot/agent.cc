@@ -1,0 +1,531 @@
+#include "spot/agent.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace cowbird::spot {
+
+namespace {
+constexpr std::uint8_t kKindShift = 60;
+constexpr std::uint64_t kInstanceShift = 48;
+constexpr std::uint64_t kThreadShift = 32;
+}  // namespace
+
+std::uint64_t SpotAgent::MakeWrId(CompletionKind kind, std::uint32_t instance,
+                                  std::uint16_t thread, std::uint32_t token) {
+  return (static_cast<std::uint64_t>(kind) << kKindShift) |
+         (static_cast<std::uint64_t>(instance & 0xFFF) << kInstanceShift) |
+         (static_cast<std::uint64_t>(thread) << kThreadShift) | token;
+}
+
+SpotAgent::SpotAgent(rdma::Device& device, sim::Machine& machine,
+                     Config config)
+    : device_(&device),
+      thread_(machine, "spot-agent"),
+      config_(config),
+      completions_(machine.simulation()) {}
+
+void SpotAgent::AddInstance(
+    const core::InstanceDescriptor& descriptor, rdma::QueuePair* to_compute,
+    rdma::CompletionQueue* compute_cq,
+    std::map<net::NodeId, rdma::QueuePair*> to_memory,
+    std::map<net::NodeId, rdma::CompletionQueue*> memory_cqs) {
+  COWBIRD_CHECK(!started_);
+  auto inst = std::make_unique<Instance>();
+  inst->descriptor = descriptor;
+  inst->to_compute = to_compute;
+  inst->to_memory = std::move(to_memory);
+  inst->threads.resize(descriptor.layout.threads);
+  inst->probe_staging = AllocStaging(descriptor.layout.GreenBytesTotal());
+  inst->meta_staging = AllocStaging(
+      static_cast<Bytes>(descriptor.layout.threads) * kMetaFetchLimit *
+      core::kMetadataEntryBytes);
+  inst->red_staging = AllocStaging(descriptor.layout.RedBytesTotal());
+  instances_.push_back(std::move(inst));
+
+  auto pump = [this](rdma::CompletionQueue* cq) {
+    cq->SetCompletionCallback([this, cq] {
+      while (auto cqe = cq->Pop()) completions_.Send(*cqe);
+    });
+  };
+  pump(compute_cq);
+  for (auto& [node, cq] : memory_cqs) {
+    (void)node;
+    pump(cq);
+  }
+}
+
+void SpotAgent::Start() {
+  COWBIRD_CHECK(!started_);
+  started_ = true;
+  current_interval_ = config_.probe_interval;
+  auto& sim = thread_.simulation();
+  sim.Spawn(MainLoop());
+  sim.Spawn([](SpotAgent& agent) -> sim::Task<void> {
+    for (;;) {
+      co_await agent.ProbeAll();
+      if (agent.config_.adaptive_probe) {
+        // Ramp down to the baseline when requests are flowing; back off
+        // exponentially while idle (Section 5.2's latency/overhead knob).
+        if (agent.last_probe_found_work_) {
+          agent.current_interval_ = agent.config_.probe_interval;
+        } else {
+          agent.current_interval_ = std::min(
+              agent.current_interval_ * 2, agent.config_.probe_interval_max);
+        }
+      }
+      co_await agent.thread_.Idle(agent.current_interval_);
+    }
+  }(*this));
+}
+
+std::uint64_t SpotAgent::AllocStaging(Bytes len) {
+  // Bump allocator over the staging arena; wraps when exhausted. The arena
+  // is sized far above the in-flight window, so reuse cannot collide with
+  // live transfers.
+  if (staging_cursor_ + len > config_.staging_capacity) staging_cursor_ = 0;
+  const std::uint64_t addr = config_.staging_base + staging_cursor_;
+  staging_cursor_ += static_cast<std::uint32_t>((len + 63) & ~Bytes{63});
+  return addr;
+}
+
+sim::Task<void> SpotAgent::MainLoop() {
+  for (;;) {
+    rdma::Cqe cqe = co_await completions_.Receive();
+    // One CQ lock acquisition per wake-up; each drained CQE then pays its
+    // marginal cost (wide ibv_poll_cq, as an event-driven agent would use).
+    co_await thread_.Work(config_.costs.poll_lock,
+                          sim::CpuCategory::kCommunication);
+    co_await HandleCompletion(cqe);
+    while (auto more = completions_.TryReceive()) {
+      co_await HandleCompletion(*more);
+    }
+  }
+}
+
+sim::Task<void> SpotAgent::ProbeAll() {
+  for (auto& inst_ptr : instances_) {
+    Instance& inst = *inst_ptr;
+    if (inst.probe_inflight) continue;
+    inst.probe_inflight = true;
+    ++probes_sent_;
+    const auto index =
+        static_cast<std::uint32_t>(&inst_ptr - instances_.data());
+    const rdma::SendWqe probe{
+        rdma::WqeOp::kRead, MakeWrId(CompletionKind::kProbe, index, 0, 0),
+        inst.probe_staging, inst.descriptor.layout.GreenBase(),
+        inst.descriptor.compute_rkey,
+        static_cast<std::uint32_t>(inst.descriptor.layout.GreenBytesTotal()),
+        true};
+    co_await rdma::EnginePostBatchVerb(
+        thread_, config_.costs, *inst.to_compute,
+        std::span<const rdma::SendWqe>(&probe, 1));
+  }
+}
+
+sim::Task<void> SpotAgent::HandleCompletion(rdma::Cqe cqe) {
+  COWBIRD_CHECK(cqe.status == rdma::CqeStatus::kSuccess);
+  const auto kind = static_cast<CompletionKind>(cqe.wr_id >> kKindShift);
+  if (kind != CompletionKind::kBatchTimer) {
+    co_await thread_.Work(config_.costs.poll_cqe_each,
+                          sim::CpuCategory::kCommunication);
+  }
+  const auto instance_index =
+      static_cast<std::uint32_t>((cqe.wr_id >> kInstanceShift) & 0xFFF);
+  const auto thread_index =
+      static_cast<int>((cqe.wr_id >> kThreadShift) & 0xFFFF);
+  const auto token = static_cast<std::uint32_t>(cqe.wr_id);
+  COWBIRD_CHECK(instance_index < instances_.size());
+  Instance& inst = *instances_[instance_index];
+
+  switch (kind) {
+    case CompletionKind::kProbe: {
+      inst.probe_inflight = false;
+      last_probe_found_work_ = false;
+      auto& mem = device_->memory();
+      for (int t = 0; t < inst.descriptor.layout.threads; ++t) {
+        const auto tail = mem.ReadValue<std::uint64_t>(
+            inst.probe_staging + static_cast<std::uint64_t>(t) *
+                                     core::kGreenBlockBytes);
+        ThreadState& ts = inst.threads[t];
+        if (tail > ts.tail_seen) {
+          ts.tail_seen = tail;
+          last_probe_found_work_ = true;
+          co_await StartMetaFetch(inst, t);
+        }
+      }
+      break;
+    }
+    case CompletionKind::kMetaFetch:
+      co_await ParseFetchedMetadata(inst, thread_index);
+      break;
+    case CompletionKind::kPoolRead: {
+      ThreadState& ts = inst.threads[thread_index];
+      for (Op& op : ts.ops) {
+        if (op.meta.rw_type == core::RwType::kRead && op.seq == token) {
+          COWBIRD_CHECK(op.state == OpState::kFetching);
+          op.state = OpState::kStaged;
+          break;
+        }
+      }
+      co_await FlushBatch(inst, thread_index);
+      break;
+    }
+    case CompletionKind::kComputeFetch: {
+      ThreadState& ts = inst.threads[thread_index];
+      for (Op& op : ts.ops) {
+        if (op.meta.rw_type == core::RwType::kWrite && op.seq == token) {
+          COWBIRD_CHECK(op.state == OpState::kFetching);
+          op.state = OpState::kWriting;
+          ts.data_head += op.meta.length;
+          const core::RegionInfo* region =
+              inst.descriptor.FindRegion(op.meta.region_id);
+          COWBIRD_CHECK(region != nullptr);
+          auto it = inst.to_memory.find(region->memory_node);
+          COWBIRD_CHECK(it != inst.to_memory.end());
+          const rdma::SendWqe pw{
+              rdma::WqeOp::kWrite,
+              MakeWrId(CompletionKind::kPoolWrite, instance_index,
+                       static_cast<std::uint16_t>(thread_index), token),
+              op.staging_addr, op.meta.resp_addr, region->rkey,
+              op.meta.length, true};
+          co_await rdma::EnginePostBatchVerb(
+              thread_, config_.costs, *it->second,
+              std::span<const rdma::SendWqe>(&pw, 1));
+          break;
+        }
+      }
+      break;
+    }
+    case CompletionKind::kPoolWrite: {
+      ThreadState& ts = inst.threads[thread_index];
+      for (Op& op : ts.ops) {
+        if (op.meta.rw_type == core::RwType::kWrite && op.seq == token) {
+          COWBIRD_CHECK(op.state == OpState::kWriting);
+          op.state = OpState::kDone;
+          ++ops_completed_;
+          break;
+        }
+      }
+      // Advance write progress in strict sequence order.
+      bool advanced = true;
+      while (advanced) {
+        advanced = false;
+        for (const Op& op : ts.ops) {
+          if (op.meta.rw_type == core::RwType::kWrite &&
+              op.seq == ts.write_progress + 1 && op.state == OpState::kDone) {
+            ++ts.write_progress;
+            advanced = true;
+          }
+        }
+      }
+      while (!ts.ops.empty() && ts.ops.front().state == OpState::kDone) {
+        ts.ops.pop_front();
+      }
+      co_await WriteRedBlock(inst, thread_index);
+      // A completed write may unstall overlapping reads.
+      co_await PumpThread(inst, thread_index);
+      break;
+    }
+    case CompletionKind::kBatchWrite: {
+      // The progress counters were already published via a red-block write
+      // chained behind the batch on the same RC QP (the compute node sees
+      // payload before counters); here we only retire local bookkeeping.
+      ThreadState& ts = inst.threads[thread_index];
+      auto it = inflight_batches_.find(cqe.wr_id);
+      COWBIRD_CHECK(it != inflight_batches_.end());
+      for (Op* op : it->second.ops) {
+        COWBIRD_CHECK(op->state == OpState::kDelivering);
+        op->state = OpState::kDone;
+      }
+      inflight_batches_.erase(it);
+      while (!ts.ops.empty() && ts.ops.front().state == OpState::kDone) {
+        ts.ops.pop_front();
+      }
+      break;
+    }
+    case CompletionKind::kRedWrite:
+      break;  // red-block writes are posted unsignaled; nothing arrives here
+    case CompletionKind::kBatchTimer:
+      co_await FlushBatch(inst, thread_index, /*force=*/true);
+      break;
+  }
+}
+
+sim::Task<void> SpotAgent::StartMetaFetch(Instance& inst, int thread) {
+  ThreadState& ts = inst.threads[thread];
+  if (ts.fetch_inflight || ts.fetch_cursor >= ts.tail_seen) co_return;
+  const auto& layout = inst.descriptor.layout;
+  const std::uint64_t available = ts.tail_seen - ts.fetch_cursor;
+  const std::uint64_t start_slot = ts.fetch_cursor % layout.meta_slots;
+  const std::uint64_t contiguous = layout.meta_slots - start_slot;
+  const std::uint64_t count = std::min<std::uint64_t>(
+      {available, contiguous, kMetaFetchLimit});
+  ts.fetch_inflight = true;
+  ts.pending_fetch = count;
+  const auto instance_index = static_cast<std::uint32_t>(
+      std::find_if(instances_.begin(), instances_.end(),
+                   [&](const auto& p) { return p.get() == &inst; }) -
+      instances_.begin());
+  const std::uint64_t staging =
+      inst.meta_staging + static_cast<std::uint64_t>(thread) *
+                              kMetaFetchLimit * core::kMetadataEntryBytes;
+  const rdma::SendWqe fetch{
+      rdma::WqeOp::kRead,
+      MakeWrId(CompletionKind::kMetaFetch, instance_index,
+               static_cast<std::uint16_t>(thread), 0),
+      staging, layout.MetaSlotAddr(thread, ts.fetch_cursor),
+      inst.descriptor.compute_rkey,
+      static_cast<std::uint32_t>(count * core::kMetadataEntryBytes), true};
+  co_await rdma::EnginePostBatchVerb(thread_, config_.costs,
+                                     *inst.to_compute,
+                                     std::span<const rdma::SendWqe>(&fetch, 1));
+}
+
+sim::Task<void> SpotAgent::ParseFetchedMetadata(Instance& inst, int thread) {
+  ThreadState& ts = inst.threads[thread];
+  COWBIRD_CHECK(ts.fetch_inflight);
+  ts.fetch_inflight = false;
+  auto& mem = device_->memory();
+  const std::uint64_t staging =
+      inst.meta_staging + static_cast<std::uint64_t>(thread) *
+                              kMetaFetchLimit * core::kMetadataEntryBytes;
+  std::vector<std::uint8_t> raw(core::kMetadataEntryBytes);
+  for (std::uint64_t i = 0; i < ts.pending_fetch; ++i) {
+    mem.Read(staging + i * core::kMetadataEntryBytes, raw);
+    core::RequestMetadata meta = core::RequestMetadata::ParseBytes(raw);
+    // The tail pointer is published after the entry under x86-TSO, so a
+    // fetched entry must be valid; tolerate a torn view defensively by
+    // stopping at the first invalid entry (it will be re-fetched).
+    if (meta.rw_type == core::RwType::kInvalid) break;
+    Op op;
+    op.meta = meta;
+    op.seq = meta.rw_type == core::RwType::kRead ? ++ts.next_read_seq
+                                                 : ++ts.next_write_seq;
+    ts.ops.push_back(op);
+    ++ts.fetch_cursor;
+    ++ts.meta_head;
+  }
+  co_await WriteRedBlock(inst, thread);
+  co_await PumpThread(inst, thread);
+  co_await StartMetaFetch(inst, thread);  // more entries may remain
+}
+
+bool SpotAgent::ReadOverlapsActiveWrite(const ThreadState& ts,
+                                        const Op& read) const {
+  const std::uint64_t lo = read.meta.req_addr;
+  const std::uint64_t hi = lo + read.meta.length;
+  for (const Op& op : ts.ops) {
+    if (&op == &read) break;  // only writes probed before this read
+    if (op.meta.rw_type != core::RwType::kWrite) continue;
+    if (op.state == OpState::kDone) continue;
+    if (op.meta.region_id != read.meta.region_id) continue;
+    const std::uint64_t wlo = op.meta.resp_addr;
+    const std::uint64_t whi = wlo + op.meta.length;
+    if (lo < whi && wlo < hi) return true;
+  }
+  return false;
+}
+
+sim::Task<void> SpotAgent::PumpThread(Instance& inst, int thread) {
+  ThreadState& ts = inst.threads[thread];
+  const auto instance_index = static_cast<std::uint32_t>(
+      std::find_if(instances_.begin(), instances_.end(),
+                   [&](const auto& p) { return p.get() == &inst; }) -
+      instances_.begin());
+  int inflight = 0;
+  for (const Op& op : ts.ops) {
+    if (op.state == OpState::kFetching || op.state == OpState::kWriting ||
+        op.state == OpState::kDelivering) {
+      ++inflight;
+    }
+  }
+  // Collect everything issuable, then post one doorbell-batched linked list
+  // per destination QP.
+  std::vector<std::pair<rdma::QueuePair*, std::vector<rdma::SendWqe>>>
+      batches;
+  auto batch_for = [&batches](rdma::QueuePair* qp)
+      -> std::vector<rdma::SendWqe>& {
+    for (auto& [q, wqes] : batches) {
+      if (q == qp) return wqes;
+    }
+    batches.emplace_back(qp, std::vector<rdma::SendWqe>{});
+    return batches.back().second;
+  };
+  for (auto& op : ts.ops) {
+    if (inflight >= config_.max_inflight_per_thread) break;
+    if (op.state != OpState::kQueued) continue;
+    const core::RegionInfo* region =
+        inst.descriptor.FindRegion(op.meta.region_id);
+    COWBIRD_CHECK(region != nullptr);
+    if (op.meta.rw_type == core::RwType::kRead) {
+      if (ReadOverlapsActiveWrite(ts, op)) {
+        // Exact range fencing: only this read stalls (Section 6); it will
+        // be retried when a pool write completes.
+        ++reads_stalled_by_writes_;
+        continue;
+      }
+      op.staging_addr = AllocStaging(op.meta.length);
+      op.state = OpState::kFetching;
+      ++inflight;
+      auto it = inst.to_memory.find(region->memory_node);
+      COWBIRD_CHECK(it != inst.to_memory.end());
+      batch_for(it->second)
+          .push_back(rdma::SendWqe{
+              rdma::WqeOp::kRead,
+              MakeWrId(CompletionKind::kPoolRead, instance_index,
+                       static_cast<std::uint16_t>(thread),
+                       static_cast<std::uint32_t>(op.seq)),
+              op.staging_addr, op.meta.req_addr, region->rkey,
+              op.meta.length, true});
+    } else {
+      op.staging_addr = AllocStaging(op.meta.length);
+      op.state = OpState::kFetching;
+      ++inflight;
+      batch_for(inst.to_compute)
+          .push_back(rdma::SendWqe{
+              rdma::WqeOp::kRead,
+              MakeWrId(CompletionKind::kComputeFetch, instance_index,
+                       static_cast<std::uint16_t>(thread),
+                       static_cast<std::uint32_t>(op.seq)),
+              op.staging_addr, op.meta.req_addr,
+              inst.descriptor.compute_rkey, op.meta.length, true});
+    }
+  }
+  for (auto& [qp, wqes] : batches) {
+    co_await rdma::EnginePostBatchVerb(thread_, config_.costs, *qp, wqes);
+  }
+}
+
+void SpotAgent::ArmBatchTimer(Instance& inst, int thread) {
+  ThreadState& ts = inst.threads[thread];
+  if (ts.batch_timer.Pending()) return;
+  const auto instance_index = static_cast<std::uint32_t>(
+      std::find_if(instances_.begin(), instances_.end(),
+                   [&](const auto& p) { return p.get() == &inst; }) -
+      instances_.begin());
+  ts.batch_timer = thread_.simulation().ScheduleCancelableAfter(
+      config_.batch_timeout, [this, instance_index, thread] {
+        completions_.Send(rdma::Cqe{
+            MakeWrId(CompletionKind::kBatchTimer, instance_index,
+                     static_cast<std::uint16_t>(thread), 0),
+            rdma::CqeOpcode::kWrite, rdma::CqeStatus::kSuccess, 0});
+      });
+}
+
+sim::Task<void> SpotAgent::FlushBatch(Instance& inst, int thread,
+                                      bool force) {
+  ThreadState& ts = inst.threads[thread];
+  // Collect the longest run of staged reads that is (a) next in sequence
+  // order, (b) contiguous in the response ring, (c) at most batch_size long.
+  std::vector<Op*> run;
+  std::uint64_t next_seq = ts.deliver_cursor + 1;
+  std::uint64_t expected_addr = 0;
+  for (auto& op : ts.ops) {
+    if (op.meta.rw_type != core::RwType::kRead) continue;
+    if (op.seq < next_seq) continue;
+    if (op.seq != next_seq || op.state != OpState::kStaged) break;
+    if (!run.empty() && op.meta.resp_addr != expected_addr) break;
+    run.push_back(&op);
+    expected_addr = op.meta.resp_addr + op.meta.length;
+    ++next_seq;
+    if (static_cast<int>(run.size()) >= config_.batch_size) break;
+  }
+  if (run.empty()) co_return;
+  if (!force && static_cast<int>(run.size()) < config_.batch_size) {
+    // Wait for more unless the batch timer says otherwise.
+    ArmBatchTimer(inst, thread);
+    co_return;
+  }
+  ts.batch_timer.Cancel();
+
+  // Coalesce payloads into one write. The agent does not memcpy: it builds
+  // a scatter-gather list over the staged buffers (one SGE per result) and
+  // lets the NIC gather them — per-entry descriptor cost only. The staging
+  // block here stands in for the gather.
+  std::uint64_t total = 0;
+  for (Op* op : run) total += op->meta.length;
+  const std::uint64_t batch_staging = AllocStaging(total);
+  auto& mem = device_->memory();
+  std::uint64_t offset = 0;
+  std::vector<std::uint8_t> tmp;
+  for (Op* op : run) {
+    tmp.resize(op->meta.length);
+    mem.Read(op->staging_addr, tmp);
+    mem.Write(batch_staging + offset, tmp);
+    offset += op->meta.length;
+    op->state = OpState::kDelivering;
+    ++ops_completed_;  // delivered (progress published with this batch)
+  }
+  co_await thread_.Work(
+      static_cast<Nanos>(run.size()) * config_.costs.post_wqe_each,
+      sim::CpuCategory::kCommunication);
+
+  const auto instance_index = static_cast<std::uint32_t>(
+      std::find_if(instances_.begin(), instances_.end(),
+                   [&](const auto& p) { return p.get() == &inst; }) -
+      instances_.begin());
+  const std::uint64_t wr_id =
+      MakeWrId(CompletionKind::kBatchWrite, instance_index,
+               static_cast<std::uint16_t>(thread), next_token_++);
+  inflight_batches_[wr_id] = BatchToken{run};
+  ts.deliver_cursor = run.back()->seq;
+  ++batches_flushed_;
+
+  // Publish progress optimistically: the red-block write is chained on the
+  // same RC QP *behind* the payload write, so the compute node can never
+  // observe the counters before the data (Phase III then Phase IV ordering,
+  // enforced by the transport instead of by waiting for the ACK).
+  ts.read_progress = run.back()->seq;
+  ts.resp_tail += total;
+  const std::uint64_t red_staging =
+      inst.red_staging + static_cast<std::uint64_t>(thread) *
+                             core::kRedBlockBytes;
+  ComposeRedBlock(inst, thread, red_staging);
+  const rdma::SendWqe chained[] = {
+      rdma::SendWqe{rdma::WqeOp::kWrite, wr_id, batch_staging,
+                    run.front()->meta.resp_addr,
+                    inst.descriptor.compute_rkey,
+                    static_cast<std::uint32_t>(total), true},
+      rdma::SendWqe{rdma::WqeOp::kWrite, 0, red_staging,
+                    inst.descriptor.layout.RedAddr(thread),
+                    inst.descriptor.compute_rkey,
+                    static_cast<std::uint32_t>(core::kRedBlockBytes),
+                    /*signaled=*/false},
+  };
+  co_await rdma::EnginePostBatchVerb(thread_, config_.costs, *inst.to_compute,
+                                   chained);
+  // More staged reads may already form the next batch.
+  co_await FlushBatch(inst, thread, force);
+}
+
+void SpotAgent::ComposeRedBlock(Instance& inst, int thread,
+                                std::uint64_t staging) {
+  ThreadState& ts = inst.threads[thread];
+  (void)inst;
+  auto& mem = device_->memory();
+  mem.WriteValue<std::uint64_t>(staging, ts.meta_head);
+  mem.WriteValue<std::uint64_t>(staging + 8, ts.data_head);
+  mem.WriteValue<std::uint64_t>(staging + 16, ts.resp_tail);
+  mem.WriteValue<std::uint64_t>(staging + 24, ts.write_progress);
+  mem.WriteValue<std::uint64_t>(staging + 32, ts.read_progress);
+}
+
+sim::Task<void> SpotAgent::WriteRedBlock(Instance& inst, int thread) {
+  // Compose the 40-byte block in local staging, then one RDMA write updates
+  // every pointer and counter (Phase IV, single-message requirement). The
+  // write is unsignaled: nothing depends on its completion.
+  const std::uint64_t staging =
+      inst.red_staging +
+      static_cast<std::uint64_t>(thread) * core::kRedBlockBytes;
+  ComposeRedBlock(inst, thread, staging);
+  const rdma::SendWqe wqe{
+      rdma::WqeOp::kWrite, 0, staging,
+      inst.descriptor.layout.RedAddr(thread), inst.descriptor.compute_rkey,
+      static_cast<std::uint32_t>(core::kRedBlockBytes), /*signaled=*/false};
+  co_await rdma::EnginePostBatchVerb(thread_, config_.costs, *inst.to_compute,
+                                   std::span<const rdma::SendWqe>(&wqe, 1));
+}
+
+}  // namespace cowbird::spot

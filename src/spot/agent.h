@@ -1,0 +1,198 @@
+// Cowbird-Spot offload engine (Section 6).
+//
+// An event-driven agent on a harvested/spot node executes the compute
+// node's transfers through ordinary verbs:
+//
+//   Probe    — every probe_interval, one RDMA read fetches *all* threads'
+//              green blocks (the packed layout makes this a single message,
+//              requirement R3).
+//   Fetch    — when a thread's metadata tail has advanced, RDMA-read the new
+//              24-byte entries (two reads when the ring wraps).
+//   Execute  — reads: RDMA-read the pool into local staging; writes:
+//              RDMA-read the payload from the compute data ring, then
+//              RDMA-write it to the pool.
+//   Deliver  — staged read results are flushed to the compute node's
+//              response ring; consecutive results whose destinations are
+//              contiguous are coalesced into a single RDMA write of up to
+//              batch_size results (the BATCH_SIZE batching of Section 6).
+//   Complete — progress counters and ring heads are written back to the
+//              red block, all five fields in one RDMA write (Phase IV).
+//
+// Consistency: per-type FIFO per thread is preserved end-to-end (pool QPs
+// are RC, and delivery/batching is performed in sequence order). For the
+// read-after-write hazard the agent does an exact overlapping-range check —
+// unlike Cowbird-P4, only reads that truly overlap an in-flight write are
+// stalled (Section 5.3).
+//
+// All verbs the agent issues charge *its own* SimThread (a spot core), never
+// the compute node — that asymmetry is the entire point of Cowbird.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/sparse_memory.h"
+#include "core/instance.h"
+#include "core/request.h"
+#include "rdma/device.h"
+#include "rdma/params.h"
+#include "rdma/qp.h"
+#include "rdma/verbs.h"
+#include "sim/sync.h"
+#include "sim/thread.h"
+
+namespace cowbird::spot {
+
+class SpotAgent {
+ public:
+  struct Config {
+    Nanos probe_interval = Micros(2);
+    // Section 5.2 ramp-up: "start at a low baseline rate and ramp up only
+    // when activity is detected". When enabled, the interval doubles after
+    // idle probes (up to probe_interval_max) and snaps back to
+    // probe_interval on activity.
+    bool adaptive_probe = false;
+    Nanos probe_interval_max = Micros(64);
+    // Maximum read results coalesced into one RDMA write to the compute
+    // node. 1 disables batching (the "Cowbird (batching disabled)" series).
+    int batch_size = 16;
+    // Flush a non-empty batch after this long even if not full.
+    Nanos batch_timeout = Micros(2);
+    // Staging memory base on the spot node.
+    std::uint64_t staging_base = 0x4000'0000;
+    Bytes staging_capacity = MiB(64);
+    // Per-thread cap on simultaneously executing operations.
+    int max_inflight_per_thread = 128;
+    rdma::CostModel costs;
+  };
+
+  // Entries fetched per metadata read (bounds the staging area and, in the
+  // P4 analogue, what fits in the PHV).
+  static constexpr std::uint64_t kMetaFetchLimit = 64;
+
+  SpotAgent(rdma::Device& device, sim::Machine& machine, Config config);
+
+  // Registers an instance. `to_compute` must be a connected QP whose peer is
+  // the instance's compute node; `to_memory[node]` likewise for every memory
+  // node appearing in the region table. CQ completion routing is installed
+  // here.
+  void AddInstance(const core::InstanceDescriptor& descriptor,
+                   rdma::QueuePair* to_compute,
+                   rdma::CompletionQueue* compute_cq,
+                   std::map<net::NodeId, rdma::QueuePair*> to_memory,
+                   std::map<net::NodeId, rdma::CompletionQueue*> memory_cqs);
+
+  void Start();
+
+  sim::SimThread& agent_thread() { return thread_; }
+  std::uint64_t probes_sent() const { return probes_sent_; }
+  Nanos current_probe_interval() const { return current_interval_; }
+  std::uint64_t ops_completed() const { return ops_completed_; }
+  std::uint64_t batches_flushed() const { return batches_flushed_; }
+  std::uint64_t reads_stalled_by_writes() const {
+    return reads_stalled_by_writes_;
+  }
+
+ private:
+  enum class OpState : std::uint8_t {
+    kQueued,      // parsed, waiting to issue
+    kFetching,    // read: pool fetch in flight; write: compute fetch in flight
+    kStaged,      // read: payload staged locally, waiting to deliver
+    kWriting,     // write: pool write in flight
+    kDelivering,  // read: part of an in-flight batch to compute
+    kDone,
+  };
+
+  struct Op {
+    core::RequestMetadata meta;
+    std::uint64_t seq = 0;  // per-thread per-type sequence (1-based)
+    OpState state = OpState::kQueued;
+    std::uint64_t staging_addr = 0;
+  };
+
+  struct ThreadState {
+    std::uint64_t tail_seen = 0;    // green meta_tail from last probe
+    std::uint64_t fetch_cursor = 0; // entries requested from the ring
+    std::uint64_t meta_head = 0;    // entries fully parsed (red.meta_head)
+    std::deque<Op> ops;             // probe order
+    std::uint64_t next_read_seq = 0;
+    std::uint64_t next_write_seq = 0;
+    std::uint64_t write_progress = 0;
+    std::uint64_t read_progress = 0;
+    std::uint64_t data_head = 0;   // compute request-data bytes consumed
+    std::uint64_t resp_tail = 0;   // response bytes delivered
+    std::uint64_t pending_fetch = 0;   // entries in the in-flight meta read
+    std::uint64_t deliver_cursor = 0;  // last read seq handed to a batch
+    bool fetch_inflight = false;
+    sim::TimerHandle batch_timer;
+  };
+
+  struct Instance {
+    core::InstanceDescriptor descriptor;
+    rdma::QueuePair* to_compute = nullptr;
+    std::map<net::NodeId, rdma::QueuePair*> to_memory;
+    std::vector<ThreadState> threads;
+    std::uint64_t probe_staging = 0;     // staging addr for green blocks
+    std::uint64_t meta_staging = 0;      // staging addr for metadata fetches
+    std::uint64_t red_staging = 0;       // staging addr for red-block writes
+    bool probe_inflight = false;
+  };
+
+ public:
+  // Completion routing: wr_ids issued by the agent encode what to do next.
+  enum class CompletionKind : std::uint8_t {
+    kProbe,
+    kMetaFetch,
+    kPoolRead,      // read op data arrived in staging
+    kComputeFetch,  // write op payload arrived from compute
+    kPoolWrite,     // write op landed in the pool
+    kBatchWrite,    // batch of read results landed in compute resp ring
+    kRedWrite,      // red block update landed
+    kBatchTimer,    // synthetic: batch timeout tick
+  };
+
+ private:
+  static std::uint64_t MakeWrId(CompletionKind kind, std::uint32_t instance,
+                                std::uint16_t thread, std::uint32_t token);
+
+  sim::Task<void> MainLoop();
+  sim::Task<void> ProbeAll();
+  sim::Task<void> HandleCompletion(rdma::Cqe cqe);
+  sim::Task<void> StartMetaFetch(Instance& inst, int thread);
+  sim::Task<void> ParseFetchedMetadata(Instance& inst, int thread);
+  sim::Task<void> PumpThread(Instance& inst, int thread);
+  sim::Task<void> FlushBatch(Instance& inst, int thread, bool force = false);
+  void ComposeRedBlock(Instance& inst, int thread, std::uint64_t staging);
+  sim::Task<void> WriteRedBlock(Instance& inst, int thread);
+  void ArmBatchTimer(Instance& inst, int thread);
+
+  bool ReadOverlapsActiveWrite(const ThreadState& ts, const Op& read) const;
+
+  std::uint64_t AllocStaging(Bytes len);
+
+  rdma::Device* device_;
+  sim::SimThread thread_;
+  Config config_;
+  std::vector<std::unique_ptr<Instance>> instances_;
+  sim::Channel<rdma::Cqe> completions_;
+  std::uint32_t staging_cursor_ = 0;
+  Nanos current_interval_ = 0;
+  bool last_probe_found_work_ = false;
+  std::uint64_t probes_sent_ = 0;
+  std::uint64_t ops_completed_ = 0;
+  std::uint64_t batches_flushed_ = 0;
+  std::uint64_t reads_stalled_by_writes_ = 0;
+  bool started_ = false;
+
+  // Batch under construction, per (instance, thread): ops in kStaged order.
+  struct BatchToken {
+    std::vector<Op*> ops;  // delivered together
+  };
+  std::map<std::uint64_t, BatchToken> inflight_batches_;
+  std::uint32_t next_token_ = 1;
+};
+
+}  // namespace cowbird::spot

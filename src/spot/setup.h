@@ -1,0 +1,37 @@
+// Connection plumbing for a Cowbird-Spot deployment: QPs from the spot node
+// to the compute node and to each memory node (Phase I of Section 5.2 — the
+// control-plane setup the paper performs over an RPC endpoint).
+#pragma once
+
+#include <map>
+#include <span>
+
+#include "rdma/device.h"
+#include "rdma/qp.h"
+
+namespace cowbird::spot {
+
+struct SpotConnection {
+  rdma::QueuePair* to_compute = nullptr;
+  rdma::CompletionQueue* compute_cq = nullptr;
+  std::map<net::NodeId, rdma::QueuePair*> to_memory;
+  std::map<net::NodeId, rdma::CompletionQueue*> memory_cqs;
+};
+
+inline SpotConnection ConnectSpotEngine(rdma::Device& spot,
+                                        rdma::Device& compute,
+                                        std::span<rdma::Device* const>
+                                            memory_nodes) {
+  SpotConnection conn;
+  auto compute_pair = rdma::ConnectQueuePairs(spot, compute);
+  conn.to_compute = compute_pair.a;
+  conn.compute_cq = compute_pair.a_send_cq;
+  for (rdma::Device* memory : memory_nodes) {
+    auto pair = rdma::ConnectQueuePairs(spot, *memory);
+    conn.to_memory[memory->node_id()] = pair.a;
+    conn.memory_cqs[memory->node_id()] = pair.a_send_cq;
+  }
+  return conn;
+}
+
+}  // namespace cowbird::spot

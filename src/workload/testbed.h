@@ -1,0 +1,64 @@
+// The evaluation testbed (Section 7) as a reusable object: one switch,
+// a compute node (16 logical cores, as Xeon Silver 4110 with HT), a memory
+// pool node, a spot node (1 core granted to the Cowbird-Spot agent), and a
+// bystander node for contending traffic (Figure 14). All links 100 Gbps
+// except the bystander's 25 Gbps NIC, matching the paper's setup.
+#pragma once
+
+#include "common/sparse_memory.h"
+#include "net/switch.h"
+#include "rdma/device.h"
+#include "rdma/params.h"
+#include "sim/simulation.h"
+#include "sim/thread.h"
+
+namespace cowbird::workload {
+
+struct Testbed {
+  static constexpr net::NodeId kComputeId = 1;
+  static constexpr net::NodeId kMemoryId = 2;
+  static constexpr net::NodeId kSpotId = 3;
+  static constexpr net::NodeId kBystanderId = 4;
+
+  sim::Simulation sim;
+  rdma::FabricParams fabric;
+  rdma::NicConfig nic_config;
+  net::Switch sw;
+  net::HostNic compute_nic;
+  net::HostNic memory_nic;
+  net::HostNic spot_nic;
+  net::HostNic bystander_nic;
+  SparseMemory compute_mem;
+  SparseMemory memory_mem;
+  SparseMemory spot_mem;
+  rdma::Device compute_dev;
+  rdma::Device memory_dev;
+  rdma::Device spot_dev;
+  sim::Machine compute_machine;
+  sim::Machine memory_machine;
+  sim::Machine spot_machine;
+
+  explicit Testbed(int compute_cores = 16,
+                   BitRate compute_uplink = BitRate::Gbps(100))
+      : sw(sim,
+           net::Switch::Config{.pipeline_latency = fabric.switch_pipeline}),
+        compute_nic(sim, kComputeId, compute_uplink,
+                    fabric.link_propagation),
+        memory_nic(sim, kMemoryId, fabric.host_link, fabric.link_propagation),
+        spot_nic(sim, kSpotId, fabric.host_link, fabric.link_propagation),
+        bystander_nic(sim, kBystanderId, BitRate::Gbps(25),
+                      fabric.link_propagation),
+        compute_dev(compute_nic, compute_mem, nic_config),
+        memory_dev(memory_nic, memory_mem, nic_config),
+        spot_dev(spot_nic, spot_mem, nic_config),
+        compute_machine(sim, compute_cores),
+        memory_machine(sim, 8),
+        spot_machine(sim, 1) {
+    compute_nic.ConnectTo(sw);
+    memory_nic.ConnectTo(sw);
+    spot_nic.ConnectTo(sw);
+    bystander_nic.ConnectTo(sw);
+  }
+};
+
+}  // namespace cowbird::workload

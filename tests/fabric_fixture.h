@@ -1,0 +1,55 @@
+// Shared test topology: compute node + memory pool + (optional) spot node
+// hanging off one switch, with RDMA devices attached — the testbed of
+// Section 7 in miniature.
+#pragma once
+
+#include <memory>
+
+#include "common/sparse_memory.h"
+#include "net/switch.h"
+#include "rdma/device.h"
+#include "rdma/params.h"
+#include "rdma/qp.h"
+#include "sim/simulation.h"
+#include "sim/thread.h"
+
+namespace cowbird::testing {
+
+struct TestFabric {
+  static constexpr net::NodeId kComputeId = 1;
+  static constexpr net::NodeId kMemoryId = 2;
+  static constexpr net::NodeId kSpotId = 3;
+
+  sim::Simulation sim;
+  rdma::FabricParams fabric;
+  rdma::NicConfig nic_config;
+  net::Switch sw;
+  net::HostNic compute_nic;
+  net::HostNic memory_nic;
+  net::HostNic spot_nic;
+  SparseMemory compute_mem;
+  SparseMemory memory_mem;
+  SparseMemory spot_mem;
+  rdma::Device compute_dev;
+  rdma::Device memory_dev;
+  rdma::Device spot_dev;
+  sim::Machine compute_machine;
+
+  explicit TestFabric(int compute_cores = 16)
+      : sw(sim,
+           net::Switch::Config{.pipeline_latency = fabric.switch_pipeline}),
+        compute_nic(sim, kComputeId, fabric.host_link,
+                    fabric.link_propagation),
+        memory_nic(sim, kMemoryId, fabric.host_link, fabric.link_propagation),
+        spot_nic(sim, kSpotId, fabric.host_link, fabric.link_propagation),
+        compute_dev(compute_nic, compute_mem, nic_config),
+        memory_dev(memory_nic, memory_mem, nic_config),
+        spot_dev(spot_nic, spot_mem, nic_config),
+        compute_machine(sim, compute_cores) {
+    compute_nic.ConnectTo(sw);
+    memory_nic.ConnectTo(sw);
+    spot_nic.ConnectTo(sw);
+  }
+};
+
+}  // namespace cowbird::testing

@@ -1,0 +1,335 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "fabric_fixture.h"
+#include "rdma/verbs.h"
+
+namespace cowbird::rdma {
+namespace {
+
+using cowbird::testing::TestFabric;
+
+std::vector<std::uint8_t> Pattern(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> data(n);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.Next());
+  return data;
+}
+
+class QpTest : public ::testing::Test {
+ protected:
+  QpTest() : pair_(ConnectQueuePairs(f_.compute_dev, f_.memory_dev)) {
+    remote_mr_ = f_.memory_dev.RegisterMemory(0x100000, MiB(16));
+  }
+
+  TestFabric f_;
+  QpPair pair_;
+  const MemoryRegion* remote_mr_;
+};
+
+TEST_F(QpTest, SmallWriteLandsInRemoteMemory) {
+  const auto data = Pattern(64, 1);
+  f_.compute_mem.Write(0x5000, data);
+  pair_.a->PostSend(SendWqe{WqeOp::kWrite, /*wr_id=*/7, /*laddr=*/0x5000,
+                            remote_mr_->base + 128, remote_mr_->rkey, 64,
+                            true});
+  f_.sim.Run();
+  std::vector<std::uint8_t> out(64);
+  f_.memory_mem.Read(remote_mr_->base + 128, out);
+  EXPECT_EQ(out, data);
+  auto cqe = pair_.a_send_cq->Pop();
+  ASSERT_TRUE(cqe.has_value());
+  EXPECT_EQ(cqe->wr_id, 7u);
+  EXPECT_EQ(cqe->opcode, CqeOpcode::kWrite);
+  EXPECT_EQ(cqe->status, CqeStatus::kSuccess);
+}
+
+TEST_F(QpTest, SmallReadFetchesRemoteData) {
+  const auto data = Pattern(256, 2);
+  f_.memory_mem.Write(remote_mr_->base + 4096, data);
+  pair_.a->PostSend(SendWqe{WqeOp::kRead, 9, /*laddr=*/0x9000,
+                            remote_mr_->base + 4096, remote_mr_->rkey, 256,
+                            true});
+  f_.sim.Run();
+  std::vector<std::uint8_t> out(256);
+  f_.compute_mem.Read(0x9000, out);
+  EXPECT_EQ(out, data);
+  auto cqe = pair_.a_send_cq->Pop();
+  ASSERT_TRUE(cqe.has_value());
+  EXPECT_EQ(cqe->opcode, CqeOpcode::kRead);
+}
+
+TEST_F(QpTest, LargeTransfersSegmentAtMtu) {
+  // 5000 bytes → 5 segments each way.
+  const auto data = Pattern(5000, 3);
+  f_.compute_mem.Write(0x5000, data);
+  pair_.a->PostSend(SendWqe{WqeOp::kWrite, 1, 0x5000, remote_mr_->base,
+                            remote_mr_->rkey, 5000, true});
+  f_.sim.Run();
+  std::vector<std::uint8_t> out(5000);
+  f_.memory_mem.Read(remote_mr_->base, out);
+  EXPECT_EQ(out, data);
+  // Write consumed ceil(5000/1024)=5 PSNs.
+  EXPECT_EQ(pair_.a->next_psn(), 105u);  // started at 100
+
+  pair_.a->PostSend(SendWqe{WqeOp::kRead, 2, 0x20000, remote_mr_->base,
+                            remote_mr_->rkey, 5000, true});
+  f_.sim.Run();
+  std::vector<std::uint8_t> back(5000);
+  f_.compute_mem.Read(0x20000, back);
+  EXPECT_EQ(back, data);
+  EXPECT_EQ(pair_.a->next_psn(), 110u);  // read consumed 5 response PSNs
+}
+
+TEST_F(QpTest, ManyOutstandingOpsCompleteInOrder) {
+  // Mix reads and writes; CQEs must pop in post order (RC guarantee).
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    const auto data = Pattern(128, 100 + i);
+    if (i % 2 == 0) {
+      f_.compute_mem.Write(0x5000 + i * 128, data);
+      pair_.a->PostSend(SendWqe{WqeOp::kWrite, i, 0x5000 + i * 128,
+                                remote_mr_->base + i * 128, remote_mr_->rkey,
+                                128, true});
+    } else {
+      f_.memory_mem.Write(remote_mr_->base + MiB(1) + i * 128, data);
+      pair_.a->PostSend(SendWqe{WqeOp::kRead, i, 0x8000 + i * 128,
+                                remote_mr_->base + MiB(1) + i * 128,
+                                remote_mr_->rkey, 128, true});
+    }
+  }
+  f_.sim.Run();
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    auto cqe = pair_.a_send_cq->Pop();
+    ASSERT_TRUE(cqe.has_value());
+    EXPECT_EQ(cqe->wr_id, i);
+  }
+  EXPECT_FALSE(pair_.a_send_cq->Pop().has_value());
+}
+
+TEST_F(QpTest, UnsignaledWqesProduceNoCqe) {
+  const auto data = Pattern(64, 5);
+  f_.compute_mem.Write(0x5000, data);
+  pair_.a->PostSend(SendWqe{WqeOp::kWrite, 1, 0x5000, remote_mr_->base,
+                            remote_mr_->rkey, 64, /*signaled=*/false});
+  pair_.a->PostSend(SendWqe{WqeOp::kWrite, 2, 0x5000, remote_mr_->base + 64,
+                            remote_mr_->rkey, 64, /*signaled=*/true});
+  f_.sim.Run();
+  auto cqe = pair_.a_send_cq->Pop();
+  ASSERT_TRUE(cqe.has_value());
+  EXPECT_EQ(cqe->wr_id, 2u);
+  EXPECT_FALSE(pair_.a_send_cq->Pop().has_value());
+}
+
+TEST_F(QpTest, InvalidRkeyCompletesWithError) {
+  pair_.a->PostSend(SendWqe{WqeOp::kRead, 11, 0x9000, remote_mr_->base,
+                            /*rkey=*/0xBADBAD, 64, true});
+  f_.sim.Run();
+  auto cqe = pair_.a_send_cq->Pop();
+  ASSERT_TRUE(cqe.has_value());
+  EXPECT_EQ(cqe->status, CqeStatus::kRemoteAccessError);
+}
+
+TEST_F(QpTest, OutOfRangeAccessCompletesWithError) {
+  pair_.a->PostSend(SendWqe{WqeOp::kWrite, 12, 0x5000,
+                            remote_mr_->base + remote_mr_->length - 8,
+                            remote_mr_->rkey, 64, true});
+  f_.sim.Run();
+  auto cqe = pair_.a_send_cq->Pop();
+  ASSERT_TRUE(cqe.has_value());
+  EXPECT_EQ(cqe->status, CqeStatus::kRemoteAccessError);
+}
+
+TEST_F(QpTest, TwoSidedSendRecv) {
+  const auto request = Pattern(2000, 6);  // 2 segments
+  f_.compute_mem.Write(0x5000, request);
+  pair_.b->PostRecv(RecvWqe{77, 0x300000, 4096});
+  pair_.a->PostSend(
+      SendWqe{WqeOp::kSend, 13, 0x5000, 0, 0, 2000, true});
+  f_.sim.Run();
+  auto recv_cqe = pair_.b_recv_cq->Pop();
+  ASSERT_TRUE(recv_cqe.has_value());
+  EXPECT_EQ(recv_cqe->wr_id, 77u);
+  EXPECT_EQ(recv_cqe->opcode, CqeOpcode::kRecv);
+  EXPECT_EQ(recv_cqe->byte_len, 2000u);
+  std::vector<std::uint8_t> out(2000);
+  f_.memory_mem.Read(0x300000, out);
+  EXPECT_EQ(out, request);
+  auto send_cqe = pair_.a_send_cq->Pop();
+  ASSERT_TRUE(send_cqe.has_value());
+  EXPECT_EQ(send_cqe->wr_id, 13u);
+}
+
+TEST_F(QpTest, SendBeforeRecvPostedRecoversViaRnr) {
+  const auto request = Pattern(100, 7);
+  f_.compute_mem.Write(0x5000, request);
+  pair_.a->PostSend(SendWqe{WqeOp::kSend, 14, 0x5000, 0, 0, 100, true});
+  // Post the RECV well after the SEND has been NAKed.
+  f_.sim.ScheduleAt(Micros(40), [&] {
+    pair_.b->PostRecv(RecvWqe{88, 0x300000, 4096});
+  });
+  f_.sim.Run();
+  auto recv_cqe = pair_.b_recv_cq->Pop();
+  ASSERT_TRUE(recv_cqe.has_value());
+  EXPECT_EQ(recv_cqe->wr_id, 88u);
+  std::vector<std::uint8_t> out(100);
+  f_.memory_mem.Read(0x300000, out);
+  EXPECT_EQ(out, request);
+  EXPECT_GT(pair_.a->retransmissions(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Loss recovery (Go-Back-N)
+// ---------------------------------------------------------------------------
+
+class QpLossTest : public QpTest {
+ protected:
+  // Installs a drop filter on the switch→memory egress link that drops the
+  // nth RDMA data packet it sees.
+  void DropNthTowardMemory(int n) {
+    auto counter = std::make_shared<int>(0);
+    f_.sw.EgressLink(f_.memory_nic.switch_port())
+        .set_drop_filter([counter, n](const net::Packet& p) {
+          if (!LooksLikeRdma(p)) return false;
+          return ++*counter == n;
+        });
+  }
+  void DropNthTowardCompute(int n) {
+    auto counter = std::make_shared<int>(0);
+    f_.sw.EgressLink(f_.compute_nic.switch_port())
+        .set_drop_filter([counter, n](const net::Packet& p) {
+          if (!LooksLikeRdma(p)) return false;
+          return ++*counter == n;
+        });
+  }
+};
+
+TEST_F(QpLossTest, WriteRecoversFromLostDataPacket) {
+  const auto data = Pattern(4000, 8);
+  f_.compute_mem.Write(0x5000, data);
+  DropNthTowardMemory(2);  // lose WRITE_MIDDLE
+  pair_.a->PostSend(SendWqe{WqeOp::kWrite, 1, 0x5000, remote_mr_->base,
+                            remote_mr_->rkey, 4000, true});
+  f_.sim.Run();
+  std::vector<std::uint8_t> out(4000);
+  f_.memory_mem.Read(remote_mr_->base, out);
+  EXPECT_EQ(out, data);
+  EXPECT_TRUE(pair_.a_send_cq->Pop().has_value());
+  EXPECT_GT(pair_.a->retransmissions(), 0u);
+}
+
+TEST_F(QpLossTest, WriteRecoversFromLostAck) {
+  const auto data = Pattern(512, 9);
+  f_.compute_mem.Write(0x5000, data);
+  DropNthTowardCompute(1);  // the ACK
+  pair_.a->PostSend(SendWqe{WqeOp::kWrite, 1, 0x5000, remote_mr_->base,
+                            remote_mr_->rkey, 512, true});
+  f_.sim.Run();
+  std::vector<std::uint8_t> out(512);
+  f_.memory_mem.Read(remote_mr_->base, out);
+  EXPECT_EQ(out, data);
+  EXPECT_TRUE(pair_.a_send_cq->Pop().has_value());
+}
+
+TEST_F(QpLossTest, ReadRecoversFromLostRequest) {
+  const auto data = Pattern(256, 10);
+  f_.memory_mem.Write(remote_mr_->base, data);
+  DropNthTowardMemory(1);  // the READ_REQUEST itself
+  pair_.a->PostSend(SendWqe{WqeOp::kRead, 1, 0x9000, remote_mr_->base,
+                            remote_mr_->rkey, 256, true});
+  f_.sim.Run();
+  std::vector<std::uint8_t> out(256);
+  f_.compute_mem.Read(0x9000, out);
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(QpLossTest, ReadRecoversFromLostMiddleResponse) {
+  const auto data = Pattern(3 * kPathMtu, 11);
+  f_.memory_mem.Write(remote_mr_->base, data);
+  DropNthTowardCompute(2);  // READ_RESP_MIDDLE
+  pair_.a->PostSend(
+      SendWqe{WqeOp::kRead, 1, 0x9000, remote_mr_->base, remote_mr_->rkey,
+              static_cast<std::uint32_t>(3 * kPathMtu), true});
+  f_.sim.Run();
+  std::vector<std::uint8_t> out(3 * kPathMtu);
+  f_.compute_mem.Read(0x9000, out);
+  EXPECT_EQ(out, data);
+  EXPECT_GT(pair_.a->retransmissions(), 0u);
+}
+
+TEST_F(QpLossTest, RandomLossManyOpsAllComplete) {
+  // 5% random loss in both directions; 100 mixed operations must all
+  // complete with intact data.
+  auto rng = std::make_shared<Rng>(42);
+  auto loss = [rng](const net::Packet& p) {
+    return LooksLikeRdma(p) && rng->Bernoulli(0.05);
+  };
+  f_.sw.EgressLink(f_.memory_nic.switch_port()).set_drop_filter(loss);
+  f_.sw.EgressLink(f_.compute_nic.switch_port()).set_drop_filter(loss);
+
+  std::vector<std::vector<std::uint8_t>> blobs;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    blobs.push_back(Pattern(777, 1000 + i));
+    if (i % 2 == 0) {
+      f_.compute_mem.Write(0x40000 + i * 1024, blobs.back());
+      pair_.a->PostSend(SendWqe{WqeOp::kWrite, i, 0x40000 + i * 1024,
+                                remote_mr_->base + i * 1024,
+                                remote_mr_->rkey, 777, true});
+    } else {
+      f_.memory_mem.Write(remote_mr_->base + MiB(4) + i * 1024,
+                          blobs.back());
+      pair_.a->PostSend(SendWqe{WqeOp::kRead, i, 0x80000 + i * 1024,
+                                remote_mr_->base + MiB(4) + i * 1024,
+                                remote_mr_->rkey, 777, true});
+    }
+  }
+  f_.sim.Run();
+  std::size_t completions = 0;
+  while (auto cqe = pair_.a_send_cq->Pop()) {
+    EXPECT_EQ(cqe->status, CqeStatus::kSuccess);
+    ++completions;
+  }
+  EXPECT_EQ(completions, 100u);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    std::vector<std::uint8_t> out(777);
+    if (i % 2 == 0) {
+      f_.memory_mem.Read(remote_mr_->base + i * 1024, out);
+    } else {
+      f_.compute_mem.Read(0x80000 + i * 1024, out);
+    }
+    EXPECT_EQ(out, blobs[i]) << "op " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Charged verbs
+// ---------------------------------------------------------------------------
+
+TEST_F(QpTest, VerbWrappersChargeCommunicationTime) {
+  CostModel costs;
+  sim::SimThread thread(f_.compute_machine, "app");
+  const auto data = Pattern(64, 12);
+  f_.memory_mem.Write(remote_mr_->base, data);
+
+  bool done = false;
+  f_.sim.Spawn([](QueuePair& qp, CompletionQueue& cq, const MemoryRegion* mr,
+                  sim::SimThread& thr, const CostModel& cm,
+                  bool& flag) -> sim::Task<void> {
+    co_await PostSendVerb(
+        thr, cm, qp,
+        SendWqe{WqeOp::kRead, 1, 0x9000, mr->base, mr->rkey, 64, true});
+    const Cqe cqe = co_await BusyPollCqVerb(thr, cm, cq);
+    flag = cqe.status == CqeStatus::kSuccess;
+  }(*pair_.a, *pair_.a_send_cq, remote_mr_, thread, costs, done));
+  f_.sim.Run();
+
+  EXPECT_TRUE(done);
+  // Post charged exactly PostTotal; busy poll charged at least one PollTotal.
+  EXPECT_GE(thread.TimeIn(sim::CpuCategory::kCommunication),
+            costs.PostTotal() + costs.PollTotal());
+  EXPECT_EQ(thread.TimeIn(sim::CpuCategory::kCompute), 0);
+}
+
+}  // namespace
+}  // namespace cowbird::rdma

@@ -1,0 +1,298 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulation.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+#include "sim/thread.h"
+
+namespace cowbird::sim {
+namespace {
+
+TEST(Simulation, EventsFireInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.ScheduleAt(30, [&] { order.push_back(3); });
+  sim.ScheduleAt(10, [&] { order.push_back(1); });
+  sim.ScheduleAt(20, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 30);
+}
+
+TEST(Simulation, EqualTimesFireInScheduleOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAt(5, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulation, RunUntilStopsAtDeadline) {
+  Simulation sim;
+  int fired = 0;
+  sim.ScheduleAt(100, [&] { ++fired; });
+  sim.ScheduleAt(200, [&] { ++fired; });
+  sim.RunUntil(150);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), 150);
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, CancelableTimerDoesNotFire) {
+  Simulation sim;
+  int fired = 0;
+  auto handle = sim.ScheduleCancelableAfter(50, [&] { ++fired; });
+  EXPECT_TRUE(handle.Pending());
+  handle.Cancel();
+  sim.Run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulation, NestedScheduling) {
+  Simulation sim;
+  int value = 0;
+  sim.ScheduleAt(1, [&] {
+    sim.ScheduleAfter(5, [&] { value = sim.Now() == 6 ? 42 : -1; });
+  });
+  sim.Run();
+  EXPECT_EQ(value, 42);
+}
+
+TEST(Coroutine, DelayAdvancesClock) {
+  Simulation sim;
+  Nanos woke_at = -1;
+  sim.Spawn([](Simulation& s, Nanos& out) -> Task<void> {
+    co_await s.Delay(123);
+    out = s.Now();
+  }(sim, woke_at));
+  sim.Run();
+  EXPECT_EQ(woke_at, 123);
+}
+
+TEST(Coroutine, SubtaskReturnsValue) {
+  Simulation sim;
+  int result = 0;
+
+  struct Helpers {
+    static Task<int> Inner(Simulation& s) {
+      co_await s.Delay(10);
+      co_return 7;
+    }
+    static Task<void> Outer(Simulation& s, int& out) {
+      const int a = co_await Inner(s);
+      const int b = co_await Inner(s);
+      out = a + b;
+    }
+  };
+  sim.Spawn(Helpers::Outer(sim, result));
+  sim.Run();
+  EXPECT_EQ(result, 14);
+  EXPECT_EQ(sim.Now(), 20);
+}
+
+TEST(Coroutine, ExceptionPropagatesToAwaiter) {
+  Simulation sim;
+  bool caught = false;
+
+  struct Helpers {
+    static Task<int> Thrower(Simulation& s) {
+      co_await s.Delay(1);
+      throw std::runtime_error("boom");
+    }
+    static Task<void> Catcher(Simulation& s, bool& out) {
+      try {
+        (void)co_await Thrower(s);
+      } catch (const std::runtime_error&) {
+        out = true;
+      }
+    }
+  };
+  sim.Spawn(Helpers::Catcher(sim, caught));
+  sim.Run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(Coroutine, SuspendedRootIsDestroyedAtTeardown) {
+  // A process suspended forever (waiting on a channel that never delivers)
+  // must not leak or crash at simulation destruction.
+  auto sim = std::make_unique<Simulation>();
+  auto channel = std::make_unique<Channel<int>>(*sim);
+  sim->Spawn([](Channel<int>& ch) -> Task<void> {
+    (void)co_await ch.Receive();
+  }(*channel));
+  sim->Run();
+  sim.reset();  // destroys the suspended frame; channel outlives it
+}
+
+TEST(Sync, OneShotEventReleasesAllWaiters) {
+  Simulation sim;
+  OneShotEvent event(sim);
+  int released = 0;
+  for (int i = 0; i < 3; ++i) {
+    sim.Spawn([](OneShotEvent& e, int& out) -> Task<void> {
+      co_await e.Wait();
+      ++out;
+    }(event, released));
+  }
+  sim.ScheduleAt(100, [&] { event.Set(); });
+  sim.Run();
+  EXPECT_EQ(released, 3);
+}
+
+TEST(Sync, EventAlreadySetDoesNotBlock) {
+  Simulation sim;
+  OneShotEvent event(sim);
+  event.Set();
+  bool done = false;
+  sim.Spawn([](OneShotEvent& e, bool& out) -> Task<void> {
+    co_await e.Wait();
+    out = true;
+  }(event, done));
+  sim.Run();
+  EXPECT_TRUE(done);
+}
+
+TEST(Sync, ChannelDeliversInFifoOrder) {
+  Simulation sim;
+  Channel<int> channel(sim);
+  std::vector<int> received;
+  sim.Spawn([](Channel<int>& ch, std::vector<int>& out) -> Task<void> {
+    for (int i = 0; i < 5; ++i) out.push_back(co_await ch.Receive());
+  }(channel, received));
+  sim.ScheduleAt(10, [&] {
+    for (int i = 0; i < 5; ++i) channel.Send(i);
+  });
+  sim.Run();
+  EXPECT_EQ(received, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Sync, ChannelHandoffToEarlierWaiter) {
+  Simulation sim;
+  Channel<int> channel(sim);
+  std::vector<std::pair<int, int>> got;  // (waiter, value)
+  for (int w = 0; w < 2; ++w) {
+    sim.Spawn([](Channel<int>& ch, std::vector<std::pair<int, int>>& out,
+                 int id) -> Task<void> {
+      const int v = co_await ch.Receive();
+      out.emplace_back(id, v);
+    }(channel, got, w));
+  }
+  sim.ScheduleAt(5, [&] {
+    channel.Send(100);
+    channel.Send(200);
+  });
+  sim.Run();
+  ASSERT_EQ(got.size(), 2u);
+  // First registered waiter gets first value.
+  EXPECT_EQ(got[0], (std::pair<int, int>{0, 100}));
+  EXPECT_EQ(got[1], (std::pair<int, int>{1, 200}));
+}
+
+TEST(Sync, ChannelTryReceive) {
+  Simulation sim;
+  Channel<int> channel(sim);
+  EXPECT_FALSE(channel.TryReceive().has_value());
+  channel.Send(9);
+  auto v = channel.TryReceive();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 9);
+}
+
+TEST(Sync, SemaphoreLimitsConcurrency) {
+  Simulation sim;
+  Semaphore sem(sim, 2);
+  int concurrent = 0;
+  int peak = 0;
+  for (int i = 0; i < 6; ++i) {
+    sim.Spawn([](Simulation& s, Semaphore& sm, int& cur,
+                 int& pk) -> Task<void> {
+      co_await sm.Acquire();
+      ++cur;
+      pk = std::max(pk, cur);
+      co_await s.Delay(10);
+      --cur;
+      sm.Release();
+    }(sim, sem, concurrent, peak));
+  }
+  sim.Run();
+  EXPECT_EQ(peak, 2);
+  EXPECT_EQ(sim.Now(), 30);  // 6 jobs, 2 at a time, 10 ns each
+}
+
+TEST(Sync, CountdownLatch) {
+  Simulation sim;
+  CountdownLatch latch(sim, 3);
+  bool released = false;
+  sim.Spawn([](CountdownLatch& l, bool& out) -> Task<void> {
+    co_await l.Wait();
+    out = true;
+  }(latch, released));
+  sim.ScheduleAt(1, [&] { latch.CountDown(); });
+  sim.ScheduleAt(2, [&] { latch.CountDown(); });
+  sim.RunUntil(5);
+  EXPECT_FALSE(released);
+  latch.CountDown();
+  sim.Run();
+  EXPECT_TRUE(released);
+}
+
+TEST(Thread, WorkChargesCategory) {
+  Simulation sim;
+  Machine machine(sim, 4);
+  SimThread thread(machine, "t0");
+  sim.Spawn([](SimThread& t) -> Task<void> {
+    co_await t.Work(100, CpuCategory::kCompute);
+    co_await t.Work(50, CpuCategory::kCommunication);
+    co_await t.Idle(1000);
+    co_await t.Work(50, CpuCategory::kCommunication);
+  }(thread));
+  sim.Run();
+  EXPECT_EQ(thread.TimeIn(CpuCategory::kCompute), 100);
+  EXPECT_EQ(thread.TimeIn(CpuCategory::kCommunication), 100);
+  EXPECT_EQ(thread.TotalBusy(), 200);
+  EXPECT_DOUBLE_EQ(thread.CommunicationRatio(), 0.5);
+  EXPECT_EQ(sim.Now(), 1200);
+}
+
+TEST(Thread, OversubscriptionStretchesWork) {
+  Simulation sim;
+  Machine machine(sim, 2);
+  std::vector<std::unique_ptr<SimThread>> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.push_back(std::make_unique<SimThread>(machine, "t"));
+  }
+  // 4 threads on 2 cores all start 100 ns of work at t=0. The first two see
+  // load ≤ cores (factor 1 for #1, 1 for #2); the 3rd and 4th see factors
+  // 1.5 and 2.
+  for (auto& t : threads) {
+    sim.Spawn([](SimThread& thr) -> Task<void> {
+      co_await thr.Work(100, CpuCategory::kCompute);
+    }(*t));
+  }
+  sim.Run();
+  EXPECT_EQ(threads[0]->TotalBusy(), 100);
+  EXPECT_EQ(threads[1]->TotalBusy(), 100);
+  EXPECT_EQ(threads[2]->TotalBusy(), 150);
+  EXPECT_EQ(threads[3]->TotalBusy(), 200);
+  EXPECT_EQ(sim.Now(), 200);
+}
+
+TEST(Thread, ZeroWorkIsFree) {
+  Simulation sim;
+  Machine machine(sim, 1);
+  SimThread thread(machine, "t");
+  sim.Spawn([](SimThread& t) -> Task<void> {
+    co_await t.Work(0, CpuCategory::kCompute);
+  }(thread));
+  sim.Run();
+  EXPECT_EQ(thread.TotalBusy(), 0);
+  EXPECT_EQ(sim.Now(), 0);
+}
+
+}  // namespace
+}  // namespace cowbird::sim
