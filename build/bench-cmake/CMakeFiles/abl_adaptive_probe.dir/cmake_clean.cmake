@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_adaptive_probe"
+  "../bench/abl_adaptive_probe.pdb"
+  "CMakeFiles/abl_adaptive_probe.dir/abl_adaptive_probe.cpp.o"
+  "CMakeFiles/abl_adaptive_probe.dir/abl_adaptive_probe.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_adaptive_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

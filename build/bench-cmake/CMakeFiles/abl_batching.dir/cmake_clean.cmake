@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_batching"
+  "../bench/abl_batching.pdb"
+  "CMakeFiles/abl_batching.dir/abl_batching.cpp.o"
+  "CMakeFiles/abl_batching.dir/abl_batching.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_batching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

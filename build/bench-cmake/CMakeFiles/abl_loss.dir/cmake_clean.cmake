@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_loss"
+  "../bench/abl_loss.pdb"
+  "CMakeFiles/abl_loss.dir/abl_loss.cpp.o"
+  "CMakeFiles/abl_loss.dir/abl_loss.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

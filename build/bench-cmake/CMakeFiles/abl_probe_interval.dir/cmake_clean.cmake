@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_probe_interval"
+  "../bench/abl_probe_interval.pdb"
+  "CMakeFiles/abl_probe_interval.dir/abl_probe_interval.cpp.o"
+  "CMakeFiles/abl_probe_interval.dir/abl_probe_interval.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_probe_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_tdm_policy"
+  "../bench/abl_tdm_policy.pdb"
+  "CMakeFiles/abl_tdm_policy.dir/abl_tdm_policy.cpp.o"
+  "CMakeFiles/abl_tdm_policy.dir/abl_tdm_policy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_tdm_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_normalized_probe"
+  "../bench/fig01_normalized_probe.pdb"
+  "CMakeFiles/fig01_normalized_probe.dir/fig01_normalized_probe.cpp.o"
+  "CMakeFiles/fig01_normalized_probe.dir/fig01_normalized_probe.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_normalized_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

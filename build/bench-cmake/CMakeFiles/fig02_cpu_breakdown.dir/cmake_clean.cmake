@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_cpu_breakdown"
+  "../bench/fig02_cpu_breakdown.pdb"
+  "CMakeFiles/fig02_cpu_breakdown.dir/fig02_cpu_breakdown.cpp.o"
+  "CMakeFiles/fig02_cpu_breakdown.dir/fig02_cpu_breakdown.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_cpu_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

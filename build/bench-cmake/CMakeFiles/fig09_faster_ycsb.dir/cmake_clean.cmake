@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_faster_ycsb"
+  "../bench/fig09_faster_ycsb.pdb"
+  "CMakeFiles/fig09_faster_ycsb.dir/fig09_faster_ycsb.cpp.o"
+  "CMakeFiles/fig09_faster_ycsb.dir/fig09_faster_ycsb.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_faster_ycsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

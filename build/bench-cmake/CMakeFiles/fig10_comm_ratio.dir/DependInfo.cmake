@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig10_comm_ratio.cpp" "bench-cmake/CMakeFiles/fig10_comm_ratio.dir/fig10_comm_ratio.cpp.o" "gcc" "bench-cmake/CMakeFiles/fig10_comm_ratio.dir/fig10_comm_ratio.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/faster/CMakeFiles/cowbird_faster.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cowbird_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/cowbird_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/spot/CMakeFiles/cowbird_spot.dir/DependInfo.cmake"
+  "/root/repo/build/src/p4/CMakeFiles/cowbird_p4.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cowbird_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/cowbird_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cowbird_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cowbird_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cowbird_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

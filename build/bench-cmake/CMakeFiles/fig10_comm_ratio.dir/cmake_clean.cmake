@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_comm_ratio"
+  "../bench/fig10_comm_ratio.pdb"
+  "CMakeFiles/fig10_comm_ratio.dir/fig10_comm_ratio.cpp.o"
+  "CMakeFiles/fig10_comm_ratio.dir/fig10_comm_ratio.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_comm_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

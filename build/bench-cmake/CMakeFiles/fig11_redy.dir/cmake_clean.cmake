@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_redy"
+  "../bench/fig11_redy.pdb"
+  "CMakeFiles/fig11_redy.dir/fig11_redy.cpp.o"
+  "CMakeFiles/fig11_redy.dir/fig11_redy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_redy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_aifm"
+  "../bench/fig12_aifm.pdb"
+  "CMakeFiles/fig12_aifm.dir/fig12_aifm.cpp.o"
+  "CMakeFiles/fig12_aifm.dir/fig12_aifm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_aifm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

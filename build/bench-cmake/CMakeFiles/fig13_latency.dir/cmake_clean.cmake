@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_latency"
+  "../bench/fig13_latency.pdb"
+  "CMakeFiles/fig13_latency.dir/fig13_latency.cpp.o"
+  "CMakeFiles/fig13_latency.dir/fig13_latency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

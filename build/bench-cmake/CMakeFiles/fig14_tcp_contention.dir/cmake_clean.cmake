@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_tcp_contention"
+  "../bench/fig14_tcp_contention.pdb"
+  "CMakeFiles/fig14_tcp_contention.dir/fig14_tcp_contention.cpp.o"
+  "CMakeFiles/fig14_tcp_contention.dir/fig14_tcp_contention.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_tcp_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_spot_prices"
+  "../bench/table1_spot_prices.pdb"
+  "CMakeFiles/table1_spot_prices.dir/table1_spot_prices.cpp.o"
+  "CMakeFiles/table1_spot_prices.dir/table1_spot_prices.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_spot_prices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

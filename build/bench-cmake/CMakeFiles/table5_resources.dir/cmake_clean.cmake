@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_resources"
+  "../bench/table5_resources.pdb"
+  "CMakeFiles/table5_resources.dir/table5_resources.cpp.o"
+  "CMakeFiles/table5_resources.dir/table5_resources.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

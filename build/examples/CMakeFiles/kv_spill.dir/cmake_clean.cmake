@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_spill.dir/kv_spill.cpp.o"
+  "CMakeFiles/kv_spill.dir/kv_spill.cpp.o.d"
+  "kv_spill"
+  "kv_spill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_spill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cowbird_baselines.dir/twosided.cc.o"
+  "CMakeFiles/cowbird_baselines.dir/twosided.cc.o.d"
+  "libcowbird_baselines.a"
+  "libcowbird_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cowbird_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cowbird_common.dir/sparse_memory.cc.o"
+  "CMakeFiles/cowbird_common.dir/sparse_memory.cc.o.d"
+  "CMakeFiles/cowbird_common.dir/stats.cc.o"
+  "CMakeFiles/cowbird_common.dir/stats.cc.o.d"
+  "libcowbird_common.a"
+  "libcowbird_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cowbird_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcowbird_common.a"
+)

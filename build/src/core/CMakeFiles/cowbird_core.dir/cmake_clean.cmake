@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cowbird_core.dir/client.cc.o"
+  "CMakeFiles/cowbird_core.dir/client.cc.o.d"
+  "libcowbird_core.a"
+  "libcowbird_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cowbird_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cowbird_faster.dir/store.cc.o"
+  "CMakeFiles/cowbird_faster.dir/store.cc.o.d"
+  "CMakeFiles/cowbird_faster.dir/ycsb.cc.o"
+  "CMakeFiles/cowbird_faster.dir/ycsb.cc.o.d"
+  "libcowbird_faster.a"
+  "libcowbird_faster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cowbird_faster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cowbird_faster.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cowbird_net.dir/link.cc.o"
+  "CMakeFiles/cowbird_net.dir/link.cc.o.d"
+  "CMakeFiles/cowbird_net.dir/switch.cc.o"
+  "CMakeFiles/cowbird_net.dir/switch.cc.o.d"
+  "libcowbird_net.a"
+  "libcowbird_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cowbird_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cowbird_p4.dir/control.cc.o"
+  "CMakeFiles/cowbird_p4.dir/control.cc.o.d"
+  "CMakeFiles/cowbird_p4.dir/engine.cc.o"
+  "CMakeFiles/cowbird_p4.dir/engine.cc.o.d"
+  "CMakeFiles/cowbird_p4.dir/resources.cc.o"
+  "CMakeFiles/cowbird_p4.dir/resources.cc.o.d"
+  "libcowbird_p4.a"
+  "libcowbird_p4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cowbird_p4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

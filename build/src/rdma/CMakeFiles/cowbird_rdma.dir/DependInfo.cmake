@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rdma/device.cc" "src/rdma/CMakeFiles/cowbird_rdma.dir/device.cc.o" "gcc" "src/rdma/CMakeFiles/cowbird_rdma.dir/device.cc.o.d"
+  "/root/repo/src/rdma/qp.cc" "src/rdma/CMakeFiles/cowbird_rdma.dir/qp.cc.o" "gcc" "src/rdma/CMakeFiles/cowbird_rdma.dir/qp.cc.o.d"
+  "/root/repo/src/rdma/wire.cc" "src/rdma/CMakeFiles/cowbird_rdma.dir/wire.cc.o" "gcc" "src/rdma/CMakeFiles/cowbird_rdma.dir/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cowbird_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cowbird_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cowbird_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

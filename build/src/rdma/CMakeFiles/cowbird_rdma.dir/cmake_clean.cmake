@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cowbird_rdma.dir/device.cc.o"
+  "CMakeFiles/cowbird_rdma.dir/device.cc.o.d"
+  "CMakeFiles/cowbird_rdma.dir/qp.cc.o"
+  "CMakeFiles/cowbird_rdma.dir/qp.cc.o.d"
+  "CMakeFiles/cowbird_rdma.dir/wire.cc.o"
+  "CMakeFiles/cowbird_rdma.dir/wire.cc.o.d"
+  "libcowbird_rdma.a"
+  "libcowbird_rdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cowbird_rdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cowbird_sim.dir/simulation.cc.o"
+  "CMakeFiles/cowbird_sim.dir/simulation.cc.o.d"
+  "libcowbird_sim.a"
+  "libcowbird_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cowbird_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cowbird_spot.dir/agent.cc.o"
+  "CMakeFiles/cowbird_spot.dir/agent.cc.o.d"
+  "libcowbird_spot.a"
+  "libcowbird_spot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cowbird_spot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

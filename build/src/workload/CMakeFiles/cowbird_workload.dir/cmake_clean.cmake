@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cowbird_workload.dir/hash_workload.cc.o"
+  "CMakeFiles/cowbird_workload.dir/hash_workload.cc.o.d"
+  "libcowbird_workload.a"
+  "libcowbird_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cowbird_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

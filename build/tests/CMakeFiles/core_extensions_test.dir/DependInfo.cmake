@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_extensions_test.cc" "tests/CMakeFiles/core_extensions_test.dir/core_extensions_test.cc.o" "gcc" "tests/CMakeFiles/core_extensions_test.dir/core_extensions_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spot/CMakeFiles/cowbird_spot.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cowbird_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/cowbird_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cowbird_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cowbird_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cowbird_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faster_test.dir/faster_test.cc.o"
+  "CMakeFiles/faster_test.dir/faster_test.cc.o.d"
+  "faster_test"
+  "faster_test.pdb"
+  "faster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p4_control_test.dir/p4_control_test.cc.o"
+  "CMakeFiles/p4_control_test.dir/p4_control_test.cc.o.d"
+  "p4_control_test"
+  "p4_control_test.pdb"
+  "p4_control_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p4_control_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdma_qp_test.dir/rdma_qp_test.cc.o"
+  "CMakeFiles/rdma_qp_test.dir/rdma_qp_test.cc.o.d"
+  "rdma_qp_test"
+  "rdma_qp_test.pdb"
+  "rdma_qp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdma_qp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

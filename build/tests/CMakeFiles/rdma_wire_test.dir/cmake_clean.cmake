@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdma_wire_test.dir/rdma_wire_test.cc.o"
+  "CMakeFiles/rdma_wire_test.dir/rdma_wire_test.cc.o.d"
+  "rdma_wire_test"
+  "rdma_wire_test.pdb"
+  "rdma_wire_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdma_wire_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

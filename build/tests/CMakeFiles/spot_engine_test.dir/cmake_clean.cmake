@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spot_engine_test.dir/spot_engine_test.cc.o"
+  "CMakeFiles/spot_engine_test.dir/spot_engine_test.cc.o.d"
+  "spot_engine_test"
+  "spot_engine_test.pdb"
+  "spot_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spot_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/rdma_wire_test[1]_include.cmake")
+include("/root/repo/build/tests/rdma_qp_test[1]_include.cmake")
+include("/root/repo/build/tests/core_client_test[1]_include.cmake")
+include("/root/repo/build/tests/spot_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/faster_test[1]_include.cmake")
+include("/root/repo/build/tests/p4_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/p4_control_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_features_test[1]_include.cmake")
+include("/root/repo/build/tests/core_extensions_test[1]_include.cmake")
