@@ -34,7 +34,10 @@ class OnlineStats {
 // avoid the bin-boundary artifacts of streaming sketches in the p99 plots.
 class PercentileSampler {
  public:
-  void Add(double x) { samples_.push_back(x); }
+  void Add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;  // a cached sort no longer covers this sample
+  }
   void Reserve(std::size_t n) { samples_.reserve(n); }
 
   std::size_t count() const { return samples_.size(); }
@@ -43,7 +46,10 @@ class PercentileSampler {
   double Median() const { return Quantile(0.5); }
   double P99() const { return Quantile(0.99); }
   double Mean() const;
-  void Clear() { samples_.clear(); }
+  void Clear() {
+    samples_.clear();
+    sorted_ = false;
+  }
 
  private:
   mutable std::vector<double> samples_;

@@ -1,0 +1,60 @@
+#include "offload/hazard_tracker.h"
+
+namespace cowbird::offload {
+
+namespace {
+
+// Overlap of two non-wrapping half-open ranges.
+bool FlatOverlap(std::uint64_t a_lo, std::uint64_t a_hi, std::uint64_t b_lo,
+                 std::uint64_t b_hi) {
+  return a_lo < b_hi && b_lo < a_hi;
+}
+
+}  // namespace
+
+bool RangesOverlap(const HazardRange& a, const HazardRange& b) {
+  if (a.region_id != b.region_id) return false;
+  if (a.len == 0 || b.len == 0) return false;
+  // Split each range at the 2^64 wrap point, then test the flat pieces.
+  const std::uint64_t a_end = a.addr + a.len;  // may wrap
+  const std::uint64_t b_end = b.addr + b.len;
+  const bool a_wraps = a_end <= a.addr && a.len != 0;
+  const bool b_wraps = b_end <= b.addr && b.len != 0;
+  struct Piece {
+    std::uint64_t lo, hi;
+  };
+  Piece ap[2];
+  Piece bp[2];
+  int an = 0, bn = 0;
+  if (a_wraps) {
+    ap[an++] = {a.addr, ~0ull};
+    ap[an++] = {0, a_end};  // a_end == 0 gives an empty piece
+  } else {
+    ap[an++] = {a.addr, a_end};
+  }
+  if (b_wraps) {
+    bp[bn++] = {b.addr, ~0ull};
+    bp[bn++] = {0, b_end};
+  } else {
+    bp[bn++] = {b.addr, b_end};
+  }
+  for (int i = 0; i < an; ++i) {
+    for (int j = 0; j < bn; ++j) {
+      if (FlatOverlap(ap[i].lo, ap[i].hi, bp[j].lo, bp[j].hi)) return true;
+    }
+  }
+  // The [addr, ~0ull) upper piece drops the single byte at 2^64-1; test it
+  // explicitly so a range ending exactly at the top still overlaps there.
+  auto covers_top = [](const HazardRange& r) {
+    return r.len != 0 && r.addr + r.len - 1 == ~0ull;
+  };
+  auto covers = [](const HazardRange& r, std::uint64_t x) {
+    const std::uint64_t off = x - r.addr;  // modular arithmetic
+    return r.len != 0 && off < r.len;
+  };
+  if (covers_top(a) && covers(b, ~0ull)) return true;
+  if (covers_top(b) && covers(a, ~0ull)) return true;
+  return false;
+}
+
+}  // namespace cowbird::offload

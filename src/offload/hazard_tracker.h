@@ -1,0 +1,117 @@
+// Read-after-write hazard policy shared by the offload engines (Section
+// 5.3 / Section 6).
+//
+// Within one request type the engines preserve metadata order, so the only
+// cross-type hazard is a read probed after a write to an overlapping pool
+// range. The two engines resolve it differently, and both policies now live
+// behind one interface:
+//
+//   * kFenceAllReads — Cowbird-P4: RMT pipelines cannot range-compare a read
+//     against the in-flight write set, so *every* newly probed read is
+//     paused while any write of that thread is in flight (Section 5.3).
+//   * kExactRange   — Cowbird-Spot: a host agent can afford the exact
+//     overlapping-range check, so only reads that truly overlap an earlier
+//     in-flight write stall (Section 6).
+//
+// By construction the fence policy stalls a superset of what the exact
+// policy stalls (tests/offload_test.cc asserts this for the edge cases).
+//
+// Ordering matters for exactness: a read conflicts only with writes probed
+// *before* it. Writes receive a monotonically increasing ticket when
+// admitted; a read captures the ticket frontier when it is probed and later
+// checks only writes with a smaller ticket. One tracker per application
+// thread (hazards are per-thread by Table 3's per-thread rings).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace cowbird::offload {
+
+// Half-open byte range [addr, addr+len) inside one memory-pool region.
+// len == 0 denotes an empty range: it overlaps nothing and blocks nothing.
+// addr + len may wrap past 2^64 (a ring-wrap range); overlap handles that
+// by splitting at the wrap point.
+struct HazardRange {
+  std::uint16_t region_id = 0;
+  std::uint64_t addr = 0;
+  std::uint64_t len = 0;
+};
+
+bool RangesOverlap(const HazardRange& a, const HazardRange& b);
+
+class HazardTracker {
+ public:
+  enum class Policy : std::uint8_t { kFenceAllReads, kExactRange };
+  using Ticket = std::uint64_t;
+
+  HazardTracker() = default;
+  explicit HazardTracker(Policy policy) : policy_(policy) {}
+
+  Policy policy() const { return policy_; }
+
+  // A write enters the hazard window when it is parsed out of the metadata
+  // ring, and leaves it when the pool write is known durable.
+  Ticket AdmitWrite(const HazardRange& range) {
+    const Ticket ticket = next_ticket_++;
+    writes_.push_back(ActiveWrite{ticket, range});
+    return ticket;
+  }
+
+  void RetireWrite(Ticket ticket) {
+    for (auto it = writes_.begin(); it != writes_.end(); ++it) {
+      if (it->ticket == ticket) {
+        writes_.erase(it);
+        return;
+      }
+    }
+    COWBIRD_CHECK(false);  // retired a write that was never admitted
+  }
+
+  // Ticket frontier a read captures at probe time: it is ordered after
+  // every write admitted so far and before any admitted later.
+  Ticket ReadFrontier() const { return next_ticket_; }
+
+  // Would a read over `range`, probed at `frontier`, have to stall now?
+  bool ReadBlocked(const HazardRange& range, Ticket frontier) const {
+    switch (policy_) {
+      case Policy::kFenceAllReads:
+        // The fence ignores the range: any in-flight earlier write pauses
+        // all newly probed reads.
+        for (const ActiveWrite& w : writes_) {
+          if (w.ticket < frontier) return true;
+        }
+        return false;
+      case Policy::kExactRange:
+        for (const ActiveWrite& w : writes_) {
+          if (w.ticket < frontier && RangesOverlap(w.range, range)) {
+            return true;
+          }
+        }
+        return false;
+    }
+    COWBIRD_CHECK(false);
+  }
+
+  // Convenience for callers that check at admission time (the P4 engine
+  // rejects reads while parsing metadata, so every active write is earlier).
+  bool ReadBlocked(const HazardRange& range) const {
+    return ReadBlocked(range, ReadFrontier());
+  }
+
+  std::size_t active_writes() const { return writes_.size(); }
+
+ private:
+  struct ActiveWrite {
+    Ticket ticket;
+    HazardRange range;
+  };
+
+  Policy policy_ = Policy::kExactRange;
+  Ticket next_ticket_ = 1;
+  std::vector<ActiveWrite> writes_;  // small: bounded by max in-flight ops
+};
+
+}  // namespace cowbird::offload

@@ -1,0 +1,102 @@
+// Probe scheduling shared by every offload engine (Phase II).
+//
+// Two orthogonal concerns live here, both previously duplicated in
+// CowbirdP4Engine and SpotAgent:
+//
+//   * the Section 5.2 adaptive ramp-up ("start at a low baseline rate and
+//     ramp up only when activity is detected"): the probe interval doubles
+//     after an idle probe, up to interval_max, and snaps back to the
+//     baseline as soon as a probe finds work;
+//   * the Section 5.4 instance TDM: which instance the next probe targets.
+//     Plain round-robin is the paper's prototype; activity-weighted is the
+//     "more complex policies" future-work variant (prefer the instance with
+//     the most recent tail movement, with a round-robin pass every 4th tick
+//     so idle instances are never starved of discovery).
+//
+// The scheduler is pure bookkeeping — it owns no timers and issues no I/O,
+// so it is backend-agnostic: the P4 engine drives it from the switch packet
+// generator, the spot agent from its coroutine probe loop.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+
+#include "common/units.h"
+
+namespace cowbird::offload {
+
+enum class ProbeSelection : std::uint8_t {
+  kRoundRobin,        // plain TDM (the paper's prototype, Section 5.4)
+  kActivityWeighted,  // prefer instances with recent activity
+};
+
+class ProbeScheduler {
+ public:
+  struct Config {
+    Nanos interval = Micros(2);  // 1 probe / 2 us (Section 5.2)
+    bool adaptive = false;
+    Nanos interval_max = Micros(64);
+    ProbeSelection selection = ProbeSelection::kRoundRobin;
+  };
+
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  ProbeScheduler() : ProbeScheduler(Config{}) {}
+  explicit ProbeScheduler(Config config)
+      : config_(config), current_(config.interval) {}
+
+  Nanos current_interval() const { return current_; }
+  ProbeSelection selection() const { return config_.selection; }
+
+  // Section 5.2 ramp-up. Called once per completed probe.
+  void OnProbeOutcome(bool found_work) {
+    if (!config_.adaptive) return;
+    current_ = found_work
+                   ? config_.interval
+                   : std::min(current_ * 2, config_.interval_max);
+  }
+
+  // One TDM candidate per registered instance, in registry order.
+  struct Candidate {
+    bool eligible = true;  // e.g. no probe already in flight
+    std::uint64_t activity_credit = 0;
+  };
+
+  // Picks the instance the next probe targets and advances the TDM cursor.
+  // Under kActivityWeighted, three of every four ticks go to the busiest
+  // eligible instance; the fourth (and any tick with no eligible candidate)
+  // falls back to the round-robin slot — which may be ineligible, in which
+  // case the caller skips this tick (the cursor has still advanced, exactly
+  // like a TDM slot wasted on an instance whose probe is in flight).
+  std::size_t PickNext(std::span<const Candidate> candidates) {
+    if (candidates.empty()) return kNone;
+    std::size_t pick = kNone;
+    if (config_.selection == ProbeSelection::kActivityWeighted &&
+        (tick_ % 4) != 0) {
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        if (!candidates[i].eligible) continue;
+        if (pick == kNone ||
+            candidates[i].activity_credit > candidates[pick].activity_credit) {
+          pick = i;
+        }
+      }
+    }
+    if (pick == kNone) pick = tick_ % candidates.size();
+    ++tick_;
+    return pick;
+  }
+
+  // Activity-credit decay: stale tail movement must not dominate the TDM
+  // pick forever. Shared so both engines age credits identically.
+  static std::uint64_t DecayCredit(std::uint64_t credit) {
+    return credit - credit / 4;
+  }
+
+ private:
+  Config config_;
+  Nanos current_;
+  std::size_t tick_ = 0;  // TDM cursor (Section 5.4)
+};
+
+}  // namespace cowbird::offload

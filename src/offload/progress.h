@@ -1,0 +1,81 @@
+// Red-block progress publication shared by both Phase IV paths.
+//
+// Both engines finish an operation by writing the compute node's "red"
+// bookkeeping block: five little-endian u64 counters, packed so one RDMA
+// write updates all of them (core::RedBlock, Table 3 / Figure 4). The
+// packing used to be hand-rolled twice — a put64 loop in the P4 engine's
+// packet builder and WriteValue calls in the spot agent's staging composer.
+// It lives here now, together with the counter struct itself, which doubles
+// as the progress snapshot an InstanceRegistry migration hands from a
+// stopping engine to the survivor: the red block is by construction exactly
+// the state a fresh engine needs to resume an instance.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+#include "core/layout.h"
+
+namespace cowbird::offload {
+
+// Engine-side view of one thread's red block. Field order matches the wire
+// layout (core::RedBlock).
+struct ThreadProgress {
+  std::uint64_t meta_head = 0;       // metadata entries consumed by engine
+  std::uint64_t data_head = 0;       // request-data bytes consumed
+  std::uint64_t resp_tail = 0;       // response bytes delivered
+  std::uint64_t write_progress = 0;  // seq of last completed write
+  std::uint64_t read_progress = 0;   // seq of last completed read
+};
+
+class ProgressPublisher {
+ public:
+  static constexpr std::size_t kBlockBytes = core::kRedBlockBytes;
+
+  // Packs the counters into red-block wire format (little-endian u64s).
+  static void Pack(const ThreadProgress& p, std::span<std::uint8_t> out) {
+    COWBIRD_CHECK(out.size() >= kBlockBytes);
+    PutU64(out, 0, p.meta_head);
+    PutU64(out, 8, p.data_head);
+    PutU64(out, 16, p.resp_tail);
+    PutU64(out, 24, p.write_progress);
+    PutU64(out, 32, p.read_progress);
+  }
+
+  static ThreadProgress Unpack(std::span<const std::uint8_t> in) {
+    COWBIRD_CHECK(in.size() >= kBlockBytes);
+    ThreadProgress p;
+    p.meta_head = GetU64(in, 0);
+    p.data_head = GetU64(in, 8);
+    p.resp_tail = GetU64(in, 16);
+    p.write_progress = GetU64(in, 24);
+    p.read_progress = GetU64(in, 32);
+    return p;
+  }
+
+ private:
+  static void PutU64(std::span<std::uint8_t> out, std::size_t at,
+                     std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      out[at + b] = static_cast<std::uint8_t>(v >> (8 * b));
+    }
+  }
+  static std::uint64_t GetU64(std::span<const std::uint8_t> in,
+                              std::size_t at) {
+    std::uint64_t v = 0;
+    for (int b = 0; b < 8; ++b) {
+      v |= static_cast<std::uint64_t>(in[at + b]) << (8 * b);
+    }
+    return v;
+  }
+};
+
+// Progress snapshot of a whole instance (one entry per application thread).
+// Exported by an engine on detach, consumed by the next engine on attach.
+struct InstanceProgress {
+  std::vector<ThreadProgress> threads;
+};
+
+}  // namespace cowbird::offload

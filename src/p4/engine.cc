@@ -28,13 +28,19 @@ bool IsReadKindImpl(int kind_raw) {
 }  // namespace
 
 CowbirdP4Engine::CowbirdP4Engine(net::Switch& sw, Config config)
-    : sw_(&sw), sim_(&sw.simulation()), config_(config) {
+    : sw_(&sw),
+      sim_(&sw.simulation()),
+      config_(config),
+      scheduler_(offload::ProbeScheduler::Config{
+          config.probe_interval, config.adaptive_probe,
+          config.probe_interval_max, config.probe_policy}) {
   sw_->SetProcessor(this);
 }
 
 void CowbirdP4Engine::AddInstance(const core::InstanceDescriptor& descriptor,
                                   HostEndpoint compute, HostEndpoint probe,
-                                  HostEndpoint memory) {
+                                  HostEndpoint memory,
+                                  const offload::InstanceProgress* resume) {
   // Instances can be added before or after Start (the control plane
   // registers them at application startup, Section 5.2 Phase I).
   // Exactly one memory node per instance in Cowbird-P4 (testbed topology).
@@ -53,14 +59,41 @@ void CowbirdP4Engine::AddInstance(const core::InstanceDescriptor& descriptor,
   inst->to_memory.next_psn = memory.start_psn;
   inst->to_memory.committed_psn = memory.start_psn;
   inst->threads.resize(descriptor.layout.threads);
+  if (resume != nullptr) {
+    // Registry migration: continue from the counters the previous engine
+    // published. Everything at or past meta_head is still in the client's
+    // rings and will be re-discovered by the next probe.
+    COWBIRD_CHECK(resume->threads.size() == inst->threads.size());
+    for (std::size_t t = 0; t < inst->threads.size(); ++t) {
+      ThreadState& ts = inst->threads[t];
+      ts.progress = resume->threads[t];
+      ts.tail_seen = ts.progress.meta_head;
+      ts.fetch_cursor = ts.progress.meta_head;
+      ts.next_read_seq = ts.progress.read_progress;
+      ts.next_write_seq = ts.progress.write_progress;
+    }
+  }
   instances_.push_back(std::move(inst));
+}
+
+std::optional<offload::InstanceProgress> CowbirdP4Engine::ExportProgress(
+    std::uint32_t instance_id) const {
+  for (const auto& inst : instances_) {
+    if (inst->descriptor.instance_id != instance_id) continue;
+    offload::InstanceProgress snapshot;
+    snapshot.threads.reserve(inst->threads.size());
+    for (const ThreadState& ts : inst->threads) {
+      snapshot.threads.push_back(ts.progress);
+    }
+    return snapshot;
+  }
+  return std::nullopt;
 }
 
 void CowbirdP4Engine::Start() {
   COWBIRD_CHECK(!started_);
   started_ = true;
-  current_interval_ = config_.probe_interval;
-  sim_->ScheduleAfter(current_interval_, [this] { ProbeTick(); });
+  sim_->ScheduleAfter(scheduler_.current_interval(), [this] { ProbeTick(); });
 }
 
 bool CowbirdP4Engine::RemoveInstance(std::uint32_t instance_id) {
@@ -83,28 +116,21 @@ bool CowbirdP4Engine::RemoveInstance(std::uint32_t instance_id) {
 // ---------------------------------------------------------------------------
 
 void CowbirdP4Engine::ProbeTick() {
+  if (probing_stopped_) return;
   if (!instances_.empty()) {
-    // Time-division multiplexing across instances (Section 5.4). The
-    // activity-weighted policy probes the instance with the most recent
-    // tail movement, with a round-robin pass every 4th tick so idle
-    // instances are never starved of discovery.
-    Instance* pick = nullptr;
-    if (config_.probe_policy == ProbePolicy::kActivityWeighted &&
-        (probe_rr_ % 4) != 0) {
-      for (auto& inst : instances_) {
-        if (inst->probe_inflight) continue;
-        if (pick == nullptr || inst->activity_credit > pick->activity_credit) {
-          pick = inst.get();
-        }
-      }
+    // Time-division multiplexing across instances (Section 5.4), delegated
+    // to the shared scheduler: eligibility = no probe already in flight,
+    // credit = recent tail movement.
+    std::vector<offload::ProbeScheduler::Candidate> candidates;
+    candidates.reserve(instances_.size());
+    for (const auto& inst : instances_) {
+      candidates.push_back({!inst->probe_inflight, inst->activity_credit});
     }
-    if (pick == nullptr) {
-      pick = instances_[probe_rr_ % instances_.size()].get();
-    }
-    ++probe_rr_;
-    if (!pick->probe_inflight) EmitProbe(*pick);
+    const std::size_t at = scheduler_.PickNext(candidates);
+    Instance& pick = *instances_[at];
+    if (!pick.probe_inflight) EmitProbe(pick);
   }
-  sim_->ScheduleAfter(current_interval_, [this] { ProbeTick(); });
+  sim_->ScheduleAfter(scheduler_.current_interval(), [this] { ProbeTick(); });
 }
 
 void CowbirdP4Engine::EmitProbe(Instance& inst) {
@@ -287,13 +313,9 @@ void CowbirdP4Engine::OnProbeData(Instance& inst,
     MaybeFetchMetadata(inst, t);
   }
   // Credits decay so stale activity does not dominate the TDM pick.
-  inst.activity_credit -= inst.activity_credit / 4;
-  if (config_.adaptive_probe) {
-    current_interval_ = found_work
-                            ? config_.probe_interval
-                            : std::min(current_interval_ * 2,
-                                       config_.probe_interval_max);
-  }
+  inst.activity_credit = offload::ProbeScheduler::DecayCredit(
+      inst.activity_credit);
+  scheduler_.OnProbeOutcome(found_work);  // Section 5.2 adaptive ramp-up
   RefetchOrphans(inst);
 }
 
@@ -375,10 +397,12 @@ void CowbirdP4Engine::OnMetaData(Instance& inst, Pending& pending,
         static_cast<std::size_t>(config_.max_inflight_per_thread)) {
       break;
     }
-    if (meta.rw_type == core::RwType::kRead && ts.writes_active > 0) {
+    if (meta.rw_type == core::RwType::kRead &&
+        ts.hazards.ReadBlocked(offload::HazardRange{
+            meta.region_id, meta.req_addr, meta.length})) {
       // Section 5.3: RMT pipelines cannot range-match in-flight writes, so
-      // *all* newly probed reads pause until the writes drain. The entry
-      // stays in the ring and is re-fetched.
+      // the fence policy pauses *all* newly probed reads until the writes
+      // drain. The entry stays in the ring and is re-fetched.
       ++reads_paused_by_writes_;
       break;
     }
@@ -387,6 +411,12 @@ void CowbirdP4Engine::OnMetaData(Instance& inst, Pending& pending,
     op.meta = meta;
     op.is_write = meta.rw_type == core::RwType::kWrite;
     op.seq = op.is_write ? ++ts.next_write_seq : ++ts.next_read_seq;
+    if (op.is_write) {
+      // The write's pool destination enters the hazard window until the
+      // pool write is acknowledged.
+      op.hazard_ticket = ts.hazards.AdmitWrite(offload::HazardRange{
+          meta.region_id, meta.resp_addr, meta.length});
+    }
     ts.inflight.push_back(op);
     ++consumed;
 
@@ -395,7 +425,6 @@ void CowbirdP4Engine::OnMetaData(Instance& inst, Pending& pending,
     COWBIRD_CHECK(region != nullptr);
 
     if (op.is_write) {
-      ++ts.writes_active;
       // Phase III, Step 1b: fetch the to-be-written payload from the
       // compute node's request data ring.
       Pending fetch;
@@ -560,8 +589,7 @@ void CowbirdP4Engine::OnPoolWriteAcked(Instance& inst, Pending& pending) {
   if (op == nullptr) return;  // already completed via an earlier ACK
   if (op->done) return;
   op->done = true;
-  COWBIRD_CHECK(ts.writes_active > 0);
-  --ts.writes_active;
+  ts.hazards.RetireWrite(op->hazard_ticket);
   CompleteOpsInOrder(inst, pending.thread);
   // Draining writes may release paused reads.
   MaybeFetchMetadata(inst, pending.thread);
@@ -573,13 +601,13 @@ void CowbirdP4Engine::CompleteOpsInOrder(Instance& inst, int thread) {
   while (!ts.inflight.empty() && ts.inflight.front().done) {
     const Op& op = ts.inflight.front();
     if (op.is_write) {
-      ts.write_progress = op.seq;
-      ts.data_head += op.meta.length;
+      ts.progress.write_progress = op.seq;
+      ts.progress.data_head += op.meta.length;
     } else {
-      ts.read_progress = op.seq;
-      ts.resp_tail += op.meta.length;
+      ts.progress.read_progress = op.seq;
+      ts.progress.resp_tail += op.meta.length;
     }
-    ++ts.meta_head;
+    ++ts.progress.meta_head;
     ++ops_completed_;
     ts.inflight.pop_front();
     any = true;
@@ -737,16 +765,7 @@ void CowbirdP4Engine::EmitRequestPacket(Instance& inst, SwitchQp& qp,
       // cumulative values make replays safe.
       const ThreadState& ts = inst.threads[pending.thread];
       std::uint8_t block[core::kRedBlockBytes];
-      auto put64 = [&block](std::size_t at, std::uint64_t v) {
-        for (int b = 0; b < 8; ++b) {
-          block[at + b] = static_cast<std::uint8_t>(v >> (8 * b));
-        }
-      };
-      put64(0, ts.meta_head);
-      put64(8, ts.data_head);
-      put64(16, ts.resp_tail);
-      put64(24, ts.write_progress);
-      put64(32, ts.read_progress);
+      offload::ProgressPublisher::Pack(ts.progress, block);
       rdma::Reth reth{pending.raddr, pending.rkey, pending.length};
       SendPacket(BuildRequest(qp, rdma::Opcode::kWriteOnly,
                               pending.first_psn, /*ack_request=*/true, &reth,

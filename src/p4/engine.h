@@ -41,12 +41,16 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/units.h"
 #include "core/instance.h"
 #include "core/request.h"
 #include "net/switch.h"
+#include "offload/hazard_tracker.h"
+#include "offload/probe_scheduler.h"
+#include "offload/progress.h"
 #include "rdma/device.h"
 #include "rdma/qp.h"
 #include "p4/resources.h"
@@ -66,12 +70,8 @@ struct HostEndpoint {
 
 class CowbirdP4Engine : public net::PacketProcessor {
  public:
-  enum class ProbePolicy : std::uint8_t {
-    kRoundRobin,        // plain TDM (the paper's prototype, Section 5.4)
-    kActivityWeighted,  // prefer instances with recent activity (the
-                        // "more complex policies" the paper leaves to
-                        // future work)
-  };
+  // TDM selection now lives in the shared offload core (Section 5.4).
+  using ProbePolicy = offload::ProbeSelection;
 
   struct Config {
     net::NodeId switch_node_id = 100;
@@ -93,14 +93,29 @@ class CowbirdP4Engine : public net::PacketProcessor {
 
   // Control-plane RPC (Phase I): registers an instance with its descriptor
   // and established QPs. Exactly one memory endpoint per instance (the
-  // testbed topology; multi-pool instances use Cowbird-Spot).
+  // testbed topology; multi-pool instances use Cowbird-Spot). When `resume`
+  // is non-null the instance continues from a progress snapshot exported by
+  // another engine (InstanceRegistry migration) instead of starting fresh.
   void AddInstance(const core::InstanceDescriptor& descriptor,
                    HostEndpoint compute, HostEndpoint probe,
-                   HostEndpoint memory);
+                   HostEndpoint memory,
+                   const offload::InstanceProgress* resume = nullptr);
 
   // Tears down an instance (control-plane channel termination). Returns
   // false if the instance id is unknown.
   bool RemoveInstance(std::uint32_t instance_id);
+
+  // Red-block counters for every thread of an instance — the snapshot an
+  // InstanceRegistry migration hands to the engine taking over. Exported
+  // counters only cover *completed* work; a drained instance (no in-flight
+  // ops) resumes losslessly, an undrained one re-executes the tail
+  // idempotently on the new engine.
+  std::optional<offload::InstanceProgress> ExportProgress(
+      std::uint32_t instance_id) const;
+
+  // Stops the probe generator (engine decommission). In-flight operations
+  // keep completing through the pipeline; no new probes are emitted.
+  void StopProbing() { probing_stopped_ = true; }
 
   // Installs the control-plane endpoint handler (packets to the switch's
   // UDP control port are routed here instead of the RDMA pipeline).
@@ -148,6 +163,8 @@ class CowbirdP4Engine : public net::PacketProcessor {
     // Set when a conversion chunk had to be discarded before its
     // destination stream existed; the probe-periodic sweep re-fetches.
     bool refetch_needed = false;
+    // Hazard-window handle for writes (pause-all-reads fence).
+    offload::HazardTracker::Ticket hazard_ticket = 0;
   };
 
   struct Pending {
@@ -189,14 +206,14 @@ class CowbirdP4Engine : public net::PacketProcessor {
   struct ThreadState {
     std::uint64_t tail_seen = 0;
     std::uint64_t fetch_cursor = 0;   // metadata entries fetched
-    std::uint64_t meta_head = 0;      // completed boundary (published)
+    // Red-block counters (meta_head, data_head, resp_tail, progress seqs):
+    // the completed boundary published in Phase IV.
+    offload::ThreadProgress progress;
     std::uint64_t next_read_seq = 0;
     std::uint64_t next_write_seq = 0;
-    std::uint64_t read_progress = 0;
-    std::uint64_t write_progress = 0;
-    std::uint64_t data_head = 0;
-    std::uint64_t resp_tail = 0;
-    int writes_active = 0;            // pause-all-reads fence
+    // Section 5.3 pause-all-reads fence, via the shared hazard core.
+    offload::HazardTracker hazards{
+        offload::HazardTracker::Policy::kFenceAllReads};
     std::deque<Op> inflight;          // fetch order
     bool meta_fetch_inflight = false;
   };
@@ -269,10 +286,10 @@ class CowbirdP4Engine : public net::PacketProcessor {
   sim::Simulation* sim_;
   Config config_;
   std::vector<std::unique_ptr<Instance>> instances_;
-  std::size_t probe_rr_ = 0;  // TDM round-robin cursor (Section 5.4)
+  offload::ProbeScheduler scheduler_;  // TDM + adaptive ramp (shared core)
   std::function<void(const net::Packet&)> control_handler_;
-  Nanos current_interval_ = 0;
   bool started_ = false;
+  bool probing_stopped_ = false;
   std::uint32_t next_switch_qpn_ = 0x800;
 
   std::uint64_t probes_sent_ = 0;

@@ -1,6 +1,7 @@
 #include "spot/agent.h"
 
 #include <algorithm>
+#include <array>
 
 #include "common/check.h"
 
@@ -24,14 +25,17 @@ SpotAgent::SpotAgent(rdma::Device& device, sim::Machine& machine,
     : device_(&device),
       thread_(machine, "spot-agent"),
       config_(config),
-      completions_(machine.simulation()) {}
+      completions_(machine.simulation()),
+      scheduler_(offload::ProbeScheduler::Config{
+          config.probe_interval, config.adaptive_probe,
+          config.probe_interval_max, offload::ProbeSelection::kRoundRobin}) {}
 
 void SpotAgent::AddInstance(
     const core::InstanceDescriptor& descriptor, rdma::QueuePair* to_compute,
     rdma::CompletionQueue* compute_cq,
     std::map<net::NodeId, rdma::QueuePair*> to_memory,
-    std::map<net::NodeId, rdma::CompletionQueue*> memory_cqs) {
-  COWBIRD_CHECK(!started_);
+    std::map<net::NodeId, rdma::CompletionQueue*> memory_cqs,
+    const offload::InstanceProgress* resume) {
   auto inst = std::make_unique<Instance>();
   inst->descriptor = descriptor;
   inst->to_compute = to_compute;
@@ -41,7 +45,22 @@ void SpotAgent::AddInstance(
   inst->meta_staging = AllocStaging(
       static_cast<Bytes>(descriptor.layout.threads) * kMetaFetchLimit *
       core::kMetadataEntryBytes);
-  inst->red_staging = AllocStaging(descriptor.layout.RedBytesTotal());
+  if (resume != nullptr) {
+    // Registry migration: continue from the counters the previous engine
+    // published. Entries at or past meta_head are re-discovered by the
+    // next probe; sequence counters continue where the old engine stopped
+    // so red-block progress stays monotonic for the client.
+    COWBIRD_CHECK(resume->threads.size() == inst->threads.size());
+    for (std::size_t t = 0; t < inst->threads.size(); ++t) {
+      ThreadState& ts = inst->threads[t];
+      ts.progress = resume->threads[t];
+      ts.tail_seen = ts.progress.meta_head;
+      ts.fetch_cursor = ts.progress.meta_head;
+      ts.next_read_seq = ts.progress.read_progress;
+      ts.next_write_seq = ts.progress.write_progress;
+      ts.deliver_cursor = ts.progress.read_progress;
+    }
+  }
   instances_.push_back(std::move(inst));
 
   auto pump = [this](rdma::CompletionQueue* cq) {
@@ -56,26 +75,61 @@ void SpotAgent::AddInstance(
   }
 }
 
+bool SpotAgent::RemoveInstance(std::uint32_t instance_id) {
+  for (auto& inst : instances_) {
+    if (inst->descriptor.instance_id != instance_id || !inst->active) {
+      continue;
+    }
+    inst->active = false;
+    for (ThreadState& ts : inst->threads) ts.batch_timer.Cancel();
+    return true;
+  }
+  return false;
+}
+
+const SpotAgent::Instance* SpotAgent::FindInstance(
+    std::uint32_t instance_id) const {
+  for (const auto& inst : instances_) {
+    if (inst->descriptor.instance_id == instance_id && inst->active) {
+      return inst.get();
+    }
+  }
+  return nullptr;
+}
+
+std::optional<offload::InstanceProgress> SpotAgent::ExportProgress(
+    std::uint32_t instance_id) const {
+  const Instance* inst = FindInstance(instance_id);
+  if (inst == nullptr) return std::nullopt;
+  offload::InstanceProgress snapshot;
+  snapshot.threads.reserve(inst->threads.size());
+  for (const ThreadState& ts : inst->threads) {
+    snapshot.threads.push_back(ts.progress);
+  }
+  return snapshot;
+}
+
+bool SpotAgent::InstanceDrained(std::uint32_t instance_id) const {
+  const Instance* inst = FindInstance(instance_id);
+  if (inst == nullptr) return false;
+  for (const ThreadState& ts : inst->threads) {
+    if (!ts.ops.empty() || ts.fetch_inflight) return false;
+  }
+  return !inst->probe_inflight;
+}
+
 void SpotAgent::Start() {
   COWBIRD_CHECK(!started_);
   started_ = true;
-  current_interval_ = config_.probe_interval;
   auto& sim = thread_.simulation();
   sim.Spawn(MainLoop());
   sim.Spawn([](SpotAgent& agent) -> sim::Task<void> {
-    for (;;) {
+    while (!agent.probing_stopped_) {
       co_await agent.ProbeAll();
-      if (agent.config_.adaptive_probe) {
-        // Ramp down to the baseline when requests are flowing; back off
-        // exponentially while idle (Section 5.2's latency/overhead knob).
-        if (agent.last_probe_found_work_) {
-          agent.current_interval_ = agent.config_.probe_interval;
-        } else {
-          agent.current_interval_ = std::min(
-              agent.current_interval_ * 2, agent.config_.probe_interval_max);
-        }
-      }
-      co_await agent.thread_.Idle(agent.current_interval_);
+      // Section 5.2 ramp-up, in the shared scheduler: back off while the
+      // last completed probe found nothing, snap back on activity.
+      agent.scheduler_.OnProbeOutcome(agent.last_probe_found_work_);
+      co_await agent.thread_.Idle(agent.scheduler_.current_interval());
     }
   }(*this));
 }
@@ -105,13 +159,15 @@ sim::Task<void> SpotAgent::MainLoop() {
 }
 
 sim::Task<void> SpotAgent::ProbeAll() {
-  for (auto& inst_ptr : instances_) {
-    Instance& inst = *inst_ptr;
-    if (inst.probe_inflight) continue;
+  // Indexed iteration: AddInstance may run while this coroutine is
+  // suspended at a post (registry-driven migration), reallocating the
+  // vector under a range-for.
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    Instance& inst = *instances_[i];
+    if (!inst.active || inst.probe_inflight) continue;
     inst.probe_inflight = true;
     ++probes_sent_;
-    const auto index =
-        static_cast<std::uint32_t>(&inst_ptr - instances_.data());
+    const auto index = static_cast<std::uint32_t>(i);
     const rdma::SendWqe probe{
         rdma::WqeOp::kRead, MakeWrId(CompletionKind::kProbe, index, 0, 0),
         inst.probe_staging, inst.descriptor.layout.GreenBase(),
@@ -138,6 +194,8 @@ sim::Task<void> SpotAgent::HandleCompletion(rdma::Cqe cqe) {
   const auto token = static_cast<std::uint32_t>(cqe.wr_id);
   COWBIRD_CHECK(instance_index < instances_.size());
   Instance& inst = *instances_[instance_index];
+  // Stale completion for a removed instance: drop it.
+  if (!inst.active) co_return;
 
   switch (kind) {
     case CompletionKind::kProbe: {
@@ -178,7 +236,7 @@ sim::Task<void> SpotAgent::HandleCompletion(rdma::Cqe cqe) {
         if (op.meta.rw_type == core::RwType::kWrite && op.seq == token) {
           COWBIRD_CHECK(op.state == OpState::kFetching);
           op.state = OpState::kWriting;
-          ts.data_head += op.meta.length;
+          ts.progress.data_head += op.meta.length;
           const core::RegionInfo* region =
               inst.descriptor.FindRegion(op.meta.region_id);
           COWBIRD_CHECK(region != nullptr);
@@ -204,6 +262,7 @@ sim::Task<void> SpotAgent::HandleCompletion(rdma::Cqe cqe) {
         if (op.meta.rw_type == core::RwType::kWrite && op.seq == token) {
           COWBIRD_CHECK(op.state == OpState::kWriting);
           op.state = OpState::kDone;
+          ts.hazards.RetireWrite(op.hazard_ticket);
           ++ops_completed_;
           break;
         }
@@ -214,8 +273,9 @@ sim::Task<void> SpotAgent::HandleCompletion(rdma::Cqe cqe) {
         advanced = false;
         for (const Op& op : ts.ops) {
           if (op.meta.rw_type == core::RwType::kWrite &&
-              op.seq == ts.write_progress + 1 && op.state == OpState::kDone) {
-            ++ts.write_progress;
+              op.seq == ts.progress.write_progress + 1 &&
+              op.state == OpState::kDone) {
+            ++ts.progress.write_progress;
             advanced = true;
           }
         }
@@ -301,31 +361,22 @@ sim::Task<void> SpotAgent::ParseFetchedMetadata(Instance& inst, int thread) {
     if (meta.rw_type == core::RwType::kInvalid) break;
     Op op;
     op.meta = meta;
-    op.seq = meta.rw_type == core::RwType::kRead ? ++ts.next_read_seq
-                                                 : ++ts.next_write_seq;
+    if (meta.rw_type == core::RwType::kRead) {
+      op.seq = ++ts.next_read_seq;
+      // Only writes probed before this read may stall it.
+      op.hazard_ticket = ts.hazards.ReadFrontier();
+    } else {
+      op.seq = ++ts.next_write_seq;
+      op.hazard_ticket = ts.hazards.AdmitWrite(
+          offload::HazardRange{meta.region_id, meta.resp_addr, meta.length});
+    }
     ts.ops.push_back(op);
     ++ts.fetch_cursor;
-    ++ts.meta_head;
+    ++ts.progress.meta_head;
   }
   co_await WriteRedBlock(inst, thread);
   co_await PumpThread(inst, thread);
   co_await StartMetaFetch(inst, thread);  // more entries may remain
-}
-
-bool SpotAgent::ReadOverlapsActiveWrite(const ThreadState& ts,
-                                        const Op& read) const {
-  const std::uint64_t lo = read.meta.req_addr;
-  const std::uint64_t hi = lo + read.meta.length;
-  for (const Op& op : ts.ops) {
-    if (&op == &read) break;  // only writes probed before this read
-    if (op.meta.rw_type != core::RwType::kWrite) continue;
-    if (op.state == OpState::kDone) continue;
-    if (op.meta.region_id != read.meta.region_id) continue;
-    const std::uint64_t wlo = op.meta.resp_addr;
-    const std::uint64_t whi = wlo + op.meta.length;
-    if (lo < whi && wlo < hi) return true;
-  }
-  return false;
 }
 
 sim::Task<void> SpotAgent::PumpThread(Instance& inst, int thread) {
@@ -360,7 +411,10 @@ sim::Task<void> SpotAgent::PumpThread(Instance& inst, int thread) {
         inst.descriptor.FindRegion(op.meta.region_id);
     COWBIRD_CHECK(region != nullptr);
     if (op.meta.rw_type == core::RwType::kRead) {
-      if (ReadOverlapsActiveWrite(ts, op)) {
+      if (ts.hazards.ReadBlocked(
+              offload::HazardRange{op.meta.region_id, op.meta.req_addr,
+                                   op.meta.length},
+              op.hazard_ticket)) {
         // Exact range fencing: only this read stalls (Section 6); it will
         // be retried when a pool write completes.
         ++reads_stalled_by_writes_;
@@ -477,11 +531,9 @@ sim::Task<void> SpotAgent::FlushBatch(Instance& inst, int thread,
   // same RC QP *behind* the payload write, so the compute node can never
   // observe the counters before the data (Phase III then Phase IV ordering,
   // enforced by the transport instead of by waiting for the ACK).
-  ts.read_progress = run.back()->seq;
-  ts.resp_tail += total;
-  const std::uint64_t red_staging =
-      inst.red_staging + static_cast<std::uint64_t>(thread) *
-                             core::kRedBlockBytes;
+  ts.progress.read_progress = run.back()->seq;
+  ts.progress.resp_tail += total;
+  const std::uint64_t red_staging = AllocStaging(core::kRedBlockBytes);
   ComposeRedBlock(inst, thread, red_staging);
   const rdma::SendWqe chained[] = {
       rdma::SendWqe{rdma::WqeOp::kWrite, wr_id, batch_staging,
@@ -504,21 +556,22 @@ void SpotAgent::ComposeRedBlock(Instance& inst, int thread,
                                 std::uint64_t staging) {
   ThreadState& ts = inst.threads[thread];
   (void)inst;
-  auto& mem = device_->memory();
-  mem.WriteValue<std::uint64_t>(staging, ts.meta_head);
-  mem.WriteValue<std::uint64_t>(staging + 8, ts.data_head);
-  mem.WriteValue<std::uint64_t>(staging + 16, ts.resp_tail);
-  mem.WriteValue<std::uint64_t>(staging + 24, ts.write_progress);
-  mem.WriteValue<std::uint64_t>(staging + 32, ts.read_progress);
+  std::array<std::uint8_t, offload::ProgressPublisher::kBlockBytes> block;
+  offload::ProgressPublisher::Pack(ts.progress, block);
+  device_->memory().Write(staging, block);
 }
 
 sim::Task<void> SpotAgent::WriteRedBlock(Instance& inst, int thread) {
   // Compose the 40-byte block in local staging, then one RDMA write updates
   // every pointer and counter (Phase IV, single-message requirement). The
   // write is unsignaled: nothing depends on its completion.
-  const std::uint64_t staging =
-      inst.red_staging +
-      static_cast<std::uint64_t>(thread) * core::kRedBlockBytes;
+  //
+  // Each publication gets a *fresh* staging slot: the NIC reads the block
+  // at transmit time, so a shared slot would let a newer publication rewrite
+  // a still-queued red write's contents — advertising counters whose payload
+  // sits behind it in the send queue. Under Go-Back-N stalls the client
+  // could then read a response slot before the data arrived.
+  const std::uint64_t staging = AllocStaging(core::kRedBlockBytes);
   ComposeRedBlock(inst, thread, staging);
   const rdma::SendWqe wqe{
       rdma::WqeOp::kWrite, 0, staging,

@@ -32,11 +32,15 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/sparse_memory.h"
 #include "core/instance.h"
 #include "core/request.h"
+#include "offload/hazard_tracker.h"
+#include "offload/probe_scheduler.h"
+#include "offload/progress.h"
 #include "rdma/device.h"
 #include "rdma/params.h"
 #include "rdma/qp.h"
@@ -78,18 +82,43 @@ class SpotAgent {
   // Registers an instance. `to_compute` must be a connected QP whose peer is
   // the instance's compute node; `to_memory[node]` likewise for every memory
   // node appearing in the region table. CQ completion routing is installed
-  // here.
+  // here. May be called while the agent is running (registry-driven
+  // migration); `resume` seeds the instance from a progress snapshot
+  // exported by the engine previously serving it.
   void AddInstance(const core::InstanceDescriptor& descriptor,
                    rdma::QueuePair* to_compute,
                    rdma::CompletionQueue* compute_cq,
                    std::map<net::NodeId, rdma::QueuePair*> to_memory,
-                   std::map<net::NodeId, rdma::CompletionQueue*> memory_cqs);
+                   std::map<net::NodeId, rdma::CompletionQueue*> memory_cqs,
+                   const offload::InstanceProgress* resume = nullptr);
+
+  // Detaches an instance: no further probes or fetches for it, and stale
+  // completions are dropped. Returns false if the id is unknown. For a
+  // lossless handoff, stop probing and wait for InstanceDrained() first —
+  // operations still in flight at removal are abandoned (the client-visible
+  // effect of an engine crash).
+  bool RemoveInstance(std::uint32_t instance_id);
+
+  // Red-block counters per thread — the snapshot a registry migration hands
+  // to the engine taking over.
+  std::optional<offload::InstanceProgress> ExportProgress(
+      std::uint32_t instance_id) const;
+
+  // True when the instance has no parsed-but-incomplete operations and no
+  // metadata fetch in flight (safe to hand off losslessly).
+  bool InstanceDrained(std::uint32_t instance_id) const;
 
   void Start();
 
+  // Engine decommission: stop issuing probes (and thereby new work);
+  // already-fetched operations keep executing to completion.
+  void StopProbing() { probing_stopped_ = true; }
+
   sim::SimThread& agent_thread() { return thread_; }
   std::uint64_t probes_sent() const { return probes_sent_; }
-  Nanos current_probe_interval() const { return current_interval_; }
+  Nanos current_probe_interval() const {
+    return scheduler_.current_interval();
+  }
   std::uint64_t ops_completed() const { return ops_completed_; }
   std::uint64_t batches_flushed() const { return batches_flushed_; }
   std::uint64_t reads_stalled_by_writes() const {
@@ -111,19 +140,23 @@ class SpotAgent {
     std::uint64_t seq = 0;  // per-thread per-type sequence (1-based)
     OpState state = OpState::kQueued;
     std::uint64_t staging_addr = 0;
+    // Writes: the hazard-window admit ticket. Reads: the frontier captured
+    // at parse time (only earlier writes can stall this read).
+    offload::HazardTracker::Ticket hazard_ticket = 0;
   };
 
   struct ThreadState {
     std::uint64_t tail_seen = 0;    // green meta_tail from last probe
     std::uint64_t fetch_cursor = 0; // entries requested from the ring
-    std::uint64_t meta_head = 0;    // entries fully parsed (red.meta_head)
+    // Red-block counters: meta_head (entries fully parsed), data_head,
+    // resp_tail, write_progress, read_progress.
+    offload::ThreadProgress progress;
     std::deque<Op> ops;             // probe order
     std::uint64_t next_read_seq = 0;
     std::uint64_t next_write_seq = 0;
-    std::uint64_t write_progress = 0;
-    std::uint64_t read_progress = 0;
-    std::uint64_t data_head = 0;   // compute request-data bytes consumed
-    std::uint64_t resp_tail = 0;   // response bytes delivered
+    // Section 6 exact overlapping-range check, via the shared hazard core.
+    offload::HazardTracker hazards{
+        offload::HazardTracker::Policy::kExactRange};
     std::uint64_t pending_fetch = 0;   // entries in the in-flight meta read
     std::uint64_t deliver_cursor = 0;  // last read seq handed to a batch
     bool fetch_inflight = false;
@@ -137,8 +170,10 @@ class SpotAgent {
     std::vector<ThreadState> threads;
     std::uint64_t probe_staging = 0;     // staging addr for green blocks
     std::uint64_t meta_staging = 0;      // staging addr for metadata fetches
-    std::uint64_t red_staging = 0;       // staging addr for red-block writes
     bool probe_inflight = false;
+    // Cleared by RemoveInstance: the slot stays (wr_ids encode the index)
+    // but the instance is no longer probed and its completions are dropped.
+    bool active = true;
   };
 
  public:
@@ -169,9 +204,9 @@ class SpotAgent {
   sim::Task<void> WriteRedBlock(Instance& inst, int thread);
   void ArmBatchTimer(Instance& inst, int thread);
 
-  bool ReadOverlapsActiveWrite(const ThreadState& ts, const Op& read) const;
-
   std::uint64_t AllocStaging(Bytes len);
+
+  const Instance* FindInstance(std::uint32_t instance_id) const;
 
   rdma::Device* device_;
   sim::SimThread thread_;
@@ -179,13 +214,14 @@ class SpotAgent {
   std::vector<std::unique_ptr<Instance>> instances_;
   sim::Channel<rdma::Cqe> completions_;
   std::uint32_t staging_cursor_ = 0;
-  Nanos current_interval_ = 0;
+  offload::ProbeScheduler scheduler_;  // Section 5.2 adaptive ramp (shared)
   bool last_probe_found_work_ = false;
   std::uint64_t probes_sent_ = 0;
   std::uint64_t ops_completed_ = 0;
   std::uint64_t batches_flushed_ = 0;
   std::uint64_t reads_stalled_by_writes_ = 0;
   bool started_ = false;
+  bool probing_stopped_ = false;
 
   // Batch under construction, per (instance, thread): ops in kStaged order.
   struct BatchToken {

@@ -104,6 +104,31 @@ TEST(PercentileSampler, InterleavedAddAndQuery) {
   EXPECT_DOUBLE_EQ(p.Median(), 15.0);
 }
 
+TEST(PercentileSampler, AddAfterQuantileInvalidatesSortCache) {
+  // Regression: Add() used to leave the sorted_ flag set after a Quantile()
+  // call, so later queries indexed into a stale, unsorted vector. Append
+  // out of order so a stale cache yields a visibly wrong rank.
+  PercentileSampler p;
+  p.Add(30);
+  EXPECT_DOUBLE_EQ(p.Median(), 30.0);  // sorts and caches
+  p.Add(10);
+  p.Add(20);
+  EXPECT_DOUBLE_EQ(p.Median(), 20.0);
+  EXPECT_DOUBLE_EQ(p.Quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(p.Quantile(1.0), 30.0);
+}
+
+TEST(PercentileSampler, ClearResetsSortCache) {
+  PercentileSampler p;
+  p.Add(5);
+  EXPECT_DOUBLE_EQ(p.Median(), 5.0);
+  p.Clear();
+  p.Add(9);
+  p.Add(1);
+  EXPECT_DOUBLE_EQ(p.Median(), 5.0);
+  EXPECT_DOUBLE_EQ(p.Quantile(0.0), 1.0);
+}
+
 TEST(LogHistogram, QuantileBounds) {
   LogHistogram h;
   for (int i = 0; i < 1000; ++i) h.Add(100);   // bucket [64,128)
