@@ -42,9 +42,8 @@ double RunHotTenant(p4::CowbirdP4Engine::ProbePolicy policy) {
         core::RegionInfo{kRegion, workload::Testbed::kMemoryId, kPoolBase,
                          pool_mr->rkey, MiB(64)});
     auto conn = p4::ConnectP4Engine(engine, kSwitchId, bed.compute_dev,
-                                    bed.memory_dev, 0x800 + i * 4);
-    engine.AddInstance(tenants.back()->descriptor(), conn.compute,
-                       conn.probe, conn.memory);
+                                    bed.memory_dev, 0x800 + i * 8);
+    engine.AddInstance(tenants.back()->descriptor(), conn);
   }
   engine.Start();
 

@@ -173,8 +173,7 @@ int main() {
   p4::CowbirdP4Engine engine(bed.sw, ec);
   auto conn = p4::ConnectP4Engine(engine, kSwitchId, bed.compute_dev,
                                   bed.memory_dev, 0x800);
-  engine.AddInstance(client.descriptor(), conn.compute, conn.probe,
-                     conn.memory);
+  engine.AddInstance(client.descriptor(), conn);
   engine.Start();
 
   // ---- Part 2: engine decommission across a spot-agent fleet ---------

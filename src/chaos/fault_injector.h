@@ -1,0 +1,59 @@
+// Applies a FaultPlan to fabric links, with exact decision accounting.
+//
+// One injector owns one seeded RNG and installs a fault filter on every
+// attached link. Faults only target RDMA packets (LooksLikeRdma) — chaos in
+// the transport is the point; mangling non-RDMA control traffic the sim
+// does not retransmit would just wedge the run. Every decision the injector
+// makes is counted, and the attached links count every fault they actually
+// execute, so a run can assert the two sides agree exactly (no fault is
+// silently double-applied or lost).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chaos/fault_plan.h"
+#include "common/rng.h"
+#include "net/link.h"
+#include "sim/simulation.h"
+
+namespace cowbird::chaos {
+
+class FaultInjector {
+ public:
+  FaultInjector(sim::Simulation& sim, FaultPlan plan, std::uint64_t seed)
+      : sim_(&sim), plan_(std::move(plan)), rng_(seed ^ 0xFA017EC7ull) {}
+
+  // Installs this injector's fault filter on the link. The link must
+  // outlive the injector's use; one injector can drive many links (the
+  // filter decisions stay globally ordered by delivery time, which is what
+  // keeps a run deterministic).
+  void Attach(net::Link& link);
+
+  // Decisions made (what the plan asked for)...
+  std::uint64_t decided_dropped() const { return decided_dropped_; }
+  std::uint64_t decided_duplicated() const { return decided_duplicated_; }
+  std::uint64_t decided_reordered() const { return decided_reordered_; }
+  std::uint64_t decided_delayed() const { return decided_delayed_; }
+  std::uint64_t decided_total() const {
+    return decided_dropped_ + decided_duplicated_ + decided_reordered_ +
+           decided_delayed_;
+  }
+
+  // ...must match what the links executed, bucket by bucket.
+  bool CountersExact() const;
+
+ private:
+  net::FaultAction Decide(const net::Packet& packet);
+
+  sim::Simulation* sim_;
+  FaultPlan plan_;
+  Rng rng_;
+  std::vector<net::Link*> links_;
+  std::uint64_t decided_dropped_ = 0;
+  std::uint64_t decided_duplicated_ = 0;  // sum of extra copies requested
+  std::uint64_t decided_reordered_ = 0;
+  std::uint64_t decided_delayed_ = 0;
+};
+
+}  // namespace cowbird::chaos

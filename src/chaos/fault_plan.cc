@@ -1,0 +1,120 @@
+#include "chaos/fault_plan.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/rng.h"
+
+namespace cowbird::chaos {
+namespace {
+
+std::string FormatRate(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string FaultPlan::Serialize() const {
+  std::ostringstream out;
+  out << "drop=" << FormatRate(drop_rate)
+      << " dup=" << FormatRate(duplicate_rate)
+      << " reorder=" << FormatRate(reorder_rate)
+      << " delay=" << FormatRate(delay_rate) << " delay_min=" << delay_min
+      << " delay_max=" << delay_max << " reorder_delay=" << reorder_delay
+      << " max_dup=" << max_duplicates;
+  out << " partitions=";
+  for (std::size_t i = 0; i < partitions.size(); ++i) {
+    if (i > 0) out << ',';
+    out << partitions[i].start << '-' << partitions[i].end;
+  }
+  out << " crashes=";
+  for (std::size_t i = 0; i < crashes.size(); ++i) {
+    if (i > 0) out << ',';
+    out << crashes[i];
+  }
+  return out.str();
+}
+
+std::optional<FaultPlan> FaultPlan::Parse(std::string_view line) {
+  FaultPlan plan;
+  std::istringstream in{std::string(line)};
+  std::string token;
+  while (in >> token) {
+    const auto eq = token.find('=');
+    if (eq == std::string::npos) return std::nullopt;
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    char* end = nullptr;
+    if (key == "drop") {
+      plan.drop_rate = std::strtod(value.c_str(), &end);
+    } else if (key == "dup") {
+      plan.duplicate_rate = std::strtod(value.c_str(), &end);
+    } else if (key == "reorder") {
+      plan.reorder_rate = std::strtod(value.c_str(), &end);
+    } else if (key == "delay") {
+      plan.delay_rate = std::strtod(value.c_str(), &end);
+    } else if (key == "delay_min") {
+      plan.delay_min = std::strtoll(value.c_str(), &end, 10);
+    } else if (key == "delay_max") {
+      plan.delay_max = std::strtoll(value.c_str(), &end, 10);
+    } else if (key == "reorder_delay") {
+      plan.reorder_delay = std::strtoll(value.c_str(), &end, 10);
+    } else if (key == "max_dup") {
+      plan.max_duplicates =
+          static_cast<int>(std::strtol(value.c_str(), &end, 10));
+    } else if (key == "partitions") {
+      std::istringstream list(value);
+      std::string item;
+      while (std::getline(list, item, ',')) {
+        const auto dash = item.find('-');
+        if (dash == std::string::npos) return std::nullopt;
+        Partition p;
+        p.start = std::strtoll(item.substr(0, dash).c_str(), nullptr, 10);
+        p.end = std::strtoll(item.substr(dash + 1).c_str(), nullptr, 10);
+        plan.partitions.push_back(p);
+      }
+      continue;
+    } else if (key == "crashes") {
+      std::istringstream list(value);
+      std::string item;
+      while (std::getline(list, item, ',')) {
+        plan.crashes.push_back(std::strtoll(item.c_str(), nullptr, 10));
+      }
+      continue;
+    } else {
+      return std::nullopt;  // unknown key: refuse to half-parse a trace
+    }
+    if (end == value.c_str()) return std::nullopt;
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::FromSeed(std::uint64_t seed, int crash_count) {
+  // Derive from a distinct stream so the plan does not correlate with the
+  // injector's per-packet draws or the workload's operation mix.
+  Rng rng(seed * 0x9E3779B97F4A7C15ull + 0xC0FFEE);
+  FaultPlan plan;
+  plan.drop_rate = rng.NextDouble() * 0.02;
+  plan.duplicate_rate = rng.NextDouble() * 0.02;
+  plan.reorder_rate = rng.NextDouble() * 0.02;
+  plan.delay_rate = rng.NextDouble() * 0.05;
+  if (rng.Bernoulli(0.3)) {
+    // One short partition, well under the Go-Back-N give-up horizon but
+    // long enough to force retransmission timeouts (timeout is 100us).
+    const Nanos start = static_cast<Nanos>(rng.Between(50'000, 250'000));
+    const Nanos len = static_cast<Nanos>(rng.Between(10'000, 50'000));
+    plan.partitions.push_back(Partition{start, start + len});
+  }
+  for (int i = 0; i < crash_count; ++i) {
+    plan.crashes.push_back(
+        static_cast<Nanos>(rng.Between(100'000, 400'000)));
+  }
+  std::sort(plan.crashes.begin(), plan.crashes.end());
+  return plan;
+}
+
+}  // namespace cowbird::chaos

@@ -1,0 +1,66 @@
+// A seeded, serializable description of every fault a chaos run injects.
+//
+// The plan is pure data: packet-level fault rates (drop / duplicate /
+// reorder / delay), link-partition windows during which every RDMA packet
+// is dropped, and engine crash times that drive registry migrations. A run
+// is fully determined by (engine, workload, plan, seed), which is what
+// makes a captured failure trace replayable bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/units.h"
+
+namespace cowbird::chaos {
+
+struct FaultPlan {
+  // Per-RDMA-packet fault probabilities. The injector draws one uniform
+  // variate per packet and partitions it, so the faults are mutually
+  // exclusive and the rates are additive (their sum must stay <= 1).
+  double drop_rate = 0.0;
+  double duplicate_rate = 0.0;
+  double reorder_rate = 0.0;
+  double delay_rate = 0.0;
+
+  // Plain delay faults hold a packet for a uniform draw in [min, max].
+  Nanos delay_min = 500;
+  Nanos delay_max = 5000;
+  // Reorder faults hold a packet long enough for later arrivals to pass
+  // it (several serialization times plus propagation).
+  Nanos reorder_delay = Micros(5);
+  // Duplicate faults emit between 1 and this many extra copies.
+  int max_duplicates = 2;
+
+  // Link-partition windows: while sim time is inside one, every RDMA
+  // packet on the faulted links is dropped.
+  struct Partition {
+    Nanos start = 0;
+    Nanos end = 0;
+  };
+  std::vector<Partition> partitions;
+
+  // Engine crash times. At each, the chaos runner kills the serving engine
+  // without draining (halting its QPs) and migrates the instance through
+  // the registry.
+  std::vector<Nanos> crashes;
+
+  bool AnyPacketFaults() const {
+    return drop_rate > 0 || duplicate_rate > 0 || reorder_rate > 0 ||
+           delay_rate > 0 || !partitions.empty();
+  }
+
+  // One-line key=value form used in failure traces.
+  std::string Serialize() const;
+  static std::optional<FaultPlan> Parse(std::string_view line);
+
+  // Derives a randomized mixed plan from a seed: moderate fault rates, a
+  // chance of partitions, and `crashes` crash events. Every sweep seed
+  // exercises a different mixture deterministically.
+  static FaultPlan FromSeed(std::uint64_t seed, int crash_count);
+};
+
+}  // namespace cowbird::chaos

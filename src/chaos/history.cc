@@ -1,0 +1,168 @@
+#include "chaos/history.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <tuple>
+#include <utility>
+
+#include "common/check.h"
+
+namespace cowbird::chaos {
+
+std::string Violation::Format() const {
+  std::ostringstream out;
+  out << kind << " op=" << op_id << " " << detail;
+  return out.str();
+}
+
+std::uint64_t HistoryRecorder::Digest(std::span<const std::uint8_t> bytes) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+std::uint64_t HistoryRecorder::OnInvoke(int thread, bool is_write,
+                                        std::uint16_t region,
+                                        std::uint64_t offset,
+                                        std::uint32_t length, Nanos now,
+                                        std::uint64_t write_digest) {
+  OpRecord op;
+  op.id = ops_.size();
+  op.thread = thread;
+  op.is_write = is_write;
+  op.region = region;
+  op.offset = offset;
+  op.length = length;
+  op.invoke = now;
+  op.digest = is_write ? write_digest : 0;
+  ops_.push_back(op);
+  return op.id;
+}
+
+void HistoryRecorder::OnComplete(std::uint64_t op_id, Nanos now,
+                                 std::uint64_t read_digest) {
+  COWBIRD_CHECK(op_id < ops_.size());
+  OpRecord& op = ops_[op_id];
+  COWBIRD_CHECK(op.complete == kNeverCompleted);
+  op.complete = now;
+  if (!op.is_write) op.digest = read_digest;
+}
+
+namespace {
+
+std::uint64_t ZeroDigest(std::uint32_t length) {
+  std::vector<std::uint8_t> zeros(length, 0);
+  return HistoryRecorder::Digest(zeros);
+}
+
+}  // namespace
+
+std::vector<Violation> CheckHistory(const std::vector<OpRecord>& ops) {
+  std::vector<Violation> violations;
+  auto flag = [&violations](const OpRecord& op, const char* kind,
+                            std::string detail) {
+    violations.push_back(Violation{op.id, kind, std::move(detail)});
+  };
+
+  // Completion liveness and per-(thread, type) FIFO. Operations appear in
+  // invoke order, so a single pass per group suffices.
+  std::map<std::pair<int, bool>, std::pair<Nanos, bool>> group_state;
+  for (const OpRecord& op : ops) {
+    auto& [last_complete, saw_lost] = group_state[{op.thread, op.is_write}];
+    if (op.complete == kNeverCompleted) {
+      flag(op, "never-completed",
+           op.is_write ? "write was invoked but never retired"
+                       : "read was invoked but never retired");
+      saw_lost = true;
+      continue;
+    }
+    if (saw_lost) {
+      flag(op, "fifo-skip",
+           "completed although an earlier same-type op on this thread "
+           "never did");
+    } else if (op.complete < last_complete) {
+      std::ostringstream detail;
+      detail << "completed at " << op.complete
+             << " before an earlier same-type op completed at "
+             << last_complete;
+      flag(op, "fifo-order", detail.str());
+    }
+    if (op.complete > last_complete) last_complete = op.complete;
+  }
+
+  // Per-slot read/write consistency.
+  using SlotKey = std::tuple<std::uint16_t, std::uint64_t, std::uint32_t>;
+  struct WriteVersion {
+    const OpRecord* op;
+    std::uint64_t version;  // 1-based; 0 = never written
+  };
+  std::map<SlotKey, std::vector<WriteVersion>> slot_writes;
+  for (const OpRecord& op : ops) {
+    if (!op.is_write) continue;
+    auto& writes = slot_writes[{op.region, op.offset, op.length}];
+    writes.push_back(WriteVersion{&op, writes.size() + 1});
+  }
+
+  for (const OpRecord& op : ops) {
+    if (op.is_write || op.complete == kNeverCompleted) continue;
+    const SlotKey key{op.region, op.offset, op.length};
+    const auto it = slot_writes.find(key);
+    const std::vector<WriteVersion> no_writes;
+    const auto& writes = it == slot_writes.end() ? no_writes : it->second;
+
+    // Resolve the observed digest to a version.
+    std::uint64_t observed = 0;
+    bool resolved = op.digest == ZeroDigest(op.length);
+    for (const WriteVersion& w : writes) {
+      if (w.op->digest == op.digest) {
+        observed = w.version;  // last match wins; digests are unique anyway
+        resolved = true;
+      }
+    }
+    if (!resolved) {
+      std::ostringstream detail;
+      detail << "digest " << op.digest
+             << " matches no write to slot offset=" << op.offset
+             << " (torn or corrupt payload)";
+      flag(op, "torn-read", detail.str());
+      continue;
+    }
+
+    // floor: versions this read is guaranteed to see. Strict comparisons
+    // throughout — completion times are recorded at harvest, which lags the
+    // true event, so leniency must always favor the history.
+    std::uint64_t floor = 0;
+    std::uint64_t ceiling = 0;
+    for (const WriteVersion& w : writes) {
+      const bool same_thread_before =
+          w.op->thread == op.thread && w.op->invoke < op.invoke;
+      const bool completed_before = w.op->complete != kNeverCompleted &&
+                                    w.op->complete < op.invoke;
+      if (same_thread_before || completed_before) {
+        floor = std::max(floor, w.version);
+      }
+      if (w.op->invoke <= op.complete) {
+        ceiling = std::max(ceiling, w.version);
+      }
+    }
+    if (observed < floor) {
+      std::ostringstream detail;
+      detail << "observed version " << observed << " but version " << floor
+             << " preceded the read (offset=" << op.offset << ")";
+      flag(op, "stale-read", detail.str());
+    } else if (observed > ceiling) {
+      std::ostringstream detail;
+      detail << "observed version " << observed
+             << " which was not invoked until after the read completed "
+             << "(ceiling " << ceiling << ", offset=" << op.offset << ")";
+      flag(op, "future-read", detail.str());
+    }
+  }
+  return violations;
+}
+
+}  // namespace cowbird::chaos

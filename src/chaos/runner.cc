@@ -1,0 +1,434 @@
+#include "chaos/runner.h"
+
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "chaos/fault_injector.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/sparse_memory.h"
+#include "core/client.h"
+#include "net/switch.h"
+#include "offload/progress.h"
+#include "offload/registry.h"
+#include "p4/engine.h"
+#include "rdma/device.h"
+#include "rdma/params.h"
+#include "sim/simulation.h"
+#include "sim/thread.h"
+#include "spot/agent.h"
+#include "spot/setup.h"
+
+namespace cowbird::chaos {
+namespace {
+
+using core::CowbirdClient;
+using core::ReqId;
+
+constexpr net::NodeId kComputeId = 1;
+constexpr net::NodeId kMemoryId = 2;
+constexpr net::NodeId kSpotId = 3;
+constexpr net::NodeId kSwitchId = 100;
+constexpr std::uint64_t kPoolBase = 0x100000;
+constexpr std::uint64_t kHeap = 0x4000000;
+constexpr std::uint16_t kRegion = 1;
+// Issue no new operations past this point; drain until the hard deadline.
+constexpr Nanos kIssueDeadline = Millis(20);
+constexpr Nanos kDrainDeadline = Millis(40);
+
+// The whole deterministic world of one chaos run: the Section 7 testbed
+// topology, a client, the serving engine plus spot standbys behind an
+// InstanceRegistry, the fault injector, and the recorded history.
+struct ChaosHarness {
+  explicit ChaosHarness(const ChaosOptions& opt)
+      : options(opt),
+        sw(sim, net::Switch::Config{.pipeline_latency =
+                                        fabric_params.switch_pipeline}),
+        compute_nic(sim, kComputeId, fabric_params.host_link,
+                    fabric_params.link_propagation),
+        memory_nic(sim, kMemoryId, fabric_params.host_link,
+                   fabric_params.link_propagation),
+        spot_nic(sim, kSpotId, fabric_params.host_link,
+                 fabric_params.link_propagation),
+        compute_dev(compute_nic, compute_mem, nic_config),
+        memory_dev(memory_nic, memory_mem, nic_config),
+        spot_dev(spot_nic, spot_mem, nic_config),
+        compute_machine(sim, 16),
+        machine_a(sim, 1),
+        machine_b(sim, 1),
+        injector(sim, opt.plan, opt.seed) {
+    compute_nic.ConnectTo(sw);
+    memory_nic.ConnectTo(sw);
+    spot_nic.ConnectTo(sw);
+    pool_mr = memory_dev.RegisterMemory(kPoolBase, MiB(64));
+
+    CowbirdClient::Config cc;
+    cc.layout.base = 0x10000;
+    cc.layout.threads = opt.workload.threads;
+    cc.layout.meta_slots = 128;
+    cc.layout.data_capacity = KiB(128);
+    cc.layout.resp_capacity = KiB(128);
+    client = std::make_unique<CowbirdClient>(compute_dev, cc);
+    client->RegisterRegion(core::RegionInfo{kRegion, kMemoryId, kPoolBase,
+                                            pool_mr->rkey, MiB(64)});
+
+    spot::SpotAgent::Config config_a;
+    config_a.staging_base = 0x4000'0000;
+    config_a.chaos_unsafe_skip_hazards = opt.break_fence;
+    spot::SpotAgent::Config config_b;
+    config_b.staging_base = 0x8000'0000;
+    config_b.chaos_unsafe_skip_hazards = opt.break_fence;
+    agent_a = std::make_unique<spot::SpotAgent>(spot_dev, machine_a, config_a);
+    agent_b = std::make_unique<spot::SpotAgent>(spot_dev, machine_b, config_b);
+    agent_a->Start();
+    agent_b->Start();
+
+    if (opt.engine == EngineKind::kP4) {
+      p4::CowbirdP4Engine::Config ec;
+      ec.switch_node_id = kSwitchId;
+      ec.chaos_unsafe_skip_hazards = opt.break_fence;
+      p4_engine = std::make_unique<p4::CowbirdP4Engine>(sw, ec);
+      p4_engine->Start();
+      serving = registry.AddEngine(P4Binding());
+      serving_agent = nullptr;
+    } else {
+      serving = registry.AddEngine(SpotBinding(*agent_a, "spot-a"));
+      serving_agent = agent_a.get();
+    }
+    const EngineId placed =
+        registry.AddInstance(client->descriptor().instance_id, serving);
+    COWBIRD_CHECK(placed == serving);
+
+    if (opt.plan.AnyPacketFaults()) {
+      injector.Attach(sw.EgressLink(compute_nic.switch_port()));
+      injector.Attach(sw.EgressLink(memory_nic.switch_port()));
+      injector.Attach(sw.EgressLink(spot_nic.switch_port()));
+      injector.Attach(compute_nic.uplink());
+      injector.Attach(memory_nic.uplink());
+      injector.Attach(spot_nic.uplink());
+    }
+    for (const Nanos when : opt.plan.crashes) {
+      sim.ScheduleAt(when, [this] { CrashServingEngine(); });
+    }
+  }
+
+  using EngineId = offload::EngineId;
+
+  // The client's published red block, per thread — the optimistic counters
+  // a crash-exported snapshot is reconciled against.
+  std::vector<offload::ThreadProgress> ReadPublishedProgress() const {
+    std::vector<offload::ThreadProgress> published;
+    const auto& layout = client->descriptor().layout;
+    std::vector<std::uint8_t> block(core::kRedBlockBytes);
+    for (int t = 0; t < layout.threads; ++t) {
+      compute_mem.Read(layout.RedAddr(t), block);
+      published.push_back(offload::ProgressPublisher::Unpack(block));
+    }
+    return published;
+  }
+
+  offload::EngineBinding SpotBinding(spot::SpotAgent& agent,
+                                     std::string name) {
+    offload::EngineBinding binding;
+    binding.name = std::move(name);
+    binding.attach = [this, &agent](std::uint32_t instance_id,
+                                    const offload::InstanceProgress* resume) {
+      COWBIRD_CHECK(instance_id == client->descriptor().instance_id);
+      rdma::Device* memories[] = {&memory_dev};
+      auto conn = spot::ConnectSpotEngine(spot_dev, compute_dev, memories);
+      offload::InstanceProgress reconciled;
+      const offload::InstanceProgress* use = resume;
+      if (resume != nullptr) {
+        reconciled = *resume;
+        offload::ReconcileWithPublished(reconciled, ReadPublishedProgress());
+        use = &reconciled;
+      }
+      agent.AddInstance(client->descriptor(), conn.to_compute,
+                        conn.compute_cq, conn.to_memory, conn.memory_cqs,
+                        use);
+      conn_of[&agent] = conn;
+      serving_agent = &agent;
+      return true;
+    };
+    binding.detach = [this, &agent](std::uint32_t instance_id) {
+      // Crash semantics: export, then kill the NIC state mid-flight — no
+      // drain, and no zombie retransmissions once the survivor takes over.
+      auto snapshot = agent.ExportProgress(instance_id);
+      agent.RemoveInstance(instance_id);
+      auto it = conn_of.find(&agent);
+      if (it != conn_of.end()) {
+        it->second.to_compute->Halt();
+        for (auto& [node, qp] : it->second.to_memory) qp->Halt();
+        conn_of.erase(it);
+      }
+      return snapshot;
+    };
+    return binding;
+  }
+
+  offload::EngineBinding P4Binding() {
+    offload::EngineBinding binding;
+    binding.name = "p4";
+    binding.attach = [this](std::uint32_t instance_id,
+                            const offload::InstanceProgress* resume) {
+      COWBIRD_CHECK(instance_id == client->descriptor().instance_id);
+      auto conn = p4::ConnectP4Engine(*p4_engine, kSwitchId, compute_dev,
+                                      memory_dev, 0x800);
+      p4_engine->AddInstance(client->descriptor(), conn, resume);
+      serving_agent = nullptr;
+      return true;
+    };
+    binding.detach = [this](std::uint32_t instance_id) {
+      // The P4 engine's counters only ever cover completed work and its
+      // in-flight pipeline state dies with the instance entry, so its
+      // export is crash-safe as-is. The switch makes no host-side verbs of
+      // its own to halt; packets already on the wire land harmlessly
+      // (idempotent re-execution, Section 5.3).
+      auto snapshot = p4_engine->ExportProgress(instance_id);
+      p4_engine->RemoveInstance(instance_id);
+      p4_engine->StopProbing();
+      return snapshot;
+    };
+    return binding;
+  }
+
+  void CrashServingEngine() {
+    if (serving == offload::kNoEngine) return;
+    // Bring up the standby as a *new* registry engine first so the
+    // migration has exactly one live target, then kill the serving one.
+    spot::SpotAgent* standby =
+        serving_agent == agent_a.get() ? agent_b.get() : agent_a.get();
+    const EngineId fresh = registry.AddEngine(
+        SpotBinding(*standby, standby == agent_a.get() ? "spot-a" : "spot-b"));
+    const EngineId dying = serving;
+    registry.StopEngine(dying);
+    serving = fresh;
+    ++crashes_executed;
+  }
+
+  const ChaosOptions& options;
+  sim::Simulation sim;
+  rdma::FabricParams fabric_params;
+  rdma::NicConfig nic_config;
+  net::Switch sw;
+  net::HostNic compute_nic;
+  net::HostNic memory_nic;
+  net::HostNic spot_nic;
+  SparseMemory compute_mem;
+  SparseMemory memory_mem;
+  SparseMemory spot_mem;
+  rdma::Device compute_dev;
+  rdma::Device memory_dev;
+  rdma::Device spot_dev;
+  sim::Machine compute_machine;
+  sim::Machine machine_a;
+  sim::Machine machine_b;
+  const rdma::MemoryRegion* pool_mr = nullptr;
+  std::unique_ptr<CowbirdClient> client;
+  std::unique_ptr<spot::SpotAgent> agent_a;
+  std::unique_ptr<spot::SpotAgent> agent_b;
+  std::unique_ptr<p4::CowbirdP4Engine> p4_engine;
+  offload::InstanceRegistry registry;
+  std::map<spot::SpotAgent*, spot::SpotConnection> conn_of;
+  spot::SpotAgent* serving_agent = nullptr;
+  EngineId serving = offload::kNoEngine;
+  FaultInjector injector;
+  HistoryRecorder recorder;
+  std::uint64_t reads_checked = 0;
+  std::uint64_t writes_completed = 0;
+  std::uint64_t crashes_executed = 0;
+  int threads_done = 0;
+};
+
+// One application thread: random reads/writes over its own slots, every
+// operation recorded as an interval in the shared history.
+sim::Task<void> WorkloadThread(ChaosHarness& h, int t) {
+  const WorkloadParams& wl = h.options.workload;
+  sim::SimThread thread(h.compute_machine, "chaos-app");
+  auto& ctx = h.client->thread(t);
+  const core::PollId poll = ctx.PollCreate();
+  Rng rng(h.options.seed * 1000003 + static_cast<std::uint64_t>(t) * 7919 +
+          1);
+
+  const std::uint64_t scratch = kHeap + static_cast<std::uint64_t>(t) *
+                                            MiB(4);
+  const std::uint64_t dest_base =
+      kHeap + MiB(32) + static_cast<std::uint64_t>(t) * MiB(1);
+  std::vector<std::uint64_t> versions(wl.slots_per_thread, 0);
+
+  struct PendingEntry {
+    std::uint64_t seq = 0;      // client-side per-type sequence
+    std::uint64_t hist_id = 0;  // HistoryRecorder op id
+    std::uint64_t dest = 0;     // reads only
+    std::uint32_t length = 0;
+  };
+  std::deque<PendingEntry> reads, writes;
+  int dest_rr = 0;
+
+  auto harvest = [&h, &ctx, &reads, &writes] {
+    while (!reads.empty() && ctx.reads_retired() >= reads.front().seq) {
+      const PendingEntry& r = reads.front();
+      std::vector<std::uint8_t> observed(r.length);
+      h.compute_mem.Read(r.dest, observed);
+      h.recorder.OnComplete(r.hist_id, h.sim.Now(),
+                            HistoryRecorder::Digest(observed));
+      ++h.reads_checked;
+      reads.pop_front();
+    }
+    while (!writes.empty() && ctx.writes_retired() >= writes.front().seq) {
+      h.recorder.OnComplete(writes.front().hist_id, h.sim.Now());
+      ++h.writes_completed;
+      writes.pop_front();
+    }
+  };
+
+  std::vector<std::uint8_t> payload;
+  for (int i = 0; i < wl.ops_per_thread && h.sim.Now() < kIssueDeadline;) {
+    const int slot = static_cast<int>(rng.Below(
+        static_cast<std::uint64_t>(wl.slots_per_thread)));
+    const std::uint64_t offset =
+        static_cast<std::uint64_t>(t * wl.slots_per_thread + slot) * 4096;
+    if (rng.Bernoulli(wl.write_ratio)) {
+      const std::uint64_t version = versions[slot] + 1;
+      payload.assign(wl.len, 0);
+      for (int b = 0; b < 8; ++b) {
+        payload[b] = static_cast<std::uint8_t>(version >> (8 * b));
+        payload[8 + b] = static_cast<std::uint8_t>(
+            static_cast<std::uint64_t>(offset) >> (8 * b));
+      }
+      for (std::uint32_t b = 16; b < wl.len; ++b) {
+        payload[b] = static_cast<std::uint8_t>(
+            version * 37 + static_cast<std::uint64_t>(slot));
+      }
+      h.compute_mem.Write(scratch, payload);
+      auto id = co_await ctx.AsyncWrite(thread, kRegion, scratch, offset,
+                                        wl.len);
+      if (!id.has_value()) {
+        harvest();
+        co_await thread.Idle(Micros(10));
+        continue;
+      }
+      versions[slot] = version;
+      const std::uint64_t hist_id =
+          h.recorder.OnInvoke(t, /*is_write=*/true, kRegion, offset, wl.len,
+                              h.sim.Now(), HistoryRecorder::Digest(payload));
+      writes.push_back(PendingEntry{id->seq(), hist_id, 0, wl.len});
+      ctx.PollAdd(poll, *id);
+    } else {
+      const std::uint64_t dest =
+          dest_base + static_cast<std::uint64_t>(dest_rr++ % 64) * 4096;
+      auto id = co_await ctx.AsyncRead(thread, kRegion, offset, dest,
+                                       wl.len);
+      if (!id.has_value()) {
+        harvest();
+        co_await thread.Idle(Micros(10));
+        continue;
+      }
+      const std::uint64_t hist_id = h.recorder.OnInvoke(
+          t, /*is_write=*/false, kRegion, offset, wl.len, h.sim.Now());
+      reads.push_back(PendingEntry{id->seq(), hist_id, dest, wl.len});
+    }
+    ++i;
+
+    while (static_cast<int>(reads.size() + writes.size()) >=
+           wl.max_outstanding) {
+      const auto done = co_await ctx.PollWait(thread, poll, 16, 0);
+      harvest();
+      if (static_cast<int>(reads.size() + writes.size()) <
+          wl.max_outstanding) {
+        break;
+      }
+      if (done.empty()) co_await thread.Idle(Micros(5));
+      if (h.sim.Now() >= kDrainDeadline) break;
+    }
+    if (h.sim.Now() >= kDrainDeadline) break;
+  }
+
+  // Drain: whatever never retires by the deadline stays open in the
+  // history and the checker reports it.
+  while (!(reads.empty() && writes.empty()) &&
+         h.sim.Now() < kDrainDeadline) {
+    (void)co_await ctx.PollWait(thread, poll, 16, Micros(50));
+    harvest();
+  }
+  if (++h.threads_done == h.options.workload.threads) h.sim.Halt();
+}
+
+}  // namespace
+
+const char* EngineKindName(EngineKind kind) {
+  return kind == EngineKind::kSpot ? "spot" : "p4";
+}
+
+std::optional<EngineKind> ParseEngineKind(std::string_view name) {
+  if (name == "spot") return EngineKind::kSpot;
+  if (name == "p4") return EngineKind::kP4;
+  return std::nullopt;
+}
+
+std::string WorkloadParams::Serialize() const {
+  std::ostringstream out;
+  out << "threads=" << threads << " slots=" << slots_per_thread
+      << " len=" << len << " ops=" << ops_per_thread;
+  char ratio[32];
+  std::snprintf(ratio, sizeof(ratio), "%.6g", write_ratio);
+  out << " write_ratio=" << ratio << " outstanding=" << max_outstanding;
+  return out.str();
+}
+
+std::optional<WorkloadParams> WorkloadParams::Parse(std::string_view line) {
+  WorkloadParams wl;
+  std::istringstream in{std::string(line)};
+  std::string token;
+  while (in >> token) {
+    const auto eq = token.find('=');
+    if (eq == std::string::npos) return std::nullopt;
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (key == "threads") {
+      wl.threads = std::atoi(value.c_str());
+    } else if (key == "slots") {
+      wl.slots_per_thread = std::atoi(value.c_str());
+    } else if (key == "len") {
+      wl.len = static_cast<std::uint32_t>(std::atoi(value.c_str()));
+    } else if (key == "ops") {
+      wl.ops_per_thread = std::atoi(value.c_str());
+    } else if (key == "write_ratio") {
+      wl.write_ratio = std::atof(value.c_str());
+    } else if (key == "outstanding") {
+      wl.max_outstanding = std::atoi(value.c_str());
+    } else {
+      return std::nullopt;
+    }
+  }
+  return wl;
+}
+
+ChaosResult RunChaos(const ChaosOptions& options) {
+  COWBIRD_CHECK(options.workload.threads >= 1);
+  COWBIRD_CHECK(options.workload.len >= 16 && options.workload.len <= 4096);
+  COWBIRD_CHECK(options.workload.max_outstanding >= 1 &&
+                options.workload.max_outstanding <= 32);
+
+  ChaosHarness harness(options);
+  for (int t = 0; t < options.workload.threads; ++t) {
+    harness.sim.Spawn(WorkloadThread(harness, t));
+  }
+  harness.sim.Run();
+
+  ChaosResult result;
+  result.history = harness.recorder.ops();
+  result.violations = CheckHistory(result.history);
+  result.reads_checked = harness.reads_checked;
+  result.writes_completed = harness.writes_completed;
+  result.faults_injected = harness.injector.decided_total();
+  result.counters_exact = harness.injector.CountersExact();
+  result.crashes_executed = harness.crashes_executed;
+  return result;
+}
+
+}  // namespace cowbird::chaos

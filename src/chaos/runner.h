@@ -1,0 +1,71 @@
+// The chaos harness: one deterministic run of client workload + engine(s)
+// + fault plan, with a checked operation history.
+//
+// A run stands up the testbed topology (compute + memory + spot node on one
+// switch), an InstanceRegistry over the chosen primary engine plus spot
+// standbys, and a multi-threaded client workload that records every
+// operation into a HistoryRecorder. The FaultPlan drives a FaultInjector on
+// every fabric link and schedules engine crashes: a crash halts the serving
+// engine's QPs mid-flight (no drain, zombie retransmissions killed) and
+// migrates the instance through the registry to a standby, reconciling the
+// crash-exported snapshot against the client's published red block.
+//
+// Everything is derived from ChaosOptions — same options, same result,
+// bit for bit — which is what makes failure traces replayable.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "chaos/fault_plan.h"
+#include "chaos/history.h"
+
+namespace cowbird::chaos {
+
+enum class EngineKind { kSpot, kP4 };
+
+const char* EngineKindName(EngineKind kind);
+std::optional<EngineKind> ParseEngineKind(std::string_view name);
+
+struct WorkloadParams {
+  int threads = 2;
+  int slots_per_thread = 4;  // distinct 4KiB-spaced addresses per thread
+  std::uint32_t len = 128;   // record length (<= 4096)
+  int ops_per_thread = 300;
+  double write_ratio = 0.4;
+  int max_outstanding = 8;
+
+  std::string Serialize() const;
+  static std::optional<WorkloadParams> Parse(std::string_view line);
+};
+
+struct ChaosOptions {
+  EngineKind engine = EngineKind::kSpot;
+  std::uint64_t seed = 1;
+  // TEST-ONLY: runs the engines with their read-after-write fence disabled,
+  // to prove the checker catches the resulting stale reads.
+  bool break_fence = false;
+  WorkloadParams workload;
+  FaultPlan plan;
+};
+
+struct ChaosResult {
+  std::vector<OpRecord> history;
+  std::vector<Violation> violations;
+  std::uint64_t reads_checked = 0;
+  std::uint64_t writes_completed = 0;
+  // Fault-injection audit: decisions made, and whether the links' fault
+  // counters match them exactly.
+  std::uint64_t faults_injected = 0;
+  bool counters_exact = true;
+  std::uint64_t crashes_executed = 0;
+
+  bool Passed() const { return violations.empty() && counters_exact; }
+};
+
+ChaosResult RunChaos(const ChaosOptions& options);
+
+}  // namespace cowbird::chaos

@@ -1,0 +1,153 @@
+#include "chaos/trace.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace cowbird::chaos {
+namespace {
+
+constexpr const char* kMagic = "cowbird-chaos-trace v1";
+
+std::string FormatOp(const OpRecord& op) {
+  std::ostringstream out;
+  out << op.id << ' ' << op.thread << ' ' << (op.is_write ? 'W' : 'R') << ' '
+      << op.region << ' ' << op.offset << ' ' << op.length << ' '
+      << op.invoke << ' ' << op.complete << ' ' << op.digest;
+  return out.str();
+}
+
+std::optional<OpRecord> ParseOp(const std::string& line) {
+  std::istringstream in(line);
+  OpRecord op;
+  char type = 0;
+  if (!(in >> op.id >> op.thread >> type >> op.region >> op.offset >>
+        op.length >> op.invoke >> op.complete >> op.digest)) {
+    return std::nullopt;
+  }
+  op.is_write = type == 'W';
+  return op;
+}
+
+}  // namespace
+
+ChaosTrace MakeTrace(const ChaosOptions& options, const ChaosResult& result) {
+  ChaosTrace trace;
+  trace.options = options;
+  for (const Violation& v : result.violations) {
+    trace.violations.push_back(v.Format());
+  }
+  trace.history = result.history;
+  return trace;
+}
+
+std::string SerializeTrace(const ChaosTrace& trace) {
+  std::ostringstream out;
+  out << kMagic << '\n';
+  out << "engine " << EngineKindName(trace.options.engine) << '\n';
+  out << "seed " << trace.options.seed << '\n';
+  out << "break_fence " << (trace.options.break_fence ? 1 : 0) << '\n';
+  out << "workload " << trace.options.workload.Serialize() << '\n';
+  out << "plan " << trace.options.plan.Serialize() << '\n';
+  out << "violations " << trace.violations.size() << '\n';
+  for (const std::string& v : trace.violations) out << v << '\n';
+  out << "history " << trace.history.size() << '\n';
+  for (const OpRecord& op : trace.history) out << FormatOp(op) << '\n';
+  out << "end\n";
+  return out.str();
+}
+
+std::optional<ChaosTrace> ParseTrace(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) return std::nullopt;
+
+  ChaosTrace trace;
+  auto read_keyed = [&in, &line](const std::string& key,
+                                 std::string& value) {
+    if (!std::getline(in, line)) return false;
+    if (line.rfind(key + ' ', 0) != 0) return false;
+    value = line.substr(key.size() + 1);
+    return true;
+  };
+
+  std::string value;
+  if (!read_keyed("engine", value)) return std::nullopt;
+  const auto engine = ParseEngineKind(value);
+  if (!engine.has_value()) return std::nullopt;
+  trace.options.engine = *engine;
+  if (!read_keyed("seed", value)) return std::nullopt;
+  trace.options.seed = std::strtoull(value.c_str(), nullptr, 10);
+  if (!read_keyed("break_fence", value)) return std::nullopt;
+  trace.options.break_fence = value == "1";
+  if (!read_keyed("workload", value)) return std::nullopt;
+  const auto workload = WorkloadParams::Parse(value);
+  if (!workload.has_value()) return std::nullopt;
+  trace.options.workload = *workload;
+  if (!read_keyed("plan", value)) return std::nullopt;
+  const auto plan = FaultPlan::Parse(value);
+  if (!plan.has_value()) return std::nullopt;
+  trace.options.plan = *plan;
+
+  if (!read_keyed("violations", value)) return std::nullopt;
+  const auto violation_count = std::strtoull(value.c_str(), nullptr, 10);
+  for (std::uint64_t i = 0; i < violation_count; ++i) {
+    if (!std::getline(in, line)) return std::nullopt;
+    trace.violations.push_back(line);
+  }
+  if (!read_keyed("history", value)) return std::nullopt;
+  const auto history_count = std::strtoull(value.c_str(), nullptr, 10);
+  for (std::uint64_t i = 0; i < history_count; ++i) {
+    if (!std::getline(in, line)) return std::nullopt;
+    const auto op = ParseOp(line);
+    if (!op.has_value()) return std::nullopt;
+    trace.history.push_back(*op);
+  }
+  if (!std::getline(in, line) || line != "end") return std::nullopt;
+  return trace;
+}
+
+bool WriteTraceFile(const std::string& path, const ChaosTrace& trace) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << SerializeTrace(trace);
+  return static_cast<bool>(out);
+}
+
+std::optional<ChaosTrace> ReadTraceFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseTrace(buffer.str());
+}
+
+ReplayOutcome ReplayTrace(const ChaosTrace& trace) {
+  ReplayOutcome outcome;
+  outcome.result = RunChaos(trace.options);
+  std::vector<std::string> replayed;
+  for (const Violation& v : outcome.result.violations) {
+    replayed.push_back(v.Format());
+  }
+  if (replayed.size() != trace.violations.size()) {
+    std::ostringstream mismatch;
+    mismatch << "violation count differs: trace has "
+             << trace.violations.size() << ", replay produced "
+             << replayed.size();
+    outcome.mismatch = mismatch.str();
+    return outcome;
+  }
+  for (std::size_t i = 0; i < replayed.size(); ++i) {
+    if (replayed[i] != trace.violations[i]) {
+      std::ostringstream mismatch;
+      mismatch << "violation " << i << " differs:\n  trace:  "
+               << trace.violations[i] << "\n  replay: " << replayed[i];
+      outcome.mismatch = mismatch.str();
+      return outcome;
+    }
+  }
+  outcome.deterministic = true;
+  return outcome;
+}
+
+}  // namespace cowbird::chaos

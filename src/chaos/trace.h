@@ -1,0 +1,43 @@
+// Failure-trace capture and deterministic replay.
+//
+// When a chaos run's checker finds violations, the run is dumped to a
+// line-based text trace: everything needed to re-execute it (engine, seed,
+// fence knob, workload, fault plan) plus everything needed to audit it
+// offline (the violations and the full operation history). ReplayTrace
+// parses the reproduction header, re-runs RunChaos, and verifies the rerun
+// produces the *identical* violations — the determinism claim the whole
+// harness rests on, and the repro workflow for a red seed-sweep shard.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "chaos/runner.h"
+
+namespace cowbird::chaos {
+
+struct ChaosTrace {
+  ChaosOptions options;
+  std::vector<std::string> violations;  // Violation::Format() lines
+  std::vector<OpRecord> history;
+};
+
+ChaosTrace MakeTrace(const ChaosOptions& options, const ChaosResult& result);
+
+std::string SerializeTrace(const ChaosTrace& trace);
+std::optional<ChaosTrace> ParseTrace(const std::string& text);
+
+// Convenience file forms (empty path / failed IO reported via false /
+// nullopt).
+bool WriteTraceFile(const std::string& path, const ChaosTrace& trace);
+std::optional<ChaosTrace> ReadTraceFile(const std::string& path);
+
+struct ReplayOutcome {
+  bool deterministic = false;  // rerun produced the identical violations
+  ChaosResult result;          // the rerun's result
+  std::string mismatch;        // first difference when !deterministic
+};
+
+ReplayOutcome ReplayTrace(const ChaosTrace& trace);
+
+}  // namespace cowbird::chaos

@@ -114,8 +114,7 @@ struct YcsbHarness {
           auto conn = p4::ConnectP4Engine(*p4_engine, ec.switch_node_id,
                                           bed.compute_dev, bed.memory_dev,
                                           0x800);
-          p4_engine->AddInstance(client->descriptor(), conn.compute,
-                                 conn.probe, conn.memory);
+          p4_engine->AddInstance(client->descriptor(), conn);
           p4_engine->Start();
         } else {
           spot::SpotAgent::Config ac = cfg.agent;

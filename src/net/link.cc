@@ -46,6 +46,43 @@ void Link::Deliver(Packet packet) {
     ++packets_dropped_;
     return;
   }
+  if (!fault_filter_) {
+    Arrive(std::move(packet));
+    return;
+  }
+  const FaultAction action = fault_filter_(packet);
+  if (action.drop) {
+    ++packets_dropped_;
+    ++faults_dropped_;
+    return;
+  }
+  if (action.reorder) {
+    ++faults_reordered_;
+  } else if (action.delay > 0) {
+    ++faults_delayed_;
+  }
+  faults_duplicated_ += static_cast<std::uint64_t>(
+      action.duplicate > 0 ? action.duplicate : 0);
+  // Duplicates trail the original at the same (possibly delayed) arrival
+  // time; scheduled deliveries bypass the filters so a fault is never
+  // compounded with itself.
+  const int duplicates = action.duplicate;
+  Packet dup = duplicates > 0 ? packet : Packet{};
+  if (action.delay > 0) {
+    sim_->ScheduleAfter(action.delay, [this, p = std::move(packet)]() mutable {
+      Arrive(std::move(p));
+    });
+  } else {
+    Arrive(std::move(packet));
+  }
+  for (int copy = 0; copy < duplicates; ++copy) {
+    sim_->ScheduleAfter(action.delay, [this, p = dup]() mutable {
+      Arrive(std::move(p));
+    });
+  }
+}
+
+void Link::Arrive(Packet packet) {
   ++packets_delivered_;
   bytes_delivered_ += packet.bytes.size();
   if (receiver_) receiver_(std::move(packet));

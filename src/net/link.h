@@ -7,6 +7,11 @@
 // optional drop filter — corruption and congestive loss look identical to
 // the endpoints, which is all the Go-Back-N recovery path (Section 5.3)
 // can observe anyway.
+//
+// Beyond plain loss, a fault filter can mutate delivery: drop, duplicate,
+// delay, or hold a packet long enough that later arrivals overtake it
+// (reordering). Each injected fault is counted exactly once, so a chaos
+// plan's decisions can be audited against the link's counters.
 #pragma once
 
 #include <deque>
@@ -18,6 +23,18 @@
 #include "sim/simulation.h"
 
 namespace cowbird::net {
+
+// What a fault filter decides for one delivered packet. The original packet
+// is delivered unless `drop`; `duplicate` extra copies follow it; a non-zero
+// `delay` postpones delivery (copies included). `reorder` marks the delay as
+// intended to push this packet behind later arrivals — it only affects which
+// counter the fault lands in, so injector reports stay exact.
+struct FaultAction {
+  bool drop = false;
+  int duplicate = 0;
+  Nanos delay = 0;
+  bool reorder = false;
+};
 
 class Link {
  public:
@@ -36,6 +53,12 @@ class Link {
   // Return true to drop the packet (applied as the packet would arrive).
   void set_drop_filter(std::function<bool(const Packet&)> filter) {
     drop_filter_ = std::move(filter);
+  }
+  // General delivery mutation, applied after the drop filter as the packet
+  // would arrive. Faulted deliveries (delayed originals, duplicates) do not
+  // re-enter the filters.
+  void set_fault_filter(std::function<FaultAction(const Packet&)> filter) {
+    fault_filter_ = std::move(filter);
   }
 
   void Send(Packet packet);
@@ -56,9 +79,17 @@ class Link {
   std::uint64_t bytes_delivered() const { return bytes_delivered_; }
   std::uint64_t packets_dropped() const { return packets_dropped_; }
 
+  // Exact injected-fault accounting (each FaultAction is counted once, in
+  // exactly one bucket per effect it requested).
+  std::uint64_t faults_dropped() const { return faults_dropped_; }
+  std::uint64_t faults_duplicated() const { return faults_duplicated_; }
+  std::uint64_t faults_delayed() const { return faults_delayed_; }
+  std::uint64_t faults_reordered() const { return faults_reordered_; }
+
  private:
   void StartNext();
   void Deliver(Packet packet);
+  void Arrive(Packet packet);
 
   sim::Simulation* sim_;
   BitRate rate_;
@@ -66,12 +97,17 @@ class Link {
   std::function<void(Packet)> receiver_;
   std::function<void()> idle_callback_;
   std::function<bool(const Packet&)> drop_filter_;
+  std::function<FaultAction(const Packet&)> fault_filter_;
   std::deque<Packet> queue_;
   bool priority_scheduling_ = false;
   bool busy_ = false;
   std::uint64_t packets_delivered_ = 0;
   std::uint64_t bytes_delivered_ = 0;
   std::uint64_t packets_dropped_ = 0;
+  std::uint64_t faults_dropped_ = 0;
+  std::uint64_t faults_duplicated_ = 0;
+  std::uint64_t faults_delayed_ = 0;
+  std::uint64_t faults_reordered_ = 0;
 };
 
 }  // namespace cowbird::net

@@ -11,12 +11,14 @@
 // the state a fresh engine needs to resume an instance.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
 
 #include "common/check.h"
 #include "core/layout.h"
+#include "core/request.h"
 
 namespace cowbird::offload {
 
@@ -72,10 +74,67 @@ class ProgressPublisher {
   }
 };
 
+// A parsed-but-not-yet-completed operation carried in a crash snapshot.
+//
+// The red-block counters alone are not enough to resume after a *crash*
+// (as opposed to a drained handoff): the spot agent advances meta_head at
+// parse time, after which the client frees the metadata slots — parsed ops
+// that have not completed exist nowhere but in the engine. A snapshot
+// therefore carries them explicitly, in probe order:
+//   - completed=true: the transfer is ACKed-durable; the survivor only
+//     advances progress counters over it (never re-executes).
+//   - writes whose payload fetch had consumed the client data ring carry
+//     the payload bytes; everything else is replayed through the normal
+//     ring-addressed path (client-side reservations are still intact for
+//     any op the published counters do not cover).
+struct PendingOp {
+  core::RequestMetadata meta;
+  std::uint64_t seq = 0;   // per-thread per-type sequence (1-based)
+  bool completed = false;
+  std::vector<std::uint8_t> payload;  // writes only; may be empty
+};
+
 // Progress snapshot of a whole instance (one entry per application thread).
 // Exported by an engine on detach, consumed by the next engine on attach.
+// `pending` is either empty (drained handoff, or an engine like Cowbird-P4
+// whose counters only ever cover completed work) or has one list per thread.
 struct InstanceProgress {
   std::vector<ThreadProgress> threads;
+  std::vector<std::vector<PendingOp>> pending;
 };
+
+// Crash-export reconciliation (the control plane's half of a migration).
+//
+// A crash-exported snapshot is conservative: it only counts work whose ACK
+// the dead engine saw. The client's red block may hold *newer* counters —
+// an optimistic publication whose payload provably landed (the red write is
+// chained behind the payload on the same RC QP, so counters are never
+// visible before data). Resuming from the conservative side would re-deliver
+// reads the client already retired, clobbering reused response-ring bytes.
+// The registry glue therefore reads each thread's published red block and
+// merges: every counter is monotone, so element-wise max is exact, and
+// pending ops the merged counters cover are dropped.
+inline void ReconcileWithPublished(
+    InstanceProgress& snapshot, const std::vector<ThreadProgress>& published) {
+  COWBIRD_CHECK(snapshot.threads.size() == published.size());
+  for (std::size_t t = 0; t < snapshot.threads.size(); ++t) {
+    ThreadProgress& s = snapshot.threads[t];
+    const ThreadProgress& p = published[t];
+    s.meta_head = std::max(s.meta_head, p.meta_head);
+    s.data_head = std::max(s.data_head, p.data_head);
+    s.resp_tail = std::max(s.resp_tail, p.resp_tail);
+    s.write_progress = std::max(s.write_progress, p.write_progress);
+    s.read_progress = std::max(s.read_progress, p.read_progress);
+    if (t < snapshot.pending.size()) {
+      auto& ops = snapshot.pending[t];
+      std::erase_if(ops, [&s](const PendingOp& op) {
+        const bool is_write = op.meta.rw_type == core::RwType::kWrite;
+        const std::uint64_t covered =
+            is_write ? s.write_progress : s.read_progress;
+        return op.seq <= covered;
+      });
+    }
+  }
+}
 
 }  // namespace cowbird::offload

@@ -70,9 +70,11 @@ std::vector<std::uint8_t> ControlMessage::Serialize() const {
     put32(region.rkey);
     put64(region.size);
   }
-  PutEndpoint(out, compute);
-  PutEndpoint(out, probe);
-  PutEndpoint(out, memory);
+  PutEndpoint(out, conn.compute);
+  PutEndpoint(out, conn.probe);
+  PutEndpoint(out, conn.memory);
+  PutEndpoint(out, conn.wr_compute);
+  PutEndpoint(out, conn.wr_memory);
   return out;
 }
 
@@ -112,10 +114,12 @@ std::optional<ControlMessage> ControlMessage::Parse(
     region.size = net::GetU64(raw, at); at += 8;
     m.descriptor.regions.push_back(region);
   }
-  if (!need(3 * 16)) return std::nullopt;
-  m.compute = GetEndpoint(raw, at); at += 16;
-  m.probe = GetEndpoint(raw, at); at += 16;
-  m.memory = GetEndpoint(raw, at); at += 16;
+  if (!need(5 * 16)) return std::nullopt;
+  m.conn.compute = GetEndpoint(raw, at); at += 16;
+  m.conn.probe = GetEndpoint(raw, at); at += 16;
+  m.conn.memory = GetEndpoint(raw, at); at += 16;
+  m.conn.wr_compute = GetEndpoint(raw, at); at += 16;
+  m.conn.wr_memory = GetEndpoint(raw, at); at += 16;
   return m;
 }
 
@@ -135,8 +139,7 @@ void ControlPlaneServer::HandlePacket(const net::Packet& packet) {
     reply.rpc_id = message->rpc_id;
     switch (message->op) {
       case ControlOp::kSetup:
-        engine_->AddInstance(message->descriptor, message->compute,
-                             message->probe, message->memory);
+        engine_->AddInstance(message->descriptor, message->conn);
         ++setups_;
         reply.op = ControlOp::kAckOk;
         break;
@@ -195,14 +198,11 @@ sim::Task<bool> ControlPlaneClient::Call(ControlMessage message) {
 }
 
 sim::Task<bool> ControlPlaneClient::Setup(
-    const core::InstanceDescriptor& descriptor, HostEndpoint compute,
-    HostEndpoint probe, HostEndpoint memory) {
+    const core::InstanceDescriptor& descriptor, const P4Connection& conn) {
   ControlMessage m;
   m.op = ControlOp::kSetup;
   m.descriptor = descriptor;
-  m.compute = compute;
-  m.probe = probe;
-  m.memory = memory;
+  m.conn = conn;
   co_return co_await Call(std::move(m));
 }
 

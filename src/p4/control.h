@@ -36,9 +36,7 @@ struct ControlMessage {
   ControlOp op = ControlOp::kSetup;
   std::uint32_t rpc_id = 0;  // echoed in the reply
   core::InstanceDescriptor descriptor;
-  HostEndpoint compute;
-  HostEndpoint probe;
-  HostEndpoint memory;
+  P4Connection conn;  // all five per-instance QPs (Phase I)
 
   std::vector<std::uint8_t> Serialize() const;
   static std::optional<ControlMessage> Parse(
@@ -75,8 +73,7 @@ class ControlPlaneClient {
   // Registers an instance with the switch; completes when the switch ACKs.
   // Returns false on an error reply.
   sim::Task<bool> Setup(const core::InstanceDescriptor& descriptor,
-                        HostEndpoint compute, HostEndpoint probe,
-                        HostEndpoint memory);
+                        const P4Connection& conn);
 
   // Terminates the channel for `instance_id`.
   sim::Task<bool> Teardown(std::uint32_t instance_id);

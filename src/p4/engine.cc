@@ -38,26 +38,26 @@ CowbirdP4Engine::CowbirdP4Engine(net::Switch& sw, Config config)
 }
 
 void CowbirdP4Engine::AddInstance(const core::InstanceDescriptor& descriptor,
-                                  HostEndpoint compute, HostEndpoint probe,
-                                  HostEndpoint memory,
+                                  const P4Connection& conn,
                                   const offload::InstanceProgress* resume) {
   // Instances can be added before or after Start (the control plane
   // registers them at application startup, Section 5.2 Phase I).
   // Exactly one memory node per instance in Cowbird-P4 (testbed topology).
   for (const auto& region : descriptor.regions) {
-    COWBIRD_CHECK(region.memory_node == memory.node);
+    COWBIRD_CHECK(region.memory_node == conn.memory.node);
   }
   auto inst = std::make_unique<Instance>();
   inst->descriptor = descriptor;
-  inst->to_compute.host = compute;
-  inst->to_compute.next_psn = compute.start_psn;
-  inst->to_compute.committed_psn = compute.start_psn;
-  inst->to_probe.host = probe;
-  inst->to_probe.next_psn = probe.start_psn;
-  inst->to_probe.committed_psn = probe.start_psn;
-  inst->to_memory.host = memory;
-  inst->to_memory.next_psn = memory.start_psn;
-  inst->to_memory.committed_psn = memory.start_psn;
+  const auto bind = [](SwitchQp& qp, const HostEndpoint& ep) {
+    qp.host = ep;
+    qp.next_psn = ep.start_psn;
+    qp.committed_psn = ep.start_psn;
+  };
+  bind(inst->to_compute, conn.compute);
+  bind(inst->to_probe, conn.probe);
+  bind(inst->to_memory, conn.memory);
+  bind(inst->wr_compute, conn.wr_compute);
+  bind(inst->wr_memory, conn.wr_memory);
   inst->threads.resize(descriptor.layout.threads);
   if (resume != nullptr) {
     // Registry migration: continue from the counters the previous engine
@@ -105,6 +105,8 @@ bool CowbirdP4Engine::RemoveInstance(std::uint32_t instance_id) {
     (*it)->to_compute.timer.Cancel();
     (*it)->to_probe.timer.Cancel();
     (*it)->to_memory.timer.Cancel();
+    (*it)->wr_compute.timer.Cancel();
+    (*it)->wr_memory.timer.Cancel();
     instances_.erase(it);
     return true;
   }
@@ -179,17 +181,13 @@ CowbirdP4Engine::Instance* CowbirdP4Engine::InstanceForQpn(
     std::uint32_t switch_qpn, SwitchQp** qp) {
   // The QPN→instance mapping of Section 5.4.
   for (auto& inst : instances_) {
-    if (inst->to_compute.host.switch_qpn == switch_qpn) {
-      *qp = &inst->to_compute;
-      return inst.get();
-    }
-    if (inst->to_probe.host.switch_qpn == switch_qpn) {
-      *qp = &inst->to_probe;
-      return inst.get();
-    }
-    if (inst->to_memory.host.switch_qpn == switch_qpn) {
-      *qp = &inst->to_memory;
-      return inst.get();
+    for (SwitchQp* candidate :
+         {&inst->to_compute, &inst->to_probe, &inst->to_memory,
+          &inst->wr_compute, &inst->wr_memory}) {
+      if (candidate->host.switch_qpn == switch_qpn) {
+        *qp = candidate;
+        return inst.get();
+      }
     }
   }
   return nullptr;
@@ -398,6 +396,7 @@ void CowbirdP4Engine::OnMetaData(Instance& inst, Pending& pending,
       break;
     }
     if (meta.rw_type == core::RwType::kRead &&
+        !config_.chaos_unsafe_skip_hazards &&
         ts.hazards.ReadBlocked(offload::HazardRange{
             meta.region_id, meta.req_addr, meta.length})) {
       // Section 5.3: RMT pipelines cannot range-match in-flight writes, so
@@ -474,7 +473,7 @@ void CowbirdP4Engine::OnWritePayloadChunk(Instance& inst, Pending& pending,
   if (op == nullptr) return;  // stale duplicate: op already completed
 
   // Find or create the pool-write pending whose PSN span carries this data.
-  SwitchQp& pool = inst.to_memory;
+  SwitchQp& pool = inst.wr_memory;
   Pending* dest = nullptr;
   for (auto& p : pool.pending) {
     if (p.kind == PendingKind::kPoolWrite && p.thread == pending.thread &&
@@ -529,7 +528,7 @@ void CowbirdP4Engine::OnPoolReadChunk(Instance& inst, Pending& pending,
   Op* op = FindOpImpl(ts.inflight, pending.seq, /*is_write=*/false);
   if (op == nullptr) return;  // stale duplicate: op already completed
 
-  SwitchQp& compute = inst.to_compute;
+  SwitchQp& compute = inst.wr_compute;
   Pending* dest = nullptr;
   for (auto& p : compute.pending) {
     if (p.kind == PendingKind::kPayloadWrite && p.thread == pending.thread &&
@@ -625,7 +624,7 @@ void CowbirdP4Engine::EmitRedWrite(Instance& inst, int thread) {
   p.segments = 1;
   p.raddr = inst.descriptor.layout.RedAddr(thread);
   p.rkey = inst.descriptor.compute_rkey;
-  Admit(inst, inst.to_compute, p);
+  Admit(inst, inst.wr_compute, p);
 }
 
 // ---------------------------------------------------------------------------
@@ -690,12 +689,15 @@ void CowbirdP4Engine::WalkAndEmit(Instance& inst, SwitchQp& qp) {
                                               ? PendingKind::kWriteDataFetch
                                               : PendingKind::kPoolRead;
           bool source_alive = false;
-          for (const auto& sp : source_qp.pending) {
-            if (sp.kind == source_kind && sp.thread == p.thread &&
-                sp.seq == p.seq && !sp.done) {
-              source_alive = true;
-              break;
+          for (const auto* queue : {&source_qp.pending, &source_qp.deferred}) {
+            for (const auto& sp : *queue) {
+              if (sp.kind == source_kind && sp.thread == p.thread &&
+                  sp.seq == p.seq && !sp.done) {
+                source_alive = true;
+                break;
+              }
             }
+            if (source_alive) break;
           }
           if (!source_alive) {
             ThreadState& ts = inst.threads[p.thread];
@@ -796,6 +798,7 @@ void CowbirdP4Engine::ArmTimer(Instance& inst, SwitchQp& qp) {
 }
 
 void CowbirdP4Engine::Recover(Instance& inst, SwitchQp& qp) {
+
   if (qp.pending.empty()) return;
   ++recoveries_;
   // Go-Back-N (Section 5.3): rewind the send PSN to the committed boundary
@@ -804,10 +807,19 @@ void CowbirdP4Engine::Recover(Instance& inst, SwitchQp& qp) {
   std::uint32_t psn = qp.committed_psn;
   qp.unemitted = 0;
   for (auto& p : qp.pending) {
-    p.emitted = false;
-    ++qp.unemitted;
     p.first_psn = psn;
     psn = rdma::PsnAdd(psn, p.segments);
+    if (p.done) {
+      // A cumulative ACK can complete a later entry while an earlier one
+      // still waits for its (lost) response, leaving done entries stuck
+      // mid-FIFO. They keep their PSN span — the layout on the wire must
+      // not shift — but are never re-emitted: the responder ACKed them,
+      // and their op may already be retired from the inflight table.
+      p.emitted = true;
+      continue;
+    }
+    p.emitted = false;
+    ++qp.unemitted;
     if (IsReadKindImpl(static_cast<int>(p.kind))) {
       p.bytes_done = 0;
     } else if (p.kind == PendingKind::kPayloadWrite ||
@@ -881,6 +893,8 @@ P4Connection ConnectP4Engine(CowbirdP4Engine& engine, net::NodeId switch_id,
   conn.compute = setup(compute, qpn_base, 1000, 5000);
   conn.probe = setup(compute, qpn_base + 1, 1500, 5500);
   conn.memory = setup(memory, qpn_base + 2, 2000, 6000);
+  conn.wr_compute = setup(compute, qpn_base + 3, 2500, 6500);
+  conn.wr_memory = setup(memory, qpn_base + 4, 3000, 7000);
   return conn;
 }
 

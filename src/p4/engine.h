@@ -32,6 +32,13 @@
 // are rebuilt by re-issuing the idempotent pool read and re-converting the
 // responses onto their original, reserved PSN span.
 //
+// QP layout per instance: switch-generated read requests and recycled write
+// streams never share a QP. A write stream mid-conversion blocks everything
+// behind it in PSN order, so putting the reads that *feed* conversions on
+// the same QP deadlocks under loss: each QP's front write waits for a
+// re-fetch read stuck behind the other QP's front write. Read-only QPs
+// always drain, so the recovery re-fetch is always emittable.
+//
 // Multiple instances are probed in a time-division round-robin (Section
 // 5.4); a QPN→instance mapping resolves all non-probe packets.
 #pragma once
@@ -68,6 +75,16 @@ struct HostEndpoint {
   std::uint32_t start_psn = 0;   // switch's initial send PSN toward the host
 };
 
+// The five QPs Phase I establishes per instance. Requests and recycled write
+// streams are deliberately separate (see the fault-tolerance note above).
+struct P4Connection {
+  HostEndpoint compute;     // metadata / data-ring reads (compute node)
+  HostEndpoint probe;       // lowest-priority green-region probes
+  HostEndpoint memory;      // pool reads (memory node)
+  HostEndpoint wr_compute;  // recycled payload writes + red writes
+  HostEndpoint wr_memory;   // recycled pool writes
+};
+
 class CowbirdP4Engine : public net::PacketProcessor {
  public:
   // TDM selection now lives in the shared offload core (Section 5.4).
@@ -87,6 +104,10 @@ class CowbirdP4Engine : public net::PacketProcessor {
     int meta_entries_per_fetch = 8;
     // In-flight operations per thread the pending "hash table" can hold.
     int max_inflight_per_thread = 64;
+    // TEST-ONLY: disables the pause-all-reads write fence (Section 5.3).
+    // Exists so the chaos harness can prove its linearizability checker
+    // catches a real consistency bug; never enable outside tests.
+    bool chaos_unsafe_skip_hazards = false;
   };
 
   CowbirdP4Engine(net::Switch& sw, Config config);
@@ -97,8 +118,7 @@ class CowbirdP4Engine : public net::PacketProcessor {
   // is non-null the instance continues from a progress snapshot exported by
   // another engine (InstanceRegistry migration) instead of starting fresh.
   void AddInstance(const core::InstanceDescriptor& descriptor,
-                   HostEndpoint compute, HostEndpoint probe,
-                   HostEndpoint memory,
+                   const P4Connection& conn,
                    const offload::InstanceProgress* resume = nullptr);
 
   // Tears down an instance (control-plane channel termination). Returns
@@ -221,11 +241,16 @@ class CowbirdP4Engine : public net::PacketProcessor {
   struct Instance {
     core::InstanceDescriptor descriptor;
     std::uint64_t activity_credit = 0;  // recent tail movement (TDM weight)
-    SwitchQp to_compute;  // metadata/data-ring reads, payload + red writes
+    SwitchQp to_compute;  // metadata + data-ring reads (never blocks)
     SwitchQp to_probe;    // dedicated QP for lowest-priority probes: probe
                           // packets may be overtaken by higher classes, so
                           // they cannot share a PSN space with data
-    SwitchQp to_memory;
+    SwitchQp to_memory;   // pool reads (never blocks)
+    // Recycled write streams: a conversion mid-stream stalls its QP until
+    // fed, so writes get QPs of their own — the reads that feed them (and
+    // rebuild them after Go-Back-N) stay emittable. See the header comment.
+    SwitchQp wr_compute;  // payload writes (read delivery) + red writes
+    SwitchQp wr_memory;   // pool writes (write-op data)
     std::vector<ThreadState> threads;
     bool probe_inflight = false;
   };
@@ -300,12 +325,7 @@ class CowbirdP4Engine : public net::PacketProcessor {
 };
 
 // Phase I helper: creates responder QPs on the hosts and wires them to the
-// switch endpoint identity.
-struct P4Connection {
-  HostEndpoint compute;
-  HostEndpoint probe;
-  HostEndpoint memory;
-};
+// switch endpoint identity. Consumes five switch QPNs starting at qpn_base.
 P4Connection ConnectP4Engine(CowbirdP4Engine& engine, net::NodeId switch_id,
                              rdma::Device& compute, rdma::Device& memory,
                              std::uint32_t qpn_base);

@@ -65,8 +65,18 @@ void QueuePair::Connect(net::NodeId remote_node, std::uint32_t remote_qpn,
 void QueuePair::PostSend(SendWqe wqe) {
   COWBIRD_CHECK(connected_);
   COWBIRD_CHECK(wqe.length > 0);
+  if (halted_) return;
   pending_.push_back(wqe);
   TryTransmit();
+}
+
+void QueuePair::Halt() {
+  halted_ = true;
+  retransmit_timer_.Cancel();
+  pending_.clear();
+  inflight_.clear();
+  recv_queue_.clear();
+  recv_active_ = false;
 }
 
 void QueuePair::PostRecv(RecvWqe wqe) { recv_queue_.push_back(wqe); }
@@ -199,7 +209,7 @@ void QueuePair::CompleteInOrder() {
 
 void QueuePair::GoBackN() {
   retransmit_timer_.Cancel();
-  if (inflight_.empty()) return;
+  if (halted_ || inflight_.empty()) return;
   ++retransmissions_;
   for (auto& entry : inflight_) {
     if (entry.done) continue;
@@ -227,6 +237,7 @@ void QueuePair::OnProgress() {
 void QueuePair::HandlePacket(const net::Packet& packet,
                              const RdmaMessageView& view) {
   (void)packet;
+  if (halted_) return;
   const Opcode op = view.bth.opcode;
   if (IsReadResponse(op)) {
     HandleReadResponse(view);

@@ -70,6 +70,15 @@ class QueuePair {
   // Priority used for data packets (ACKs always use kControl).
   void set_data_priority(net::Priority p) { data_priority_ = p; }
 
+  // Models the NIC-level teardown of an engine crash: cancels the
+  // retransmission timer, discards pending and in-flight WQEs without
+  // completing them, and ignores every subsequent packet. Crucially this
+  // kills queued retransmissions — a crashed engine must not emit "zombie"
+  // writes after its state was exported to a survivor. Packets already on
+  // the wire still land at the peer (a crash cannot recall them).
+  void Halt();
+  bool Halted() const { return halted_; }
+
   // Packet entry point (called by Device demux).
   void HandlePacket(const net::Packet& packet, const RdmaMessageView& view);
 
@@ -111,6 +120,7 @@ class QueuePair {
   net::NodeId remote_node_ = 0;
   std::uint32_t remote_qpn_ = 0;
   bool connected_ = false;
+  bool halted_ = false;
   net::Priority data_priority_ = net::Priority::kRdma;
 
   // Requester state.

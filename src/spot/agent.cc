@@ -45,12 +45,18 @@ void SpotAgent::AddInstance(
   inst->meta_staging = AllocStaging(
       static_cast<Bytes>(descriptor.layout.threads) * kMetaFetchLimit *
       core::kMetadataEntryBytes);
+  bool resumed_with_pending = false;
   if (resume != nullptr) {
     // Registry migration: continue from the counters the previous engine
-    // published. Entries at or past meta_head are re-discovered by the
+    // exported. Entries at or past meta_head are re-discovered by the
     // next probe; sequence counters continue where the old engine stopped
-    // so red-block progress stays monotonic for the client.
+    // so red-block progress stays monotonic for the client. Ops the old
+    // engine had parsed but not completed ride along in resume->pending
+    // (their metadata slots were freed by the client, so the rings cannot
+    // resupply them) and are re-executed here.
     COWBIRD_CHECK(resume->threads.size() == inst->threads.size());
+    COWBIRD_CHECK(resume->pending.empty() ||
+                  resume->pending.size() == inst->threads.size());
     for (std::size_t t = 0; t < inst->threads.size(); ++t) {
       ThreadState& ts = inst->threads[t];
       ts.progress = resume->threads[t];
@@ -59,9 +65,52 @@ void SpotAgent::AddInstance(
       ts.next_read_seq = ts.progress.read_progress;
       ts.next_write_seq = ts.progress.write_progress;
       ts.deliver_cursor = ts.progress.read_progress;
+      ts.read_durable_seq = ts.progress.read_progress;
+      ts.resp_tail_durable = ts.progress.resp_tail;
+      if (t >= resume->pending.size()) continue;
+      for (const offload::PendingOp& p : resume->pending[t]) {
+        Op op;
+        op.meta = p.meta;
+        op.seq = p.seq;
+        if (p.meta.rw_type == core::RwType::kWrite) {
+          ts.next_write_seq = std::max(ts.next_write_seq, p.seq);
+          if (p.completed) {
+            // ACKed-durable in the pool before the crash: advance over it,
+            // never re-execute (no hazard either — the data is landed).
+            op.state = OpState::kDone;
+          } else {
+            if (!p.payload.empty()) {
+              op.carried_payload =
+                  std::make_shared<std::vector<std::uint8_t>>(p.payload);
+            }
+            op.hazard_ticket = ts.hazards.AdmitWrite(offload::HazardRange{
+                p.meta.region_id, p.meta.resp_addr, p.meta.length});
+          }
+        } else {
+          ts.next_read_seq = std::max(ts.next_read_seq, p.seq);
+          op.hazard_ticket = ts.hazards.ReadFrontier();
+        }
+        ts.ops.push_back(op);
+        resumed_with_pending = true;
+      }
+      AdvanceWriteProgressInOrder(ts);
     }
   }
   instances_.push_back(std::move(inst));
+  if (resumed_with_pending) {
+    // Kick the main loop once per thread: publish the merged counters and
+    // pump the seeded ops (same synthetic-completion channel the batch
+    // timer uses). Attach happens while the agent runs, so the sends are
+    // drained on the next main-loop wake-up.
+    const auto index = static_cast<std::uint32_t>(instances_.size() - 1);
+    const int threads = instances_.back()->descriptor.layout.threads;
+    for (int t = 0; t < threads; ++t) {
+      completions_.Send(rdma::Cqe{
+          MakeWrId(CompletionKind::kResumeFlush, index,
+                   static_cast<std::uint16_t>(t), 0),
+          rdma::CqeOpcode::kWrite, rdma::CqeStatus::kSuccess, 0});
+    }
+  }
 
   auto pump = [this](rdma::CompletionQueue* cq) {
     cq->SetCompletionCallback([this, cq] {
@@ -103,8 +152,43 @@ std::optional<offload::InstanceProgress> SpotAgent::ExportProgress(
   if (inst == nullptr) return std::nullopt;
   offload::InstanceProgress snapshot;
   snapshot.threads.reserve(inst->threads.size());
-  for (const ThreadState& ts : inst->threads) {
-    snapshot.threads.push_back(ts.progress);
+  snapshot.pending.resize(inst->threads.size());
+  for (std::size_t t = 0; t < inst->threads.size(); ++t) {
+    const ThreadState& ts = inst->threads[t];
+    // Export the *durable* read frontier, not the optimistic publication:
+    // an in-flight batch dies with the engine's QPs on a crash, and claiming
+    // its reads would lose their payloads. (If the optimistic red write did
+    // land, the registry glue reconciles the snapshot with the client's
+    // published counters — see offload::ReconcileWithPublished.)
+    offload::ThreadProgress exported = ts.progress;
+    exported.read_progress = ts.read_durable_seq;
+    exported.resp_tail = ts.resp_tail_durable;
+    snapshot.threads.push_back(exported);
+
+    auto& pending = snapshot.pending[t];
+    for (const Op& op : ts.ops) {
+      offload::PendingOp p;
+      p.meta = op.meta;
+      p.seq = op.seq;
+      if (op.meta.rw_type == core::RwType::kWrite) {
+        if (op.seq <= ts.progress.write_progress) continue;  // counted
+        if (op.state == OpState::kDone) {
+          p.completed = true;  // ACKed in the pool; only advance counters
+        } else if (op.state == OpState::kWriting) {
+          // Payload already fetched (the client's data-ring bytes for it
+          // are consumed), pool write not yet ACKed: carry the bytes.
+          p.payload.resize(op.meta.length);
+          device_->memory().Read(op.staging_addr, p.payload);
+        }
+        // kQueued / kFetching writes replay through the data ring: their
+        // data_head bytes were not consumed yet.
+      } else {
+        if (op.seq <= ts.read_durable_seq) continue;  // durably delivered
+        // Reads replay idempotently; the client's response-ring reservation
+        // is intact for every read past the exported read_progress.
+      }
+      pending.push_back(std::move(p));
+    }
   }
   return snapshot;
 }
@@ -183,7 +267,8 @@ sim::Task<void> SpotAgent::ProbeAll() {
 sim::Task<void> SpotAgent::HandleCompletion(rdma::Cqe cqe) {
   COWBIRD_CHECK(cqe.status == rdma::CqeStatus::kSuccess);
   const auto kind = static_cast<CompletionKind>(cqe.wr_id >> kKindShift);
-  if (kind != CompletionKind::kBatchTimer) {
+  if (kind != CompletionKind::kBatchTimer &&
+      kind != CompletionKind::kResumeFlush) {
     co_await thread_.Work(config_.costs.poll_cqe_each,
                           sim::CpuCategory::kCommunication);
   }
@@ -267,22 +352,7 @@ sim::Task<void> SpotAgent::HandleCompletion(rdma::Cqe cqe) {
           break;
         }
       }
-      // Advance write progress in strict sequence order.
-      bool advanced = true;
-      while (advanced) {
-        advanced = false;
-        for (const Op& op : ts.ops) {
-          if (op.meta.rw_type == core::RwType::kWrite &&
-              op.seq == ts.progress.write_progress + 1 &&
-              op.state == OpState::kDone) {
-            ++ts.progress.write_progress;
-            advanced = true;
-          }
-        }
-      }
-      while (!ts.ops.empty() && ts.ops.front().state == OpState::kDone) {
-        ts.ops.pop_front();
-      }
+      AdvanceWriteProgressInOrder(ts);
       co_await WriteRedBlock(inst, thread_index);
       // A completed write may unstall overlapping reads.
       co_await PumpThread(inst, thread_index);
@@ -299,6 +369,12 @@ sim::Task<void> SpotAgent::HandleCompletion(rdma::Cqe cqe) {
         COWBIRD_CHECK(op->state == OpState::kDelivering);
         op->state = OpState::kDone;
       }
+      // The ACK makes this batch's reads durable: the payload write is
+      // complete at the compute node, so a crash export may now claim them.
+      ts.read_durable_seq =
+          std::max(ts.read_durable_seq, it->second.seq_end);
+      ts.resp_tail_durable =
+          std::max(ts.resp_tail_durable, it->second.resp_tail_end);
       inflight_batches_.erase(it);
       while (!ts.ops.empty() && ts.ops.front().state == OpState::kDone) {
         ts.ops.pop_front();
@@ -310,6 +386,33 @@ sim::Task<void> SpotAgent::HandleCompletion(rdma::Cqe cqe) {
     case CompletionKind::kBatchTimer:
       co_await FlushBatch(inst, thread_index, /*force=*/true);
       break;
+    case CompletionKind::kResumeFlush:
+      // Resume-with-pending: publish the merged counters on the new QP and
+      // start executing the seeded operations.
+      co_await WriteRedBlock(inst, thread_index);
+      co_await PumpThread(inst, thread_index);
+      co_await StartMetaFetch(inst, thread_index);
+      break;
+  }
+}
+
+void SpotAgent::AdvanceWriteProgressInOrder(ThreadState& ts) {
+  // Advance write progress in strict sequence order, then retire finished
+  // front entries.
+  bool advanced = true;
+  while (advanced) {
+    advanced = false;
+    for (const Op& op : ts.ops) {
+      if (op.meta.rw_type == core::RwType::kWrite &&
+          op.seq == ts.progress.write_progress + 1 &&
+          op.state == OpState::kDone) {
+        ++ts.progress.write_progress;
+        advanced = true;
+      }
+    }
+  }
+  while (!ts.ops.empty() && ts.ops.front().state == OpState::kDone) {
+    ts.ops.pop_front();
   }
 }
 
@@ -411,7 +514,8 @@ sim::Task<void> SpotAgent::PumpThread(Instance& inst, int thread) {
         inst.descriptor.FindRegion(op.meta.region_id);
     COWBIRD_CHECK(region != nullptr);
     if (op.meta.rw_type == core::RwType::kRead) {
-      if (ts.hazards.ReadBlocked(
+      if (!config_.chaos_unsafe_skip_hazards &&
+          ts.hazards.ReadBlocked(
               offload::HazardRange{op.meta.region_id, op.meta.req_addr,
                                    op.meta.length},
               op.hazard_ticket)) {
@@ -432,6 +536,25 @@ sim::Task<void> SpotAgent::PumpThread(Instance& inst, int thread) {
                        static_cast<std::uint16_t>(thread),
                        static_cast<std::uint32_t>(op.seq)),
               op.staging_addr, op.meta.req_addr, region->rkey,
+              op.meta.length, true});
+    } else if (op.carried_payload != nullptr) {
+      // Crash-resume replay: the snapshot carried the payload because the
+      // dead engine had consumed the client's data-ring bytes. Stage it
+      // locally and go straight to the pool write (data_head was already
+      // advanced before the crash).
+      op.staging_addr = AllocStaging(op.meta.length);
+      device_->memory().Write(op.staging_addr, *op.carried_payload);
+      op.state = OpState::kWriting;
+      ++inflight;
+      auto mit = inst.to_memory.find(region->memory_node);
+      COWBIRD_CHECK(mit != inst.to_memory.end());
+      batch_for(mit->second)
+          .push_back(rdma::SendWqe{
+              rdma::WqeOp::kWrite,
+              MakeWrId(CompletionKind::kPoolWrite, instance_index,
+                       static_cast<std::uint16_t>(thread),
+                       static_cast<std::uint32_t>(op.seq)),
+              op.staging_addr, op.meta.resp_addr, region->rkey,
               op.meta.length, true});
     } else {
       op.staging_addr = AllocStaging(op.meta.length);
@@ -523,7 +646,11 @@ sim::Task<void> SpotAgent::FlushBatch(Instance& inst, int thread,
   const std::uint64_t wr_id =
       MakeWrId(CompletionKind::kBatchWrite, instance_index,
                static_cast<std::uint16_t>(thread), next_token_++);
-  inflight_batches_[wr_id] = BatchToken{run};
+  // The batch's ACK is what makes these deliveries durable: record the
+  // frontier it will establish so the completion handler can advance the
+  // crash-export counters (read_durable_seq / resp_tail_durable).
+  inflight_batches_[wr_id] =
+      BatchToken{run, run.back()->seq, ts.progress.resp_tail + total};
   ts.deliver_cursor = run.back()->seq;
   ++batches_flushed_;
 

@@ -70,6 +70,10 @@ class SpotAgent {
     Bytes staging_capacity = MiB(64);
     // Per-thread cap on simultaneously executing operations.
     int max_inflight_per_thread = 128;
+    // TEST-ONLY: disables the read-after-write hazard fence (Section 5.3).
+    // Exists so the chaos harness can prove its linearizability checker
+    // catches a real consistency bug; never enable outside tests.
+    bool chaos_unsafe_skip_hazards = false;
     rdma::CostModel costs;
   };
 
@@ -99,8 +103,13 @@ class SpotAgent {
   // effect of an engine crash).
   bool RemoveInstance(std::uint32_t instance_id);
 
-  // Red-block counters per thread — the snapshot a registry migration hands
-  // to the engine taking over.
+  // Crash-safe progress snapshot — what a registry migration hands to the
+  // engine taking over. Counters cover only ACKed-durable work (read
+  // delivery is published optimistically but exported conservatively), and
+  // parsed-but-incomplete operations ride along explicitly (see
+  // offload::PendingOp): the client has already freed their metadata slots,
+  // so they are unrecoverable from the rings alone. For a drained instance
+  // the pending lists are empty and the counters match the red block.
   std::optional<offload::InstanceProgress> ExportProgress(
       std::uint32_t instance_id) const;
 
@@ -143,6 +152,10 @@ class SpotAgent {
     // Writes: the hazard-window admit ticket. Reads: the frontier captured
     // at parse time (only earlier writes can stall this read).
     offload::HazardTracker::Ticket hazard_ticket = 0;
+    // Crash-resume replay: payload carried in the snapshot because the
+    // previous engine had already consumed the client's data ring for this
+    // write. Issued as a direct pool write, skipping the compute fetch.
+    std::shared_ptr<std::vector<std::uint8_t>> carried_payload;
   };
 
   struct ThreadState {
@@ -159,6 +172,10 @@ class SpotAgent {
         offload::HazardTracker::Policy::kExactRange};
     std::uint64_t pending_fetch = 0;   // entries in the in-flight meta read
     std::uint64_t deliver_cursor = 0;  // last read seq handed to a batch
+    // Durable (batch-ACKed) counterparts of the optimistically published
+    // read_progress / resp_tail — what a crash export may safely claim.
+    std::uint64_t read_durable_seq = 0;
+    std::uint64_t resp_tail_durable = 0;
     bool fetch_inflight = false;
     sim::TimerHandle batch_timer;
   };
@@ -187,6 +204,7 @@ class SpotAgent {
     kBatchWrite,    // batch of read results landed in compute resp ring
     kRedWrite,      // red block update landed
     kBatchTimer,    // synthetic: batch timeout tick
+    kResumeFlush,   // synthetic: publish + pump after a resume-with-pending
   };
 
  private:
@@ -200,6 +218,9 @@ class SpotAgent {
   sim::Task<void> ParseFetchedMetadata(Instance& inst, int thread);
   sim::Task<void> PumpThread(Instance& inst, int thread);
   sim::Task<void> FlushBatch(Instance& inst, int thread, bool force = false);
+  // Strict in-order write_progress advance + front pops of finished ops
+  // (shared by the pool-write completion path and crash-resume seeding).
+  static void AdvanceWriteProgressInOrder(ThreadState& ts);
   void ComposeRedBlock(Instance& inst, int thread, std::uint64_t staging);
   sim::Task<void> WriteRedBlock(Instance& inst, int thread);
   void ArmBatchTimer(Instance& inst, int thread);
@@ -226,6 +247,9 @@ class SpotAgent {
   // Batch under construction, per (instance, thread): ops in kStaged order.
   struct BatchToken {
     std::vector<Op*> ops;  // delivered together
+    // Durable frontier this batch's ACK establishes.
+    std::uint64_t seq_end = 0;
+    std::uint64_t resp_tail_end = 0;
   };
   std::map<std::uint64_t, BatchToken> inflight_batches_;
   std::uint32_t next_token_ = 1;

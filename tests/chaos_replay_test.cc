@@ -1,0 +1,100 @@
+// Failure-trace capture and replay: a violating run dumps a trace that
+// re-executes deterministically to the identical violations — the repro
+// workflow behind "re-run the seed the CI sweep printed".
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "chaos/runner.h"
+#include "chaos/trace.h"
+#include "test_seed.h"
+
+namespace cowbird::chaos {
+namespace {
+
+using cowbird::testing::TestSeed;
+
+// A broken-fence run that provably violates (searched over a few seeds so
+// one bad default doesn't starve the test of a failure to capture).
+ChaosOptions ViolatingOptions(std::uint64_t base_seed) {
+  for (std::uint64_t seed = base_seed; seed < base_seed + 5; ++seed) {
+    ChaosOptions opt;
+    opt.engine = EngineKind::kSpot;
+    opt.seed = seed;
+    opt.break_fence = true;
+    opt.workload.threads = 2;
+    opt.workload.slots_per_thread = 1;
+    opt.workload.write_ratio = 0.5;
+    opt.workload.ops_per_thread = 150;
+    if (!RunChaos(opt).violations.empty()) return opt;
+  }
+  ADD_FAILURE() << "no violating seed found in [" << base_seed << ", "
+                << base_seed + 5 << ")";
+  return ChaosOptions{};
+}
+
+TEST(ChaosTraceTest, SerializeParseRoundTrips) {
+  const std::uint64_t seed = TestSeed(3);
+  COWBIRD_SCOPED_SEED(seed);
+  ChaosOptions opt;
+  opt.engine = EngineKind::kP4;
+  opt.seed = seed;
+  opt.workload.ops_per_thread = 60;
+  opt.plan = FaultPlan::FromSeed(seed, 1);
+  const ChaosResult result = RunChaos(opt);
+  const ChaosTrace trace = MakeTrace(opt, result);
+
+  const auto parsed = ParseTrace(SerializeTrace(trace));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->options.engine, opt.engine);
+  EXPECT_EQ(parsed->options.seed, opt.seed);
+  EXPECT_EQ(parsed->options.break_fence, opt.break_fence);
+  EXPECT_EQ(parsed->options.workload.Serialize(), opt.workload.Serialize());
+  EXPECT_EQ(parsed->options.plan.Serialize(), opt.plan.Serialize());
+  EXPECT_EQ(parsed->violations, trace.violations);
+  ASSERT_EQ(parsed->history.size(), trace.history.size());
+  for (std::size_t i = 0; i < trace.history.size(); ++i) {
+    EXPECT_EQ(parsed->history[i].digest, trace.history[i].digest);
+    EXPECT_EQ(parsed->history[i].invoke, trace.history[i].invoke);
+    EXPECT_EQ(parsed->history[i].complete, trace.history[i].complete);
+    EXPECT_EQ(parsed->history[i].is_write, trace.history[i].is_write);
+  }
+}
+
+TEST(ChaosTraceTest, CapturedViolationReplaysDeterministically) {
+  const std::uint64_t seed = TestSeed(5);
+  COWBIRD_SCOPED_SEED(seed);
+  const ChaosOptions opt = ViolatingOptions(seed);
+  const ChaosResult original = RunChaos(opt);
+  ASSERT_FALSE(original.violations.empty());
+  const ChaosTrace trace = MakeTrace(opt, original);
+
+  // Through the file format, exactly as the chaos_replay driver does.
+  const std::string path =
+      ::testing::TempDir() + "/cowbird-chaos-trace-test.txt";
+  ASSERT_TRUE(WriteTraceFile(path, trace));
+  const auto loaded = ReadTraceFile(path);
+  ASSERT_TRUE(loaded.has_value());
+
+  const ReplayOutcome outcome = ReplayTrace(*loaded);
+  EXPECT_TRUE(outcome.deterministic) << outcome.mismatch;
+  EXPECT_EQ(outcome.result.violations.size(), original.violations.size());
+}
+
+TEST(ChaosTraceTest, CleanRunReplaysClean) {
+  const std::uint64_t seed = TestSeed(7);
+  COWBIRD_SCOPED_SEED(seed);
+  ChaosOptions opt;
+  opt.engine = EngineKind::kSpot;
+  opt.seed = seed;
+  opt.workload.ops_per_thread = 80;
+  opt.plan = FaultPlan::FromSeed(seed, 0);
+  const ChaosResult result = RunChaos(opt);
+  ASSERT_TRUE(result.violations.empty());
+  const ReplayOutcome outcome = ReplayTrace(MakeTrace(opt, result));
+  EXPECT_TRUE(outcome.deterministic) << outcome.mismatch;
+  EXPECT_TRUE(outcome.result.violations.empty());
+}
+
+}  // namespace
+}  // namespace cowbird::chaos

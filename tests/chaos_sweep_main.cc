@@ -1,0 +1,191 @@
+// Chaos seed-sweep driver (the CI job behind "reproducing a failure from a
+// seed" in the README).
+//
+//   chaos_sweep [--engine spot|p4|both] [--seeds N] [--start S]
+//               [--trace-dir DIR] [--break-fence]
+//
+// Normal mode: runs N seeds per engine, each with a seed-derived mixed
+// fault plan (drop + duplicate + reorder + delay, partitions, engine
+// crashes on odd seeds). Any checker violation dumps a replayable failure
+// trace into --trace-dir and the sweep exits non-zero.
+//
+// --break-fence mode is the harness's own canary: it re-runs the sweep with
+// the engines' read-after-write fence disabled and exits zero only if the
+// checker *caught* the planted bug on at least one seed AND the captured
+// trace replays deterministically to the same violations.
+//
+// COWBIRD_TEST_SEED=<seed> overrides --start with a single-seed run.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "chaos/runner.h"
+#include "chaos/trace.h"
+
+namespace {
+
+using namespace cowbird::chaos;
+
+struct SweepArgs {
+  std::vector<EngineKind> engines = {EngineKind::kSpot, EngineKind::kP4};
+  std::uint64_t seeds = 8;
+  std::uint64_t start = 1;
+  std::string trace_dir = ".";
+  bool break_fence = false;
+};
+
+ChaosOptions OptionsFor(EngineKind engine, std::uint64_t seed,
+                        bool break_fence) {
+  ChaosOptions opt;
+  opt.engine = engine;
+  opt.seed = seed;
+  opt.break_fence = break_fence;
+  opt.workload.threads = 2;
+  opt.workload.ops_per_thread = 200;
+  if (break_fence) {
+    // Hot single slot maximizes read-after-write conflicts so the planted
+    // bug has every chance to manifest; no packet faults needed.
+    opt.workload.slots_per_thread = 1;
+    opt.workload.write_ratio = 0.5;
+  } else {
+    opt.plan = FaultPlan::FromSeed(seed, /*crash_count=*/seed % 2 ? 2 : 0);
+  }
+  return opt;
+}
+
+std::string DumpTrace(const SweepArgs& args, const ChaosOptions& opt,
+                      const ChaosResult& result) {
+  const std::string path = args.trace_dir + "/chaos-trace-" +
+                           EngineKindName(opt.engine) + "-seed" +
+                           std::to_string(opt.seed) + ".txt";
+  if (!WriteTraceFile(path, MakeTrace(opt, result))) {
+    std::fprintf(stderr, "chaos_sweep: cannot write trace %s\n",
+                 path.c_str());
+    return {};
+  }
+  return path;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SweepArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--engine") {
+      const char* value = next();
+      if (value == nullptr) return 2;
+      if (std::strcmp(value, "both") == 0) {
+        args.engines = {EngineKind::kSpot, EngineKind::kP4};
+      } else if (const auto kind = ParseEngineKind(value)) {
+        args.engines = {*kind};
+      } else {
+        std::fprintf(stderr, "chaos_sweep: unknown engine %s\n", value);
+        return 2;
+      }
+    } else if (flag == "--seeds") {
+      const char* value = next();
+      if (value == nullptr) return 2;
+      args.seeds = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--start") {
+      const char* value = next();
+      if (value == nullptr) return 2;
+      args.start = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--trace-dir") {
+      const char* value = next();
+      if (value == nullptr) return 2;
+      args.trace_dir = value;
+    } else if (flag == "--break-fence") {
+      args.break_fence = true;
+    } else {
+      std::fprintf(stderr, "chaos_sweep: unknown flag %s\n", flag.c_str());
+      return 2;
+    }
+  }
+  if (const char* env = std::getenv("COWBIRD_TEST_SEED")) {
+    args.start = std::strtoull(env, nullptr, 10);
+    args.seeds = 1;
+    std::printf("COWBIRD_TEST_SEED=%llu: single-seed run\n",
+                static_cast<unsigned long long>(args.start));
+  }
+
+  std::uint64_t runs = 0, failures = 0, caught = 0;
+  bool replay_ok = true;
+  for (const EngineKind engine : args.engines) {
+    for (std::uint64_t seed = args.start; seed < args.start + args.seeds;
+         ++seed) {
+      const ChaosOptions opt = OptionsFor(engine, seed, args.break_fence);
+      const ChaosResult result = RunChaos(opt);
+      ++runs;
+      if (!result.counters_exact) {
+        std::printf("FAIL engine=%s seed=%llu: fault counters inexact\n",
+                    EngineKindName(engine),
+                    static_cast<unsigned long long>(seed));
+        ++failures;
+      }
+      if (args.break_fence) {
+        if (result.violations.empty()) continue;
+        ++caught;
+        if (caught == 1) {
+          // Prove the capture→replay loop on the first caught violation.
+          const std::string path = DumpTrace(args, opt, result);
+          const auto loaded = path.empty()
+                                  ? std::nullopt
+                                  : ReadTraceFile(path);
+          if (!loaded.has_value()) {
+            replay_ok = false;
+          } else {
+            const ReplayOutcome outcome = ReplayTrace(*loaded);
+            replay_ok = outcome.deterministic;
+            std::printf("caught engine=%s seed=%llu (%zu violations), "
+                        "replay %s: %s\n",
+                        EngineKindName(engine),
+                        static_cast<unsigned long long>(seed),
+                        result.violations.size(),
+                        outcome.deterministic ? "deterministic"
+                                              : "MISMATCH",
+                        path.c_str());
+            if (!outcome.deterministic) {
+              std::printf("%s\n", outcome.mismatch.c_str());
+            }
+          }
+        }
+        continue;
+      }
+      if (!result.violations.empty()) {
+        ++failures;
+        const std::string path = DumpTrace(args, opt, result);
+        std::printf(
+            "FAIL engine=%s seed=%llu: %zu violations (reads=%llu "
+            "crashes=%llu)\n  repro: COWBIRD_TEST_SEED=%llu or "
+            "chaos_replay %s\n",
+            EngineKindName(engine), static_cast<unsigned long long>(seed),
+            result.violations.size(),
+            static_cast<unsigned long long>(result.reads_checked),
+            static_cast<unsigned long long>(result.crashes_executed),
+            static_cast<unsigned long long>(seed), path.c_str());
+        for (const Violation& v : result.violations) {
+          std::printf("    %s\n", v.Format().c_str());
+        }
+      }
+    }
+  }
+
+  if (args.break_fence) {
+    std::printf("chaos_sweep --break-fence: %llu/%llu seeds caught the "
+                "planted bug, replay %s\n",
+                static_cast<unsigned long long>(caught),
+                static_cast<unsigned long long>(runs),
+                replay_ok ? "ok" : "FAILED");
+    return (caught > 0 && replay_ok && failures == 0) ? 0 : 1;
+  }
+  std::printf("chaos_sweep: %llu runs, %llu failures\n",
+              static_cast<unsigned long long>(runs),
+              static_cast<unsigned long long>(failures));
+  return failures == 0 ? 0 : 1;
+}

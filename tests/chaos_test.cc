@@ -1,0 +1,220 @@
+// The chaos harness end to end: seeded fault plans, exact injection
+// accounting, history-based linearizability checking across both engines,
+// engine-crash migration, and the deliberately-broken-fence canary that
+// proves the checker can catch a real consistency bug.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "chaos/fault_plan.h"
+#include "chaos/history.h"
+#include "chaos/runner.h"
+#include "test_seed.h"
+
+namespace cowbird::chaos {
+namespace {
+
+using cowbird::testing::TestSeed;
+
+std::string Report(const ChaosResult& result) {
+  std::string out;
+  for (const Violation& v : result.violations) {
+    out += v.Format();
+    out += '\n';
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Checker unit tests (pure history, no simulation).
+// ---------------------------------------------------------------------------
+
+TEST(HistoryCheckerTest, CleanHistoryLinearizes) {
+  HistoryRecorder rec;
+  std::vector<std::uint8_t> v1(32, 1), v2(32, 2);
+  const auto w1 = rec.OnInvoke(0, true, 1, 0, 32, 10,
+                               HistoryRecorder::Digest(v1));
+  rec.OnComplete(w1, 20);
+  const auto r1 = rec.OnInvoke(0, false, 1, 0, 32, 30);
+  rec.OnComplete(r1, 40, HistoryRecorder::Digest(v1));
+  const auto w2 = rec.OnInvoke(1, true, 1, 0, 32, 50,
+                               HistoryRecorder::Digest(v2));
+  rec.OnComplete(w2, 60);
+  const auto r2 = rec.OnInvoke(1, false, 1, 0, 32, 70);
+  rec.OnComplete(r2, 80, HistoryRecorder::Digest(v2));
+  EXPECT_TRUE(CheckHistory(rec.ops()).empty());
+}
+
+TEST(HistoryCheckerTest, ReadBeforeAnyWriteSeesZeroes) {
+  HistoryRecorder rec;
+  const std::vector<std::uint8_t> zeros(64, 0);
+  const auto r = rec.OnInvoke(0, false, 1, 4096, 64, 5);
+  rec.OnComplete(r, 9, HistoryRecorder::Digest(zeros));
+  EXPECT_TRUE(CheckHistory(rec.ops()).empty());
+}
+
+TEST(HistoryCheckerTest, StaleReadAfterSameThreadWriteIsFlagged) {
+  HistoryRecorder rec;
+  std::vector<std::uint8_t> v1(32, 1);
+  const std::vector<std::uint8_t> zeros(32, 0);
+  const auto w = rec.OnInvoke(0, true, 1, 0, 32, 10,
+                              HistoryRecorder::Digest(v1));
+  // Read invoked after the write on the same thread must see v1, but
+  // observes the pre-write zero state.
+  const auto r = rec.OnInvoke(0, false, 1, 0, 32, 15);
+  rec.OnComplete(r, 25, HistoryRecorder::Digest(zeros));
+  rec.OnComplete(w, 30);
+  const auto violations = CheckHistory(rec.ops());
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, "stale-read");
+  EXPECT_EQ(violations[0].op_id, r);
+}
+
+TEST(HistoryCheckerTest, TornReadIsFlagged) {
+  HistoryRecorder rec;
+  std::vector<std::uint8_t> v1(32, 1), garbage(32, 0xEE);
+  const auto w = rec.OnInvoke(0, true, 1, 0, 32, 10,
+                              HistoryRecorder::Digest(v1));
+  rec.OnComplete(w, 20);
+  const auto r = rec.OnInvoke(0, false, 1, 0, 32, 30);
+  rec.OnComplete(r, 40, HistoryRecorder::Digest(garbage));
+  const auto violations = CheckHistory(rec.ops());
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, "torn-read");
+}
+
+TEST(HistoryCheckerTest, NeverCompletedOpIsFlagged) {
+  HistoryRecorder rec;
+  std::vector<std::uint8_t> v1(32, 1);
+  rec.OnInvoke(0, true, 1, 0, 32, 10, HistoryRecorder::Digest(v1));
+  const auto violations = CheckHistory(rec.ops());
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, "never-completed");
+}
+
+TEST(HistoryCheckerTest, FutureReadIsFlagged) {
+  HistoryRecorder rec;
+  std::vector<std::uint8_t> v1(32, 1);
+  // The read completes before the write is even invoked, yet observes it.
+  const auto r = rec.OnInvoke(0, false, 1, 0, 32, 5);
+  rec.OnComplete(r, 8, HistoryRecorder::Digest(v1));
+  const auto w = rec.OnInvoke(1, true, 1, 0, 32, 10,
+                              HistoryRecorder::Digest(v1));
+  rec.OnComplete(w, 20);
+  const auto violations = CheckHistory(rec.ops());
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, "future-read");
+}
+
+// ---------------------------------------------------------------------------
+// Plan derivation and serialization.
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlanTest, SerializeParsesBackIdentically) {
+  FaultPlan plan = FaultPlan::FromSeed(1234, 2);
+  plan.partitions.push_back(FaultPlan::Partition{1000, 2000});
+  const auto parsed = FaultPlan::Parse(plan.Serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->Serialize(), plan.Serialize());
+  EXPECT_EQ(parsed->crashes, plan.crashes);
+  ASSERT_EQ(parsed->partitions.size(), plan.partitions.size());
+  EXPECT_EQ(parsed->partitions.back().start, 1000);
+  EXPECT_EQ(parsed->partitions.back().end, 2000);
+}
+
+TEST(FaultPlanTest, FromSeedIsDeterministic) {
+  const FaultPlan a = FaultPlan::FromSeed(77, 1);
+  const FaultPlan b = FaultPlan::FromSeed(77, 1);
+  EXPECT_EQ(a.Serialize(), b.Serialize());
+  const FaultPlan c = FaultPlan::FromSeed(78, 1);
+  EXPECT_NE(a.Serialize(), c.Serialize());
+}
+
+// ---------------------------------------------------------------------------
+// Full chaos runs.
+// ---------------------------------------------------------------------------
+
+ChaosOptions BaseOptions(EngineKind engine, std::uint64_t seed) {
+  ChaosOptions opt;
+  opt.engine = engine;
+  opt.seed = seed;
+  opt.workload.threads = 2;
+  opt.workload.slots_per_thread = 4;
+  opt.workload.len = 128;
+  opt.workload.ops_per_thread = 200;
+  return opt;
+}
+
+TEST(ChaosRunTest, InjectedFaultCountersMatchDecisionsExactly) {
+  const std::uint64_t seed = TestSeed(11);
+  COWBIRD_SCOPED_SEED(seed);
+  ChaosOptions opt = BaseOptions(EngineKind::kSpot, seed);
+  opt.plan.drop_rate = 0.02;
+  opt.plan.duplicate_rate = 0.02;
+  opt.plan.reorder_rate = 0.02;
+  opt.plan.delay_rate = 0.05;
+  const ChaosResult result = RunChaos(opt);
+  EXPECT_GT(result.faults_injected, 0u);
+  EXPECT_TRUE(result.counters_exact);
+  EXPECT_TRUE(result.violations.empty()) << Report(result);
+  EXPECT_GT(result.reads_checked, 50u);
+}
+
+class ChaosEngineTest : public ::testing::TestWithParam<EngineKind> {};
+
+TEST_P(ChaosEngineTest, LinearizesUnderMixedPacketFaults) {
+  const std::uint64_t base = TestSeed(1);
+  for (std::uint64_t seed = base; seed < base + 3; ++seed) {
+    COWBIRD_SCOPED_SEED(seed);
+    ChaosOptions opt = BaseOptions(GetParam(), seed);
+    opt.plan = FaultPlan::FromSeed(seed, /*crash_count=*/0);
+    const ChaosResult result = RunChaos(opt);
+    EXPECT_TRUE(result.violations.empty()) << Report(result);
+    EXPECT_TRUE(result.counters_exact);
+    EXPECT_GT(result.reads_checked, 50u);
+  }
+}
+
+TEST_P(ChaosEngineTest, LinearizesAcrossEngineCrashes) {
+  const std::uint64_t base = TestSeed(21);
+  for (std::uint64_t seed = base; seed < base + 3; ++seed) {
+    COWBIRD_SCOPED_SEED(seed);
+    ChaosOptions opt = BaseOptions(GetParam(), seed);
+    opt.plan = FaultPlan::FromSeed(seed, /*crash_count=*/2);
+    const ChaosResult result = RunChaos(opt);
+    EXPECT_GE(result.crashes_executed, 1u);
+    EXPECT_TRUE(result.violations.empty()) << Report(result);
+    EXPECT_GT(result.reads_checked, 50u);
+  }
+}
+
+// The canary the whole harness exists for: disable the read-after-write
+// fence (a real consistency bug) and require the checker to notice. A
+// harness that cannot catch a planted bug proves nothing when it passes.
+TEST_P(ChaosEngineTest, BrokenFenceIsCaught) {
+  const std::uint64_t base = TestSeed(5);
+  std::uint64_t caught = 0;
+  for (std::uint64_t seed = base; seed < base + 3; ++seed) {
+    COWBIRD_SCOPED_SEED(seed);
+    ChaosOptions opt = BaseOptions(GetParam(), seed);
+    opt.break_fence = true;
+    opt.workload.slots_per_thread = 1;  // hot slot: constant RAW conflicts
+    opt.workload.write_ratio = 0.5;
+    const ChaosResult result = RunChaos(opt);
+    for (const Violation& v : result.violations) {
+      if (v.kind == "stale-read") ++caught;
+    }
+  }
+  EXPECT_GT(caught, 0u)
+      << "checker failed to catch the deliberately broken fence";
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, ChaosEngineTest,
+                         ::testing::Values(EngineKind::kSpot,
+                                           EngineKind::kP4),
+                         [](const ::testing::TestParamInfo<EngineKind>& info) {
+                           return std::string(EngineKindName(info.param));
+                         });
+
+}  // namespace
+}  // namespace cowbird::chaos

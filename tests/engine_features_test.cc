@@ -202,8 +202,7 @@ TEST(AdaptiveProbe, P4BacksOffWhenIdle) {
   p4::CowbirdP4Engine engine(f.sw, ec);
   auto conn = p4::ConnectP4Engine(engine, kSwitchId, f.compute_dev,
                                   f.memory_dev, 0x800);
-  engine.AddInstance(client.descriptor(), conn.compute, conn.probe,
-                     conn.memory);
+  engine.AddInstance(client.descriptor(), conn);
   engine.Start();
 
   f.sim.RunFor(Millis(1));

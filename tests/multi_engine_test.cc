@@ -16,6 +16,7 @@
 #include "common/rng.h"
 #include "core/client.h"
 #include "fabric_fixture.h"
+#include "offload/progress.h"
 #include "offload/registry.h"
 #include "spot/agent.h"
 #include "spot/setup.h"
@@ -108,6 +109,62 @@ class MultiEngineTest : public ::testing::Test {
     return binding;
   }
 
+  // The client's published red block, per thread — the optimistic counters
+  // a crash-exported snapshot must be reconciled against at attach time.
+  std::vector<offload::ThreadProgress> ReadPublishedProgress(
+      const CowbirdClient& client) const {
+    std::vector<offload::ThreadProgress> published;
+    const auto& layout = client.descriptor().layout;
+    std::vector<std::uint8_t> block(core::kRedBlockBytes);
+    for (int t = 0; t < layout.threads; ++t) {
+      f_.compute_mem.Read(layout.RedAddr(t), block);
+      published.push_back(offload::ProgressPublisher::Unpack(block));
+    }
+    return published;
+  }
+
+  // Crash-flavored binding: detach exports mid-flight (no drain) and halts
+  // the dead engine's QPs so no zombie retransmission races the survivor.
+  // Attach runs after the export — possibly after red writes that were on
+  // the wire at export time have landed — so it re-reads the published red
+  // block and reconciles before resuming.
+  offload::EngineBinding CrashBindingFor(SpotAgent& agent, std::string name) {
+    offload::EngineBinding binding;
+    binding.name = std::move(name);
+    binding.attach = [this, &agent](std::uint32_t instance_id,
+                                    const offload::InstanceProgress* resume) {
+      CowbirdClient* client = ClientFor(instance_id);
+      if (client == nullptr) return false;
+      rdma::Device* memories[] = {&f_.memory_dev};
+      auto conn = ConnectSpotEngine(f_.spot_dev, f_.compute_dev, memories);
+      offload::InstanceProgress reconciled;
+      const offload::InstanceProgress* use = resume;
+      if (resume != nullptr) {
+        reconciled = *resume;
+        offload::ReconcileWithPublished(reconciled,
+                                        ReadPublishedProgress(*client));
+        use = &reconciled;
+      }
+      agent.AddInstance(client->descriptor(), conn.to_compute,
+                        conn.compute_cq, conn.to_memory, conn.memory_cqs,
+                        use);
+      conn_of_[&agent] = conn;
+      return true;
+    };
+    binding.detach = [this, &agent](std::uint32_t instance_id) {
+      auto snapshot = agent.ExportProgress(instance_id);
+      agent.RemoveInstance(instance_id);
+      auto it = conn_of_.find(&agent);
+      if (it != conn_of_.end()) {
+        it->second.to_compute->Halt();
+        for (auto& [node, qp] : it->second.to_memory) qp->Halt();
+        conn_of_.erase(it);
+      }
+      return snapshot;
+    };
+    return binding;
+  }
+
   sim::Task<std::vector<std::uint8_t>> ReadAndWait(int client_index,
                                                    std::uint64_t offset,
                                                    std::uint32_t len,
@@ -155,6 +212,7 @@ class MultiEngineTest : public ::testing::Test {
   offload::InstanceRegistry registry_;
   offload::EngineId engine_a_ = offload::kNoEngine;
   offload::EngineId engine_b_ = offload::kNoEngine;
+  std::map<SpotAgent*, SpotConnection> conn_of_;
   std::unique_ptr<sim::SimThread> app_thread_;
 };
 
@@ -267,6 +325,83 @@ TEST_F(MultiEngineTest, ExplicitReassignMovesLiveInstance) {
     EXPECT_EQ(got, data);
     t.f_.sim.Halt();
   }(*this, id0));
+  f_.sim.Run();
+  EXPECT_GE(agent_b_->ops_completed(), 1u);
+}
+
+TEST_F(MultiEngineTest, MidFlightCrashMigratesWithoutLostOrDuplicatedWork) {
+  // Unlike the graceful decommission above, the engine dies with an
+  // operation in flight: no StopProbing, no InstanceDrained wait. The
+  // conservative crash export plus the attach-time reconcile against the
+  // published red block (which may have advanced between ExportProgress and
+  // the survivor's attach) must neither lose the in-flight write nor apply
+  // any completed one twice.
+  const std::uint32_t inst = clients_[0]->descriptor().instance_id;
+  offload::InstanceRegistry crash_reg;
+  const auto crash_a = crash_reg.AddEngine(CrashBindingFor(*agent_a_, "crash-a"));
+  const auto crash_b = crash_reg.AddEngine(CrashBindingFor(*agent_b_, "crash-b"));
+  ASSERT_EQ(crash_reg.AddInstance(inst, crash_a), crash_a);
+
+  f_.sim.Spawn([](MultiEngineTest& t, offload::InstanceRegistry& reg,
+                  offload::EngineId ea, offload::EngineId eb,
+                  std::uint32_t inst0) -> sim::Task<void> {
+    // Durable pre-crash history: six completed writes.
+    for (int i = 0; i < 6; ++i) {
+      const auto data = Pattern(200, 300 + i);
+      t.f_.compute_mem.Write(kHeap, data);
+      co_await t.WriteAndWait(0, kHeap, i * 1024, 200);
+    }
+    const auto a_ops = t.agent_a_->ops_completed();
+    EXPECT_GT(a_ops, 0u);
+
+    // Post one more write, let A fetch its metadata but not finish it,
+    // then kill A. The client has freed the metadata slot by then, so the
+    // op survives only through the snapshot's pending list (or, if A had
+    // not consumed it yet, through the survivor re-parsing the rings).
+    auto& ctx = t.clients_[0]->thread(0);
+    const auto inflight = Pattern(200, 399);
+    t.f_.compute_mem.Write(kHeap + 0x1000, inflight);
+    std::optional<ReqId> id;
+    while (!(id = co_await ctx.AsyncWrite(*t.app_thread_, kRegion,
+                                          kHeap + 0x1000, 6 * 1024, 200))) {
+      co_await t.app_thread_->Idle(Micros(5));
+    }
+    co_await t.app_thread_->Idle(Micros(3));
+    const auto migrated = reg.StopEngine(ea);
+    EXPECT_EQ(migrated, std::vector<std::uint32_t>{inst0});
+    EXPECT_EQ(reg.EngineOf(inst0), eb);
+    EXPECT_EQ(reg.live_engines(), 1u);
+
+    // The in-flight write still completes, exactly once, on the survivor.
+    const core::PollId poll = ctx.PollCreate();
+    ctx.PollAdd(poll, *id);
+    for (;;) {
+      auto done = co_await ctx.PollWait(*t.app_thread_, poll, 1, Millis(5));
+      if (!done.empty()) break;
+    }
+    EXPECT_EQ(t.agent_a_->ops_completed(), a_ops);  // A is dead
+
+    // Nothing lost: every pre-crash write and the in-flight one read back
+    // intact through the survivor.
+    for (int i = 0; i < 6; ++i) {
+      auto got = co_await t.ReadAndWait(0, i * 1024, 200, kHeap + 0x10000);
+      EXPECT_EQ(got, Pattern(200, 300 + i)) << "pre-crash write " << i;
+    }
+    auto got = co_await t.ReadAndWait(0, 6 * 1024, 200, kHeap + 0x10000);
+    EXPECT_EQ(got, inflight);
+
+    // Nothing duplicated: the rings stay in lockstep with the survivor's
+    // resumed counters, so fresh traffic runs at full health.
+    for (int i = 0; i < 4; ++i) {
+      const auto data = Pattern(200, 500 + i);
+      t.f_.compute_mem.Write(kHeap, data);
+      co_await t.WriteAndWait(0, kHeap, 0x40000 + i * 1024, 200);
+      auto back = co_await t.ReadAndWait(0, 0x40000 + i * 1024, 200,
+                                         kHeap + 0x12000);
+      EXPECT_EQ(back, data) << "post-crash iteration " << i;
+    }
+    t.f_.sim.Halt();
+  }(*this, crash_reg, crash_a, crash_b, inst));
   f_.sim.Run();
   EXPECT_GE(agent_b_->ops_completed(), 1u);
 }

@@ -35,9 +35,11 @@ TEST(ControlMessage, SetupRoundTrip) {
       core::RegionInfo{1, 2, 0x100000, 0xDEAD, MiB(64)});
   m.descriptor.regions.push_back(
       core::RegionInfo{2, 2, 0x9000000, 0xBEEF, MiB(16)});
-  m.compute = HostEndpoint{1, 10, 0x800, 5000};
-  m.probe = HostEndpoint{1, 11, 0x801, 5500};
-  m.memory = HostEndpoint{2, 12, 0x802, 6000};
+  m.conn.compute = HostEndpoint{1, 10, 0x800, 5000};
+  m.conn.probe = HostEndpoint{1, 11, 0x801, 5500};
+  m.conn.memory = HostEndpoint{2, 12, 0x802, 6000};
+  m.conn.wr_compute = HostEndpoint{1, 13, 0x803, 6500};
+  m.conn.wr_memory = HostEndpoint{2, 14, 0x804, 7000};
 
   const auto raw = m.Serialize();
   const auto parsed = ControlMessage::Parse(raw);
@@ -49,8 +51,10 @@ TEST(ControlMessage, SetupRoundTrip) {
   EXPECT_EQ(parsed->descriptor.layout.resp_capacity, 131072u);
   ASSERT_EQ(parsed->descriptor.regions.size(), 2u);
   EXPECT_EQ(parsed->descriptor.regions[1].rkey, 0xBEEFu);
-  EXPECT_EQ(parsed->probe.switch_qpn, 0x801u);
-  EXPECT_EQ(parsed->memory.start_psn, 6000u);
+  EXPECT_EQ(parsed->conn.probe.switch_qpn, 0x801u);
+  EXPECT_EQ(parsed->conn.memory.start_psn, 6000u);
+  EXPECT_EQ(parsed->conn.wr_compute.host_qpn, 13u);
+  EXPECT_EQ(parsed->conn.wr_memory.switch_qpn, 0x804u);
 }
 
 TEST(ControlMessage, TeardownRoundTrip) {
@@ -124,8 +128,7 @@ TEST_F(ControlPlaneTest, SetupOverTheWireThenServe) {
   bool read_ok = false;
   f_.sim.Spawn([](ControlPlaneTest& t, sim::SimThread& thr, bool& s_ok,
                   bool& r_ok) -> sim::Task<void> {
-    s_ok = co_await t.rpc_.Setup(t.client_->descriptor(), t.conn_.compute,
-                                 t.conn_.probe, t.conn_.memory);
+    s_ok = co_await t.rpc_.Setup(t.client_->descriptor(), t.conn_);
     r_ok = co_await t.TryRead(thr, Millis(2));
     t.f_.sim.Halt();
   }(*this, thread, setup_ok, read_ok));
@@ -140,8 +143,7 @@ TEST_F(ControlPlaneTest, TeardownStopsService) {
   bool before = false, teardown_ok = false, after = true;
   f_.sim.Spawn([](ControlPlaneTest& t, sim::SimThread& thr, bool& b,
                   bool& td, bool& a) -> sim::Task<void> {
-    (void)co_await t.rpc_.Setup(t.client_->descriptor(), t.conn_.compute,
-                                t.conn_.probe, t.conn_.memory);
+    (void)co_await t.rpc_.Setup(t.client_->descriptor(), t.conn_);
     b = co_await t.TryRead(thr, Millis(2));
     td = co_await t.rpc_.Teardown(t.client_->descriptor().instance_id);
     a = co_await t.TryRead(thr, Millis(1));

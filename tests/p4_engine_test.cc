@@ -48,8 +48,7 @@ class P4EngineTest : public ::testing::Test {
     engine_ = std::make_unique<CowbirdP4Engine>(f_.sw, ec);
     auto conn = ConnectP4Engine(*engine_, kSwitchId, f_.compute_dev,
                                 f_.memory_dev, 0x800);
-    engine_->AddInstance(client_->descriptor(), conn.compute, conn.probe,
-                         conn.memory);
+    engine_->AddInstance(client_->descriptor(), conn);
     engine_->Start();
 
     app_thread_ = std::make_unique<sim::SimThread>(f_.compute_machine, "app");
@@ -310,9 +309,8 @@ TEST(P4MultiInstance, TimeDivisionMultiplexing) {
     clients.back()->RegisterRegion(RegionInfo{
         kRegion, TestFabric::kMemoryId, kPoolBase, pool_mr->rkey, MiB(64)});
     auto conn = ConnectP4Engine(engine, kSwitchId, f.compute_dev,
-                                f.memory_dev, 0x800 + i * 4);  // 3 QPs per instance
-    engine.AddInstance(clients.back()->descriptor(), conn.compute,
-                       conn.probe, conn.memory);
+                                f.memory_dev, 0x800 + i * 8);  // 5 QPs per instance
+    engine.AddInstance(clients.back()->descriptor(), conn);
   }
   engine.Start();
 

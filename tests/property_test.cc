@@ -18,6 +18,7 @@
 #include "p4/engine.h"
 #include "spot/agent.h"
 #include "spot/setup.h"
+#include "test_seed.h"
 
 namespace cowbird {
 namespace {
@@ -69,8 +70,7 @@ struct EngineHarness {
       auto conn = p4::ConnectP4Engine(*p4_engine, kSwitchId,
                                       fabric.compute_dev, fabric.memory_dev,
                                       0x800);
-      p4_engine->AddInstance(client->descriptor(), conn.compute, conn.probe,
-                             conn.memory);
+      p4_engine->AddInstance(client->descriptor(), conn);
       p4_engine->Start();
     }
     if (loss_rate > 0) {
@@ -116,7 +116,9 @@ class LinearizabilityTest
 // up to 8 in flight.
 TEST_P(LinearizabilityTest, ReadsObserveLatestPrecedingWrite) {
   const LinearizabilityParam param = GetParam();
-  EngineHarness h(param.engine, param.loss_rate, 99);
+  const std::uint64_t seed = cowbird::testing::TestSeed(99);
+  COWBIRD_SCOPED_SEED(seed);
+  EngineHarness h(param.engine, param.loss_rate, seed);
 
   struct SlotState {
     std::uint64_t version = 0;  // version of the last *issued* write
@@ -126,13 +128,14 @@ TEST_P(LinearizabilityTest, ReadsObserveLatestPrecedingWrite) {
   std::uint64_t reads_checked = 0;
 
   h.fabric.sim.Spawn([](EngineHarness& eh, const LinearizabilityParam& p,
+                        std::uint64_t wl_seed,
                         std::vector<SlotState>& state,
                         std::uint64_t& bad,
                         std::uint64_t& checked) -> sim::Task<void> {
     sim::SimThread thread(eh.fabric.compute_machine, "app");
     auto& ctx = eh.client->thread(0);
     const core::PollId poll = ctx.PollCreate();
-    Rng rng(4242);
+    Rng rng(wl_seed);
 
     struct PendingRead {
       ReqId id;
@@ -239,7 +242,7 @@ TEST_P(LinearizabilityTest, ReadsObserveLatestPrecedingWrite) {
     }
     EXPECT_TRUE(pending.empty()) << "reads never completed";
     eh.fabric.sim.Halt();
-  }(h, param, slots, violations, reads_checked));
+  }(h, param, seed * 31 + 4242, slots, violations, reads_checked));
 
   h.fabric.sim.Run();
   EXPECT_EQ(violations, 0u);
@@ -326,7 +329,9 @@ INSTANTIATE_TEST_SUITE_P(
 class RingPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(RingPropertyTest, CursorInvariantsHoldUnderRandomOps) {
-  Rng rng(GetParam());
+  const std::uint64_t seed = cowbird::testing::TestSeed(GetParam());
+  COWBIRD_SCOPED_SEED(seed);
+  Rng rng(seed);
   const std::uint64_t capacity = rng.Between(1, 64);
   RingCursors ring(capacity);
   std::uint64_t pushes = 0, pops = 0;
@@ -347,7 +352,9 @@ TEST_P(RingPropertyTest, CursorInvariantsHoldUnderRandomOps) {
 }
 
 TEST_P(RingPropertyTest, ByteRingSplitSpansCoverReservation) {
-  Rng rng(GetParam() * 31 + 5);
+  const std::uint64_t seed = cowbird::testing::TestSeed(GetParam());
+  COWBIRD_SCOPED_SEED(seed);
+  Rng rng(seed * 31 + 5);
   const std::uint64_t capacity = rng.Between(64, 4096);
   ByteRing ring(capacity);
   std::deque<std::uint64_t> live;  // reservation lengths, FIFO

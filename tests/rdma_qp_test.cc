@@ -303,6 +303,211 @@ TEST_F(QpLossTest, RandomLossManyOpsAllComplete) {
 }
 
 // ---------------------------------------------------------------------------
+// Duplication and reordering (Go-Back-N under faulty delivery)
+// ---------------------------------------------------------------------------
+
+class QpFaultTest : public QpTest {
+ protected:
+  // Applies `action` to the nth RDMA packet crossing the given egress link.
+  static void FaultNth(net::Link& link, int n, net::FaultAction action) {
+    auto counter = std::make_shared<int>(0);
+    link.set_fault_filter([counter, n, action](const net::Packet& p) {
+      if (LooksLikeRdma(p) && ++*counter == n) return action;
+      return net::FaultAction{};
+    });
+  }
+  net::Link& TowardMemory() {
+    return f_.sw.EgressLink(f_.memory_nic.switch_port());
+  }
+  net::Link& TowardCompute() {
+    return f_.sw.EgressLink(f_.compute_nic.switch_port());
+  }
+  // Long enough for later arrivals to overtake the held packet (several
+  // serialization times plus propagation), matching the chaos plan default.
+  static constexpr Nanos kReorderHold = Micros(5);
+};
+
+TEST_F(QpFaultTest, WriteSurvivesDuplicatedAck) {
+  const auto data = Pattern(512, 20);
+  f_.compute_mem.Write(0x5000, data);
+  // Packet 1 toward compute is the ACK; deliver it three times. The extra
+  // copies no longer cover any inflight entry and must be ignored.
+  FaultNth(TowardCompute(), 1, net::FaultAction{.duplicate = 2});
+  pair_.a->PostSend(SendWqe{WqeOp::kWrite, 1, 0x5000, remote_mr_->base,
+                            remote_mr_->rkey, 512, true});
+  f_.sim.Run();
+  std::vector<std::uint8_t> out(512);
+  f_.memory_mem.Read(remote_mr_->base, out);
+  EXPECT_EQ(out, data);
+  auto cqe = pair_.a_send_cq->Pop();
+  ASSERT_TRUE(cqe.has_value());
+  EXPECT_EQ(cqe->status, CqeStatus::kSuccess);
+  // Exactly one completion despite three ACK deliveries. The counter tracks
+  // extra copies, not faulted packets.
+  EXPECT_FALSE(pair_.a_send_cq->Pop().has_value());
+  EXPECT_EQ(TowardCompute().faults_duplicated(), 2u);
+}
+
+TEST_F(QpFaultTest, DuplicatedWriteDataIsNotReapplied) {
+  const auto data = Pattern(3 * kPathMtu, 21);
+  f_.compute_mem.Write(0x5000, data);
+  // Duplicate WRITE_FIRST toward memory: the copy arrives with psn < epsn,
+  // so the responder re-ACKs it without touching memory. The stale ACK the
+  // duplicate provokes must in turn be ignored by the requester.
+  FaultNth(TowardMemory(), 1, net::FaultAction{.duplicate = 1});
+  pair_.a->PostSend(
+      SendWqe{WqeOp::kWrite, 1, 0x5000, remote_mr_->base, remote_mr_->rkey,
+              static_cast<std::uint32_t>(3 * kPathMtu), true});
+  f_.sim.Run();
+  std::vector<std::uint8_t> out(3 * kPathMtu);
+  f_.memory_mem.Read(remote_mr_->base, out);
+  EXPECT_EQ(out, data);
+  auto cqe = pair_.a_send_cq->Pop();
+  ASSERT_TRUE(cqe.has_value());
+  EXPECT_EQ(cqe->status, CqeStatus::kSuccess);
+  EXPECT_FALSE(pair_.a_send_cq->Pop().has_value());
+  EXPECT_EQ(TowardMemory().faults_duplicated(), 1u);
+}
+
+TEST_F(QpFaultTest, ReadSurvivesDuplicatedResponse) {
+  const auto data = Pattern(3 * kPathMtu, 22);
+  f_.memory_mem.Write(remote_mr_->base, data);
+  // Duplicate READ_RESP_MIDDLE toward compute: the copy's PSN is behind the
+  // requester's expected response PSN and is discarded.
+  FaultNth(TowardCompute(), 2, net::FaultAction{.duplicate = 1});
+  pair_.a->PostSend(
+      SendWqe{WqeOp::kRead, 1, 0x9000, remote_mr_->base, remote_mr_->rkey,
+              static_cast<std::uint32_t>(3 * kPathMtu), true});
+  f_.sim.Run();
+  std::vector<std::uint8_t> out(3 * kPathMtu);
+  f_.compute_mem.Read(0x9000, out);
+  EXPECT_EQ(out, data);
+  auto cqe = pair_.a_send_cq->Pop();
+  ASSERT_TRUE(cqe.has_value());
+  EXPECT_EQ(cqe->status, CqeStatus::kSuccess);
+  EXPECT_FALSE(pair_.a_send_cq->Pop().has_value());
+  EXPECT_EQ(TowardCompute().faults_duplicated(), 1u);
+}
+
+TEST_F(QpFaultTest, WriteSurvivesReorderedAcks) {
+  // Two single-segment writes produce two ACKs. Hold the first ACK back so
+  // the second (cumulative, higher PSN) overtakes it and completes both
+  // writes; the late stale ACK must then be ignored.
+  const auto a = Pattern(256, 23);
+  const auto b = Pattern(256, 24);
+  f_.compute_mem.Write(0x5000, a);
+  f_.compute_mem.Write(0x5100, b);
+  FaultNth(TowardCompute(), 1,
+           net::FaultAction{.delay = kReorderHold, .reorder = true});
+  pair_.a->PostSend(SendWqe{WqeOp::kWrite, 1, 0x5000, remote_mr_->base,
+                            remote_mr_->rkey, 256, true});
+  pair_.a->PostSend(SendWqe{WqeOp::kWrite, 2, 0x5100, remote_mr_->base + 256,
+                            remote_mr_->rkey, 256, true});
+  f_.sim.Run();
+  std::vector<std::uint8_t> out(256);
+  f_.memory_mem.Read(remote_mr_->base, out);
+  EXPECT_EQ(out, a);
+  f_.memory_mem.Read(remote_mr_->base + 256, out);
+  EXPECT_EQ(out, b);
+  // Both CQEs, in post order, exactly once.
+  auto cqe = pair_.a_send_cq->Pop();
+  ASSERT_TRUE(cqe.has_value());
+  EXPECT_EQ(cqe->wr_id, 1u);
+  cqe = pair_.a_send_cq->Pop();
+  ASSERT_TRUE(cqe.has_value());
+  EXPECT_EQ(cqe->wr_id, 2u);
+  EXPECT_FALSE(pair_.a_send_cq->Pop().has_value());
+  EXPECT_EQ(TowardCompute().faults_reordered(), 1u);
+}
+
+TEST_F(QpFaultTest, ReadSurvivesReorderedResponses) {
+  const auto data = Pattern(3 * kPathMtu, 25);
+  f_.memory_mem.Write(remote_mr_->base, data);
+  // Hold READ_RESP_FIRST so later response segments arrive ahead of it. The
+  // requester sees a PSN gap, discards the out-of-order segments, and the
+  // retransmit timer re-issues the read — Go-Back-N, not reassembly.
+  FaultNth(TowardCompute(), 1,
+           net::FaultAction{.delay = kReorderHold, .reorder = true});
+  pair_.a->PostSend(
+      SendWqe{WqeOp::kRead, 1, 0x9000, remote_mr_->base, remote_mr_->rkey,
+              static_cast<std::uint32_t>(3 * kPathMtu), true});
+  f_.sim.Run();
+  std::vector<std::uint8_t> out(3 * kPathMtu);
+  f_.compute_mem.Read(0x9000, out);
+  EXPECT_EQ(out, data);
+  auto cqe = pair_.a_send_cq->Pop();
+  ASSERT_TRUE(cqe.has_value());
+  EXPECT_EQ(cqe->status, CqeStatus::kSuccess);
+  EXPECT_FALSE(pair_.a_send_cq->Pop().has_value());
+  EXPECT_EQ(TowardCompute().faults_reordered(), 1u);
+}
+
+TEST_F(QpFaultTest, RandomDupReorderLossManyOpsAllComplete) {
+  // Mixed duplication, reordering, and loss in both directions; 100 mixed
+  // operations must all complete exactly once with intact data.
+  auto rng = std::make_shared<Rng>(77);
+  auto fault = [rng](const net::Packet& p) {
+    net::FaultAction action;
+    if (!LooksLikeRdma(p)) return action;
+    const double u = rng->NextDouble();
+    if (u < 0.02) {
+      action.drop = true;
+    } else if (u < 0.05) {
+      action.duplicate = 1 + static_cast<int>(rng->Next() % 2);
+    } else if (u < 0.08) {
+      action.delay = kReorderHold;
+      action.reorder = true;
+    }
+    return action;
+  };
+  TowardMemory().set_fault_filter(fault);
+  TowardCompute().set_fault_filter(fault);
+
+  std::vector<std::vector<std::uint8_t>> blobs;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    blobs.push_back(Pattern(777, 2000 + i));
+    if (i % 2 == 0) {
+      f_.compute_mem.Write(0x40000 + i * 1024, blobs.back());
+      pair_.a->PostSend(SendWqe{WqeOp::kWrite, i, 0x40000 + i * 1024,
+                                remote_mr_->base + i * 1024,
+                                remote_mr_->rkey, 777, true});
+    } else {
+      f_.memory_mem.Write(remote_mr_->base + MiB(4) + i * 1024,
+                          blobs.back());
+      pair_.a->PostSend(SendWqe{WqeOp::kRead, i, 0x80000 + i * 1024,
+                                remote_mr_->base + MiB(4) + i * 1024,
+                                remote_mr_->rkey, 777, true});
+    }
+  }
+  f_.sim.Run();
+  std::size_t completions = 0;
+  while (auto cqe = pair_.a_send_cq->Pop()) {
+    EXPECT_EQ(cqe->status, CqeStatus::kSuccess);
+    EXPECT_EQ(cqe->wr_id, completions);  // RC: in post order, exactly once
+    ++completions;
+  }
+  EXPECT_EQ(completions, 100u);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    std::vector<std::uint8_t> out(777);
+    if (i % 2 == 0) {
+      f_.memory_mem.Read(remote_mr_->base + i * 1024, out);
+    } else {
+      f_.compute_mem.Read(0x80000 + i * 1024, out);
+    }
+    EXPECT_EQ(out, blobs[i]) << "op " << i;
+  }
+  // The run actually exercised every fault kind.
+  EXPECT_GT(TowardMemory().faults_dropped() + TowardCompute().faults_dropped(),
+            0u);
+  EXPECT_GT(TowardMemory().faults_duplicated() +
+                TowardCompute().faults_duplicated(),
+            0u);
+  EXPECT_GT(TowardMemory().faults_reordered() +
+                TowardCompute().faults_reordered(),
+            0u);
+}
+
+// ---------------------------------------------------------------------------
 // Charged verbs
 // ---------------------------------------------------------------------------
 

@@ -1,0 +1,29 @@
+// Seed plumbing for randomized tests.
+//
+// Every randomized test derives its RNG streams from one base seed obtained
+// here: COWBIRD_TEST_SEED in the environment overrides the default, and
+// COWBIRD_SCOPED_SEED attaches the chosen seed to every assertion failure
+// in the enclosing scope — a red run always prints the seed that reproduces
+// it (re-run with COWBIRD_TEST_SEED=<seed>).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace cowbird::testing {
+
+inline std::uint64_t TestSeed(std::uint64_t default_seed) {
+  if (const char* env = std::getenv("COWBIRD_TEST_SEED")) {
+    char* end = nullptr;
+    const std::uint64_t parsed = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0') return parsed;
+  }
+  return default_seed;
+}
+
+}  // namespace cowbird::testing
+
+#define COWBIRD_SCOPED_SEED(seed) \
+  SCOPED_TRACE(::testing::Message() << "COWBIRD_TEST_SEED=" << (seed))
