@@ -9,7 +9,11 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "telemetry/json.h"
+#include "telemetry/metrics.h"
 
 namespace cowbird::bench {
 
@@ -61,5 +65,127 @@ inline std::string Fmt(double v, int precision = 2) {
 inline void ShapeCheck(bool ok, const char* claim) {
   std::printf("  [%s] %s\n", ok ? "ok" : "MISMATCH", claim);
 }
+
+// Machine-readable companion to the printed tables: collects the measured
+// data points, the shape-check verdicts, and the run's telemetry snapshot,
+// then writes BENCH_<name>.json next to the binary. The document is
+// re-parsed before it is written, so a bench can never publish a file the
+// repo's own JSON tooling would reject.
+//
+// Schema (version 1):
+//   { "schema_version": 1, "bench": <name>, "artifact": <figure/table>,
+//     "rows": [ { "params": {k: string}, "metrics": {k: number} }, ... ],
+//     "shape_checks": [ { "claim": string, "ok": bool }, ... ],
+//     "telemetry": <telemetry::Snapshot::ToJson object> }
+class BenchJson {
+ public:
+  using Params = std::vector<std::pair<std::string, std::string>>;
+  using Metrics = std::vector<std::pair<std::string, double>>;
+
+  BenchJson(std::string name, std::string artifact)
+      : name_(std::move(name)), artifact_(std::move(artifact)) {}
+
+  void Row(Params params, Metrics metrics) {
+    rows_.push_back({std::move(params), std::move(metrics)});
+  }
+
+  // Records the verdict AND prints it like the free ShapeCheck.
+  void ShapeCheck(bool ok, const char* claim) {
+    bench::ShapeCheck(ok, claim);
+    checks_.push_back({claim, ok});
+  }
+
+  void SetTelemetry(const telemetry::Snapshot& snapshot) {
+    telemetry_json_ = snapshot.ToJson();
+  }
+
+  std::string ToJson() const {
+    telemetry::JsonWriter w;
+    w.BeginObject();
+    w.Key("schema_version");
+    w.Uint(1);
+    w.Key("bench");
+    w.String(name_);
+    w.Key("artifact");
+    w.String(artifact_);
+    w.Key("rows");
+    w.BeginArray();
+    for (const auto& row : rows_) {
+      w.BeginObject();
+      w.Key("params");
+      w.BeginObject();
+      for (const auto& [k, v] : row.params) {
+        w.Key(k);
+        w.String(v);
+      }
+      w.EndObject();
+      w.Key("metrics");
+      w.BeginObject();
+      for (const auto& [k, v] : row.metrics) {
+        w.Key(k);
+        w.Double(v);
+      }
+      w.EndObject();
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("shape_checks");
+    w.BeginArray();
+    for (const auto& check : checks_) {
+      w.BeginObject();
+      w.Key("claim");
+      w.String(check.claim);
+      w.Key("ok");
+      w.Bool(check.ok);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("telemetry");
+    w.RawNumber(telemetry_json_.empty() ? "null" : telemetry_json_);
+    w.EndObject();
+    return w.TakeString();
+  }
+
+  // Validates, writes BENCH_<name>.json in the working directory, and
+  // reports. Returns false (and writes nothing) if self-validation fails.
+  bool WriteFile() const {
+    const std::string doc = ToJson();
+    std::string error;
+    const auto parsed = telemetry::ParseJson(doc, &error);
+    if (!parsed.has_value() || parsed->Find("rows") == nullptr ||
+        parsed->Find("telemetry") == nullptr) {
+      std::printf("  [MISMATCH] BENCH_%s.json failed self-validation: %s\n",
+                  name_.c_str(), error.c_str());
+      return false;
+    }
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::printf("  [MISMATCH] cannot open %s for writing\n", path.c_str());
+      return false;
+    }
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+    std::printf("  [ok] wrote %s (%zu bytes, schema v1, %zu rows)\n",
+                path.c_str(), doc.size(), rows_.size());
+    return true;
+  }
+
+ private:
+  struct RowData {
+    Params params;
+    Metrics metrics;
+  };
+  struct Check {
+    std::string claim;
+    bool ok;
+  };
+
+  std::string name_;
+  std::string artifact_;
+  std::vector<RowData> rows_;
+  std::vector<Check> checks_;
+  std::string telemetry_json_;  // empty until SetTelemetry
+};
 
 }  // namespace cowbird::bench

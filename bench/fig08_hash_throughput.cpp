@@ -2,10 +2,15 @@
 // uniformly accessing 8/64/256/512-byte records with 1..16 application
 // threads, for every communication primitive. Dashed "bw-bound" columns for
 // (c) and (d) are the 100 Gbps upper bound the paper draws.
+//
+// Besides the printed tables, every data point lands in
+// BENCH_fig08_hash_throughput.json together with the cumulative telemetry
+// snapshot of the instrumented (Cowbird) runs.
 #include <cstdio>
 #include <vector>
 
 #include "bench_util.h"
+#include "telemetry/hub.h"
 #include "workload/hash_workload.h"
 
 using namespace cowbird;
@@ -24,6 +29,14 @@ int main() {
 
   bench::Banner("Figure 8",
                 "hash table on disaggregated memory, MOPS by record size");
+  bench::BenchJson out("fig08_hash_throughput", "Figure 8");
+
+  // One hub for every Cowbird run: counters accumulate across runs, so the
+  // embedded snapshot describes the whole instrumented portion of the
+  // bench. (The clock is re-seated per run; per-run gauges unbind at each
+  // teardown and the final bound set comes from the last run's snapshot.)
+  telemetry::Hub hub([] { return Nanos{0}; });
+  telemetry::Snapshot last_instrumented;
 
   bool cowbird_tracks_local_small = true;
   bool cowbird_hits_bw_large = false;
@@ -48,8 +61,15 @@ int main() {
         c.record_size = size;
         c.records = 400'000;
         c.measure = Millis(1.5);
-        mops[i] = RunHashWorkload(c).mops;
+        if (p == Paradigm::kCowbird) c.telemetry = &hub;
+        const auto result = RunHashWorkload(c);
+        if (p == Paradigm::kCowbird) last_instrumented = result.telemetry;
+        mops[i] = result.mops;
         row.push_back(bench::Fmt(mops[i], 2));
+        out.Row({{"paradigm", workload::ParadigmName(p)},
+                 {"record_size", std::to_string(size)},
+                 {"threads", std::to_string(t)}},
+                {{"mops", mops[i]}});
         ++i;
       }
       // 100 Gbps of 95%-remote records (per-record response bytes).
@@ -70,13 +90,14 @@ int main() {
   }
 
   std::printf("\nShape checks vs the paper:\n");
-  bench::ShapeCheck(async_vs_sync_min > 3,
-                    "(1) async I/O is order-of-magnitude more efficient");
-  bench::ShapeCheck(cowbird_tracks_local_small,
-                    "(3) batching Cowbird closes the gap to local memory for "
-                    "small records at low thread counts");
-  bench::ShapeCheck(cowbird_hits_bw_large,
-                    "large records with 16 threads approach the bandwidth "
-                    "bound");
-  return 0;
+  out.ShapeCheck(async_vs_sync_min > 3,
+                 "(1) async I/O is order-of-magnitude more efficient");
+  out.ShapeCheck(cowbird_tracks_local_small,
+                 "(3) batching Cowbird closes the gap to local memory for "
+                 "small records at low thread counts");
+  out.ShapeCheck(cowbird_hits_bw_large,
+                 "large records with 16 threads approach the bandwidth "
+                 "bound");
+  out.SetTelemetry(last_instrumented);
+  return out.WriteFile() ? 0 : 1;
 }

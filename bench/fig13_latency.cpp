@@ -1,10 +1,17 @@
 // Figure 13: median and p99 latency of reading records of different sizes
 // from remote memory — sync one-sided RDMA, async one-sided RDMA (batched),
 // Cowbird without batching, Cowbird with batching.
+//
+// Besides the printed table this bench emits BENCH_fig13_latency.json (all
+// data points + the telemetry snapshot of an instrumented Cowbird probe)
+// and TRACE_fig13_cowbird.json, a Chrome-trace sample of that probe's op
+// lifecycles, validated before it is written (open it in chrome://tracing
+// or https://ui.perfetto.dev).
 #include <cstdio>
 #include <vector>
 
 #include "bench_util.h"
+#include "telemetry/hub.h"
 #include "workload/hash_workload.h"
 
 using namespace cowbird;
@@ -15,6 +22,7 @@ using workload::RunLatencyProbe;
 
 int main() {
   bench::Banner("Figure 13", "read latency by record size (median / p99, us)");
+  bench::BenchJson out("fig13_latency", "Figure 13");
 
   const Bytes sizes[] = {8, 64, 256, 512, 1024, 2048};
   bench::Table table({"size", "1s-sync p50/p99", "1s-async p50/p99",
@@ -24,26 +32,65 @@ int main() {
   bool batch_below_async = true;
   bool batch_bounds_hold = true;
 
+  telemetry::Snapshot instrumented;
+
   for (Bytes size : sizes) {
-    auto run = [size](Paradigm p, int inflight) {
+    auto run = [size](Paradigm p, int inflight,
+                      telemetry::Hub* hub = nullptr) {
       LatencyProbeConfig c;
       c.paradigm = p;
       c.record_size = size;
       c.inflight = inflight;
       c.samples = 1500;
+      c.telemetry = hub;
       return RunLatencyProbe(c);
     };
     const LatencyResult sync = run(Paradigm::kOneSidedSync, 1);
     const LatencyResult async_b = run(Paradigm::kOneSidedAsync, 100);
     const LatencyResult nobatch = run(Paradigm::kCowbirdNoBatch, 1);
-    // Deep enough that batches form without draining the pipeline.
-    const LatencyResult batch = run(Paradigm::kCowbird, 48);
+    // Deep enough that batches form without draining the pipeline. The
+    // 256-byte probe (the paper's headline record size) runs instrumented
+    // and contributes the snapshot + sample trace.
+    LatencyResult batch;
+    if (size == 256) {
+      telemetry::Hub hub([] { return Nanos{0}; });  // re-seated by the run
+      batch = run(Paradigm::kCowbird, 48, &hub);
+      instrumented = batch.telemetry;
+      const std::string trace = hub.tracer.ToChromeTraceJson();
+      std::string error;
+      if (!telemetry::ValidateChromeTrace(trace, &error)) {
+        std::printf("  [MISMATCH] sample trace invalid: %s\n", error.c_str());
+        return 1;
+      }
+      if (std::FILE* f = std::fopen("TRACE_fig13_cowbird.json", "w")) {
+        std::fwrite(trace.data(), 1, trace.size(), f);
+        std::fclose(f);
+        std::printf("  [ok] wrote TRACE_fig13_cowbird.json (%zu bytes, "
+                    "%zu op lifecycles)\n",
+                    trace.size(), hub.tracer.ops().size());
+      }
+    } else {
+      batch = run(Paradigm::kCowbird, 48);
+    }
 
     auto cell = [](const LatencyResult& r) {
       return bench::Fmt(r.median_us, 1) + " / " + bench::Fmt(r.p99_us, 1);
     };
     table.Row({std::to_string(size), cell(sync), cell(async_b),
                cell(nobatch), cell(batch)});
+    const struct {
+      const char* series;
+      const LatencyResult* r;
+    } points[] = {{"one_sided_sync", &sync},
+                  {"one_sided_async", &async_b},
+                  {"cowbird_nobatch", &nobatch},
+                  {"cowbird_batch", &batch}};
+    for (const auto& p : points) {
+      out.Row({{"series", p.series}, {"record_size", std::to_string(size)}},
+              {{"median_us", p.r->median_us},
+               {"p99_us", p.r->p99_us},
+               {"samples", static_cast<double>(p.r->samples)}});
+    }
 
     if (nobatch.median_us > 3.5 * sync.median_us) {
       nobatch_close_to_sync = false;
@@ -59,13 +106,14 @@ int main() {
   table.Print();
 
   std::printf("\nShape checks vs the paper:\n");
-  bench::ShapeCheck(nobatch_close_to_sync,
-                    "unbatched Cowbird is similar to sync one-sided RDMA "
-                    "(2 extra RTTs + probe interval, minus post/poll)");
-  bench::ShapeCheck(batch_below_async,
-                    "batched Cowbird stays well below batched async RDMA");
-  bench::ShapeCheck(batch_bounds_hold,
-                    "batched Cowbird keeps ~10 us median / <20 us p99 for "
-                    "small records (paper bound + fabric RTT shift)");
-  return 0;
+  out.ShapeCheck(nobatch_close_to_sync,
+                 "unbatched Cowbird is similar to sync one-sided RDMA "
+                 "(2 extra RTTs + probe interval, minus post/poll)");
+  out.ShapeCheck(batch_below_async,
+                 "batched Cowbird stays well below batched async RDMA");
+  out.ShapeCheck(batch_bounds_hold,
+                 "batched Cowbird keeps ~10 us median / <20 us p99 for "
+                 "small records (paper bound + fabric RTT shift)");
+  out.SetTelemetry(instrumented);
+  return out.WriteFile() ? 0 : 1;
 }

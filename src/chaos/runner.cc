@@ -44,7 +44,7 @@ constexpr Nanos kDrainDeadline = Millis(40);
 // topology, a client, the serving engine plus spot standbys behind an
 // InstanceRegistry, the fault injector, and the recorded history.
 struct ChaosHarness {
-  explicit ChaosHarness(const ChaosOptions& opt)
+  ChaosHarness(const ChaosOptions& opt, telemetry::Hub* hub)
       : options(opt),
         sw(sim, net::Switch::Config{.pipeline_latency =
                                         fabric_params.switch_pipeline}),
@@ -66,12 +66,32 @@ struct ChaosHarness {
     spot_nic.ConnectTo(sw);
     pool_mr = memory_dev.RegisterMemory(kPoolBase, MiB(64));
 
+    if (hub != nullptr) {
+      hub->tracer.SetClock([this] { return sim.Now(); });
+      const struct {
+        const char* name;
+        net::Link* link;
+      } fabric[] = {
+          {"sw_to_compute", &sw.EgressLink(compute_nic.switch_port())},
+          {"sw_to_memory", &sw.EgressLink(memory_nic.switch_port())},
+          {"sw_to_spot", &sw.EgressLink(spot_nic.switch_port())},
+          {"compute_uplink", &compute_nic.uplink()},
+          {"memory_uplink", &memory_nic.uplink()},
+          {"spot_uplink", &spot_nic.uplink()},
+      };
+      for (const auto& f : fabric) {
+        f.link->BindTelemetry(hub->metrics, {{"link", f.name}});
+        bound_links.push_back(f.link);
+      }
+    }
+
     CowbirdClient::Config cc;
     cc.layout.base = 0x10000;
     cc.layout.threads = opt.workload.threads;
     cc.layout.meta_slots = 128;
     cc.layout.data_capacity = KiB(128);
     cc.layout.resp_capacity = KiB(128);
+    cc.telemetry = hub;
     client = std::make_unique<CowbirdClient>(compute_dev, cc);
     client->RegisterRegion(core::RegionInfo{kRegion, kMemoryId, kPoolBase,
                                             pool_mr->rkey, MiB(64)});
@@ -79,9 +99,11 @@ struct ChaosHarness {
     spot::SpotAgent::Config config_a;
     config_a.staging_base = 0x4000'0000;
     config_a.chaos_unsafe_skip_hazards = opt.break_fence;
+    config_a.telemetry = hub;
     spot::SpotAgent::Config config_b;
     config_b.staging_base = 0x8000'0000;
     config_b.chaos_unsafe_skip_hazards = opt.break_fence;
+    config_b.telemetry = hub;
     agent_a = std::make_unique<spot::SpotAgent>(spot_dev, machine_a, config_a);
     agent_b = std::make_unique<spot::SpotAgent>(spot_dev, machine_b, config_b);
     agent_a->Start();
@@ -91,6 +113,7 @@ struct ChaosHarness {
       p4::CowbirdP4Engine::Config ec;
       ec.switch_node_id = kSwitchId;
       ec.chaos_unsafe_skip_hazards = opt.break_fence;
+      ec.telemetry = hub;
       p4_engine = std::make_unique<p4::CowbirdP4Engine>(sw, ec);
       p4_engine->Start();
       serving = registry.AddEngine(P4Binding());
@@ -113,6 +136,17 @@ struct ChaosHarness {
     }
     for (const Nanos when : opt.plan.crashes) {
       sim.ScheduleAt(when, [this] { CrashServingEngine(); });
+    }
+    telemetry_hub = hub;
+  }
+
+  ~ChaosHarness() {
+    if (telemetry_hub != nullptr) {
+      for (net::Link* link : bound_links) link->UnbindTelemetry();
+      // The per-run simulation dies with the harness but the caller keeps
+      // the hub: freeze the tracer clock at the final virtual time so open
+      // spans clamp sanely instead of reading a dangling Simulation.
+      telemetry_hub->tracer.SetClock([now = sim.Now()] { return now; });
     }
   }
 
@@ -237,6 +271,8 @@ struct ChaosHarness {
   spot::SpotAgent* serving_agent = nullptr;
   EngineId serving = offload::kNoEngine;
   FaultInjector injector;
+  telemetry::Hub* telemetry_hub = nullptr;
+  std::vector<net::Link*> bound_links;
   HistoryRecorder recorder;
   std::uint64_t reads_checked = 0;
   std::uint64_t writes_completed = 0;
@@ -408,13 +444,13 @@ std::optional<WorkloadParams> WorkloadParams::Parse(std::string_view line) {
   return wl;
 }
 
-ChaosResult RunChaos(const ChaosOptions& options) {
+ChaosResult RunChaos(const ChaosOptions& options, telemetry::Hub* hub) {
   COWBIRD_CHECK(options.workload.threads >= 1);
   COWBIRD_CHECK(options.workload.len >= 16 && options.workload.len <= 4096);
   COWBIRD_CHECK(options.workload.max_outstanding >= 1 &&
                 options.workload.max_outstanding <= 32);
 
-  ChaosHarness harness(options);
+  ChaosHarness harness(options, hub);
   for (int t = 0; t < options.workload.threads; ++t) {
     harness.sim.Spawn(WorkloadThread(harness, t));
   }
@@ -427,7 +463,14 @@ ChaosResult RunChaos(const ChaosOptions& options) {
   result.writes_completed = harness.writes_completed;
   result.faults_injected = harness.injector.decided_total();
   result.counters_exact = harness.injector.CountersExact();
+  result.decided_dropped = harness.injector.decided_dropped();
+  result.decided_duplicated = harness.injector.decided_duplicated();
+  result.decided_reordered = harness.injector.decided_reordered();
+  result.decided_delayed = harness.injector.decided_delayed();
   result.crashes_executed = harness.crashes_executed;
+  if (hub != nullptr) {
+    result.telemetry = hub->metrics.TakeSnapshot();
+  }
   return result;
 }
 

@@ -22,6 +22,7 @@
 
 #include "chaos/fault_plan.h"
 #include "chaos/history.h"
+#include "telemetry/hub.h"
 
 namespace cowbird::chaos {
 
@@ -61,11 +62,28 @@ struct ChaosResult {
   // counters match them exactly.
   std::uint64_t faults_injected = 0;
   bool counters_exact = true;
+  // Per-bucket decision counts from the injector, so an external audit
+  // (e.g. against telemetry link gauges) can match bucket by bucket.
+  std::uint64_t decided_dropped = 0;
+  std::uint64_t decided_duplicated = 0;
+  std::uint64_t decided_reordered = 0;
+  std::uint64_t decided_delayed = 0;
   std::uint64_t crashes_executed = 0;
+  // Metric snapshot taken just before teardown when RunChaos was given a
+  // hub (empty otherwise). Teardown unbinds every per-run gauge — the links
+  // and engines die with the harness — so this is the instrumented run's
+  // complete observable state.
+  telemetry::Snapshot telemetry;
 
   bool Passed() const { return violations.empty() && counters_exact; }
 };
 
-ChaosResult RunChaos(const ChaosOptions& options);
+// When `hub` is non-null the run is fully instrumented: the tracer's clock
+// is re-seated onto the run's private simulation, the client and engines
+// receive the hub (op-lifecycle spans, engine gauges), and every fabric
+// link is bound to the registry with a {"link": <name>} label so the fault
+// counters in a snapshot can be audited against the decided_* counts.
+ChaosResult RunChaos(const ChaosOptions& options,
+                     telemetry::Hub* hub = nullptr);
 
 }  // namespace cowbird::chaos

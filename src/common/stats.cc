@@ -52,7 +52,7 @@ double PercentileSampler::Mean() const {
 
 void LogHistogram::Add(std::uint64_t value) {
   const int bucket = value == 0 ? 0 : 64 - std::countl_zero(value);
-  COWBIRD_DCHECK(bucket < kBuckets);
+  static_assert(kBuckets == 65, "bucket index for bit-63 values is 64");
   ++buckets_[bucket];
   ++count_;
 }
@@ -64,7 +64,11 @@ std::uint64_t LogHistogram::QuantileUpperBound(double q) const {
   std::uint64_t seen = 0;
   for (int i = 0; i < kBuckets; ++i) {
     seen += buckets_[i];
-    if (seen > target) return i == 0 ? 0 : (1ull << i) - 1;
+    if (seen > target) {
+      if (i == 0) return 0;       // bucket 0 holds only the value 0
+      if (i >= 64) return ~0ull;  // 2^64 - 1 without shifting by 64
+      return (1ull << i) - 1;
+    }
   }
   return ~0ull;
 }

@@ -60,14 +60,19 @@ class PercentileSampler {
 // distribution tracking inside the simulator.
 class LogHistogram {
  public:
+  // Bucket 0 counts only the value 0; bucket i>=1 counts [2^(i-1), 2^i).
+  // Bucket 64 exists so values with bit 63 set (up to UINT64_MAX) land in a
+  // real bucket instead of one past the array.
+  static constexpr int kBuckets = 65;
+
   void Add(std::uint64_t value);
   std::uint64_t count() const { return count_; }
+  std::uint64_t bucket(int i) const { return buckets_[i]; }
   // Upper bound of the bucket that contains quantile q.
   std::uint64_t QuantileUpperBound(double q) const;
   std::string ToString() const;
 
  private:
-  static constexpr int kBuckets = 64;
   std::uint64_t buckets_[kBuckets] = {};
   std::uint64_t count_ = 0;
 };

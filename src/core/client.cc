@@ -50,7 +50,42 @@ CowbirdClient::ThreadContext::ThreadContext(CowbirdClient& client, int index)
       index_(index),
       meta_ring_(client.config_.layout.meta_slots),
       data_ring_(client.config_.layout.data_capacity),
-      resp_ring_(client.config_.layout.resp_capacity) {}
+      resp_ring_(client.config_.layout.resp_capacity) {
+  if (auto* hub = client.config_.telemetry) {
+    const telemetry::Labels labels = {
+        {"instance", std::to_string(client.descriptor_.instance_id)},
+        {"thread", std::to_string(index)}};
+    hub->metrics.RegisterCallbackGauge(
+        "client_reads_issued", labels,
+        [this] { return static_cast<std::int64_t>(reads_issued_); });
+    hub->metrics.RegisterCallbackGauge(
+        "client_writes_issued", labels,
+        [this] { return static_cast<std::int64_t>(writes_issued_); });
+    hub->metrics.RegisterCallbackGauge(
+        "client_issue_failures", labels,
+        [this] { return static_cast<std::int64_t>(issue_failures_); });
+    hub->metrics.RegisterCallbackGauge(
+        "client_reads_retired", labels,
+        [this] { return static_cast<std::int64_t>(retired_read_seq_); });
+    hub->metrics.RegisterCallbackGauge(
+        "client_writes_retired", labels,
+        [this] { return static_cast<std::int64_t>(retired_write_seq_); });
+  }
+}
+
+CowbirdClient::ThreadContext::~ThreadContext() {
+  if (auto* hub = client_->config_.telemetry) {
+    const telemetry::Labels labels = {
+        {"instance", std::to_string(client_->descriptor_.instance_id)},
+        {"thread", std::to_string(index_)}};
+    for (const char* name :
+         {"client_reads_issued", "client_writes_issued",
+          "client_issue_failures", "client_reads_retired",
+          "client_writes_retired"}) {
+      hub->metrics.UnregisterCallbackGauge(name, labels);
+    }
+  }
+}
 
 std::optional<std::uint64_t> CowbirdClient::ThreadContext::ContiguousPad(
     const ByteRing& ring, std::uint64_t len) {
@@ -70,6 +105,10 @@ sim::Task<std::optional<ReqId>> CowbirdClient::ThreadContext::AsyncRead(
   COWBIRD_CHECK(region != nullptr);
   COWBIRD_CHECK(remote_src_offset + length <= region->size);
   COWBIRD_CHECK(length > 0);
+
+  // Lifecycle clock starts before the post cost is charged, so the span sum
+  // covers everything the caller observes.
+  const Nanos issue_ts = thread.simulation().Now();
 
   // The issue path itself: a handful of local-memory writes.
   co_await thread.Work(client_->config_.costs.cowbird_post,
@@ -109,6 +148,12 @@ sim::Task<std::optional<ReqId>> CowbirdClient::ThreadContext::AsyncRead(
   outstanding_reads_.push_back(
       OutstandingRead{seq, cursor, *pad, length, local_dest});
   ++reads_issued_;
+  if (auto* hub = client_->config_.telemetry) {
+    hub->tracer.RecordOpAt(
+        telemetry::OpKey{client_->descriptor_.instance_id,
+                         static_cast<std::uint32_t>(index_), false, seq},
+        telemetry::OpPhase::kIssue, issue_ts);
+  }
   co_return ReqId::Make(RwType::kRead, index_, seq);
 }
 
@@ -119,6 +164,8 @@ sim::Task<std::optional<ReqId>> CowbirdClient::ThreadContext::AsyncWrite(
   COWBIRD_CHECK(region != nullptr);
   COWBIRD_CHECK(remote_dest_offset + length <= region->size);
   COWBIRD_CHECK(length > 0);
+
+  const Nanos issue_ts = thread.simulation().Now();
 
   co_await thread.Work(client_->config_.costs.cowbird_post,
                        sim::CpuCategory::kCommunication);
@@ -163,6 +210,12 @@ sim::Task<std::optional<ReqId>> CowbirdClient::ThreadContext::AsyncWrite(
   const std::uint64_t seq = ++next_write_seq_;
   outstanding_writes_.push_back(OutstandingWrite{seq, *pad + length});
   ++writes_issued_;
+  if (auto* hub = client_->config_.telemetry) {
+    hub->tracer.RecordOpAt(
+        telemetry::OpKey{client_->descriptor_.instance_id,
+                         static_cast<std::uint32_t>(index_), true, seq},
+        telemetry::OpPhase::kIssue, issue_ts);
+  }
   co_return ReqId::Make(RwType::kWrite, index_, seq);
 }
 
@@ -180,8 +233,16 @@ sim::Task<void> CowbirdClient::ThreadContext::Reconcile(
 
   meta_ring_.AdvanceHeadTo(red.meta_head);
 
+  auto* hub = client_->config_.telemetry;
   while (!outstanding_writes_.empty() &&
          outstanding_writes_.front().seq <= red.write_progress) {
+    if (hub != nullptr) {
+      hub->tracer.RecordOp(
+          telemetry::OpKey{client_->descriptor_.instance_id,
+                           static_cast<std::uint32_t>(index_), true,
+                           outstanding_writes_.front().seq},
+          telemetry::OpPhase::kRetired);
+    }
     data_ring_.Release(outstanding_writes_.front().reserved_bytes);
     outstanding_writes_.pop_front();
   }
@@ -200,6 +261,15 @@ sim::Task<void> CowbirdClient::ThreadContext::Reconcile(
     co_await thread.Work(
         client_->config_.costs.DeliveryCopyCost(done.length),
         sim::CpuCategory::kCommunication);
+    // Stamped after the delivery copy: the op's lifecycle ends when its
+    // payload is in the caller's buffer, which is what PollWait observes.
+    if (hub != nullptr) {
+      hub->tracer.RecordOp(
+          telemetry::OpKey{client_->descriptor_.instance_id,
+                           static_cast<std::uint32_t>(index_), false,
+                           done.seq},
+          telemetry::OpPhase::kRetired);
+    }
     resp_ring_.Release(done.pad + done.length);
     mem.WriteValue<std::uint64_t>(layout.GreenAddr(index_) + 16,
                                   resp_ring_.head());

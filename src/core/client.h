@@ -28,6 +28,7 @@
 #include "rdma/params.h"
 #include "sim/task.h"
 #include "sim/thread.h"
+#include "telemetry/hub.h"
 
 namespace cowbird::core {
 
@@ -42,6 +43,10 @@ class CowbirdClient {
     // charged for this gap (a real application overlaps it with compute);
     // each check itself is charged.
     Nanos poll_interval = 200;
+    // Optional telemetry hub. When set, the library stamps each op's
+    // kIssue/kRetired lifecycle phases and surfaces per-thread issue/retire
+    // counters as callback gauges. nullptr = telemetry off (no cost).
+    telemetry::Hub* telemetry = nullptr;
   };
 
   // Registers the client buffer area with the compute node's RDMA device so
@@ -58,6 +63,7 @@ class CowbirdClient {
   class ThreadContext {
    public:
     ThreadContext(CowbirdClient& client, int index);
+    ~ThreadContext();
 
     // Table 2: async_read(region_id, src, dest, length).
     // `remote_src_offset` is relative to the region base; `local_dest` is a

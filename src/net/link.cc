@@ -88,4 +88,41 @@ void Link::Arrive(Packet packet) {
   if (receiver_) receiver_(std::move(packet));
 }
 
+void Link::BindTelemetry(telemetry::MetricRegistry& registry,
+                         const telemetry::Labels& labels) {
+  UnbindTelemetry();
+  telemetry_registry_ = &registry;
+  telemetry_labels_ = labels;
+  const struct {
+    const char* name;
+    const std::uint64_t* cell;
+  } series[] = {
+      {"link_packets_delivered", &packets_delivered_},
+      {"link_bytes_delivered", &bytes_delivered_},
+      {"link_packets_dropped", &packets_dropped_},
+      {"link_faults_dropped", &faults_dropped_},
+      {"link_faults_duplicated", &faults_duplicated_},
+      {"link_faults_delayed", &faults_delayed_},
+      {"link_faults_reordered", &faults_reordered_},
+  };
+  for (const auto& s : series) {
+    registry.RegisterCallbackGauge(s.name, labels, [cell = s.cell] {
+      return static_cast<std::int64_t>(*cell);
+    });
+  }
+}
+
+void Link::UnbindTelemetry() {
+  if (telemetry_registry_ == nullptr) return;
+  for (const char* name :
+       {"link_packets_delivered", "link_bytes_delivered",
+        "link_packets_dropped", "link_faults_dropped",
+        "link_faults_duplicated", "link_faults_delayed",
+        "link_faults_reordered"}) {
+    telemetry_registry_->UnregisterCallbackGauge(name, telemetry_labels_);
+  }
+  telemetry_registry_ = nullptr;
+  telemetry_labels_.clear();
+}
+
 }  // namespace cowbird::net

@@ -21,6 +21,7 @@
 #include "common/units.h"
 #include "net/packet.h"
 #include "sim/simulation.h"
+#include "telemetry/metrics.h"
 
 namespace cowbird::net {
 
@@ -86,6 +87,13 @@ class Link {
   std::uint64_t faults_delayed() const { return faults_delayed_; }
   std::uint64_t faults_reordered() const { return faults_reordered_; }
 
+  // Surfaces delivery and fault counters through a registry as callback
+  // gauges (evaluated at snapshot time; the link pays nothing per packet).
+  // The link must outlive the registry or UnbindTelemetry first.
+  void BindTelemetry(telemetry::MetricRegistry& registry,
+                     const telemetry::Labels& labels);
+  void UnbindTelemetry();
+
  private:
   void StartNext();
   void Deliver(Packet packet);
@@ -108,6 +116,8 @@ class Link {
   std::uint64_t faults_duplicated_ = 0;
   std::uint64_t faults_delayed_ = 0;
   std::uint64_t faults_reordered_ = 0;
+  telemetry::MetricRegistry* telemetry_registry_ = nullptr;
+  telemetry::Labels telemetry_labels_;
 };
 
 }  // namespace cowbird::net

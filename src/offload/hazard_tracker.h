@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "telemetry/metrics.h"
 
 namespace cowbird::offload {
 
@@ -52,6 +53,13 @@ class HazardTracker {
 
   Policy policy() const { return policy_; }
 
+  // Surfaces hazard decisions as counters (blocked vs clear read checks).
+  void BindTelemetry(telemetry::MetricRegistry& registry,
+                     const telemetry::Labels& labels) {
+    reads_blocked_ = registry.GetCounter("hazard_reads_blocked", labels);
+    reads_clear_ = registry.GetCounter("hazard_reads_clear", labels);
+  }
+
   // A write enters the hazard window when it is parsed out of the metadata
   // ring, and leaves it when the pool write is known durable.
   Ticket AdmitWrite(const HazardRange& range) {
@@ -76,6 +84,26 @@ class HazardTracker {
 
   // Would a read over `range`, probed at `frontier`, have to stall now?
   bool ReadBlocked(const HazardRange& range, Ticket frontier) const {
+    const bool blocked = ReadBlockedImpl(range, frontier);
+    (blocked ? reads_blocked_ : reads_clear_).Add();
+    return blocked;
+  }
+
+  // Convenience for callers that check at admission time (the P4 engine
+  // rejects reads while parsing metadata, so every active write is earlier).
+  bool ReadBlocked(const HazardRange& range) const {
+    return ReadBlocked(range, ReadFrontier());
+  }
+
+  std::size_t active_writes() const { return writes_.size(); }
+
+ private:
+  struct ActiveWrite {
+    Ticket ticket;
+    HazardRange range;
+  };
+
+  bool ReadBlockedImpl(const HazardRange& range, Ticket frontier) const {
     switch (policy_) {
       case Policy::kFenceAllReads:
         // The fence ignores the range: any in-flight earlier write pauses
@@ -95,23 +123,11 @@ class HazardTracker {
     COWBIRD_CHECK(false);
   }
 
-  // Convenience for callers that check at admission time (the P4 engine
-  // rejects reads while parsing metadata, so every active write is earlier).
-  bool ReadBlocked(const HazardRange& range) const {
-    return ReadBlocked(range, ReadFrontier());
-  }
-
-  std::size_t active_writes() const { return writes_.size(); }
-
- private:
-  struct ActiveWrite {
-    Ticket ticket;
-    HazardRange range;
-  };
-
   Policy policy_ = Policy::kExactRange;
   Ticket next_ticket_ = 1;
   std::vector<ActiveWrite> writes_;  // small: bounded by max in-flight ops
+  telemetry::Counter reads_blocked_;
+  telemetry::Counter reads_clear_;
 };
 
 }  // namespace cowbird::offload

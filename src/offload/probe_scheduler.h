@@ -23,6 +23,7 @@
 #include <span>
 
 #include "common/units.h"
+#include "telemetry/metrics.h"
 
 namespace cowbird::offload {
 
@@ -49,12 +50,28 @@ class ProbeScheduler {
   Nanos current_interval() const { return current_; }
   ProbeSelection selection() const { return config_.selection; }
 
+  // Surfaces ramp/TDM decisions as counters. Handles default to the dummy
+  // cell, so an unbound scheduler pays one dead increment per event.
+  void BindTelemetry(telemetry::MetricRegistry& registry,
+                     const telemetry::Labels& labels) {
+    probes_with_work_ = registry.GetCounter("probe_found_work", labels);
+    probes_idle_ = registry.GetCounter("probe_idle", labels);
+    ramp_backoffs_ = registry.GetCounter("probe_ramp_backoffs", labels);
+    ramp_snapbacks_ = registry.GetCounter("probe_ramp_snapbacks", labels);
+    tdm_ticks_ = registry.GetCounter("probe_tdm_ticks", labels);
+  }
+
   // Section 5.2 ramp-up. Called once per completed probe.
   void OnProbeOutcome(bool found_work) {
+    (found_work ? probes_with_work_ : probes_idle_).Add();
     if (!config_.adaptive) return;
-    current_ = found_work
-                   ? config_.interval
-                   : std::min(current_ * 2, config_.interval_max);
+    if (found_work) {
+      if (current_ != config_.interval) ramp_snapbacks_.Add();
+      current_ = config_.interval;
+    } else {
+      if (current_ < config_.interval_max) ramp_backoffs_.Add();
+      current_ = std::min(current_ * 2, config_.interval_max);
+    }
   }
 
   // One TDM candidate per registered instance, in registry order.
@@ -84,6 +101,7 @@ class ProbeScheduler {
     }
     if (pick == kNone) pick = tick_ % candidates.size();
     ++tick_;
+    tdm_ticks_.Add();
     return pick;
   }
 
@@ -97,6 +115,11 @@ class ProbeScheduler {
   Config config_;
   Nanos current_;
   std::size_t tick_ = 0;  // TDM cursor (Section 5.4)
+  telemetry::Counter probes_with_work_;
+  telemetry::Counter probes_idle_;
+  telemetry::Counter ramp_backoffs_;
+  telemetry::Counter ramp_snapbacks_;
+  telemetry::Counter tdm_ticks_;
 };
 
 }  // namespace cowbird::offload

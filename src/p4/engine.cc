@@ -35,6 +35,115 @@ CowbirdP4Engine::CowbirdP4Engine(net::Switch& sw, Config config)
           config.probe_interval, config.adaptive_probe,
           config.probe_interval_max, config.probe_policy}) {
   sw_->SetProcessor(this);
+  if (auto* hub = config_.telemetry) {
+    const telemetry::Labels labels = EngineLabels();
+    scheduler_.BindTelemetry(hub->metrics, labels);
+    const struct {
+      const char* name;
+      const std::uint64_t* cell;
+    } series[] = {
+        {"engine_ops_completed", &ops_completed_},
+        {"engine_probes_sent", &probes_sent_},
+        {"engine_packets_recycled", &packets_recycled_},
+        {"engine_reads_paused_by_writes", &reads_paused_by_writes_},
+        {"engine_gbn_recoveries", &recoveries_},
+    };
+    for (const auto& s : series) {
+      hub->metrics.RegisterCallbackGauge(s.name, labels, [cell = s.cell] {
+        return static_cast<std::int64_t>(*cell);
+      });
+    }
+  }
+}
+
+CowbirdP4Engine::~CowbirdP4Engine() {
+  if (auto* hub = config_.telemetry) {
+    while (!instances_.empty()) {
+      UnregisterInstanceTelemetry(instances_.back()->descriptor.instance_id);
+      instances_.pop_back();
+    }
+    for (const char* name :
+         {"engine_ops_completed", "engine_probes_sent",
+          "engine_packets_recycled", "engine_reads_paused_by_writes",
+          "engine_gbn_recoveries"}) {
+      hub->metrics.UnregisterCallbackGauge(name, EngineLabels());
+    }
+  }
+}
+
+telemetry::Labels CowbirdP4Engine::EngineLabels() const {
+  return {{"engine", "p4"},
+          {"node", std::to_string(config_.switch_node_id)}};
+}
+
+telemetry::Labels CowbirdP4Engine::InstanceLabels(
+    std::uint32_t instance_id) const {
+  telemetry::Labels labels = EngineLabels();
+  labels.emplace_back("instance", std::to_string(instance_id));
+  return labels;
+}
+
+void CowbirdP4Engine::RegisterInstanceTelemetry(Instance& inst) {
+  auto* hub = config_.telemetry;
+  if (hub == nullptr) return;
+  const std::uint32_t id = inst.descriptor.instance_id;
+  inst.probe_track = "p4/i" + std::to_string(id) + "/probe";
+  // Queue-depth gauges look the instance up by id so an export taken after
+  // RemoveInstance (or during migration) reads 0 instead of freed memory.
+  const struct {
+    const char* qp_name;
+    SwitchQp Instance::* member;
+  } qps[] = {
+      {"to_compute", &Instance::to_compute},
+      {"to_probe", &Instance::to_probe},
+      {"to_memory", &Instance::to_memory},
+      {"wr_compute", &Instance::wr_compute},
+      {"wr_memory", &Instance::wr_memory},
+  };
+  for (const auto& q : qps) {
+    telemetry::Labels labels = InstanceLabels(id);
+    labels.emplace_back("qp", q.qp_name);
+    hub->metrics.RegisterCallbackGauge(
+        "qp_pending_depth", labels, [this, id, member = q.member] {
+          for (const auto& candidate : instances_) {
+            if (candidate->descriptor.instance_id == id) {
+              return static_cast<std::int64_t>(
+                  ((*candidate).*member).pending.size());
+            }
+          }
+          return std::int64_t{0};
+        });
+  }
+  hub->metrics.RegisterCallbackGauge(
+      "engine_inflight_ops", InstanceLabels(id), [this, id] {
+        for (const auto& candidate : instances_) {
+          if (candidate->descriptor.instance_id != id) continue;
+          std::int64_t total = 0;
+          for (const ThreadState& ts : candidate->threads) {
+            total += static_cast<std::int64_t>(ts.inflight.size());
+          }
+          return total;
+        }
+        return std::int64_t{0};
+      });
+  for (std::size_t t = 0; t < inst.threads.size(); ++t) {
+    telemetry::Labels labels = InstanceLabels(id);
+    labels.emplace_back("thread", std::to_string(t));
+    inst.threads[t].hazards.BindTelemetry(hub->metrics, labels);
+  }
+}
+
+void CowbirdP4Engine::UnregisterInstanceTelemetry(std::uint32_t instance_id) {
+  auto* hub = config_.telemetry;
+  if (hub == nullptr) return;
+  for (const char* qp_name :
+       {"to_compute", "to_probe", "to_memory", "wr_compute", "wr_memory"}) {
+    telemetry::Labels labels = InstanceLabels(instance_id);
+    labels.emplace_back("qp", qp_name);
+    hub->metrics.UnregisterCallbackGauge("qp_pending_depth", labels);
+  }
+  hub->metrics.UnregisterCallbackGauge("engine_inflight_ops",
+                                       InstanceLabels(instance_id));
 }
 
 void CowbirdP4Engine::AddInstance(const core::InstanceDescriptor& descriptor,
@@ -74,6 +183,7 @@ void CowbirdP4Engine::AddInstance(const core::InstanceDescriptor& descriptor,
     }
   }
   instances_.push_back(std::move(inst));
+  RegisterInstanceTelemetry(*instances_.back());
 }
 
 std::optional<offload::InstanceProgress> CowbirdP4Engine::ExportProgress(
@@ -107,6 +217,7 @@ bool CowbirdP4Engine::RemoveInstance(std::uint32_t instance_id) {
     (*it)->to_memory.timer.Cancel();
     (*it)->wr_compute.timer.Cancel();
     (*it)->wr_memory.timer.Cancel();
+    UnregisterInstanceTelemetry(instance_id);
     instances_.erase(it);
     return true;
   }
@@ -138,6 +249,9 @@ void CowbirdP4Engine::ProbeTick() {
 void CowbirdP4Engine::EmitProbe(Instance& inst) {
   inst.probe_inflight = true;
   ++probes_sent_;
+  if (auto* hub = config_.telemetry) {
+    inst.probe_span = hub->tracer.Begin(inst.probe_track, "probe");
+  }
   Pending p;
   p.kind = PendingKind::kProbe;
   p.segments = rdma::SegmentCount(inst.descriptor.layout.GreenBytesTotal());
@@ -291,6 +405,10 @@ void CowbirdP4Engine::HandleAck(Instance& inst, SwitchQp& qp,
 void CowbirdP4Engine::OnProbeData(Instance& inst,
                                   const rdma::RdmaMessageView& view) {
   inst.probe_inflight = false;
+  if (auto* hub = config_.telemetry) {
+    hub->tracer.End(inst.probe_span);
+    inst.probe_span = {};
+  }
   bool found_work = false;
   // Parse the packed green blocks straight out of the packet payload: this
   // is the "compare the received tail pointer" step of Figure 5.
@@ -418,6 +536,12 @@ void CowbirdP4Engine::OnMetaData(Instance& inst, Pending& pending,
     }
     ts.inflight.push_back(op);
     ++consumed;
+    // Parse and execute coincide in the RMT pipeline: an admitted op's
+    // transfer is issued in the same pass (no host-side queue between).
+    RecordOpPhase(inst, thread, op.is_write, op.seq,
+                  telemetry::OpPhase::kParsed);
+    RecordOpPhase(inst, thread, op.is_write, op.seq,
+                  telemetry::OpPhase::kExecute);
 
     const core::RegionInfo* region =
         inst.descriptor.FindRegion(meta.region_id);
@@ -608,6 +732,8 @@ void CowbirdP4Engine::CompleteOpsInOrder(Instance& inst, int thread) {
     }
     ++ts.progress.meta_head;
     ++ops_completed_;
+    RecordOpPhase(inst, thread, op.is_write, op.seq,
+                  telemetry::OpPhase::kDone);
     ts.inflight.pop_front();
     any = true;
   }
@@ -801,6 +927,9 @@ void CowbirdP4Engine::Recover(Instance& inst, SwitchQp& qp) {
 
   if (qp.pending.empty()) return;
   ++recoveries_;
+  if (auto* hub = config_.telemetry) {
+    hub->tracer.Instant("p4/gbn", "recover");
+  }
   // Go-Back-N (Section 5.3): rewind the send PSN to the committed boundary
   // and re-walk the pending FIFO. Duplicate packets are absorbed by the
   // host responder (reads re-execute, writes re-ACK).

@@ -63,6 +63,7 @@
 #include "p4/resources.h"
 #include "rdma/wire.h"
 #include "sim/simulation.h"
+#include "telemetry/hub.h"
 
 namespace cowbird::p4 {
 
@@ -108,9 +109,14 @@ class CowbirdP4Engine : public net::PacketProcessor {
     // Exists so the chaos harness can prove its linearizability checker
     // catches a real consistency bug; never enable outside tests.
     bool chaos_unsafe_skip_hazards = false;
+    // Optional telemetry hub: op lifecycle phases (parsed/execute/done),
+    // probe spans, per-instance queue-depth gauges, and engine counters.
+    // nullptr = telemetry off.
+    telemetry::Hub* telemetry = nullptr;
   };
 
   CowbirdP4Engine(net::Switch& sw, Config config);
+  ~CowbirdP4Engine();
 
   // Control-plane RPC (Phase I): registers an instance with its descriptor
   // and established QPs. Exactly one memory endpoint per instance (the
@@ -253,6 +259,9 @@ class CowbirdP4Engine : public net::PacketProcessor {
     SwitchQp wr_memory;   // pool writes (write-op data)
     std::vector<ThreadState> threads;
     bool probe_inflight = false;
+    // Telemetry: probe round-trip span + precomputed track name.
+    telemetry::SpanTracer::SpanHandle probe_span;
+    std::string probe_track;
   };
 
   // --- probe generator ---
@@ -304,6 +313,21 @@ class CowbirdP4Engine : public net::PacketProcessor {
                            const rdma::Reth* reth,
                            std::span<const std::uint8_t> payload,
                            net::Priority priority);
+
+  // --- telemetry ---
+  telemetry::Labels EngineLabels() const;
+  telemetry::Labels InstanceLabels(std::uint32_t instance_id) const;
+  void RegisterInstanceTelemetry(Instance& inst);
+  void UnregisterInstanceTelemetry(std::uint32_t instance_id);
+  void RecordOpPhase(const Instance& inst, int thread, bool is_write,
+                     std::uint64_t seq, telemetry::OpPhase phase) {
+    if (config_.telemetry != nullptr) {
+      config_.telemetry->tracer.RecordOp(
+          telemetry::OpKey{inst.descriptor.instance_id,
+                           static_cast<std::uint32_t>(thread), is_write, seq},
+          phase);
+    }
+  }
 
   Instance* InstanceForQpn(std::uint32_t switch_qpn, SwitchQp** qp);
 

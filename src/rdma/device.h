@@ -22,6 +22,7 @@
 #include "rdma/params.h"
 #include "rdma/wire.h"
 #include "sim/simulation.h"
+#include "telemetry/metrics.h"
 
 namespace cowbird::rdma {
 
@@ -99,6 +100,15 @@ class Device {
   std::uint64_t packets_sent() const { return packets_sent_; }
   std::uint64_t packets_received() const { return packets_received_; }
 
+  // Sum of Go-Back-N retransmissions across every QP on this device.
+  std::uint64_t total_retransmissions() const;
+
+  // Surfaces packet and retransmission counters as callback gauges. The
+  // device must outlive the registry or UnbindTelemetry first.
+  void BindTelemetry(telemetry::MetricRegistry& registry,
+                     const telemetry::Labels& labels);
+  void UnbindTelemetry();
+
  private:
   void OnPacket(net::Packet packet);
 
@@ -110,6 +120,8 @@ class Device {
   std::vector<std::unique_ptr<QueuePair>> qps_;
   std::uint64_t packets_sent_ = 0;
   std::uint64_t packets_received_ = 0;
+  telemetry::MetricRegistry* telemetry_registry_ = nullptr;
+  telemetry::Labels telemetry_labels_;
 };
 
 }  // namespace cowbird::rdma

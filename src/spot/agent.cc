@@ -28,7 +28,83 @@ SpotAgent::SpotAgent(rdma::Device& device, sim::Machine& machine,
       completions_(machine.simulation()),
       scheduler_(offload::ProbeScheduler::Config{
           config.probe_interval, config.adaptive_probe,
-          config.probe_interval_max, offload::ProbeSelection::kRoundRobin}) {}
+          config.probe_interval_max, offload::ProbeSelection::kRoundRobin}) {
+  if (auto* hub = config_.telemetry) {
+    const telemetry::Labels labels = EngineLabels();
+    scheduler_.BindTelemetry(hub->metrics, labels);
+    const struct {
+      const char* name;
+      const std::uint64_t* cell;
+    } series[] = {
+        {"engine_ops_completed", &ops_completed_},
+        {"engine_probes_sent", &probes_sent_},
+        {"engine_batches_flushed", &batches_flushed_},
+        {"engine_reads_stalled_by_writes", &reads_stalled_by_writes_},
+    };
+    for (const auto& s : series) {
+      hub->metrics.RegisterCallbackGauge(s.name, labels, [cell = s.cell] {
+        return static_cast<std::int64_t>(*cell);
+      });
+    }
+  }
+}
+
+SpotAgent::~SpotAgent() {
+  if (auto* hub = config_.telemetry) {
+    for (const auto& inst : instances_) {
+      if (inst->active) {
+        UnregisterInstanceTelemetry(inst->descriptor.instance_id);
+      }
+    }
+    for (const char* name :
+         {"engine_ops_completed", "engine_probes_sent",
+          "engine_batches_flushed", "engine_reads_stalled_by_writes"}) {
+      hub->metrics.UnregisterCallbackGauge(name, EngineLabels());
+    }
+  }
+}
+
+telemetry::Labels SpotAgent::EngineLabels() const {
+  return {{"engine", "spot"},
+          {"node", std::to_string(device_->node_id())}};
+}
+
+telemetry::Labels SpotAgent::InstanceLabels(std::uint32_t instance_id) const {
+  telemetry::Labels labels = EngineLabels();
+  labels.emplace_back("instance", std::to_string(instance_id));
+  return labels;
+}
+
+void SpotAgent::RegisterInstanceTelemetry(Instance& inst) {
+  auto* hub = config_.telemetry;
+  if (hub == nullptr) return;
+  const std::uint32_t id = inst.descriptor.instance_id;
+  inst.probe_track = "spot/i" + std::to_string(id) + "/probe";
+  // The depth gauge looks the instance up by id so a snapshot taken after
+  // RemoveInstance reads 0 instead of walking an abandoned slot.
+  hub->metrics.RegisterCallbackGauge(
+      "engine_inflight_ops", InstanceLabels(id), [this, id] {
+        const Instance* candidate = FindInstance(id);
+        if (candidate == nullptr) return std::int64_t{0};
+        std::int64_t total = 0;
+        for (const ThreadState& ts : candidate->threads) {
+          total += static_cast<std::int64_t>(ts.ops.size());
+        }
+        return total;
+      });
+  for (std::size_t t = 0; t < inst.threads.size(); ++t) {
+    telemetry::Labels labels = InstanceLabels(id);
+    labels.emplace_back("thread", std::to_string(t));
+    inst.threads[t].hazards.BindTelemetry(hub->metrics, labels);
+  }
+}
+
+void SpotAgent::UnregisterInstanceTelemetry(std::uint32_t instance_id) {
+  auto* hub = config_.telemetry;
+  if (hub == nullptr) return;
+  hub->metrics.UnregisterCallbackGauge("engine_inflight_ops",
+                                       InstanceLabels(instance_id));
+}
 
 void SpotAgent::AddInstance(
     const core::InstanceDescriptor& descriptor, rdma::QueuePair* to_compute,
@@ -97,6 +173,7 @@ void SpotAgent::AddInstance(
     }
   }
   instances_.push_back(std::move(inst));
+  RegisterInstanceTelemetry(*instances_.back());
   if (resumed_with_pending) {
     // Kick the main loop once per thread: publish the merged counters and
     // pump the seeded ops (same synthetic-completion channel the batch
@@ -129,6 +206,7 @@ bool SpotAgent::RemoveInstance(std::uint32_t instance_id) {
     if (inst->descriptor.instance_id != instance_id || !inst->active) {
       continue;
     }
+    UnregisterInstanceTelemetry(instance_id);
     inst->active = false;
     for (ThreadState& ts : inst->threads) ts.batch_timer.Cancel();
     return true;
@@ -251,6 +329,9 @@ sim::Task<void> SpotAgent::ProbeAll() {
     if (!inst.active || inst.probe_inflight) continue;
     inst.probe_inflight = true;
     ++probes_sent_;
+    if (auto* hub = config_.telemetry) {
+      inst.probe_span = hub->tracer.Begin(inst.probe_track, "probe");
+    }
     const auto index = static_cast<std::uint32_t>(i);
     const rdma::SendWqe probe{
         rdma::WqeOp::kRead, MakeWrId(CompletionKind::kProbe, index, 0, 0),
@@ -285,6 +366,10 @@ sim::Task<void> SpotAgent::HandleCompletion(rdma::Cqe cqe) {
   switch (kind) {
     case CompletionKind::kProbe: {
       inst.probe_inflight = false;
+      if (auto* hub = config_.telemetry) {
+        hub->tracer.End(inst.probe_span);
+        inst.probe_span = {};
+      }
       last_probe_found_work_ = false;
       auto& mem = device_->memory();
       for (int t = 0; t < inst.descriptor.layout.threads; ++t) {
@@ -349,6 +434,8 @@ sim::Task<void> SpotAgent::HandleCompletion(rdma::Cqe cqe) {
           op.state = OpState::kDone;
           ts.hazards.RetireWrite(op.hazard_ticket);
           ++ops_completed_;
+          RecordOpPhase(inst, thread_index, /*is_write=*/true, op.seq,
+                        telemetry::OpPhase::kDone);
           break;
         }
       }
@@ -476,6 +563,8 @@ sim::Task<void> SpotAgent::ParseFetchedMetadata(Instance& inst, int thread) {
     ts.ops.push_back(op);
     ++ts.fetch_cursor;
     ++ts.progress.meta_head;
+    RecordOpPhase(inst, thread, meta.rw_type == core::RwType::kWrite, op.seq,
+                  telemetry::OpPhase::kParsed);
   }
   co_await WriteRedBlock(inst, thread);
   co_await PumpThread(inst, thread);
@@ -527,6 +616,8 @@ sim::Task<void> SpotAgent::PumpThread(Instance& inst, int thread) {
       op.staging_addr = AllocStaging(op.meta.length);
       op.state = OpState::kFetching;
       ++inflight;
+      RecordOpPhase(inst, thread, /*is_write=*/false, op.seq,
+                    telemetry::OpPhase::kExecute);
       auto it = inst.to_memory.find(region->memory_node);
       COWBIRD_CHECK(it != inst.to_memory.end());
       batch_for(it->second)
@@ -546,6 +637,8 @@ sim::Task<void> SpotAgent::PumpThread(Instance& inst, int thread) {
       device_->memory().Write(op.staging_addr, *op.carried_payload);
       op.state = OpState::kWriting;
       ++inflight;
+      RecordOpPhase(inst, thread, /*is_write=*/true, op.seq,
+                    telemetry::OpPhase::kExecute);
       auto mit = inst.to_memory.find(region->memory_node);
       COWBIRD_CHECK(mit != inst.to_memory.end());
       batch_for(mit->second)
@@ -560,6 +653,8 @@ sim::Task<void> SpotAgent::PumpThread(Instance& inst, int thread) {
       op.staging_addr = AllocStaging(op.meta.length);
       op.state = OpState::kFetching;
       ++inflight;
+      RecordOpPhase(inst, thread, /*is_write=*/true, op.seq,
+                    telemetry::OpPhase::kExecute);
       batch_for(inst.to_compute)
           .push_back(rdma::SendWqe{
               rdma::WqeOp::kRead,
@@ -634,6 +729,8 @@ sim::Task<void> SpotAgent::FlushBatch(Instance& inst, int thread,
     offset += op->meta.length;
     op->state = OpState::kDelivering;
     ++ops_completed_;  // delivered (progress published with this batch)
+    RecordOpPhase(inst, thread, /*is_write=*/false, op->seq,
+                  telemetry::OpPhase::kDone);
   }
   co_await thread_.Work(
       static_cast<Nanos>(run.size()) * config_.costs.post_wqe_each,

@@ -47,6 +47,7 @@
 #include "rdma/verbs.h"
 #include "sim/sync.h"
 #include "sim/thread.h"
+#include "telemetry/hub.h"
 
 namespace cowbird::spot {
 
@@ -75,6 +76,10 @@ class SpotAgent {
     // catches a real consistency bug; never enable outside tests.
     bool chaos_unsafe_skip_hazards = false;
     rdma::CostModel costs;
+    // Optional telemetry hub: op lifecycle phases (parsed/execute/done),
+    // probe spans, per-instance queue-depth gauges, and engine counters.
+    // nullptr = telemetry off.
+    telemetry::Hub* telemetry = nullptr;
   };
 
   // Entries fetched per metadata read (bounds the staging area and, in the
@@ -82,6 +87,7 @@ class SpotAgent {
   static constexpr std::uint64_t kMetaFetchLimit = 64;
 
   SpotAgent(rdma::Device& device, sim::Machine& machine, Config config);
+  ~SpotAgent();
 
   // Registers an instance. `to_compute` must be a connected QP whose peer is
   // the instance's compute node; `to_memory[node]` likewise for every memory
@@ -191,6 +197,9 @@ class SpotAgent {
     // Cleared by RemoveInstance: the slot stays (wr_ids encode the index)
     // but the instance is no longer probed and its completions are dropped.
     bool active = true;
+    // Telemetry: probe round-trip span + precomputed track name.
+    telemetry::SpanTracer::SpanHandle probe_span;
+    std::string probe_track;
   };
 
  public:
@@ -228,6 +237,21 @@ class SpotAgent {
   std::uint64_t AllocStaging(Bytes len);
 
   const Instance* FindInstance(std::uint32_t instance_id) const;
+
+  // --- telemetry ---
+  telemetry::Labels EngineLabels() const;
+  telemetry::Labels InstanceLabels(std::uint32_t instance_id) const;
+  void RegisterInstanceTelemetry(Instance& inst);
+  void UnregisterInstanceTelemetry(std::uint32_t instance_id);
+  void RecordOpPhase(const Instance& inst, int thread, bool is_write,
+                     std::uint64_t seq, telemetry::OpPhase phase) {
+    if (config_.telemetry != nullptr) {
+      config_.telemetry->tracer.RecordOp(
+          telemetry::OpKey{inst.descriptor.instance_id,
+                           static_cast<std::uint32_t>(thread), is_write, seq},
+          phase);
+    }
+  }
 
   rdma::Device* device_;
   sim::SimThread thread_;

@@ -1,0 +1,196 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "telemetry/json.h"
+
+namespace cowbird::telemetry {
+
+namespace {
+
+bool LegalAtom(std::string_view s) {
+  if (s.empty()) return false;
+  for (const char c : s) {
+    if (c == '{' || c == '}' || c == ',' || c == '=' || c == '"') return false;
+  }
+  return true;
+}
+
+std::uint64_t* DummyCounterCell() {
+  static std::uint64_t cell = 0;
+  return &cell;
+}
+
+std::int64_t* DummyGaugeCell() {
+  static std::int64_t cell = 0;
+  return &cell;
+}
+
+LogHistogram* DummyHistogramCell() {
+  static LogHistogram cell;
+  return &cell;
+}
+
+}  // namespace
+
+Counter::Counter() : cell_(DummyCounterCell()) {}
+Gauge::Gauge() : cell_(DummyGaugeCell()) {}
+Histogram::Histogram() : cell_(DummyHistogramCell()) {}
+
+std::string CanonicalMetricKey(std::string_view name, const Labels& labels) {
+  COWBIRD_CHECK(LegalAtom(name));
+  std::string key(name);
+  if (labels.empty()) return key;
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  key += '{';
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    COWBIRD_CHECK(LegalAtom(sorted[i].first));
+    COWBIRD_CHECK(LegalAtom(sorted[i].second));
+    if (i > 0) {
+      COWBIRD_CHECK(sorted[i].first != sorted[i - 1].first);  // no dup keys
+      key += ',';
+    }
+    key += sorted[i].first;
+    key += '=';
+    key += sorted[i].second;
+  }
+  key += '}';
+  return key;
+}
+
+Counter MetricRegistry::GetCounter(std::string_view name,
+                                   const Labels& labels) {
+  return Counter(&counters_[CanonicalMetricKey(name, labels)]);
+}
+
+Gauge MetricRegistry::GetGauge(std::string_view name, const Labels& labels) {
+  std::string key = CanonicalMetricKey(name, labels);
+  COWBIRD_CHECK(!callback_gauges_.contains(key));
+  return Gauge(&gauges_[std::move(key)]);
+}
+
+Histogram MetricRegistry::GetHistogram(std::string_view name,
+                                       const Labels& labels) {
+  return Histogram(&histograms_[CanonicalMetricKey(name, labels)]);
+}
+
+void MetricRegistry::RegisterCallbackGauge(std::string_view name,
+                                           const Labels& labels,
+                                           std::function<std::int64_t()> fn) {
+  COWBIRD_CHECK(fn != nullptr);
+  std::string key = CanonicalMetricKey(name, labels);
+  COWBIRD_CHECK(!gauges_.contains(key));
+  callback_gauges_[std::move(key)] = std::move(fn);
+}
+
+void MetricRegistry::UnregisterCallbackGauge(std::string_view name,
+                                             const Labels& labels) {
+  callback_gauges_.erase(CanonicalMetricKey(name, labels));
+}
+
+Snapshot MetricRegistry::TakeSnapshot() const {
+  Snapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [key, value] : counters_) {
+    snap.counters.push_back({key, value});
+  }
+  // Stored and callback gauges share one sorted namespace; merge the two
+  // already-sorted maps so snapshot order stays canonical.
+  snap.gauges.reserve(gauges_.size() + callback_gauges_.size());
+  auto stored = gauges_.begin();
+  auto lazy = callback_gauges_.begin();
+  while (stored != gauges_.end() || lazy != callback_gauges_.end()) {
+    const bool take_stored =
+        lazy == callback_gauges_.end() ||
+        (stored != gauges_.end() && stored->first < lazy->first);
+    if (take_stored) {
+      snap.gauges.push_back({stored->first, stored->second});
+      ++stored;
+    } else {
+      snap.gauges.push_back({lazy->first, lazy->second()});
+      ++lazy;
+    }
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [key, hist] : histograms_) {
+    Snapshot::HistogramEntry entry;
+    entry.key = key;
+    entry.count = hist.count();
+    entry.p50 = hist.QuantileUpperBound(0.5);
+    entry.p99 = hist.QuantileUpperBound(0.99);
+    for (int i = 0; i < LogHistogram::kBuckets; ++i) {
+      if (hist.bucket(i) != 0) entry.buckets.emplace_back(i, hist.bucket(i));
+    }
+    snap.histograms.push_back(std::move(entry));
+  }
+  return snap;
+}
+
+std::optional<std::uint64_t> Snapshot::CounterValue(
+    std::string_view key) const {
+  for (const auto& entry : counters) {
+    if (entry.key == key) return entry.value;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::int64_t> Snapshot::GaugeValue(std::string_view key) const {
+  for (const auto& entry : gauges) {
+    if (entry.key == key) return entry.value;
+  }
+  return std::nullopt;
+}
+
+const Snapshot::HistogramEntry* Snapshot::FindHistogram(
+    std::string_view key) const {
+  for (const auto& entry : histograms) {
+    if (entry.key == key) return &entry;
+  }
+  return nullptr;
+}
+
+std::string Snapshot::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("counters");
+  w.BeginObject();
+  for (const auto& entry : counters) {
+    w.Key(entry.key);
+    w.Uint(entry.value);
+  }
+  w.EndObject();
+  w.Key("gauges");
+  w.BeginObject();
+  for (const auto& entry : gauges) {
+    w.Key(entry.key);
+    w.Int(entry.value);
+  }
+  w.EndObject();
+  w.Key("histograms");
+  w.BeginObject();
+  for (const auto& entry : histograms) {
+    w.Key(entry.key);
+    w.BeginObject();
+    w.Key("count");
+    w.Uint(entry.count);
+    w.Key("p50");
+    w.Uint(entry.p50);
+    w.Key("p99");
+    w.Uint(entry.p99);
+    w.Key("buckets");
+    w.BeginObject();
+    for (const auto& [bucket, count] : entry.buckets) {
+      w.Key(std::to_string(bucket));
+      w.Uint(count);
+    }
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.TakeString();
+}
+
+}  // namespace cowbird::telemetry

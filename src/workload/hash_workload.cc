@@ -46,6 +46,27 @@ struct Harness {
       : cfg(config), bed(16, compute_uplink) {
     pool_mr = bed.memory_dev.RegisterMemory(
         kPoolBase, cfg.records * cfg.record_size + KiB(4));
+    if (auto* hub = cfg.telemetry) {
+      hub->tracer.SetClock([this] { return bed.sim.Now(); });
+      bed.compute_dev.BindTelemetry(hub->metrics, {{"node", "compute"}});
+      bed.memory_dev.BindTelemetry(hub->metrics, {{"node", "memory"}});
+      bed.spot_dev.BindTelemetry(hub->metrics, {{"node", "spot"}});
+      const struct {
+        const char* name;
+        net::Link* link;
+      } fabric[] = {
+          {"sw_to_compute", &bed.sw.EgressLink(bed.compute_nic.switch_port())},
+          {"sw_to_memory", &bed.sw.EgressLink(bed.memory_nic.switch_port())},
+          {"sw_to_spot", &bed.sw.EgressLink(bed.spot_nic.switch_port())},
+          {"compute_uplink", &bed.compute_nic.uplink()},
+          {"memory_uplink", &bed.memory_nic.uplink()},
+          {"spot_uplink", &bed.spot_nic.uplink()},
+      };
+      for (const auto& f : fabric) {
+        f.link->BindTelemetry(hub->metrics, {{"link", f.name}});
+        bound_links.push_back(f.link);
+      }
+    }
     for (int t = 0; t < cfg.threads; ++t) {
       threads.push_back(
           std::make_unique<sim::SimThread>(bed.compute_machine,
@@ -95,12 +116,14 @@ struct Harness {
         cc.layout.data_capacity = MiB(1);
         cc.layout.resp_capacity = MiB(1);
         cc.costs = cfg.costs;
+        cc.telemetry = cfg.telemetry;
         client = std::make_unique<core::CowbirdClient>(bed.compute_dev, cc);
         client->RegisterRegion(core::RegionInfo{
             kRegion, Testbed::kMemoryId, kPoolBase, pool_mr->rkey,
             cfg.records * cfg.record_size + KiB(4)});
         if (cfg.paradigm == Paradigm::kCowbirdP4) {
           p4::CowbirdP4Engine::Config ec;
+          ec.telemetry = cfg.telemetry;
           p4_engine = std::make_unique<p4::CowbirdP4Engine>(bed.sw, ec);
           auto conn = p4::ConnectP4Engine(*p4_engine, ec.switch_node_id,
                                           bed.compute_dev, bed.memory_dev,
@@ -111,6 +134,7 @@ struct Harness {
         }
         spot::SpotAgent::Config ac = cfg.agent;
         ac.costs = cfg.costs;
+        ac.telemetry = cfg.telemetry;
         if (cfg.paradigm == Paradigm::kCowbirdNoBatch) ac.batch_size = 1;
         agent = std::make_unique<spot::SpotAgent>(bed.spot_dev,
                                                   bed.spot_machine, ac);
@@ -132,6 +156,18 @@ struct Harness {
       bed.sw.EgressLink(bed.compute_nic.switch_port()).set_drop_filter(filter);
       bed.sw.EgressLink(bed.memory_nic.switch_port()).set_drop_filter(filter);
       bed.sw.EgressLink(bed.spot_nic.switch_port()).set_drop_filter(filter);
+    }
+  }
+
+  ~Harness() {
+    if (auto* hub = cfg.telemetry) {
+      bed.compute_dev.UnbindTelemetry();
+      bed.memory_dev.UnbindTelemetry();
+      bed.spot_dev.UnbindTelemetry();
+      for (net::Link* link : bound_links) link->UnbindTelemetry();
+      // The testbed simulation dies with the harness but the caller keeps
+      // the hub: freeze the tracer clock at the final virtual time.
+      hub->tracer.SetClock([now = bed.sim.Now()] { return now; });
     }
   }
 
@@ -161,6 +197,7 @@ struct Harness {
   std::vector<std::unique_ptr<baselines::AsyncPipeline>> pipelines;
   std::vector<baselines::OneSidedEndpoint> endpoints;
   std::vector<std::uint64_t> ops;
+  std::vector<net::Link*> bound_links;
 };
 
 // Per-operation application work common to all paradigms.
@@ -373,6 +410,9 @@ WorkloadResult RunHashWorkload(const HashWorkloadConfig& config) {
       h.agent ? static_cast<double>(end.agent_busy - start.agent_busy) /
                     static_cast<double>(elapsed)
               : 0.0;
+  if (config.telemetry != nullptr) {
+    result.telemetry = config.telemetry->metrics.TakeSnapshot();
+  }
   return result;
 }
 
@@ -390,6 +430,7 @@ LatencyResult RunLatencyProbe(const LatencyProbeConfig& config) {
   base.window = config.inflight;
   base.agent = config.agent;
   base.costs = config.costs;
+  base.telemetry = config.telemetry;
   Harness h(base);
 
   PercentileSampler sampler;
@@ -481,6 +522,9 @@ LatencyResult RunLatencyProbe(const LatencyProbeConfig& config) {
   result.samples = sampler.count();
   result.median_us = sampler.Median() / 1000.0;
   result.p99_us = sampler.P99() / 1000.0;
+  if (config.telemetry != nullptr) {
+    result.telemetry = config.telemetry->metrics.TakeSnapshot();
+  }
   return result;
 }
 

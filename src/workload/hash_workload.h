@@ -14,6 +14,7 @@
 #include "common/units.h"
 #include "rdma/params.h"
 #include "spot/agent.h"
+#include "telemetry/hub.h"
 
 namespace cowbird::workload {
 
@@ -51,6 +52,12 @@ struct HashWorkloadConfig {
   double loss_rate = 0.0;
   spot::SpotAgent::Config agent;  // Cowbird engine knobs (batch_size etc.)
   rdma::CostModel costs;
+  // Optional telemetry hub: the tracer clock is re-seated onto the run's
+  // private simulation, the client and engines are instrumented, and the
+  // testbed's devices and fabric links are bound as labeled gauges. The
+  // run's final metric state comes back in WorkloadResult::telemetry
+  // (the per-run gauges are unbound at teardown).
+  telemetry::Hub* telemetry = nullptr;
 };
 
 struct WorkloadResult {
@@ -59,6 +66,8 @@ struct WorkloadResult {
   std::uint64_t ops = 0;
   Nanos elapsed = 0;
   double offload_core_util = 0;  // spot-agent busy fraction (Cowbird only)
+  // Filled when HashWorkloadConfig::telemetry was set.
+  telemetry::Snapshot telemetry;
 };
 
 WorkloadResult RunHashWorkload(const HashWorkloadConfig& config);
@@ -69,6 +78,10 @@ struct LatencyResult {
   double median_us = 0;
   double p99_us = 0;
   std::uint64_t samples = 0;
+  // Filled when LatencyProbeConfig::telemetry was set. Recorded spans stay
+  // in the hub's tracer (clock frozen at the run's final virtual time), so
+  // the caller can also export a Chrome trace after the probe returns.
+  telemetry::Snapshot telemetry;
 };
 
 struct LatencyProbeConfig {
@@ -78,6 +91,7 @@ struct LatencyProbeConfig {
   int samples = 2000;
   spot::SpotAgent::Config agent;
   rdma::CostModel costs;
+  telemetry::Hub* telemetry = nullptr;  // see HashWorkloadConfig::telemetry
 };
 
 LatencyResult RunLatencyProbe(const LatencyProbeConfig& config);
