@@ -406,6 +406,25 @@ std::optional<EngineKind> ParseEngineKind(std::string_view name) {
   return std::nullopt;
 }
 
+ChaosOptions SweepOptions(EngineKind engine, std::uint64_t seed,
+                          bool break_fence) {
+  ChaosOptions opt;
+  opt.engine = engine;
+  opt.seed = seed;
+  opt.break_fence = break_fence;
+  opt.workload.threads = 2;
+  opt.workload.ops_per_thread = 200;
+  if (break_fence) {
+    // Hot single slot maximizes read-after-write conflicts so the planted
+    // bug has every chance to manifest; no packet faults needed.
+    opt.workload.slots_per_thread = 1;
+    opt.workload.write_ratio = 0.5;
+  } else {
+    opt.plan = FaultPlan::FromSeed(seed, /*crash_count=*/seed % 2 ? 2 : 0);
+  }
+  return opt;
+}
+
 std::string WorkloadParams::Serialize() const {
   std::ostringstream out;
   out << "threads=" << threads << " slots=" << slots_per_thread

@@ -78,6 +78,15 @@ struct ChaosResult {
   bool Passed() const { return violations.empty() && counters_exact; }
 };
 
+// Canonical options for one run of the CI seed sweep: the fixed workload
+// shape plus the seed-derived fault plan (crashes on odd seeds). Shared by
+// the chaos_sweep driver and the datapath parity test, which pins the
+// byte-exact outcomes of an 8-seed sweep across allocator-path changes —
+// both must derive a seed's run from the same recipe or the pin is
+// meaningless.
+ChaosOptions SweepOptions(EngineKind engine, std::uint64_t seed,
+                          bool break_fence = false);
+
 // When `hub` is non-null the run is fully instrumented: the tracer's clock
 // is re-seated onto the run's private simulation, the client and engines
 // receive the hub (op-lifecycle spans, engine gauges), and every fabric

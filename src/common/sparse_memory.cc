@@ -5,18 +5,32 @@
 namespace cowbird {
 
 std::uint8_t* SparseMemory::EnsurePage(std::uint64_t page_index) {
+  CachedPage& slot = cache_[page_index % kCacheWays];
+  if (slot.index == page_index) return slot.page;
   auto it = pages_.find(page_index);
   if (it == pages_.end()) {
     auto page = std::make_unique<std::uint8_t[]>(kPageSize);
     std::memset(page.get(), 0, kPageSize);
     it = pages_.emplace(page_index, std::move(page)).first;
   }
-  return it->second.get();
+  slot = CachedPage{page_index, it->second.get()};
+  return slot.page;
 }
 
 const std::uint8_t* SparseMemory::FindPage(std::uint64_t page_index) const {
+  CachedPage& slot = cache_[page_index % kCacheWays];
+  if (slot.index == page_index) return slot.page;
   auto it = pages_.find(page_index);
-  return it == pages_.end() ? nullptr : it->second.get();
+  if (it == pages_.end()) return nullptr;  // not cached: stays a miss until written
+  slot = CachedPage{page_index, it->second.get()};
+  return slot.page;
+}
+
+void SparseMemory::PreFault(std::uint64_t addr, Bytes len) {
+  if (len <= 0) return;
+  const std::uint64_t first = addr / kPageSize;
+  const std::uint64_t last = (addr + static_cast<std::uint64_t>(len) - 1) / kPageSize;
+  for (std::uint64_t page = first; page <= last; ++page) EnsurePage(page);
 }
 
 void SparseMemory::Write(std::uint64_t addr,

@@ -189,9 +189,9 @@ sim::Task<std::optional<ReqId>> CowbirdClient::ThreadContext::AsyncWrite(
   // Stage the payload into the request data ring (the one copy the write
   // path pays; the engine fetches it from here asynchronously).
   auto& mem = client_->device_->memory();
-  std::vector<std::uint8_t> staging(length);
-  mem.Read(local_src, staging);
-  mem.Write(ring_addr, staging);
+  copy_scratch_.resize(length);
+  mem.Read(local_src, copy_scratch_);
+  mem.Write(ring_addr, copy_scratch_);
   co_await thread.Work(client_->config_.costs.CopyCost(length),
                        sim::CpuCategory::kCommunication);
 
@@ -250,14 +250,16 @@ sim::Task<void> CowbirdClient::ThreadContext::Reconcile(
 
   while (!outstanding_reads_.empty() &&
          outstanding_reads_.front().seq <= red.read_progress) {
-    const OutstandingRead& done = outstanding_reads_.front();
+    // Copied, not referenced: the ring may grow (relocating entries) if an
+    // issue path runs while this coroutine is suspended at the copy charge.
+    const OutstandingRead done = outstanding_reads_.front();
     // Copy the payload out of the response ring to the user's buffer.
     const std::uint64_t ring_addr =
         layout.RespRingAddr(index_) +
         ((done.ring_cursor + done.pad) % resp_ring_.capacity());
-    std::vector<std::uint8_t> payload(done.length);
-    mem.Read(ring_addr, payload);
-    mem.Write(done.user_dest, payload);
+    copy_scratch_.resize(done.length);
+    mem.Read(ring_addr, copy_scratch_);
+    mem.Write(done.user_dest, copy_scratch_);
     co_await thread.Work(
         client_->config_.costs.DeliveryCopyCost(done.length),
         sim::CpuCategory::kCommunication);
@@ -298,38 +300,53 @@ void CowbirdClient::ThreadContext::PollRemove(PollId poll_id, ReqId req_id) {
   auto& group = poll_groups_[poll_id];
   auto& queue =
       req_id.type() == RwType::kRead ? group.reads : group.writes;
-  queue.erase(std::remove(queue.begin(), queue.end(), req_id), queue.end());
+  for (std::size_t i = 0; i < queue.size();) {
+    if (queue[i] == req_id) {
+      queue.erase_at(i);
+    } else {
+      ++i;
+    }
+  }
 }
 
-sim::Task<std::vector<ReqId>> CowbirdClient::ThreadContext::PollWait(
-    sim::SimThread& thread, PollId poll_id, int max_ret, Nanos timeout) {
+sim::Task<int> CowbirdClient::ThreadContext::PollWait(
+    sim::SimThread& thread, PollId poll_id, std::vector<ReqId>& responses,
+    int max_ret, Nanos timeout) {
   COWBIRD_CHECK(poll_id < poll_groups_.size() && poll_groups_[poll_id].live);
   auto& group = poll_groups_[poll_id];
   const Nanos deadline = thread.simulation().Now() + timeout;
-  std::vector<ReqId> results;
+  responses.clear();
   for (;;) {
     co_await Reconcile(thread);
     // Completion checks are integer comparisons against the progress
     // counters (Section 4.4).
-    while (static_cast<int>(results.size()) < max_ret && !group.reads.empty() &&
+    while (static_cast<int>(responses.size()) < max_ret &&
+           !group.reads.empty() &&
            group.reads.front().seq() <= retired_read_seq_) {
-      results.push_back(group.reads.front());
+      responses.push_back(group.reads.front());
       group.reads.pop_front();
     }
-    while (static_cast<int>(results.size()) < max_ret &&
+    while (static_cast<int>(responses.size()) < max_ret &&
            !group.writes.empty() &&
            group.writes.front().seq() <= retired_write_seq_) {
-      results.push_back(group.writes.front());
+      responses.push_back(group.writes.front());
       group.writes.pop_front();
     }
-    if (static_cast<int>(results.size()) >= max_ret ||
+    if (static_cast<int>(responses.size()) >= max_ret ||
         thread.simulation().Now() >= deadline) {
-      co_return results;
+      co_return static_cast<int>(responses.size());
     }
     const Nanos remaining = deadline - thread.simulation().Now();
     co_await thread.Idle(
         std::min<Nanos>(client_->config_.poll_interval, remaining));
   }
+}
+
+sim::Task<std::vector<ReqId>> CowbirdClient::ThreadContext::PollWait(
+    sim::SimThread& thread, PollId poll_id, int max_ret, Nanos timeout) {
+  std::vector<ReqId> results;
+  co_await PollWait(thread, poll_id, results, max_ret, timeout);
+  co_return results;
 }
 
 bool CowbirdClient::ThreadContext::IsRetired(ReqId id) const {

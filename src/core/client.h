@@ -15,11 +15,11 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <optional>
 #include <vector>
 
+#include "common/pool.h"
 #include "common/ring.h"
 #include "common/units.h"
 #include "core/instance.h"
@@ -85,8 +85,19 @@ class CowbirdClient {
     void PollAdd(PollId poll_id, ReqId req_id);
     void PollRemove(PollId poll_id, ReqId req_id);
 
-    // Table 2: poll_wait(poll_id, responses, max_ret, timeout). Returns up
-    // to `max_ret` completed request IDs, waiting at most `timeout`.
+    // Table 2: poll_wait(poll_id, responses, max_ret, timeout). Appends up
+    // to `max_ret` completed request IDs into the caller-provided
+    // `responses` array (cleared first), waiting at most `timeout`; returns
+    // the count. The caller reuses the array across calls, so a steady-state
+    // poll loop performs no allocation once the array has grown to the
+    // window size — matching the paper's API, where the application owns the
+    // responses buffer.
+    sim::Task<int> PollWait(sim::SimThread& thread, PollId poll_id,
+                            std::vector<ReqId>& responses, int max_ret,
+                            Nanos timeout);
+
+    // Convenience wrapper returning a fresh vector per call. Fine for tests
+    // and control paths; hot loops should pass their own responses array.
     sim::Task<std::vector<ReqId>> PollWait(sim::SimThread& thread,
                                            PollId poll_id, int max_ret,
                                            Nanos timeout);
@@ -118,8 +129,8 @@ class CowbirdClient {
     };
     struct PollGroup {
       bool live = false;
-      std::deque<ReqId> reads;   // ascending seq
-      std::deque<ReqId> writes;  // ascending seq
+      FixedDeque<ReqId> reads;   // ascending seq
+      FixedDeque<ReqId> writes;  // ascending seq
     };
 
     // Synchronize with the engine-written red block: advance ring heads,
@@ -141,12 +152,16 @@ class CowbirdClient {
     std::uint64_t next_write_seq_ = 0;
     std::uint64_t retired_read_seq_ = 0;
     std::uint64_t retired_write_seq_ = 0;
-    std::deque<OutstandingRead> outstanding_reads_;
-    std::deque<OutstandingWrite> outstanding_writes_;
+    FixedDeque<OutstandingRead> outstanding_reads_;
+    FixedDeque<OutstandingWrite> outstanding_writes_;
     std::vector<PollGroup> poll_groups_;
     std::uint64_t reads_issued_ = 0;
     std::uint64_t writes_issued_ = 0;
     std::uint64_t issue_failures_ = 0;
+    // Payload shuttle for staging/delivery copies. Safe to share across the
+    // thread's coroutines: every use is a resize+read+write stretch with no
+    // suspension point inside it.
+    std::vector<std::uint8_t> copy_scratch_;
   };
 
  private:

@@ -14,16 +14,17 @@ void Link::Send(Packet packet) {
 void Link::StartNext() {
   COWBIRD_CHECK(!queue_.empty());
   busy_ = true;
-  auto next = queue_.begin();
+  std::size_t next = 0;
   if (priority_scheduling_) {
-    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-      if (static_cast<int>(it->priority) > static_cast<int>(next->priority)) {
-        next = it;
+    for (std::size_t i = 1; i < queue_.size(); ++i) {
+      if (static_cast<int>(queue_[i].priority) >
+          static_cast<int>(queue_[next].priority)) {
+        next = i;
       }
     }
   }
-  Packet packet = std::move(*next);
-  queue_.erase(next);
+  Packet packet = std::move(queue_[next]);
+  queue_.erase_at(next);
   const Nanos tx = rate_.TransmitTime(packet.WireBytes());
   // Delivery is scheduled independently of transmitter availability so that
   // back-to-back packets pipeline across the propagation delay.

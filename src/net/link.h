@@ -14,10 +14,10 @@
 // plan's decisions can be audited against the link's counters.
 #pragma once
 
-#include <deque>
 #include <functional>
 #include <string>
 
+#include "common/pool.h"
 #include "common/units.h"
 #include "net/packet.h"
 #include "sim/simulation.h"
@@ -106,7 +106,7 @@ class Link {
   std::function<void()> idle_callback_;
   std::function<bool(const Packet&)> drop_filter_;
   std::function<FaultAction(const Packet&)> fault_filter_;
-  std::deque<Packet> queue_;
+  FixedDeque<Packet> queue_;
   bool priority_scheduling_ = false;
   bool busy_ = false;
   std::uint64_t packets_delivered_ = 0;

@@ -8,10 +8,12 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <vector>
 
 #include "common/check.h"
+#include "common/pool.h"
 #include "common/units.h"
 #include "net/bytes.h"
 
@@ -123,8 +125,152 @@ enum class Priority : std::uint8_t {
   kLevels = 4,
 };
 
+// Frame storage backed by a recycled slot cache instead of the heap. Every
+// hop in the simulation copies or moves a Packet at least once (into the
+// delivery event, through the switch pipeline, into the fault injector), and
+// a std::vector here meant one allocation per copy. Slots are 1536 bytes —
+// enough for the largest RDMA frame (1098B) and the bulk-flow MTU frames
+// (1442B); anything larger falls back to an exact heap allocation, counted
+// in the slot cache's exhausted_total so the misconfiguration is visible in
+// the pool gauges. The cache is thread-local because simulations are
+// thread-confined.
+//
+// The deliberately vector-shaped API (size/resize/data/begin/end, implicit
+// span conversion, zero-fill on growth) keeps the wire-format code
+// unchanged.
+class PacketBuffer {
+ public:
+  static constexpr std::size_t kSlotBytes = 1536;
+
+  PacketBuffer() = default;
+  PacketBuffer(const PacketBuffer& other) { CopyFrom(other); }
+  PacketBuffer& operator=(const PacketBuffer& other) {
+    if (this != &other) {
+      ReleaseStorage();
+      CopyFrom(other);
+    }
+    return *this;
+  }
+  PacketBuffer(PacketBuffer&& other) noexcept
+      : data_(other.data_), size_(other.size_), cap_(other.cap_) {
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.cap_ = 0;
+  }
+  PacketBuffer& operator=(PacketBuffer&& other) noexcept {
+    if (this != &other) {
+      ReleaseStorage();
+      data_ = other.data_;
+      size_ = other.size_;
+      cap_ = other.cap_;
+      other.data_ = nullptr;
+      other.size_ = 0;
+      other.cap_ = 0;
+    }
+    return *this;
+  }
+  ~PacketBuffer() { ReleaseStorage(); }
+
+  std::uint8_t* data() { return data_; }
+  const std::uint8_t* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::uint8_t* begin() { return data_; }
+  std::uint8_t* end() { return data_ + size_; }
+  const std::uint8_t* begin() const { return data_; }
+  const std::uint8_t* end() const { return data_ + size_; }
+  std::uint8_t& operator[](std::size_t i) {
+    COWBIRD_DCHECK(i < size_);
+    return data_[i];
+  }
+  std::uint8_t operator[](std::size_t i) const {
+    COWBIRD_DCHECK(i < size_);
+    return data_[i];
+  }
+
+  // vector semantics: growth zero-fills the new tail, shrinking keeps data.
+  void resize(std::size_t n) {
+    if (n > cap_) GrowTo(n);
+    if (n > size_) std::memset(data_ + size_, 0, n - size_);
+    size_ = n;
+  }
+
+  operator std::span<std::uint8_t>() { return {data_, size_}; }
+  operator std::span<const std::uint8_t>() const { return {data_, size_}; }
+
+  // Counters of the calling thread's slot cache (bindable as pool gauges).
+  static const PoolStats& stats() { return Cache().stats; }
+
+ private:
+  struct SlotCache {
+    std::vector<std::uint8_t*> free;
+    PoolStats stats;
+    ~SlotCache() {
+      for (std::uint8_t* slot : free) delete[] slot;
+    }
+  };
+  static SlotCache& Cache() {
+    thread_local SlotCache cache;
+    return cache;
+  }
+
+  void GrowTo(std::size_t n) {
+    std::uint8_t* next = nullptr;
+    std::size_t next_cap = 0;
+    if (n <= kSlotBytes) {
+      SlotCache& cache = Cache();
+      if (cache.free.empty()) {
+        next = new std::uint8_t[kSlotBytes];
+      } else {
+        next = cache.free.back();
+        cache.free.pop_back();
+      }
+      next_cap = kSlotBytes;
+      ++cache.stats.in_use;
+      if (cache.stats.in_use > cache.stats.high_water) {
+        cache.stats.high_water = cache.stats.in_use;
+      }
+    } else {
+      // Oversized frame: exact heap allocation, visible in the gauges.
+      next = new std::uint8_t[n];
+      next_cap = n;
+      ++Cache().stats.exhausted_total;
+    }
+    if (size_ > 0) std::memcpy(next, data_, size_);
+    ReleaseStorage();
+    data_ = next;
+    cap_ = next_cap;
+  }
+
+  void CopyFrom(const PacketBuffer& other) {
+    size_ = 0;
+    cap_ = 0;
+    data_ = nullptr;
+    if (other.size_ == 0) return;
+    GrowTo(other.size_);
+    std::memcpy(data_, other.data_, other.size_);
+    size_ = other.size_;
+  }
+
+  void ReleaseStorage() {
+    if (cap_ == kSlotBytes) {
+      Cache().free.push_back(data_);
+      --Cache().stats.in_use;
+    } else if (cap_ > 0) {
+      delete[] data_;
+    }
+    data_ = nullptr;
+    size_ = 0;
+    cap_ = 0;
+  }
+
+  std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t cap_ = 0;
+};
+
 struct Packet {
-  std::vector<std::uint8_t> bytes;  // full frame: Eth + IP + UDP + payload
+  PacketBuffer bytes;  // full frame: Eth + IP + UDP + payload
   NodeId src = 0;
   NodeId dst = 0;
   Priority priority = Priority::kRdma;

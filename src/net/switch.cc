@@ -44,7 +44,8 @@ void Switch::InjectGenerated(int gen_port, Packet packet) {
 }
 
 void Switch::RunPipeline(int ingress_port, Packet packet) {
-  std::vector<ForwardAction> actions;
+  std::vector<ForwardAction>& actions = pipeline_scratch_;
+  actions.clear();
   if (processor_ != nullptr) {
     processor_->Process(*this, ingress_port, std::move(packet), actions);
   } else {

@@ -9,11 +9,11 @@
 #pragma once
 
 #include <array>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <vector>
 
+#include "common/pool.h"
 #include "common/units.h"
 #include "net/link.h"
 #include "net/packet.h"
@@ -78,7 +78,7 @@ class Switch {
  private:
   struct Port {
     std::unique_ptr<Link> link;
-    std::array<std::deque<Packet>,
+    std::array<FixedDeque<Packet>,
                static_cast<std::size_t>(Priority::kLevels)>
         queues;
     Bytes queued_bytes = 0;
@@ -94,6 +94,9 @@ class Switch {
   std::vector<std::pair<NodeId, int>> routes_;
   PacketProcessor* processor_ = nullptr;  // null → L3 forwarding
   std::uint64_t forwarded_ = 0;
+  // Per-packet action scratch, reused across pipeline invocations (the
+  // pipeline never reenters itself: it only runs from scheduled events).
+  std::vector<ForwardAction> pipeline_scratch_;
 };
 
 // Star topology host endpoint: one full-duplex attachment to the switch,

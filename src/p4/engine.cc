@@ -497,12 +497,16 @@ void CowbirdP4Engine::MaybeFetchMetadata(Instance& inst, int thread) {
 
 void CowbirdP4Engine::OnMetaData(Instance& inst, Pending& pending,
                                  const rdma::RdmaMessageView& view) {
+  // Copied up front: the Admit calls below can push into the ring that
+  // holds `pending` (metadata fetches live on to_compute), relocating it.
   const int thread = pending.thread;
+  const std::uint32_t fetch_count = pending.fetch_count;
+  const std::uint64_t fetch_cursor = pending.fetch_cursor;
   ThreadState& ts = inst.threads[thread];
   ts.meta_fetch_inflight = false;
 
   std::uint32_t consumed = 0;
-  for (std::uint32_t i = 0; i < pending.fetch_count; ++i) {
+  for (std::uint32_t i = 0; i < fetch_count; ++i) {
     const std::size_t at = static_cast<std::size_t>(i) *
                            core::kMetadataEntryBytes;
     if (at + core::kMetadataEntryBytes > view.payload.size()) break;
@@ -575,12 +579,12 @@ void CowbirdP4Engine::OnMetaData(Instance& inst, Pending& pending,
   }
 
   // Entries not consumed (pause / PHV budget) rewind the fetch cursor.
-  ts.fetch_cursor = pending.fetch_cursor + consumed;
+  ts.fetch_cursor = fetch_cursor + consumed;
   MaybeFetchMetadata(inst, thread);
 }
 
 namespace {
-CowbirdP4Engine::Op* FindOpImpl(std::deque<CowbirdP4Engine::Op>& ops,
+CowbirdP4Engine::Op* FindOpImpl(FixedDeque<CowbirdP4Engine::Op>& ops,
                                 std::uint64_t seq, bool is_write) {
   for (auto& op : ops) {
     if (op.is_write == is_write && op.seq == seq) return &op;

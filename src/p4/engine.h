@@ -44,13 +44,12 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
 #include <vector>
 
+#include "common/pool.h"
 #include "common/units.h"
 #include "core/instance.h"
 #include "core/request.h"
@@ -223,8 +222,8 @@ class CowbirdP4Engine : public net::PacketProcessor {
     // admitted (PSN assigned) only when everything before them is fully on
     // the wire; switch-generated requests that arrive while a conversion
     // stream is mid-flight wait in `deferred`.
-    std::deque<Pending> pending;
-    std::deque<Pending> deferred;
+    FixedDeque<Pending> pending;
+    FixedDeque<Pending> deferred;
     int unemitted = 0;
     sim::TimerHandle timer;
   };
@@ -240,7 +239,7 @@ class CowbirdP4Engine : public net::PacketProcessor {
     // Section 5.3 pause-all-reads fence, via the shared hazard core.
     offload::HazardTracker hazards{
         offload::HazardTracker::Policy::kFenceAllReads};
-    std::deque<Op> inflight;          // fetch order
+    FixedDeque<Op> inflight;          // fetch order
     bool meta_fetch_inflight = false;
   };
 

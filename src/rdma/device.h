@@ -10,12 +10,12 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
 
+#include "common/pool.h"
 #include "common/sparse_memory.h"
 #include "common/units.h"
 #include "net/switch.h"
@@ -70,7 +70,7 @@ class CompletionQueue {
   }
 
  private:
-  std::deque<Cqe> entries_;
+  FixedDeque<Cqe> entries_;
   std::function<void()> on_completion_;
 };
 

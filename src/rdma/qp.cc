@@ -110,18 +110,16 @@ void QueuePair::EmitMessage(const InflightWqe& entry) {
          nullptr, {});
     return;
   }
-  std::vector<std::uint8_t> chunk;
   for (std::uint32_t i = 0; i < entry.segments; ++i) {
     const std::uint64_t offset = std::uint64_t{i} * kPathMtu;
     const auto len = static_cast<std::size_t>(
         std::min<std::uint64_t>(kPathMtu, wqe.length - offset));
-    chunk.resize(len);
-    device_->memory().Read(wqe.laddr + offset, chunk);
     const Opcode opcode = SegmentOpcode(wqe.op, i, entry.segments);
     const bool last = i == entry.segments - 1;
     Reth reth{wqe.raddr, wqe.rkey, wqe.length};
-    Emit(opcode, PsnAdd(entry.first_psn, i), /*ack_request=*/last,
-         HasReth(opcode) ? &reth : nullptr, nullptr, chunk);
+    EmitFromMemory(opcode, PsnAdd(entry.first_psn, i), /*ack_request=*/last,
+                   HasReth(opcode) ? &reth : nullptr, nullptr,
+                   wqe.laddr + offset, len);
   }
 }
 
@@ -361,17 +359,15 @@ void QueuePair::ExecuteReadRequest(const RdmaMessageView& view,
     epsn_ = PsnAdd(epsn_, segments);
     ++msn_;
   }
-  std::vector<std::uint8_t> chunk;
   for (std::uint32_t i = 0; i < segments; ++i) {
     const std::uint64_t offset = std::uint64_t{i} * kPathMtu;
     const auto len = static_cast<std::size_t>(
         std::min<std::uint64_t>(kPathMtu, reth.dma_length - offset));
-    chunk.resize(len);
-    device_->memory().Read(reth.vaddr + offset, chunk);
     const Opcode opcode = ReadResponseOpcode(i, segments);
     Aeth aeth{kSyndromeAck, msn_};
-    Emit(opcode, PsnAdd(view.bth.psn, i), /*ack_request=*/false, nullptr,
-         HasAeth(opcode) ? &aeth : nullptr, chunk);
+    EmitFromMemory(opcode, PsnAdd(view.bth.psn, i), /*ack_request=*/false,
+                   nullptr, HasAeth(opcode) ? &aeth : nullptr,
+                   reth.vaddr + offset, len);
   }
 }
 
@@ -398,6 +394,23 @@ void QueuePair::Emit(Opcode opcode, std::uint32_t psn, bool ack_request,
   net::Packet packet = BuildRdmaPacket(
       device_->node_id(), remote_node_, data_priority_, bth, reth, aeth,
       payload);
+  device_->EmitPacket(std::move(packet));
+}
+
+void QueuePair::EmitFromMemory(Opcode opcode, std::uint32_t psn,
+                               bool ack_request, const Reth* reth,
+                               const Aeth* aeth, std::uint64_t addr,
+                               std::size_t len) {
+  Bth bth;
+  bth.opcode = opcode;
+  bth.ack_request = ack_request;
+  bth.dest_qp = remote_qpn_;
+  bth.psn = psn & kPsnMask;
+  std::span<std::uint8_t> payload;
+  net::Packet packet =
+      BuildRdmaPacketInPlace(device_->node_id(), remote_node_, data_priority_,
+                             bth, reth, aeth, len, &payload);
+  device_->memory().Read(addr, payload);
   device_->EmitPacket(std::move(packet));
 }
 

@@ -10,10 +10,8 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <functional>
-#include <vector>
 
+#include "common/pool.h"
 #include "common/units.h"
 #include "rdma/device.h"
 #include "rdma/wire.h"
@@ -112,6 +110,11 @@ class QueuePair {
   void Emit(Opcode opcode, std::uint32_t psn, bool ack_request,
             const Reth* reth, const Aeth* aeth,
             std::span<const std::uint8_t> payload);
+  // Segmenting emit path: builds the frame first and DMAs `len` bytes from
+  // local memory straight into its payload (no staging buffer).
+  void EmitFromMemory(Opcode opcode, std::uint32_t psn, bool ack_request,
+                      const Reth* reth, const Aeth* aeth, std::uint64_t addr,
+                      std::size_t len);
 
   Device* device_;
   std::uint32_t qpn_;
@@ -123,9 +126,10 @@ class QueuePair {
   bool halted_ = false;
   net::Priority data_priority_ = net::Priority::kRdma;
 
-  // Requester state.
-  std::deque<SendWqe> pending_;       // posted, not yet transmitted
-  std::deque<InflightWqe> inflight_;  // transmitted, not completed
+  // Requester state. FixedDeque: WQE queues cycle at packet rate, and
+  // std::deque's block churn would put the allocator on the datapath.
+  FixedDeque<SendWqe> pending_;       // posted, not yet transmitted
+  FixedDeque<InflightWqe> inflight_;  // transmitted, not completed
   std::uint32_t next_psn_ = 0;
   sim::TimerHandle retransmit_timer_;
   std::uint64_t retransmissions_ = 0;
@@ -138,7 +142,7 @@ class QueuePair {
   std::uint64_t send_target_ = 0;   // cursor within the active RECV buffer
   std::uint32_t send_received_ = 0;
   bool recv_active_ = false;
-  std::deque<RecvWqe> recv_queue_;
+  FixedDeque<RecvWqe> recv_queue_;
   RecvWqe active_recv_{};
 };
 

@@ -117,13 +117,14 @@ RdmaMessageView ParseRdmaPacket(const net::Packet& packet) {
   return view;
 }
 
-net::Packet BuildRdmaPacket(net::NodeId src, net::NodeId dst,
-                            net::Priority priority, const Bth& bth,
-                            const Reth* reth, const Aeth* aeth,
-                            std::span<const std::uint8_t> payload) {
+net::Packet BuildRdmaPacketInPlace(net::NodeId src, net::NodeId dst,
+                                   net::Priority priority, const Bth& bth,
+                                   const Reth* reth, const Aeth* aeth,
+                                   std::size_t payload_len,
+                                   std::span<std::uint8_t>* payload) {
   COWBIRD_CHECK(HasReth(bth.opcode) == (reth != nullptr));
   COWBIRD_CHECK(HasAeth(bth.opcode) == (aeth != nullptr));
-  std::size_t len = kBthBytes + kIcrcBytes + payload.size();
+  std::size_t len = kBthBytes + kIcrcBytes + payload_len;
   if (reth != nullptr) len += kRethBytes;
   if (aeth != nullptr) len += kAethBytes;
   net::Packet packet = net::MakeUdpPacket(src, dst, len, priority);
@@ -138,11 +139,22 @@ net::Packet BuildRdmaPacket(net::NodeId src, net::NodeId dst,
     aeth->Serialize(body.subspan(offset));
     offset += kAethBytes;
   }
-  if (!payload.empty()) {
-    std::copy(payload.begin(), payload.end(), body.begin() + offset);
-  }
+  if (payload != nullptr) *payload = body.subspan(offset, payload_len);
   // iCRC left zero: programmable switches cannot compute it, so the paper
   // (and this model) disables the end-host check (Section 5.1, footnote 1).
+  return packet;
+}
+
+net::Packet BuildRdmaPacket(net::NodeId src, net::NodeId dst,
+                            net::Priority priority, const Bth& bth,
+                            const Reth* reth, const Aeth* aeth,
+                            std::span<const std::uint8_t> payload) {
+  std::span<std::uint8_t> dst_payload;
+  net::Packet packet = BuildRdmaPacketInPlace(
+      src, dst, priority, bth, reth, aeth, payload.size(), &dst_payload);
+  if (!payload.empty()) {
+    std::copy(payload.begin(), payload.end(), dst_payload.begin());
+  }
   return packet;
 }
 

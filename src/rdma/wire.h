@@ -146,6 +146,15 @@ net::Packet BuildRdmaPacket(net::NodeId src, net::NodeId dst,
                             const Reth* reth, const Aeth* aeth,
                             std::span<const std::uint8_t> payload);
 
+// In-place variant: the frame is built with a zeroed `payload_len`-byte
+// payload region and `*payload` is pointed at it, so segmenting senders DMA
+// straight into the frame instead of staging each chunk in a scratch vector.
+net::Packet BuildRdmaPacketInPlace(net::NodeId src, net::NodeId dst,
+                                   net::Priority priority, const Bth& bth,
+                                   const Reth* reth, const Aeth* aeth,
+                                   std::size_t payload_len,
+                                   std::span<std::uint8_t>* payload);
+
 // 24-bit PSN arithmetic.
 constexpr std::uint32_t kPsnMask = 0xFFFFFF;
 constexpr std::uint32_t PsnAdd(std::uint32_t psn, std::uint32_t n) {

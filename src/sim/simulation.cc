@@ -15,30 +15,33 @@ Simulation::~Simulation() {
   }
 }
 
-void Simulation::ScheduleAt(Nanos when, std::function<void()> fn) {
-  COWBIRD_CHECK(when >= now_);
-  queue_.push(Event{when, next_seq_++, std::move(fn), nullptr});
-}
-
-TimerHandle Simulation::ScheduleCancelableAfter(Nanos delay,
-                                                std::function<void()> fn) {
-  auto alive = std::make_shared<bool>(true);
-  queue_.push(Event{now_ + delay, next_seq_++, std::move(fn), alive});
-  return TimerHandle(std::move(alive));
-}
-
 bool Simulation::PopAndDispatchOne() {
   if (queue_.empty()) return false;
-  // priority_queue::top() is const; the event is moved out via const_cast,
-  // which is safe because pop() immediately removes the moved-from element
-  // and the heap property does not depend on the function payload.
-  Event event = std::move(const_cast<Event&>(queue_.top()));
+  const QueueEntry entry = queue_.top();
   queue_.pop();
-  COWBIRD_CHECK(event.when >= now_);
-  now_ = event.when;
-  if (event.alive && !*event.alive) return true;  // canceled timer
+  COWBIRD_CHECK(entry.when >= now_);
+  now_ = entry.when;
+  EventRecord* record = events_.Get(entry.event);
+  if (record->timer) {
+    // The cell is released here whether the timer fired or was canceled;
+    // outstanding TimerHandles go stale (generation mismatch) rather than
+    // dangling.
+    TimerCell* cell = timer_cells_.TryGet(record->timer);
+    COWBIRD_CHECK(cell != nullptr);
+    const bool armed = cell->armed;
+    timer_cells_.Release(record->timer);
+    if (!armed) {
+      events_.Release(entry.event);
+      return true;  // canceled timer
+    }
+  }
   ++events_processed_;
-  event.fn();
+  // Invoke in place: the pool slot address is stable even if the callback
+  // schedules new events (slab growth never moves slots), so there is no
+  // need to move the 64-byte closure out first. The slot is recycled after
+  // the call returns.
+  record->fn();
+  events_.Release(entry.event);
   return true;
 }
 

@@ -7,11 +7,11 @@
 #pragma once
 
 #include <coroutine>
-#include <deque>
 #include <optional>
 #include <utility>
 
 #include "common/check.h"
+#include "common/pool.h"
 #include "sim/simulation.h"
 
 namespace cowbird::sim {
@@ -43,7 +43,7 @@ class OneShotEvent {
  private:
   Simulation* sim_;
   bool set_ = false;
-  std::deque<std::coroutine_handle<>> waiters_;
+  FixedDeque<std::coroutine_handle<>> waiters_;
 };
 
 // Unbounded multi-producer / multi-consumer FIFO channel.
@@ -107,8 +107,8 @@ class Channel {
 
  private:
   Simulation* sim_;
-  std::deque<T> values_;
-  std::deque<ReceiveAwaiter*> waiters_;
+  FixedDeque<T> values_;
+  FixedDeque<ReceiveAwaiter*> waiters_;
 };
 
 // Counting semaphore with direct token hand-off on Release().
@@ -160,7 +160,7 @@ class Semaphore {
  private:
   Simulation* sim_;
   std::int64_t count_;
-  std::deque<std::coroutine_handle<>> waiters_;
+  FixedDeque<std::coroutine_handle<>> waiters_;
 };
 
 // Latch that releases all waiters when the count reaches zero.

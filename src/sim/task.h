@@ -10,10 +10,14 @@
 // simulator an unexpected error means the run is invalid.
 #pragma once
 
+#include <array>
 #include <coroutine>
+#include <cstddef>
 #include <exception>
+#include <new>
 #include <utility>
 #include <variant>
+#include <vector>
 
 #include "common/check.h"
 
@@ -24,9 +28,67 @@ class Task;
 
 namespace internal {
 
+// Size-classed recycler for coroutine frames. The datapath spawns a Task per
+// operation (client issue, agent completion handling, verb posts), and each
+// frame would otherwise be a heap round trip; recycled frames make coroutine
+// calls allocation-free at steady state. Thread-local because simulations
+// are single-threaded but tests run several in one process.
+class FramePool {
+ public:
+  static void* Alloc(std::size_t size) {
+    const std::size_t bucket = Bucket(size);
+    if (bucket >= kBuckets) return ::operator new(size);
+    auto& list = Instance().free_[bucket];
+    if (!list.empty()) {
+      void* frame = list.back();
+      list.pop_back();
+      return frame;
+    }
+    return ::operator new((bucket + 1) * kGranularity);
+  }
+
+  static void Free(void* frame, std::size_t size) {
+    const std::size_t bucket = Bucket(size);
+    if (bucket >= kBuckets) {
+      ::operator delete(frame);
+      return;
+    }
+    Instance().free_[bucket].push_back(frame);
+  }
+
+ private:
+  static constexpr std::size_t kGranularity = 64;
+  static constexpr std::size_t kBuckets = 64;  // recycles frames up to 4 KiB
+
+  static std::size_t Bucket(std::size_t size) {
+    return (size + kGranularity - 1) / kGranularity - 1;
+  }
+
+  static FramePool& Instance() {
+    thread_local FramePool pool;
+    return pool;
+  }
+
+  FramePool() = default;
+  ~FramePool() {
+    for (auto& list : free_) {
+      for (void* frame : list) ::operator delete(frame);
+    }
+  }
+
+  std::array<std::vector<void*>, kBuckets> free_;
+};
+
 template <typename T>
 struct TaskPromiseBase {
   std::coroutine_handle<> continuation;
+
+  // Route frame storage through the recycler. The sized delete is required:
+  // it is what lets the frame return to its exact size class.
+  static void* operator new(std::size_t size) { return FramePool::Alloc(size); }
+  static void operator delete(void* frame, std::size_t size) {
+    FramePool::Free(frame, size);
+  }
 
   std::suspend_always initial_suspend() noexcept { return {}; }
 

@@ -29,6 +29,9 @@ SpotAgent::SpotAgent(rdma::Device& device, sim::Machine& machine,
       scheduler_(offload::ProbeScheduler::Config{
           config.probe_interval, config.adaptive_probe,
           config.probe_interval_max, offload::ProbeSelection::kRoundRobin}) {
+  // The agent's staging arena is a pinned buffer on real hardware; fault it
+  // in now so the wrapping bump allocator never materializes pages mid-run.
+  device_->memory().PreFault(config_.staging_base, config_.staging_capacity);
   if (auto* hub = config_.telemetry) {
     const telemetry::Labels labels = EngineLabels();
     scheduler_.BindTelemetry(hub->metrics, labels);
@@ -115,12 +118,17 @@ void SpotAgent::AddInstance(
   auto inst = std::make_unique<Instance>();
   inst->descriptor = descriptor;
   inst->to_compute = to_compute;
-  inst->to_memory = std::move(to_memory);
+  inst->to_memory.reserve(to_memory.size());
+  for (const auto& [node, qp] : to_memory) {
+    inst->to_memory.emplace_back(node, qp);
+  }
+  inst->index = static_cast<std::uint32_t>(instances_.size());
   inst->threads.resize(descriptor.layout.threads);
   inst->probe_staging = AllocStaging(descriptor.layout.GreenBytesTotal());
   inst->meta_staging = AllocStaging(
       static_cast<Bytes>(descriptor.layout.threads) * kMetaFetchLimit *
       core::kMetadataEntryBytes);
+  staging_floor_ = staging_cursor_;  // pin the fixed blocks below the wrap
   bool resumed_with_pending = false;
   if (resume != nullptr) {
     // Registry migration: continue from the counters the previous engine
@@ -299,8 +307,13 @@ void SpotAgent::Start() {
 std::uint64_t SpotAgent::AllocStaging(Bytes len) {
   // Bump allocator over the staging arena; wraps when exhausted. The arena
   // is sized far above the in-flight window, so reuse cannot collide with
-  // live transfers.
-  if (staging_cursor_ + len > config_.staging_capacity) staging_cursor_ = 0;
+  // live transfers. Wrapping returns to the floor, not zero: the permanent
+  // probe/meta staging blocks carved out during AddInstance live below it
+  // and must never be recycled as per-op scratch.
+  if (staging_cursor_ + len > config_.staging_capacity) {
+    staging_cursor_ = staging_floor_;
+    COWBIRD_CHECK(staging_cursor_ + len <= config_.staging_capacity);
+  }
   const std::uint64_t addr = config_.staging_base + staging_cursor_;
   staging_cursor_ += static_cast<std::uint32_t>((len + 63) & ~Bytes{63});
   return addr;
@@ -410,8 +423,8 @@ sim::Task<void> SpotAgent::HandleCompletion(rdma::Cqe cqe) {
           const core::RegionInfo* region =
               inst.descriptor.FindRegion(op.meta.region_id);
           COWBIRD_CHECK(region != nullptr);
-          auto it = inst.to_memory.find(region->memory_node);
-          COWBIRD_CHECK(it != inst.to_memory.end());
+          rdma::QueuePair* pool_qp = MemoryQp(inst, region->memory_node);
+          COWBIRD_CHECK(pool_qp != nullptr);
           const rdma::SendWqe pw{
               rdma::WqeOp::kWrite,
               MakeWrId(CompletionKind::kPoolWrite, instance_index,
@@ -419,7 +432,7 @@ sim::Task<void> SpotAgent::HandleCompletion(rdma::Cqe cqe) {
               op.staging_addr, op.meta.resp_addr, region->rkey,
               op.meta.length, true};
           co_await rdma::EnginePostBatchVerb(
-              thread_, config_.costs, *it->second,
+              thread_, config_.costs, *pool_qp,
               std::span<const rdma::SendWqe>(&pw, 1));
           break;
         }
@@ -450,19 +463,20 @@ sim::Task<void> SpotAgent::HandleCompletion(rdma::Cqe cqe) {
       // chained behind the batch on the same RC QP (the compute node sees
       // payload before counters); here we only retire local bookkeeping.
       ThreadState& ts = inst.threads[thread_index];
-      auto it = inflight_batches_.find(cqe.wr_id);
-      COWBIRD_CHECK(it != inflight_batches_.end());
-      for (Op* op : it->second.ops) {
-        COWBIRD_CHECK(op->state == OpState::kDelivering);
-        op->state = OpState::kDone;
+      const BatchToken* batch = inflight_batches_.Find(cqe.wr_id);
+      COWBIRD_CHECK(batch != nullptr);
+      for (Op& op : ts.ops) {
+        if (op.meta.rw_type != core::RwType::kRead) continue;
+        if (op.seq < batch->seq_begin || op.seq > batch->seq_end) continue;
+        COWBIRD_CHECK(op.state == OpState::kDelivering);
+        op.state = OpState::kDone;
       }
       // The ACK makes this batch's reads durable: the payload write is
       // complete at the compute node, so a crash export may now claim them.
-      ts.read_durable_seq =
-          std::max(ts.read_durable_seq, it->second.seq_end);
+      ts.read_durable_seq = std::max(ts.read_durable_seq, batch->seq_end);
       ts.resp_tail_durable =
-          std::max(ts.resp_tail_durable, it->second.resp_tail_end);
-      inflight_batches_.erase(it);
+          std::max(ts.resp_tail_durable, batch->resp_tail_end);
+      inflight_batches_.Erase(cqe.wr_id);
       while (!ts.ops.empty() && ts.ops.front().state == OpState::kDone) {
         ts.ops.pop_front();
       }
@@ -514,10 +528,7 @@ sim::Task<void> SpotAgent::StartMetaFetch(Instance& inst, int thread) {
       {available, contiguous, kMetaFetchLimit});
   ts.fetch_inflight = true;
   ts.pending_fetch = count;
-  const auto instance_index = static_cast<std::uint32_t>(
-      std::find_if(instances_.begin(), instances_.end(),
-                   [&](const auto& p) { return p.get() == &inst; }) -
-      instances_.begin());
+  const std::uint32_t instance_index = inst.index;
   const std::uint64_t staging =
       inst.meta_staging + static_cast<std::uint64_t>(thread) *
                               kMetaFetchLimit * core::kMetadataEntryBytes;
@@ -541,7 +552,7 @@ sim::Task<void> SpotAgent::ParseFetchedMetadata(Instance& inst, int thread) {
   const std::uint64_t staging =
       inst.meta_staging + static_cast<std::uint64_t>(thread) *
                               kMetaFetchLimit * core::kMetadataEntryBytes;
-  std::vector<std::uint8_t> raw(core::kMetadataEntryBytes);
+  std::array<std::uint8_t, core::kMetadataEntryBytes> raw;
   for (std::uint64_t i = 0; i < ts.pending_fetch; ++i) {
     mem.Read(staging + i * core::kMetadataEntryBytes, raw);
     core::RequestMetadata meta = core::RequestMetadata::ParseBytes(raw);
@@ -573,10 +584,7 @@ sim::Task<void> SpotAgent::ParseFetchedMetadata(Instance& inst, int thread) {
 
 sim::Task<void> SpotAgent::PumpThread(Instance& inst, int thread) {
   ThreadState& ts = inst.threads[thread];
-  const auto instance_index = static_cast<std::uint32_t>(
-      std::find_if(instances_.begin(), instances_.end(),
-                   [&](const auto& p) { return p.get() == &inst; }) -
-      instances_.begin());
+  const std::uint32_t instance_index = inst.index;
   int inflight = 0;
   for (const Op& op : ts.ops) {
     if (op.state == OpState::kFetching || op.state == OpState::kWriting ||
@@ -585,16 +593,24 @@ sim::Task<void> SpotAgent::PumpThread(Instance& inst, int thread) {
     }
   }
   // Collect everything issuable, then post one doorbell-batched linked list
-  // per destination QP.
-  std::vector<std::pair<rdma::QueuePair*, std::vector<rdma::SendWqe>>>
-      batches;
+  // per destination QP. The per-QP WQE lists live in pump_scratch_ so their
+  // capacity persists across calls (entries are recycled by qp slot).
+  auto& batches = pump_scratch_;
+  for (auto& b : batches) {
+    b.qp = nullptr;
+    b.wqes.clear();
+  }
   auto batch_for = [&batches](rdma::QueuePair* qp)
       -> std::vector<rdma::SendWqe>& {
-    for (auto& [q, wqes] : batches) {
-      if (q == qp) return wqes;
+    for (auto& b : batches) {
+      if (b.qp == qp) return b.wqes;
+      if (b.qp == nullptr) {
+        b.qp = qp;
+        return b.wqes;
+      }
     }
-    batches.emplace_back(qp, std::vector<rdma::SendWqe>{});
-    return batches.back().second;
+    batches.push_back(PumpBatch{qp, {}});
+    return batches.back().wqes;
   };
   for (auto& op : ts.ops) {
     if (inflight >= config_.max_inflight_per_thread) break;
@@ -618,9 +634,9 @@ sim::Task<void> SpotAgent::PumpThread(Instance& inst, int thread) {
       ++inflight;
       RecordOpPhase(inst, thread, /*is_write=*/false, op.seq,
                     telemetry::OpPhase::kExecute);
-      auto it = inst.to_memory.find(region->memory_node);
-      COWBIRD_CHECK(it != inst.to_memory.end());
-      batch_for(it->second)
+      rdma::QueuePair* pool_qp = MemoryQp(inst, region->memory_node);
+      COWBIRD_CHECK(pool_qp != nullptr);
+      batch_for(pool_qp)
           .push_back(rdma::SendWqe{
               rdma::WqeOp::kRead,
               MakeWrId(CompletionKind::kPoolRead, instance_index,
@@ -639,9 +655,9 @@ sim::Task<void> SpotAgent::PumpThread(Instance& inst, int thread) {
       ++inflight;
       RecordOpPhase(inst, thread, /*is_write=*/true, op.seq,
                     telemetry::OpPhase::kExecute);
-      auto mit = inst.to_memory.find(region->memory_node);
-      COWBIRD_CHECK(mit != inst.to_memory.end());
-      batch_for(mit->second)
+      rdma::QueuePair* pool_qp = MemoryQp(inst, region->memory_node);
+      COWBIRD_CHECK(pool_qp != nullptr);
+      batch_for(pool_qp)
           .push_back(rdma::SendWqe{
               rdma::WqeOp::kWrite,
               MakeWrId(CompletionKind::kPoolWrite, instance_index,
@@ -665,18 +681,17 @@ sim::Task<void> SpotAgent::PumpThread(Instance& inst, int thread) {
               inst.descriptor.compute_rkey, op.meta.length, true});
     }
   }
-  for (auto& [qp, wqes] : batches) {
-    co_await rdma::EnginePostBatchVerb(thread_, config_.costs, *qp, wqes);
+  for (auto& b : batches) {
+    if (b.qp == nullptr) break;
+    co_await rdma::EnginePostBatchVerb(thread_, config_.costs, *b.qp,
+                                       b.wqes);
   }
 }
 
 void SpotAgent::ArmBatchTimer(Instance& inst, int thread) {
   ThreadState& ts = inst.threads[thread];
   if (ts.batch_timer.Pending()) return;
-  const auto instance_index = static_cast<std::uint32_t>(
-      std::find_if(instances_.begin(), instances_.end(),
-                   [&](const auto& p) { return p.get() == &inst; }) -
-      instances_.begin());
+  const std::uint32_t instance_index = inst.index;
   ts.batch_timer = thread_.simulation().ScheduleCancelableAfter(
       config_.batch_timeout, [this, instance_index, thread] {
         completions_.Send(rdma::Cqe{
@@ -691,15 +706,19 @@ sim::Task<void> SpotAgent::FlushBatch(Instance& inst, int thread,
   ThreadState& ts = inst.threads[thread];
   // Collect the longest run of staged reads that is (a) next in sequence
   // order, (b) contiguous in the response ring, (c) at most batch_size long.
-  std::vector<Op*> run;
+  // The run is recorded as indices into ts.ops (scratch reused across
+  // calls); nothing pushes into ts.ops before the indices are consumed.
+  auto& run = flush_run_;
+  run.clear();
   std::uint64_t next_seq = ts.deliver_cursor + 1;
   std::uint64_t expected_addr = 0;
-  for (auto& op : ts.ops) {
+  for (std::size_t i = 0; i < ts.ops.size(); ++i) {
+    Op& op = ts.ops[i];
     if (op.meta.rw_type != core::RwType::kRead) continue;
     if (op.seq < next_seq) continue;
     if (op.seq != next_seq || op.state != OpState::kStaged) break;
     if (!run.empty() && op.meta.resp_addr != expected_addr) break;
-    run.push_back(&op);
+    run.push_back(static_cast<std::uint32_t>(i));
     expected_addr = op.meta.resp_addr + op.meta.length;
     ++next_seq;
     if (static_cast<int>(run.size()) >= config_.batch_size) break;
@@ -717,51 +736,51 @@ sim::Task<void> SpotAgent::FlushBatch(Instance& inst, int thread,
   // lets the NIC gather them — per-entry descriptor cost only. The staging
   // block here stands in for the gather.
   std::uint64_t total = 0;
-  for (Op* op : run) total += op->meta.length;
+  for (const std::uint32_t i : run) total += ts.ops[i].meta.length;
   const std::uint64_t batch_staging = AllocStaging(total);
   auto& mem = device_->memory();
   std::uint64_t offset = 0;
-  std::vector<std::uint8_t> tmp;
-  for (Op* op : run) {
-    tmp.resize(op->meta.length);
-    mem.Read(op->staging_addr, tmp);
+  auto& tmp = copy_scratch_;
+  for (const std::uint32_t i : run) {
+    Op& op = ts.ops[i];
+    tmp.resize(op.meta.length);
+    mem.Read(op.staging_addr, tmp);
     mem.Write(batch_staging + offset, tmp);
-    offset += op->meta.length;
-    op->state = OpState::kDelivering;
+    offset += op.meta.length;
+    op.state = OpState::kDelivering;
     ++ops_completed_;  // delivered (progress published with this batch)
-    RecordOpPhase(inst, thread, /*is_write=*/false, op->seq,
+    RecordOpPhase(inst, thread, /*is_write=*/false, op.seq,
                   telemetry::OpPhase::kDone);
   }
   co_await thread_.Work(
       static_cast<Nanos>(run.size()) * config_.costs.post_wqe_each,
       sim::CpuCategory::kCommunication);
 
-  const auto instance_index = static_cast<std::uint32_t>(
-      std::find_if(instances_.begin(), instances_.end(),
-                   [&](const auto& p) { return p.get() == &inst; }) -
-      instances_.begin());
+  const std::uint32_t instance_index = inst.index;
   const std::uint64_t wr_id =
       MakeWrId(CompletionKind::kBatchWrite, instance_index,
                static_cast<std::uint16_t>(thread), next_token_++);
   // The batch's ACK is what makes these deliveries durable: record the
   // frontier it will establish so the completion handler can advance the
   // crash-export counters (read_durable_seq / resp_tail_durable).
+  const std::uint64_t seq_begin = ts.ops[run.front()].seq;
+  const std::uint64_t seq_end = ts.ops[run.back()].seq;
   inflight_batches_[wr_id] =
-      BatchToken{run, run.back()->seq, ts.progress.resp_tail + total};
-  ts.deliver_cursor = run.back()->seq;
+      BatchToken{seq_begin, seq_end, ts.progress.resp_tail + total};
+  ts.deliver_cursor = seq_end;
   ++batches_flushed_;
 
   // Publish progress optimistically: the red-block write is chained on the
   // same RC QP *behind* the payload write, so the compute node can never
   // observe the counters before the data (Phase III then Phase IV ordering,
   // enforced by the transport instead of by waiting for the ACK).
-  ts.progress.read_progress = run.back()->seq;
+  ts.progress.read_progress = seq_end;
   ts.progress.resp_tail += total;
   const std::uint64_t red_staging = AllocStaging(core::kRedBlockBytes);
   ComposeRedBlock(inst, thread, red_staging);
   const rdma::SendWqe chained[] = {
       rdma::SendWqe{rdma::WqeOp::kWrite, wr_id, batch_staging,
-                    run.front()->meta.resp_addr,
+                    ts.ops[run.front()].meta.resp_addr,
                     inst.descriptor.compute_rkey,
                     static_cast<std::uint32_t>(total), true},
       rdma::SendWqe{rdma::WqeOp::kWrite, 0, red_staging,

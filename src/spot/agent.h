@@ -29,12 +29,12 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <memory>
 #include <optional>
 #include <vector>
 
+#include "common/pool.h"
 #include "common/sparse_memory.h"
 #include "core/instance.h"
 #include "core/request.h"
@@ -170,7 +170,7 @@ class SpotAgent {
     // Red-block counters: meta_head (entries fully parsed), data_head,
     // resp_tail, write_progress, read_progress.
     offload::ThreadProgress progress;
-    std::deque<Op> ops;             // probe order
+    FixedDeque<Op> ops;             // probe order
     std::uint64_t next_read_seq = 0;
     std::uint64_t next_write_seq = 0;
     // Section 6 exact overlapping-range check, via the shared hazard core.
@@ -189,7 +189,10 @@ class SpotAgent {
   struct Instance {
     core::InstanceDescriptor descriptor;
     rdma::QueuePair* to_compute = nullptr;
-    std::map<net::NodeId, rdma::QueuePair*> to_memory;
+    // Flattened from the AddInstance map (node-sorted): region lookups run
+    // per issued op, and a handful of memory nodes scan faster than a tree.
+    std::vector<std::pair<net::NodeId, rdma::QueuePair*>> to_memory;
+    std::uint32_t index = 0;  // slot in instances_ (stable; encoded in wr_ids)
     std::vector<ThreadState> threads;
     std::uint64_t probe_staging = 0;     // staging addr for green blocks
     std::uint64_t meta_staging = 0;      // staging addr for metadata fetches
@@ -238,6 +241,13 @@ class SpotAgent {
 
   const Instance* FindInstance(std::uint32_t instance_id) const;
 
+  static rdma::QueuePair* MemoryQp(const Instance& inst, net::NodeId node) {
+    for (const auto& [n, qp] : inst.to_memory) {
+      if (n == node) return qp;
+    }
+    return nullptr;
+  }
+
   // --- telemetry ---
   telemetry::Labels EngineLabels() const;
   telemetry::Labels InstanceLabels(std::uint32_t instance_id) const;
@@ -259,6 +269,9 @@ class SpotAgent {
   std::vector<std::unique_ptr<Instance>> instances_;
   sim::Channel<rdma::Cqe> completions_;
   std::uint32_t staging_cursor_ = 0;
+  // First per-op byte of the staging arena; the wrap target. Everything
+  // below holds the instances' permanent probe/meta staging blocks.
+  std::uint32_t staging_floor_ = 0;
   offload::ProbeScheduler scheduler_;  // Section 5.2 adaptive ramp (shared)
   bool last_probe_found_work_ = false;
   std::uint64_t probes_sent_ = 0;
@@ -268,15 +281,29 @@ class SpotAgent {
   bool started_ = false;
   bool probing_stopped_ = false;
 
-  // Batch under construction, per (instance, thread): ops in kStaged order.
+  // In-flight delivery batch: the run of read seqs [seq_begin, seq_end]
+  // delivered together (read seqs are per-thread unique and a batch is a
+  // consecutive run, so the range names the ops without holding pointers
+  // into the ops ring).
   struct BatchToken {
-    std::vector<Op*> ops;  // delivered together
-    // Durable frontier this batch's ACK establishes.
+    std::uint64_t seq_begin = 0;
     std::uint64_t seq_end = 0;
+    // Durable frontier this batch's ACK establishes.
     std::uint64_t resp_tail_end = 0;
   };
-  std::map<std::uint64_t, BatchToken> inflight_batches_;
+  DenseMap<BatchToken> inflight_batches_;
   std::uint32_t next_token_ = 1;
+
+  // Issue-path scratch, reused across calls (the agent's coroutines are
+  // serialized by MainLoop, so no two PumpThread/FlushBatch frames are ever
+  // live at once). Steady state touches no allocator.
+  struct PumpBatch {
+    rdma::QueuePair* qp = nullptr;
+    std::vector<rdma::SendWqe> wqes;
+  };
+  std::vector<PumpBatch> pump_scratch_;
+  std::vector<std::uint32_t> flush_run_;   // indices into ThreadState::ops
+  std::vector<std::uint8_t> copy_scratch_; // payload shuttle for coalescing
 };
 
 }  // namespace cowbird::spot

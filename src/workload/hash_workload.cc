@@ -2,6 +2,7 @@
 
 #include "net/flow.h"
 
+#include <deque>
 #include <memory>
 #include <vector>
 
@@ -9,6 +10,7 @@
 #include "baselines/onesided.h"
 #include "baselines/twosided.h"
 #include "common/check.h"
+#include "common/pool.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "core/client.h"
@@ -46,6 +48,13 @@ struct Harness {
       : cfg(config), bed(16, compute_uplink) {
     pool_mr = bed.memory_dev.RegisterMemory(
         kPoolBase, cfg.records * cfg.record_size + KiB(4));
+    // Registered memory is pinned at ibv_reg_mr time on real hardware, so
+    // fault the record pool and the per-thread delivery windows in up front;
+    // page materialization must never land on the measured datapath.
+    bed.memory_mem.PreFault(kPoolBase, cfg.records * cfg.record_size + KiB(4));
+    for (int t = 0; t < cfg.threads; ++t) {
+      bed.compute_mem.PreFault(kHeapBase + t * kHeapStride, kHeapStride);
+    }
     if (auto* hub = cfg.telemetry) {
       hub->tracer.SetClock([this] { return bed.sim.Now(); });
       bed.compute_dev.BindTelemetry(hub->metrics, {{"node", "compute"}});
@@ -66,6 +75,12 @@ struct Harness {
         f.link->BindTelemetry(hub->metrics, {{"link", f.name}});
         bound_links.push_back(f.link);
       }
+      // Datapath object pools: in-use / high-water / exhaustion gauges make
+      // a mis-sized pool visible instead of silently degrading to the heap.
+      BindPoolTelemetry(hub->metrics, telemetry::Labels{{"pool", "sim_events"}},
+                        bed.sim.EventPoolStats());
+      BindPoolTelemetry(hub->metrics, telemetry::Labels{{"pool", "sim_timers"}},
+                        bed.sim.TimerPoolStats());
     }
     for (int t = 0; t < cfg.threads; ++t) {
       threads.push_back(
@@ -165,6 +180,10 @@ struct Harness {
       bed.memory_dev.UnbindTelemetry();
       bed.spot_dev.UnbindTelemetry();
       for (net::Link* link : bound_links) link->UnbindTelemetry();
+      UnbindPoolTelemetry(hub->metrics,
+                          telemetry::Labels{{"pool", "sim_events"}});
+      UnbindPoolTelemetry(hub->metrics,
+                          telemetry::Labels{{"pool", "sim_timers"}});
       // The testbed simulation dies with the harness but the caller keeps
       // the hub: freeze the tracer clock at the final virtual time.
       hub->tracer.SetClock([now = bed.sim.Now()] { return now; });
@@ -297,6 +316,10 @@ sim::Task<void> DriveCowbird(Harness& h, int t) {
   Rng rng(h.cfg.seed * 7919 + t);
   const std::uint64_t local_keys = h.LocalKeyCount();
   const core::PollId poll = ctx.PollCreate();
+  // Responses array owned by the application, Table-2 style: reused across
+  // poll_wait calls so the steady-state harvest loop never allocates.
+  std::vector<core::ReqId> done;
+  done.reserve(static_cast<std::size_t>(h.cfg.window));
   int outstanding = 0;
   for (;;) {
     if (outstanding < h.cfg.window) {
@@ -329,7 +352,7 @@ sim::Task<void> DriveCowbird(Harness& h, int t) {
       }
       // Rings full: fall through to harvest completions.
     }
-    auto done = co_await ctx.PollWait(thread, poll, h.cfg.window, 0);
+    co_await ctx.PollWait(thread, poll, done, h.cfg.window, 0);
     if (done.empty()) {
       co_await thread.Idle(300);
       continue;
@@ -391,13 +414,17 @@ WorkloadResult RunHashWorkload(const HashWorkloadConfig& config) {
 
   h.bed.sim.RunFor(config.warmup);
   const CpuSnapshot start = Snapshot(h);
+  if (config.on_measure_start) config.on_measure_start();
   const Nanos t0 = h.bed.sim.Now();
+  const std::uint64_t events0 = h.bed.sim.EventsProcessed();
   h.bed.sim.RunFor(config.measure);
+  if (config.on_measure_end) config.on_measure_end();
   const CpuSnapshot end = Snapshot(h);
   const Nanos elapsed = h.bed.sim.Now() - t0;
 
   WorkloadResult result;
   result.ops = end.ops - start.ops;
+  result.sim_events = h.bed.sim.EventsProcessed() - events0;
   result.elapsed = elapsed;
   result.mops = Mops(result.ops, elapsed);
   const Nanos comm = end.comm - start.comm;
@@ -480,6 +507,8 @@ LatencyResult RunLatencyProbe(const LatencyProbeConfig& config) {
       auto& ctx = hh.client->thread(0);
       const core::PollId poll = ctx.PollCreate();
       std::deque<std::pair<std::uint64_t, Nanos>> issue_times;  // seq → t
+      std::vector<core::ReqId> done_ids;
+      done_ids.reserve(static_cast<std::size_t>(cfg.inflight));
       int issued = 0, completed = 0, outstanding = 0;
       while (completed < cfg.samples) {
         if (outstanding < cfg.inflight &&
@@ -496,7 +525,7 @@ LatencyResult RunLatencyProbe(const LatencyProbeConfig& config) {
             continue;
           }
         }
-        auto done_ids = co_await ctx.PollWait(thread, poll, cfg.inflight, 0);
+        co_await ctx.PollWait(thread, poll, done_ids, cfg.inflight, 0);
         if (done_ids.empty()) {
           co_await thread.Idle(200);
           continue;

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "common/units.h"
 #include "rdma/params.h"
@@ -58,12 +59,20 @@ struct HashWorkloadConfig {
   // run's final metric state comes back in WorkloadResult::telemetry
   // (the per-run gauges are unbound at teardown).
   telemetry::Hub* telemetry = nullptr;
+  // Fired on the host thread at the boundaries of the measure window —
+  // after warmup has drained and before the post-measure bookkeeping — so
+  // a caller can sample process-level counters (wall clock, allocator
+  // statistics) over the steady state only. Both are optional and have no
+  // effect on the simulation itself.
+  std::function<void()> on_measure_start;
+  std::function<void()> on_measure_end;
 };
 
 struct WorkloadResult {
   double mops = 0;
   double comm_ratio = 0;       // comm CPU / total busy CPU across threads
   std::uint64_t ops = 0;
+  std::uint64_t sim_events = 0;  // events dispatched over the measure window
   Nanos elapsed = 0;
   double offload_core_util = 0;  // spot-agent busy fraction (Cowbird only)
   // Filled when HashWorkloadConfig::telemetry was set.

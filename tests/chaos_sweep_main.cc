@@ -36,25 +36,6 @@ struct SweepArgs {
   bool break_fence = false;
 };
 
-ChaosOptions OptionsFor(EngineKind engine, std::uint64_t seed,
-                        bool break_fence) {
-  ChaosOptions opt;
-  opt.engine = engine;
-  opt.seed = seed;
-  opt.break_fence = break_fence;
-  opt.workload.threads = 2;
-  opt.workload.ops_per_thread = 200;
-  if (break_fence) {
-    // Hot single slot maximizes read-after-write conflicts so the planted
-    // bug has every chance to manifest; no packet faults needed.
-    opt.workload.slots_per_thread = 1;
-    opt.workload.write_ratio = 0.5;
-  } else {
-    opt.plan = FaultPlan::FromSeed(seed, /*crash_count=*/seed % 2 ? 2 : 0);
-  }
-  return opt;
-}
-
 std::string DumpTrace(const SweepArgs& args, const ChaosOptions& opt,
                       const ChaosResult& result) {
   const std::string path = args.trace_dir + "/chaos-trace-" +
@@ -119,7 +100,7 @@ int main(int argc, char** argv) {
   for (const EngineKind engine : args.engines) {
     for (std::uint64_t seed = args.start; seed < args.start + args.seeds;
          ++seed) {
-      const ChaosOptions opt = OptionsFor(engine, seed, args.break_fence);
+      const ChaosOptions opt = SweepOptions(engine, seed, args.break_fence);
       const ChaosResult result = RunChaos(opt);
       ++runs;
       if (!result.counters_exact) {

@@ -7,6 +7,7 @@
 // never torn), and a read issued *before* a write never observes it.
 #include <gtest/gtest.h>
 
+#include <deque>
 #include <map>
 #include <memory>
 #include <tuple>
