@@ -4,11 +4,19 @@
 // A bursty client issues a read burst, sleeps 200 us, repeats. Fixed fast
 // probing pays constant probe bandwidth; fixed slow probing taxes first-
 // request latency; adaptive probing gets (nearly) the best of both.
+//
+// --jobs N runs the three policy configurations concurrently (default:
+// hardware concurrency); rows are emitted in fixed order, so output is
+// identical for any N.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
 
 #include "common/rng.h"
 #include "bench_util.h"
 #include "core/client.h"
+#include "sim/parallel.h"
 #include "spot/agent.h"
 #include "spot/setup.h"
 #include "workload/testbed.h"
@@ -92,13 +100,34 @@ Result RunBursty(bool adaptive, Nanos base_interval) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  int jobs = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+    } else {
+      std::printf("usage: %s [--jobs N]\n", argv[0]);
+      return 2;
+    }
+  }
+
   bench::Banner("Ablation: adaptive probing",
                 "bursty workload — first-request latency vs probe overhead");
 
-  const Result fast = RunBursty(false, Micros(2));
-  const Result slow = RunBursty(false, Micros(32));
-  const Result adaptive = RunBursty(true, Micros(2));
+  struct Config {
+    bool adaptive;
+    Nanos base_interval;
+  };
+  const Config configs[] = {
+      {false, Micros(2)}, {false, Micros(32)}, {true, Micros(2)}};
+  std::vector<Result> results(3);
+  sim::ParallelFor(jobs > 0 ? jobs : sim::HardwareJobs(), 3, [&](int i) {
+    results[static_cast<std::size_t>(i)] =
+        RunBursty(configs[i].adaptive, configs[i].base_interval);
+  });
+  const Result& fast = results[0];
+  const Result& slow = results[1];
+  const Result& adaptive = results[2];
 
   bench::Table table({"policy", "first-read (us)", "steady (us)",
                       "probes/ms"});

@@ -1,9 +1,19 @@
 // Ablation: Cowbird-Spot BATCH_SIZE sweep. Batching coalesces read results
 // into fewer RDMA writes to the compute node (Section 6); this sweeps the
 // throughput/latency trade-off the paper fixes at its chosen configuration.
+//
+// --jobs N runs the sweep points concurrently (default: hardware
+// concurrency). Each point is an independent bit-deterministic simulation,
+// and rows are emitted in sweep order, so the output never depends on N.
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iterator>
+#include <vector>
 
 #include "bench_util.h"
+#include "sim/parallel.h"
 #include "workload/hash_workload.h"
 
 using namespace cowbird;
@@ -11,15 +21,29 @@ using workload::HashWorkloadConfig;
 using workload::LatencyProbeConfig;
 using workload::Paradigm;
 
-int main() {
+int main(int argc, char** argv) {
+  int jobs = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+    } else {
+      std::printf("usage: %s [--jobs N]\n", argv[0]);
+      return 2;
+    }
+  }
+
   bench::Banner("Ablation: BATCH_SIZE",
                 "Cowbird-Spot response batching sweep (64 B records)");
 
   const int batches[] = {1, 2, 4, 8, 16, 32, 64};
-  bench::Table table({"batch", "throughput (MOPS, 8 thr)", "median lat (us)",
-                      "p99 lat (us)"});
-  double mops1 = 0, mops16 = 0;
-  for (int b : batches) {
+  const int points = static_cast<int>(std::size(batches));
+  struct Point {
+    double mops = 0;
+    workload::LatencyResult lat;
+  };
+  std::vector<Point> results(static_cast<std::size_t>(points));
+  sim::ParallelFor(jobs > 0 ? jobs : sim::HardwareJobs(), points, [&](int i) {
+    const int b = batches[i];
     HashWorkloadConfig c;
     c.paradigm = Paradigm::kCowbird;
     c.threads = 8;
@@ -27,7 +51,7 @@ int main() {
     c.records = 400'000;
     c.measure = Millis(1.5);
     c.agent.batch_size = b;
-    const double mops = RunHashWorkload(c).mops;
+    results[static_cast<std::size_t>(i)].mops = RunHashWorkload(c).mops;
 
     LatencyProbeConfig lc;
     lc.paradigm = Paradigm::kCowbird;
@@ -35,12 +59,19 @@ int main() {
     lc.inflight = std::max(2 * b, 8);
     lc.samples = 1000;
     lc.agent.batch_size = b;
-    const auto lat = RunLatencyProbe(lc);
+    results[static_cast<std::size_t>(i)].lat = RunLatencyProbe(lc);
+  });
 
-    table.Row({std::to_string(b), bench::Fmt(mops, 2),
-               bench::Fmt(lat.median_us, 1), bench::Fmt(lat.p99_us, 1)});
-    if (b == 1) mops1 = mops;
-    if (b == 16) mops16 = mops;
+  bench::Table table({"batch", "throughput (MOPS, 8 thr)", "median lat (us)",
+                      "p99 lat (us)"});
+  double mops1 = 0, mops16 = 0;
+  for (int i = 0; i < points; ++i) {
+    const int b = batches[i];
+    const Point& p = results[static_cast<std::size_t>(i)];
+    table.Row({std::to_string(b), bench::Fmt(p.mops, 2),
+               bench::Fmt(p.lat.median_us, 1), bench::Fmt(p.lat.p99_us, 1)});
+    if (b == 1) mops1 = p.mops;
+    if (b == 16) mops16 = p.mops;
   }
   table.Print();
 

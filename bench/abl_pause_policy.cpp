@@ -2,9 +2,18 @@
 // Under a mixed read/write stream to *disjoint* addresses, Cowbird-Spot's
 // exact overlapping-range check never stalls a read, while Cowbird-P4 must
 // pause every newly probed read behind any in-flight write.
+//
+// --jobs N runs the (write fraction × engine) grid concurrently (default:
+// hardware concurrency); rows are emitted in sweep order, so output is
+// identical for any N.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iterator>
+#include <vector>
 
 #include "bench_util.h"
+#include "sim/parallel.h"
 #include "workload/hash_workload.h"
 
 using namespace cowbird;
@@ -12,27 +21,43 @@ using workload::HashWorkloadConfig;
 using workload::Paradigm;
 using workload::RunHashWorkload;
 
-int main() {
+int main(int argc, char** argv) {
+  int jobs = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+    } else {
+      std::printf("usage: %s [--jobs N]\n", argv[0]);
+      return 2;
+    }
+  }
+
   bench::Banner("Ablation: read-fencing policy",
                 "P4 pause-all vs Spot exact-range under write mixes");
 
   const double write_fractions[] = {0.0, 0.05, 0.1, 0.2, 0.4};
+  const int points = static_cast<int>(std::size(write_fractions));
+  // Grid index: 2*i for P4, 2*i+1 for Spot.
+  std::vector<double> grid(static_cast<std::size_t>(2 * points), 0);
+  sim::ParallelFor(
+      jobs > 0 ? jobs : sim::HardwareJobs(), 2 * points, [&](int g) {
+        HashWorkloadConfig c;
+        c.paradigm = g % 2 == 0 ? Paradigm::kCowbirdP4 : Paradigm::kCowbird;
+        c.threads = 4;
+        c.record_size = 64;
+        c.records = 400'000;  // random keys → overlaps essentially never
+        c.write_fraction = write_fractions[g / 2];
+        c.measure = Millis(1.5);
+        grid[static_cast<std::size_t>(g)] = RunHashWorkload(c).mops;
+      });
+
   bench::Table table({"write fraction", "cowbird-p4 (MOPS)",
                       "cowbird-spot (MOPS)", "p4/spot"});
   double ratio_no_writes = 0, ratio_heavy = 0;
-  for (double wf : write_fractions) {
-    auto run = [wf](Paradigm p) {
-      HashWorkloadConfig c;
-      c.paradigm = p;
-      c.threads = 4;
-      c.record_size = 64;
-      c.records = 400'000;  // random keys → overlaps are essentially never
-      c.write_fraction = wf;
-      c.measure = Millis(1.5);
-      return RunHashWorkload(c).mops;
-    };
-    const double p4 = run(Paradigm::kCowbirdP4);
-    const double spot = run(Paradigm::kCowbird);
+  for (int i = 0; i < points; ++i) {
+    const double wf = write_fractions[i];
+    const double p4 = grid[static_cast<std::size_t>(2 * i)];
+    const double spot = grid[static_cast<std::size_t>(2 * i + 1)];
     const double ratio = p4 / spot;
     table.Row({bench::Fmt(wf, 2), bench::Fmt(p4, 2), bench::Fmt(spot, 2),
                bench::Fmt(ratio, 2)});

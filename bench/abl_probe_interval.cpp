@@ -2,31 +2,58 @@
 // (lower completion latency) but spends more low-priority network and
 // compute-node memory bandwidth — the trade-off Section 5.2 describes
 // (1 probe / 2 us in the paper's FASTER prototype).
+//
+// --jobs N runs the sweep points concurrently (default: hardware
+// concurrency); rows are emitted in sweep order, so output is identical for
+// any N.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iterator>
+#include <vector>
 
 #include "bench_util.h"
+#include "sim/parallel.h"
 #include "workload/hash_workload.h"
 
 using namespace cowbird;
 using workload::LatencyProbeConfig;
 using workload::Paradigm;
 
-int main() {
+int main(int argc, char** argv) {
+  int jobs = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+    } else {
+      std::printf("usage: %s [--jobs N]\n", argv[0]);
+      return 2;
+    }
+  }
+
   bench::Banner("Ablation: probe interval",
                 "completion latency vs probe bandwidth (256 B reads)");
 
   const double intervals_us[] = {0.5, 1, 2, 4, 8, 16};
-  bench::Table table({"probe interval (us)", "median lat (us)",
-                      "p99 lat (us)", "probe bw (Mbps)"});
-  double lat_fast = 0, lat_slow = 0;
-  for (double us : intervals_us) {
+  const int points = static_cast<int>(std::size(intervals_us));
+  std::vector<workload::LatencyResult> lats(
+      static_cast<std::size_t>(points));
+  sim::ParallelFor(jobs > 0 ? jobs : sim::HardwareJobs(), points, [&](int i) {
     LatencyProbeConfig c;
     c.paradigm = Paradigm::kCowbirdNoBatch;
     c.record_size = 256;
     c.inflight = 1;
     c.samples = 800;
-    c.agent.probe_interval = Micros(us);
-    const auto lat = RunLatencyProbe(c);
+    c.agent.probe_interval = Micros(intervals_us[i]);
+    lats[static_cast<std::size_t>(i)] = RunLatencyProbe(c);
+  });
+
+  bench::Table table({"probe interval (us)", "median lat (us)",
+                      "p99 lat (us)", "probe bw (Mbps)"});
+  double lat_fast = 0, lat_slow = 0;
+  for (int i = 0; i < points; ++i) {
+    const double us = intervals_us[i];
+    const auto& lat = lats[static_cast<std::size_t>(i)];
     // Probe cost: one ~94 B read request + one response carrying the green
     // blocks (~24 B per thread + headers) per interval.
     const double probe_bytes = 94.0 + 94.0 + 24.0;

@@ -3,7 +3,13 @@
 // applications"). One hot tenant and three idle tenants share a switch:
 // plain round-robin spends 3/4 of probe slots on silence; the activity-
 // weighted policy concentrates them where requests are.
+//
+// --jobs N runs the two policy configurations concurrently (default:
+// hardware concurrency); rows are emitted in fixed order, so output is
+// identical for any N.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <vector>
 
@@ -11,6 +17,7 @@
 #include "common/rng.h"
 #include "core/client.h"
 #include "p4/engine.h"
+#include "sim/parallel.h"
 #include "workload/testbed.h"
 
 using namespace cowbird;
@@ -84,14 +91,29 @@ double RunHotTenant(p4::CowbirdP4Engine::ProbePolicy policy) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  int jobs = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+    } else {
+      std::printf("usage: %s [--jobs N]\n", argv[0]);
+      return 2;
+    }
+  }
+
   bench::Banner("Ablation: TDM probe policy",
                 "1 hot + 3 idle tenants on one switch");
 
-  const double rr = RunHotTenant(
-      p4::CowbirdP4Engine::ProbePolicy::kRoundRobin);
-  const double weighted = RunHotTenant(
-      p4::CowbirdP4Engine::ProbePolicy::kActivityWeighted);
+  const p4::CowbirdP4Engine::ProbePolicy policies[] = {
+      p4::CowbirdP4Engine::ProbePolicy::kRoundRobin,
+      p4::CowbirdP4Engine::ProbePolicy::kActivityWeighted};
+  double mops[2] = {0, 0};
+  sim::ParallelFor(jobs > 0 ? jobs : sim::HardwareJobs(), 2, [&](int i) {
+    mops[i] = RunHotTenant(policies[i]);
+  });
+  const double rr = mops[0];
+  const double weighted = mops[1];
 
   bench::Table table({"policy", "hot tenant MOPS"});
   table.Row({"round-robin (paper prototype)", bench::Fmt(rr, 2)});

@@ -5,7 +5,11 @@
 // parser — no python in the loop. Per metric the gate knows the failure
 // direction:
 //
-//   * ops_per_sec_wall        — wall-clock throughput; fails LOW only.
+//   * *_wall metrics          — wall-clock throughput/speedups; shared CI
+//                               runners make these too noisy to gate by
+//                               default, so they are informational unless
+//                               --gate-wall is passed (then they fail LOW
+//                               only).
 //   * allocations_per_op      — datapath heap discipline; fails HIGH only,
 //                               with a small absolute slack so a 0.03 → 0.05
 //                               jitter does not page anyone.
@@ -13,7 +17,8 @@
 //                               construction; fail on drift in EITHER
 //                               direction (a drift here is a behavior
 //                               change, not a slow machine).
-//   * ops / wall_ms / alloc_bytes_per_op — informational, never gated.
+//   * ops / wall_ms / jobs / alloc_bytes_per_op — informational, never
+//                               gated.
 //
 // Medians are taken across reps (rows whose params differ only in "rep").
 // Exit 0 = within tolerance, 1 = regression, 2 = usage/parse error.
@@ -49,11 +54,21 @@ enum class Direction {
   kIgnored,
 };
 
-Direction DirectionFor(const std::string& metric) {
-  if (metric == "ops_per_sec_wall") return Direction::kLowerFails;
+bool IsWallMetric(const std::string& metric) {
+  const std::string suffix = "_wall";
+  return metric.size() > suffix.size() &&
+         metric.compare(metric.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+}
+
+Direction DirectionFor(const std::string& metric, bool gate_wall) {
+  if (IsWallMetric(metric)) {
+    return gate_wall ? Direction::kLowerFails : Direction::kIgnored;
+  }
   if (metric == "allocations_per_op") return Direction::kHigherFails;
   if (metric == "ops" || metric == "wall_ms" ||
-      metric == "alloc_bytes_per_op" || metric == "samples") {
+      metric == "alloc_bytes_per_op" || metric == "samples" ||
+      metric == "jobs") {
     return Direction::kIgnored;
   }
   return Direction::kBothFail;
@@ -114,6 +129,7 @@ struct GateArgs {
   double tolerance = 0.10;
   double alloc_slack = 0.25;  // absolute allocations/op headroom
   bool write_baseline = false;
+  bool gate_wall = false;  // opt-in gating of *_wall metrics
 };
 
 int CompareOne(const fs::path& baseline_path, const fs::path& candidate_path,
@@ -134,7 +150,7 @@ int CompareOne(const fs::path& baseline_path, const fs::path& candidate_path,
   int checked = 0;
   for (const auto& [key, samples] : *baseline) {
     const auto& [group, metric] = key;
-    const Direction dir = DirectionFor(metric);
+    const Direction dir = DirectionFor(metric, args.gate_wall);
     if (dir == Direction::kIgnored) continue;
     const auto it = candidate->find(key);
     if (it == candidate->end()) {
@@ -188,10 +204,12 @@ int Main(int argc, char** argv) {
       args.alloc_slack = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--write-baseline") == 0) {
       args.write_baseline = true;
+    } else if (std::strcmp(argv[i], "--gate-wall") == 0) {
+      args.gate_wall = true;
     } else {
       std::printf(
           "usage: %s [--baseline-dir D] [--candidate-dir D] [--tolerance F]"
-          " [--alloc-slack F] [--write-baseline]\n", argv[0]);
+          " [--alloc-slack F] [--write-baseline] [--gate-wall]\n", argv[0]);
       return 2;
     }
   }

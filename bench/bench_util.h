@@ -72,18 +72,26 @@ inline void ShapeCheck(bool ok, const char* claim) {
 // re-parsed before it is written, so a bench can never publish a file the
 // repo's own JSON tooling would reject.
 //
-// Schema (version 1):
-//   { "schema_version": 1, "bench": <name>, "artifact": <figure/table>,
+// Schema:
+//   { "schema_version": N, "bench": <name>, "artifact": <figure/table>,
 //     "rows": [ { "params": {k: string}, "metrics": {k: number} }, ... ],
 //     "shape_checks": [ { "claim": string, "ok": bool }, ... ],
 //     "telemetry": <telemetry::Snapshot::ToJson object> }
+//
+// Version 1 is the original layout. Version 2 (sim_throughput) keeps the
+// same structure but adds aggregate/parallel rows whose wall metrics are
+// named *_wall; a schema bump marks the row-set change so stale baselines
+// are caught by inspection, not by silent drift.
 class BenchJson {
  public:
   using Params = std::vector<std::pair<std::string, std::string>>;
   using Metrics = std::vector<std::pair<std::string, double>>;
 
-  BenchJson(std::string name, std::string artifact)
-      : name_(std::move(name)), artifact_(std::move(artifact)) {}
+  BenchJson(std::string name, std::string artifact,
+            unsigned schema_version = 1)
+      : name_(std::move(name)),
+        artifact_(std::move(artifact)),
+        schema_version_(schema_version) {}
 
   void Row(Params params, Metrics metrics) {
     rows_.push_back({std::move(params), std::move(metrics)});
@@ -103,7 +111,7 @@ class BenchJson {
     telemetry::JsonWriter w;
     w.BeginObject();
     w.Key("schema_version");
-    w.Uint(1);
+    w.Uint(schema_version_);
     w.Key("bench");
     w.String(name_);
     w.Key("artifact");
@@ -166,8 +174,8 @@ class BenchJson {
     }
     std::fwrite(doc.data(), 1, doc.size(), f);
     std::fclose(f);
-    std::printf("  [ok] wrote %s (%zu bytes, schema v1, %zu rows)\n",
-                path.c_str(), doc.size(), rows_.size());
+    std::printf("  [ok] wrote %s (%zu bytes, schema v%u, %zu rows)\n",
+                path.c_str(), doc.size(), schema_version_, rows_.size());
     return true;
   }
 
@@ -183,6 +191,7 @@ class BenchJson {
 
   std::string name_;
   std::string artifact_;
+  unsigned schema_version_ = 1;
   std::vector<RowData> rows_;
   std::vector<Check> checks_;
   std::string telemetry_json_;  // empty until SetTelemetry

@@ -8,21 +8,38 @@
 // the steady-state measure window via HashWorkloadConfig's measure hooks, so
 // warmup, topology construction, and teardown never pollute the count.
 //
-// Emits BENCH_sim_throughput.json (schema v1). The committed baseline under
+// Two parallel sections ride along (schema v2):
+//
+//   * --jobs N (default: hardware concurrency) re-runs each engine's rep
+//     batch on a sim::ParallelFor pool and reports aggregate wall
+//     throughput plus the batch speedup over the same batch run serially.
+//     Per-run outcomes are bit-identical either way (checked).
+//   * A domain-split section runs one rep with the testbed cut into two
+//     event-loop domains (sim::DomainGroup) and reports the wall speedup of
+//     the split run over the serial run, plus the split run's own
+//     worker-count invariance (1 worker vs N must match bit for bit).
+//
+// All *_wall metrics are informational in bench_gate unless --gate-wall;
+// the deterministic outcome totals (ops_total, split_ops) are gated tight.
+//
+// Emits BENCH_sim_throughput.json (schema v2). The committed baseline under
 // bench/baselines/ plus the bench_gate comparator turn this into the CI
 // perf-regression gate; see README.md.
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <new>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
 #include "common/stats.h"
+#include "sim/parallel.h"
 #include "workload/hash_workload.h"
 
 namespace {
@@ -111,9 +128,11 @@ struct BenchArgs {
   int threads = 4;
   Nanos measure = Millis(10);
   double write_fraction = 0.3;
+  int jobs = 0;  // parallel batch width; 0 → hardware concurrency
 };
 
-RunStats RunOne(Paradigm paradigm, const BenchArgs& args, int rep) {
+HashWorkloadConfig BaseConfig(Paradigm paradigm, const BenchArgs& args,
+                              int rep) {
   HashWorkloadConfig cfg;
   cfg.paradigm = paradigm;
   cfg.threads = args.threads;
@@ -125,6 +144,11 @@ RunStats RunOne(Paradigm paradigm, const BenchArgs& args, int rep) {
   cfg.measure = args.measure;
   cfg.write_fraction = args.write_fraction;
   cfg.seed = 1 + static_cast<std::uint64_t>(rep);
+  return cfg;
+}
+
+RunStats RunOne(Paradigm paradigm, const BenchArgs& args, int rep) {
+  HashWorkloadConfig cfg = BaseConfig(paradigm, args, rep);
 
   using Clock = std::chrono::steady_clock;
   Clock::time_point t0, t1;
@@ -172,6 +196,117 @@ double MedianOf(std::vector<double> v) {
   return s.Median();
 }
 
+double WallSeconds(const std::function<void()>& body) {
+  const auto t0 = std::chrono::steady_clock::now();
+  body();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// Level-1 parallelism: the engine's rep batch on a ParallelFor pool vs the
+// same batch serially. The allocation hooks stay disarmed — they are
+// process-global and would mix runs — so these rows carry wall and outcome
+// metrics only. Per-run results are bit-identical either way; only the wall
+// clock may move.
+void AggregateSection(Paradigm paradigm, const BenchArgs& args, int jobs,
+                      BenchJson& json, Table& table) {
+  std::vector<std::uint64_t> serial_ops(
+      static_cast<std::size_t>(args.reps), 0);
+  std::vector<std::uint64_t> parallel_ops(
+      static_cast<std::size_t>(args.reps), 0);
+  const double serial_s = WallSeconds([&] {
+    for (int rep = 0; rep < args.reps; ++rep) {
+      serial_ops[static_cast<std::size_t>(rep)] =
+          workload::RunHashWorkload(BaseConfig(paradigm, args, rep)).ops;
+    }
+  });
+  const double parallel_s = WallSeconds([&] {
+    sim::ParallelFor(jobs, args.reps, [&](int rep) {
+      parallel_ops[static_cast<std::size_t>(rep)] =
+          workload::RunHashWorkload(BaseConfig(paradigm, args, rep)).ops;
+    });
+  });
+
+  std::uint64_t total = 0;
+  bool outcomes_match = true;
+  for (int rep = 0; rep < args.reps; ++rep) {
+    const auto r = static_cast<std::size_t>(rep);
+    total += parallel_ops[r];
+    outcomes_match = outcomes_match && serial_ops[r] == parallel_ops[r];
+  }
+  const double agg_ops_per_sec =
+      parallel_s > 0 ? static_cast<double>(total) / parallel_s : 0;
+  const double speedup = parallel_s > 0 ? serial_s / parallel_s : 0;
+  table.Row({ParadigmName(paradigm), "agg", std::to_string(total),
+             Fmt(agg_ops_per_sec, 0), "-", "-", "-", "-",
+             Fmt(parallel_s * 1e3, 1)});
+  json.Row({{"engine", ParadigmName(paradigm)}, {"rep", "aggregate"}},
+           {{"jobs", static_cast<double>(jobs)},
+            {"ops_total", static_cast<double>(total)},
+            {"agg_ops_per_sec_wall", agg_ops_per_sec},
+            {"agg_speedup_wall", speedup}});
+  char claim[128];
+  std::snprintf(claim, sizeof(claim),
+                "%s batch outcomes identical serial vs --jobs=%d "
+                "(speedup %.2fx)",
+                ParadigmName(paradigm), jobs, speedup);
+  json.ShapeCheck(outcomes_match, claim);
+}
+
+// Level-2 parallelism: one simulation cut into two event-loop domains. The
+// split schedule resolves same-timestamp ties across the cut differently
+// than the serial heap, so outcomes are near-identical (sub-percent), not
+// bit-equal — but the split run itself must be bit-identical for any
+// worker count.
+void SplitSection(Paradigm paradigm, const BenchArgs& args, int jobs,
+                  BenchJson& json, Table& table) {
+  std::uint64_t serial_ops = 0, split1_ops = 0, splitn_ops = 0;
+  const double serial_s = WallSeconds([&] {
+    serial_ops = workload::RunHashWorkload(BaseConfig(paradigm, args, 0)).ops;
+  });
+  {
+    HashWorkloadConfig cfg = BaseConfig(paradigm, args, 0);
+    cfg.split_domains = true;
+    cfg.split_workers = 1;
+    split1_ops = workload::RunHashWorkload(cfg).ops;
+  }
+  double split_s = 0;
+  {
+    HashWorkloadConfig cfg = BaseConfig(paradigm, args, 0);
+    cfg.split_domains = true;
+    cfg.split_workers = jobs;
+    split_s = WallSeconds(
+        [&] { splitn_ops = workload::RunHashWorkload(cfg).ops; });
+  }
+  const double speedup = split_s > 0 ? serial_s / split_s : 0;
+  const double drift =
+      serial_ops > 0 ? std::abs(static_cast<double>(splitn_ops) -
+                                static_cast<double>(serial_ops)) /
+                           static_cast<double>(serial_ops)
+                     : 1.0;
+  table.Row({ParadigmName(paradigm), "split", std::to_string(splitn_ops),
+             "-", "-", "-", "-", "-", Fmt(split_s * 1e3, 1)});
+  json.Row({{"engine", ParadigmName(paradigm)}, {"rep", "split"}},
+           {{"jobs", static_cast<double>(jobs)},
+            {"split_ops", static_cast<double>(splitn_ops)},
+            {"split_speedup_wall", speedup}});
+  char claim[160];
+  std::snprintf(claim, sizeof(claim),
+                "%s domain-split bit-identical across worker counts "
+                "(1:%llu N:%llu)",
+                ParadigmName(paradigm),
+                static_cast<unsigned long long>(split1_ops),
+                static_cast<unsigned long long>(splitn_ops));
+  json.ShapeCheck(split1_ops == splitn_ops, claim);
+  std::snprintf(claim, sizeof(claim),
+                "%s split outcome within 2%% of serial (serial:%llu "
+                "split:%llu, wall speedup %.2fx)",
+                ParadigmName(paradigm),
+                static_cast<unsigned long long>(serial_ops),
+                static_cast<unsigned long long>(splitn_ops), speedup);
+  json.ShapeCheck(drift <= 0.02, claim);
+}
+
 int Main(int argc, char** argv) {
   BenchArgs args;
   for (int i = 1; i < argc; ++i) {
@@ -181,18 +316,23 @@ int Main(int argc, char** argv) {
       args.threads = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--measure-ms") == 0 && i + 1 < argc) {
       args.measure = Millis(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      args.jobs = std::atoi(argv[++i]);
     } else {
-      std::printf("usage: %s [--reps N] [--threads N] [--measure-ms N]\n",
-                  argv[0]);
+      std::printf(
+          "usage: %s [--reps N] [--threads N] [--measure-ms N] [--jobs N]\n",
+          argv[0]);
       return 2;
     }
   }
+  const int jobs = args.jobs > 0 ? args.jobs : sim::HardwareJobs();
 
   Banner("sim_throughput",
-         "simulator wall-clock throughput and allocations per op");
+         "simulator wall-clock throughput, allocations per op, and "
+         "parallel-execution speedups");
 
   const Paradigm engines[] = {Paradigm::kCowbird, Paradigm::kCowbirdP4};
-  BenchJson json("sim_throughput", "perf-gate");
+  BenchJson json("sim_throughput", "perf-gate", /*schema_version=*/2);
   Table table({"engine", "rep", "ops", "ops/sec(wall)", "allocs/op",
                "bytes/op", "events/op", "sim MOPS", "wall ms"});
 
@@ -232,6 +372,13 @@ int Main(int argc, char** argv) {
     std::printf("  %s sim latency: p50=%.2fus p99=%.2fus (%llu samples)\n",
                 ParadigmName(paradigm), lat.median_us, lat.p99_us,
                 static_cast<unsigned long long>(lat.samples));
+  }
+
+  std::printf("  parallel sections: --jobs %d (%d hardware)\n", jobs,
+              sim::MaxParallelism());
+  for (const Paradigm paradigm : engines) {
+    AggregateSection(paradigm, args, jobs, json, table);
+    SplitSection(paradigm, args, jobs, json, table);
   }
 
   table.Print();

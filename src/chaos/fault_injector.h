@@ -1,18 +1,26 @@
 // Applies a FaultPlan to fabric links, with exact decision accounting.
 //
-// One injector owns one seeded RNG and installs a fault filter on every
-// attached link. Faults only target RDMA packets (LooksLikeRdma) — chaos in
-// the transport is the point; mangling non-RDMA control traffic the sim
-// does not retransmit would just wedge the run. Every decision the injector
-// makes is counted, and the attached links count every fault they actually
-// execute, so a run can assert the two sides agree exactly (no fault is
-// silently double-applied or lost).
+// One injector installs a fault filter on every attached link. Faults only
+// target RDMA packets (LooksLikeRdma) — chaos in the transport is the
+// point; mangling non-RDMA control traffic the sim does not retransmit
+// would just wedge the run. Every decision the injector makes is counted,
+// and the attached links count every fault they actually execute, so a run
+// can assert the two sides agree exactly (no fault is silently
+// double-applied or lost).
+//
+// The filter runs where net::Link::Deliver runs: on the link's destination
+// domain. Serial runs share one seeded RNG across links (the golden-pinned
+// decision stream); split-domain runs give every link its own stream and
+// its own counters, so nothing in the filter path is shared between
+// domains.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "chaos/fault_plan.h"
+#include "common/check.h"
 #include "common/rng.h"
 #include "net/link.h"
 #include "sim/simulation.h"
@@ -22,38 +30,62 @@ namespace cowbird::chaos {
 class FaultInjector {
  public:
   FaultInjector(sim::Simulation& sim, FaultPlan plan, std::uint64_t seed)
-      : sim_(&sim), plan_(std::move(plan)), rng_(seed ^ 0xFA017EC7ull) {}
+      : sim_(&sim),
+        plan_(std::move(plan)),
+        seed_(seed),
+        rng_(seed ^ 0xFA017EC7ull) {}
+
+  // Split-domain runs must call this (with true) before any Attach: filters
+  // on links with different destination domains run on different threads,
+  // so the serial mode's single shared stream would turn the draw order
+  // into an inter-domain race. Each link instead draws from a private
+  // stream derived from the seed and its attach index. Serial runs keep the
+  // shared stream, leaving the golden-pinned decision sequence untouched.
+  void set_split_streams(bool split) {
+    COWBIRD_CHECK(links_.empty());
+    split_streams_ = split;
+  }
 
   // Installs this injector's fault filter on the link. The link must
-  // outlive the injector's use; one injector can drive many links (the
-  // filter decisions stay globally ordered by delivery time, which is what
-  // keeps a run deterministic).
+  // outlive the injector's use and have its destination wired (ConnectTo /
+  // SetDestination) first; one injector can drive many links.
   void Attach(net::Link& link);
 
-  // Decisions made (what the plan asked for)...
-  std::uint64_t decided_dropped() const { return decided_dropped_; }
-  std::uint64_t decided_duplicated() const { return decided_duplicated_; }
-  std::uint64_t decided_reordered() const { return decided_reordered_; }
-  std::uint64_t decided_delayed() const { return decided_delayed_; }
+  // Decisions made (what the plan asked for), summed over links...
+  std::uint64_t decided_dropped() const;
+  std::uint64_t decided_duplicated() const;  // sum of extra copies requested
+  std::uint64_t decided_reordered() const;
+  std::uint64_t decided_delayed() const;
   std::uint64_t decided_total() const {
-    return decided_dropped_ + decided_duplicated_ + decided_reordered_ +
-           decided_delayed_;
+    return decided_dropped() + decided_duplicated() + decided_reordered() +
+           decided_delayed();
   }
 
   // ...must match what the links executed, bucket by bucket.
   bool CountersExact() const;
 
  private:
-  net::FaultAction Decide(const net::Packet& packet);
+  // Per-attached-link state: the filter's clock is the destination domain's
+  // (where Deliver runs), and decisions are counted link-locally so the
+  // accessors can sum them after the run without any cross-domain sharing.
+  struct LinkState {
+    net::Link* link = nullptr;
+    sim::Simulation* clock = nullptr;
+    std::unique_ptr<Rng> rng;  // null → the shared serial stream
+    std::uint64_t dropped = 0;
+    std::uint64_t duplicated = 0;
+    std::uint64_t reordered = 0;
+    std::uint64_t delayed = 0;
+  };
+
+  net::FaultAction Decide(LinkState& state, const net::Packet& packet);
 
   sim::Simulation* sim_;
   FaultPlan plan_;
+  std::uint64_t seed_ = 0;
   Rng rng_;
-  std::vector<net::Link*> links_;
-  std::uint64_t decided_dropped_ = 0;
-  std::uint64_t decided_duplicated_ = 0;  // sum of extra copies requested
-  std::uint64_t decided_reordered_ = 0;
-  std::uint64_t decided_delayed_ = 0;
+  bool split_streams_ = false;
+  std::vector<std::unique_ptr<LinkState>> links_;
 };
 
 }  // namespace cowbird::chaos

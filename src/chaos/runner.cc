@@ -18,6 +18,7 @@
 #include "p4/engine.h"
 #include "rdma/device.h"
 #include "rdma/params.h"
+#include "sim/parallel.h"
 #include "sim/simulation.h"
 #include "sim/thread.h"
 #include "spot/agent.h"
@@ -46,42 +47,71 @@ constexpr Nanos kDrainDeadline = Millis(40);
 struct ChaosHarness {
   ChaosHarness(const ChaosOptions& opt, telemetry::Hub* hub)
       : options(opt),
-        sw(sim, net::Switch::Config{.pipeline_latency =
-                                        fabric_params.switch_pipeline}),
+        engine_sim_store(opt.mode == ExecutionMode::kSplit
+                             ? std::make_unique<sim::Simulation>()
+                             : nullptr),
+        esim(engine_sim_store ? *engine_sim_store : sim),
+        group(opt.mode == ExecutionMode::kSplit
+                  ? std::make_unique<sim::DomainGroup>(opt.split_workers)
+                  : nullptr),
+        sw(esim, net::Switch::Config{.pipeline_latency =
+                                         fabric_params.switch_pipeline}),
         compute_nic(sim, kComputeId, fabric_params.host_link,
                     fabric_params.link_propagation),
-        memory_nic(sim, kMemoryId, fabric_params.host_link,
+        memory_nic(esim, kMemoryId, fabric_params.host_link,
                    fabric_params.link_propagation),
-        spot_nic(sim, kSpotId, fabric_params.host_link,
+        spot_nic(esim, kSpotId, fabric_params.host_link,
                  fabric_params.link_propagation),
         compute_dev(compute_nic, compute_mem, nic_config),
         memory_dev(memory_nic, memory_mem, nic_config),
         spot_dev(spot_nic, spot_mem, nic_config),
         compute_machine(sim, 16),
-        machine_a(sim, 1),
-        machine_b(sim, 1),
+        machine_a(esim, 1),
+        machine_b(esim, 1),
         injector(sim, opt.plan, opt.seed) {
+    // Domains must be registered before ConnectTo wires the cross-domain
+    // links (SetDestination reads domain ids to record the lookahead).
+    if (group != nullptr) {
+      group->AddDomain(sim);
+      group->AddDomain(esim);
+    }
     compute_nic.ConnectTo(sw);
     memory_nic.ConnectTo(sw);
     spot_nic.ConnectTo(sw);
     pool_mr = memory_dev.RegisterMemory(kPoolBase, MiB(64));
+
+    if (hub != nullptr && group != nullptr) {
+      // Engine-side components mutate telemetry from domain 1's thread; a
+      // private hub keeps the caller's registry domain-0-confined. It is
+      // merged into the caller's snapshot after the run.
+      engine_hub =
+          std::make_unique<telemetry::Hub>([this] { return esim.Now(); });
+    }
+    telemetry::Hub* const ehub = engine_hub ? engine_hub.get() : hub;
 
     if (hub != nullptr) {
       hub->tracer.SetClock([this] { return sim.Now(); });
       const struct {
         const char* name;
         net::Link* link;
+        telemetry::Hub* owner;  // hub of the domain whose thread delivers
       } fabric[] = {
-          {"sw_to_compute", &sw.EgressLink(compute_nic.switch_port())},
-          {"sw_to_memory", &sw.EgressLink(memory_nic.switch_port())},
-          {"sw_to_spot", &sw.EgressLink(spot_nic.switch_port())},
-          {"compute_uplink", &compute_nic.uplink()},
-          {"memory_uplink", &memory_nic.uplink()},
-          {"spot_uplink", &spot_nic.uplink()},
+          {"sw_to_compute", &sw.EgressLink(compute_nic.switch_port()), hub},
+          {"sw_to_memory", &sw.EgressLink(memory_nic.switch_port()), ehub},
+          {"sw_to_spot", &sw.EgressLink(spot_nic.switch_port()), ehub},
+          {"compute_uplink", &compute_nic.uplink(), ehub},
+          {"memory_uplink", &memory_nic.uplink(), ehub},
+          {"spot_uplink", &spot_nic.uplink(), ehub},
       };
       for (const auto& f : fabric) {
-        f.link->BindTelemetry(hub->metrics, {{"link", f.name}});
+        f.link->BindTelemetry(f.owner->metrics, {{"link", f.name}});
         bound_links.push_back(f.link);
+      }
+      if (group != nullptr) {
+        group->SetDomainStartHook(
+            0, [hub] { hub->metrics.BindToCurrentThread(); });
+        group->SetDomainStartHook(
+            1, [this] { engine_hub->metrics.BindToCurrentThread(); });
       }
     }
 
@@ -99,11 +129,11 @@ struct ChaosHarness {
     spot::SpotAgent::Config config_a;
     config_a.staging_base = 0x4000'0000;
     config_a.chaos_unsafe_skip_hazards = opt.break_fence;
-    config_a.telemetry = hub;
+    config_a.telemetry = ehub;
     spot::SpotAgent::Config config_b;
     config_b.staging_base = 0x8000'0000;
     config_b.chaos_unsafe_skip_hazards = opt.break_fence;
-    config_b.telemetry = hub;
+    config_b.telemetry = ehub;
     agent_a = std::make_unique<spot::SpotAgent>(spot_dev, machine_a, config_a);
     agent_b = std::make_unique<spot::SpotAgent>(spot_dev, machine_b, config_b);
     agent_a->Start();
@@ -113,7 +143,7 @@ struct ChaosHarness {
       p4::CowbirdP4Engine::Config ec;
       ec.switch_node_id = kSwitchId;
       ec.chaos_unsafe_skip_hazards = opt.break_fence;
-      ec.telemetry = hub;
+      ec.telemetry = ehub;
       p4_engine = std::make_unique<p4::CowbirdP4Engine>(sw, ec);
       p4_engine->Start();
       serving = registry.AddEngine(P4Binding());
@@ -127,6 +157,7 @@ struct ChaosHarness {
     COWBIRD_CHECK(placed == serving);
 
     if (opt.plan.AnyPacketFaults()) {
+      injector.set_split_streams(group != nullptr);
       injector.Attach(sw.EgressLink(compute_nic.switch_port()));
       injector.Attach(sw.EgressLink(memory_nic.switch_port()));
       injector.Attach(sw.EgressLink(spot_nic.switch_port()));
@@ -135,7 +166,14 @@ struct ChaosHarness {
       injector.Attach(spot_nic.uplink());
     }
     for (const Nanos when : opt.plan.crashes) {
-      sim.ScheduleAt(when, [this] { CrashServingEngine(); });
+      if (group != nullptr) {
+        // Crash + migration spans both domains (registry, both NIC sides,
+        // the published red block); it runs between epochs with every
+        // domain quiescent and advanced to `when`.
+        group->ScheduleGlobal(when, [this] { CrashServingEngine(); });
+      } else {
+        sim.ScheduleAt(when, [this] { CrashServingEngine(); });
+      }
     }
     telemetry_hub = hub;
   }
@@ -246,6 +284,13 @@ struct ChaosHarness {
 
   const ChaosOptions& options;
   sim::Simulation sim;
+  // Split mode cuts the testbed at the compute node's uplink: the compute
+  // NIC, client and app threads stay in `sim` (domain 0) while the switch
+  // and the memory/spot machines run in `esim` (domain 1). Serial mode
+  // aliases esim to sim and leaves `group` null.
+  std::unique_ptr<sim::Simulation> engine_sim_store;
+  sim::Simulation& esim;
+  std::unique_ptr<sim::DomainGroup> group;
   rdma::FabricParams fabric_params;
   rdma::NicConfig nic_config;
   net::Switch sw;
@@ -272,6 +317,7 @@ struct ChaosHarness {
   EngineId serving = offload::kNoEngine;
   FaultInjector injector;
   telemetry::Hub* telemetry_hub = nullptr;
+  std::unique_ptr<telemetry::Hub> engine_hub;
   std::vector<net::Link*> bound_links;
   HistoryRecorder recorder;
   std::uint64_t reads_checked = 0;
@@ -473,7 +519,11 @@ ChaosResult RunChaos(const ChaosOptions& options, telemetry::Hub* hub) {
   for (int t = 0; t < options.workload.threads; ++t) {
     harness.sim.Spawn(WorkloadThread(harness, t));
   }
-  harness.sim.Run();
+  if (harness.group != nullptr) {
+    harness.group->Run();
+  } else {
+    harness.sim.Run();
+  }
 
   ChaosResult result;
   result.history = harness.recorder.ops();
@@ -489,6 +539,10 @@ ChaosResult RunChaos(const ChaosOptions& options, telemetry::Hub* hub) {
   result.crashes_executed = harness.crashes_executed;
   if (hub != nullptr) {
     result.telemetry = hub->metrics.TakeSnapshot();
+    if (harness.engine_hub != nullptr) {
+      result.telemetry.MergeFrom(harness.engine_hub->metrics.TakeSnapshot());
+      hub->tracer.MergeFrom(harness.engine_hub->tracer);
+    }
   }
   return result;
 }

@@ -43,6 +43,14 @@ struct WorkloadParams {
   static std::optional<WorkloadParams> Parse(std::string_view line);
 };
 
+// How RunChaos executes the run's simulation. kSerial is the single-loop
+// golden-pinned path; kSplit cuts the testbed into two event-loop domains
+// (compute node vs switch + memory/spot machines) driven by a
+// sim::DomainGroup. The mode is a property of this process's execution, not
+// of the recorded scenario: it is never serialized into failure traces, and
+// replay always runs serial.
+enum class ExecutionMode { kSerial, kSplit };
+
 struct ChaosOptions {
   EngineKind engine = EngineKind::kSpot;
   std::uint64_t seed = 1;
@@ -51,6 +59,10 @@ struct ChaosOptions {
   bool break_fence = false;
   WorkloadParams workload;
   FaultPlan plan;
+  ExecutionMode mode = ExecutionMode::kSerial;
+  // kSplit only: worker threads for the domain group (0 → hardware
+  // concurrency). Split runs are bit-deterministic for any worker count.
+  int split_workers = 1;
 };
 
 struct ChaosResult {

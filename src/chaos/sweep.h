@@ -1,0 +1,49 @@
+// Parallel chaos seed-sweep executor.
+//
+// RunSweep expands (engines × seeds) into independent chaos runs and
+// executes them on a sim::ParallelFor pool. Each run is bit-deterministic
+// on its own, results are kept in work-item order, and all reporting — the
+// textual report, failure-trace dumps, and the break-fence capture→replay
+// proof — happens in a serial post-pass in (engine, seed) order. The
+// aggregated report is therefore byte-identical for any --jobs value,
+// which tests/CI pin.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chaos/runner.h"
+
+namespace cowbird::chaos {
+
+struct SweepConfig {
+  std::vector<EngineKind> engines = {EngineKind::kSpot, EngineKind::kP4};
+  std::uint64_t seeds = 8;
+  std::uint64_t start = 1;
+  std::string trace_dir = ".";
+  bool break_fence = false;
+  // Concurrent runs (0 → hardware concurrency). Parallelism only changes
+  // wall-clock time, never the report.
+  int jobs = 0;
+  // Run every simulation domain-split (ExecutionMode::kSplit) instead of
+  // serial. Split runs exercise the same scenarios through the parallel
+  // datapath; the golden-pinned byte-exact outcomes belong to serial mode.
+  bool split = false;
+  int split_workers = 1;  // per-run workers when split (0 → hardware)
+};
+
+struct SweepOutcome {
+  std::uint64_t runs = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t caught = 0;  // break-fence mode: seeds that caught the bug
+  bool replay_ok = true;
+  bool ok = false;  // the driver's pass/fail verdict
+  // The complete human-readable report (per-run FAIL/caught lines plus the
+  // final summary line), assembled in (engine, seed) order.
+  std::string report;
+};
+
+SweepOutcome RunSweep(const SweepConfig& config);
+
+}  // namespace cowbird::chaos

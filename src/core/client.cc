@@ -1,20 +1,25 @@
 #include "core/client.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/check.h"
 
 namespace cowbird::core {
 
 namespace {
-std::uint32_t next_instance_id = 1;
+// Atomic: parallel sweeps construct clients from concurrent simulations.
+// Ids stay unique and monotone within any one (single-threaded) simulation;
+// nothing observable depends on their absolute values across runs.
+std::atomic<std::uint32_t> next_instance_id{1};
 }  // namespace
 
 CowbirdClient::CowbirdClient(rdma::Device& device, Config config)
     : device_(&device), config_(config) {
   const auto* mr = device.RegisterMemory(config_.layout.base,
                                          config_.layout.TotalBytes());
-  descriptor_.instance_id = next_instance_id++;
+  descriptor_.instance_id =
+      next_instance_id.fetch_add(1, std::memory_order_relaxed);
   descriptor_.compute_node = device.node_id();
   descriptor_.compute_rkey = mr->rkey;
   descriptor_.layout = config_.layout;

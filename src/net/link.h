@@ -64,6 +64,14 @@ class Link {
 
   void Send(Packet packet);
 
+  // Declares that deliveries land in `dst`'s event loop. Defaults to the
+  // transmitting simulation; pointing it at a different member of the same
+  // sim::DomainGroup makes this link a domain cut: deliveries cross through
+  // the group's mailboxes and the link advertises its propagation delay as
+  // the group's conservative lookahead. Call during wiring, before traffic.
+  void SetDestination(sim::Simulation& dst);
+  sim::Simulation& destination() const { return *dst_; }
+
   // Host NICs can schedule their transmit queue by traffic class (strict
   // priority, highest first) instead of FIFO — how RDMA traffic is
   // prioritized above user TCP in the Figure 14 worst case.
@@ -100,6 +108,10 @@ class Link {
   void Arrive(Packet packet);
 
   sim::Simulation* sim_;
+  // Delivery-side event loop; == sim_ unless SetDestination made this link
+  // a domain cut. Deliver/Arrive (and the counters they touch) always run
+  // on the destination domain's thread.
+  sim::Simulation* dst_ = sim_;
   BitRate rate_;
   Nanos propagation_;
   std::function<void(Packet)> receiver_;

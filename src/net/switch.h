@@ -120,6 +120,11 @@ class HostNic {
     sw.EgressLink(switch_port_).set_receiver([this](Packet p) {
       Dispatch(std::move(p));
     });
+    // Deliveries run on the receiving endpoint's event loop; when the host
+    // and the switch live in different DomainGroup domains these two calls
+    // turn the attachment into the domain cut (no-ops otherwise).
+    uplink_->SetDestination(sw.simulation());
+    sw.EgressLink(switch_port_).SetDestination(*sim_);
   }
 
   void Send(Packet packet) { uplink_->Send(packet); }

@@ -1,0 +1,293 @@
+#include "sim/parallel.h"
+
+#include <algorithm>
+#include <deque>
+#include <mutex>
+
+namespace cowbird::sim {
+
+int MaxParallelism() {
+#ifdef COWBIRD_PARALLEL_DISABLED
+  return 1;
+#else
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+#endif
+}
+
+namespace {
+
+// Per-worker deque under a mutex. Item counts are tiny (seeds, bench
+// configs) and each item is an entire simulation run, so contention on the
+// pops is irrelevant next to the work they hand out; a lock keeps the
+// steal path obviously correct.
+struct WorkerDeque {
+  std::mutex mu;
+  std::deque<int> items;
+
+  bool PopFront(int* out) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (items.empty()) return false;
+    *out = items.front();
+    items.pop_front();
+    return true;
+  }
+  bool PopBack(int* out) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (items.empty()) return false;
+    *out = items.back();
+    items.pop_back();
+    return true;
+  }
+};
+
+}  // namespace
+
+void ParallelFor(int jobs, int n, const std::function<void(int)>& body) {
+  if (n <= 0) return;
+  int workers = jobs <= 0 ? MaxParallelism() : jobs;
+#ifdef COWBIRD_PARALLEL_DISABLED
+  workers = 1;
+#endif
+  workers = std::min(workers, n);
+  if (workers <= 1) {
+    for (int i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  std::vector<WorkerDeque> deques(static_cast<std::size_t>(workers));
+  for (int i = 0; i < n; ++i) {
+    deques[static_cast<std::size_t>(i % workers)].items.push_back(i);
+  }
+
+  // No work is ever added after this point, so a worker may retire as soon
+  // as one full scan (own deque + every victim) comes up empty.
+  auto worker_loop = [&](int w) {
+    int item;
+    for (;;) {
+      if (deques[static_cast<std::size_t>(w)].PopFront(&item)) {
+        body(item);
+        continue;
+      }
+      bool stole = false;
+      for (int k = 1; k < workers; ++k) {
+        const int victim = (w + k) % workers;
+        if (deques[static_cast<std::size_t>(victim)].PopBack(&item)) {
+          body(item);
+          stole = true;
+          break;
+        }
+      }
+      if (!stole) return;
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(workers - 1));
+  for (int w = 1; w < workers; ++w) {
+    threads.emplace_back(worker_loop, w);
+  }
+  worker_loop(0);
+  for (std::thread& t : threads) t.join();
+}
+
+void DomainGroup::AddDomain(Simulation& sim) {
+  COWBIRD_CHECK(sim.group_ == nullptr);
+  sim.group_ = this;
+  sim.domain_id_ = static_cast<int>(sims_.size());
+  sims_.push_back(&sim);
+  start_hooks_.resize(sims_.size());
+  drain_scratch_.resize(sims_.size());
+  mailboxes_.clear();
+  mailboxes_.resize(sims_.size() * sims_.size());
+  for (auto& box : mailboxes_) box = std::make_unique<Mailbox>();
+}
+
+int DomainGroup::worker_count() const {
+  int w = requested_workers_ <= 0 ? MaxParallelism() : requested_workers_;
+#ifdef COWBIRD_PARALLEL_DISABLED
+  w = 1;
+#endif
+  return std::max(1, std::min(w, static_cast<int>(sims_.size())));
+}
+
+void DomainGroup::NoteCrossLink(Nanos lookahead) {
+  has_cross_link_ = true;
+  lookahead_ = std::min(lookahead_, lookahead);
+}
+
+void DomainGroup::CrossPost(int src, int dst, Nanos when, EventFn fn) {
+  // A message landing inside the current horizon would mean the epoch
+  // already dispatched events it could have affected — the lookahead
+  // contract is broken, not merely this call.
+  COWBIRD_CHECK(when > epoch_limit_);
+  Mailbox& box = MailboxFor(src, dst);
+  const bool pushed =
+      box.queue.TryPush(CrossEvent{when, box.next_seq++, std::move(fn)});
+  COWBIRD_CHECK(pushed);  // ring sized for worst-case in-flight deliveries
+}
+
+void DomainGroup::SetDomainStartHook(int domain, std::function<void()> hook) {
+  start_hooks_[static_cast<std::size_t>(domain)] = std::move(hook);
+}
+
+Nanos DomainGroup::Now() const {
+  Nanos now = 0;
+  for (const Simulation* sim : sims_) now = std::max(now, sim->Now());
+  return now;
+}
+
+std::uint64_t DomainGroup::EventsProcessed() const {
+  std::uint64_t total = 0;
+  for (const Simulation* sim : sims_) total += sim->EventsProcessed();
+  return total;
+}
+
+void DomainGroup::DrainInboxes(int dst) {
+  auto& scratch = drain_scratch_[static_cast<std::size_t>(dst)];
+  scratch.clear();
+  for (int src = 0; src < domain_count(); ++src) {
+    if (src == dst) continue;
+    Mailbox& box = MailboxFor(src, dst);
+    CrossEvent event;
+    while (box.queue.TryPop(event)) {
+      scratch.push_back(
+          PendingCross{event.when, src, event.seq, std::move(event.fn)});
+    }
+  }
+  // Per-source streams arrive in push order; the merged order (when, src,
+  // seq) is a pure function of the epoch's contents, independent of thread
+  // interleaving — this sort is where cross-domain determinism comes from.
+  std::stable_sort(scratch.begin(), scratch.end(),
+                   [](const PendingCross& a, const PendingCross& b) {
+                     if (a.when != b.when) return a.when < b.when;
+                     if (a.src != b.src) return a.src < b.src;
+                     return a.seq < b.seq;
+                   });
+  Simulation& sim = *sims_[static_cast<std::size_t>(dst)];
+  for (PendingCross& pending : scratch) {
+    sim.ScheduleAt(pending.when, std::move(pending.fn));
+  }
+  cross_events_delivered_.fetch_add(scratch.size(),
+                                    std::memory_order_relaxed);
+  scratch.clear();
+}
+
+bool DomainGroup::NextEpoch(Nanos deadline, Nanos* limit) {
+  for (;;) {
+    if (halt_requested_.load(std::memory_order_acquire)) return false;
+    Nanos t_min = kNoEventTime;
+    for (const Simulation* sim : sims_) {
+      t_min = std::min(t_min, sim->NextEventTime());
+    }
+    const Nanos g_min =
+        next_global_ < globals_.size() ? globals_[next_global_].when
+                                       : kNoEventTime;
+    const Nanos next = std::min(t_min, g_min);
+    if (next == kNoEventTime || next > deadline) return false;
+    if (g_min <= t_min) {
+      // Globals at time T run before domain events at T; every domain is
+      // quiescent here, so the event may touch any of them.
+      GlobalEvent& global = globals_[next_global_++];
+      for (Simulation* sim : sims_) sim->AdvanceTo(global.when);
+      global.fn();
+      continue;
+    }
+    // Saturating t_min + lookahead - 1: with no cross-domain link the
+    // horizon is unbounded and only the deadline (or a global) caps it.
+    Nanos horizon = lookahead_ >= kNoEventTime - t_min
+                        ? kNoEventTime
+                        : t_min + lookahead_ - 1;
+    if (g_min != kNoEventTime) horizon = std::min(horizon, g_min - 1);
+    *limit = std::min(horizon, deadline);
+    return true;
+  }
+}
+
+void DomainGroup::RunEpochsSequential(Nanos deadline) {
+  Nanos limit = 0;
+  while (NextEpoch(deadline, &limit)) {
+    ++epochs_;
+    epoch_limit_ = limit;
+    for (Simulation* sim : sims_) sim->DispatchUpTo(limit);
+    for (int d = 0; d < domain_count(); ++d) DrainInboxes(d);
+  }
+}
+
+void DomainGroup::RunEpochsParallel(Nanos deadline) {
+  stop_workers_ = false;
+  barrier_ = std::make_unique<EpochBarrier>(domain_count());
+
+  auto worker_main = [this](int d) {
+    if (start_hooks_[static_cast<std::size_t>(d)]) {
+      start_hooks_[static_cast<std::size_t>(d)]();
+    }
+    Simulation& sim = *sims_[static_cast<std::size_t>(d)];
+    for (;;) {
+      barrier_->ArriveAndWait();  // A: epoch published (or stop)
+      if (stop_workers_) return;
+      sim.DispatchUpTo(epoch_limit_);
+      barrier_->ArriveAndWait();  // B: all dispatch done, mailboxes final
+      DrainInboxes(d);
+      barrier_->ArriveAndWait();  // C: all heaps updated, workers park
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(sims_.size() - 1);
+  for (int d = 1; d < domain_count(); ++d) {
+    threads.emplace_back(worker_main, d);
+  }
+  if (start_hooks_[0]) start_hooks_[0]();
+
+  // Between barrier C and the next barrier A every worker is parked, so the
+  // coordinator is free to read all heaps and run global events.
+  Nanos limit = 0;
+  while (NextEpoch(deadline, &limit)) {
+    ++epochs_;
+    epoch_limit_ = limit;
+    barrier_->ArriveAndWait();  // A
+    sims_[0]->DispatchUpTo(limit);
+    barrier_->ArriveAndWait();  // B
+    DrainInboxes(0);
+    barrier_->ArriveAndWait();  // C
+  }
+  stop_workers_ = true;
+  barrier_->ArriveAndWait();  // release workers into the stop check
+  for (std::thread& t : threads) t.join();
+}
+
+void DomainGroup::RunInternal(Nanos deadline) {
+  COWBIRD_CHECK(!sims_.empty());
+  // A zero-lookahead cut admits no safe horizon: the epoch loop would make
+  // no progress. Fail loudly instead of deadlocking (regression-tested).
+  if (has_cross_link_) COWBIRD_CHECK(lookahead_ > 0);
+  halt_requested_.store(false, std::memory_order_release);
+  for (Simulation* sim : sims_) sim->ClearHalt();
+  epoch_limit_ = 0;
+  // Globals may be registered in any order; consume in (when, seq) order.
+  std::stable_sort(globals_.begin() + static_cast<std::ptrdiff_t>(next_global_),
+                   globals_.end(),
+                   [](const GlobalEvent& a, const GlobalEvent& b) {
+                     if (a.when != b.when) return a.when < b.when;
+                     return a.seq < b.seq;
+                   });
+
+  if (worker_count() > 1 && domain_count() > 1) {
+    RunEpochsParallel(deadline);
+  } else {
+    for (const auto& hook : start_hooks_) {
+      if (hook) hook();
+    }
+    RunEpochsSequential(deadline);
+  }
+
+  // Mirror Simulation::RunUntil: clocks land exactly on the deadline unless
+  // the run was halted first.
+  if (deadline != kNoEventTime &&
+      !halt_requested_.load(std::memory_order_acquire)) {
+    for (Simulation* sim : sims_) sim->AdvanceTo(deadline);
+  }
+}
+
+}  // namespace cowbird::sim

@@ -1,0 +1,252 @@
+// Parallel execution layer, two levels.
+//
+// Level 1 — sweep parallelism: ParallelFor runs N completely independent
+// jobs (each typically owning a private Simulation) on a small
+// work-stealing pool. Each job stays bit-deterministic on its own; callers
+// keep results in job-index order, so an aggregated report is byte-identical
+// no matter how many workers ran it.
+//
+// Level 2 — intra-sim domains: DomainGroup partitions one logical
+// simulation into several Simulation instances (event-loop domains) cut at
+// net::Link boundaries. Synchronization is classic conservative PDES: every
+// cross-domain link advertises its propagation delay as lookahead L, and
+// the group advances in epochs. With T_min the earliest pending event time
+// across all domains, every event at t in [T_min, T_min + L - 1] can be
+// dispatched without hearing from the other domains first — a cross-domain
+// message emitted at t >= T_min arrives no earlier than t + L, strictly
+// beyond the epoch horizon. Cross-domain deliveries travel through SPSC
+// timestamped queues and are merged into the destination heap between
+// epochs in a fixed (when, src, seq) order, so the epoch schedule — and
+// therefore the whole run — is bit-identical whether the domains execute on
+// one thread or many. Zero lookahead would make the horizon empty; the
+// group refuses to run (loud CHECK) instead of spinning forever.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/units.h"
+#include "sim/simulation.h"
+
+namespace cowbird::sim {
+
+// Upper bound on useful thread-level parallelism: hardware concurrency, or
+// 1 when the build was configured with COWBIRD_PARALLEL=OFF.
+int MaxParallelism();
+
+// Default job count for --jobs style flags (same as MaxParallelism, named
+// for intent at call sites).
+inline int HardwareJobs() { return MaxParallelism(); }
+
+// Runs body(0..n-1), each index exactly once, on min(jobs, n) workers with
+// work stealing (each worker pops its own deque from the front and steals
+// from others' backs). jobs <= 1 — or a COWBIRD_PARALLEL=OFF build — runs a
+// plain serial loop on the calling thread. The call returns after every
+// index has completed. An explicit jobs > MaxParallelism() is honored
+// (oversubscription is harmless and the determinism tests need it).
+void ParallelFor(int jobs, int n, const std::function<void(int)>& body);
+
+// Bounded lock-free single-producer single-consumer ring. Capacity must be
+// a power of two. Push/Pop are wait-free; Push returns false when full.
+template <typename T, std::size_t kCapacity>
+class SpscQueue {
+  static_assert(kCapacity >= 2 && (kCapacity & (kCapacity - 1)) == 0,
+                "capacity must be a power of two");
+
+ public:
+  bool TryPush(T&& value) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail == kCapacity) return false;
+    slots_[head & (kCapacity - 1)] = std::move(value);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool TryPop(T& out) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    if (tail == head) return false;
+    out = std::move(slots_[tail & (kCapacity - 1)]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Producer-side view; exact when called from either endpoint's thread
+  // while the other endpoint is quiescent (how the epoch protocol uses it).
+  std::size_t SizeApprox() const {
+    return static_cast<std::size_t>(head_.load(std::memory_order_acquire) -
+                                    tail_.load(std::memory_order_acquire));
+  }
+
+ private:
+  std::array<T, kCapacity> slots_{};
+  std::atomic<std::uint64_t> head_{0};  // written by producer
+  std::atomic<std::uint64_t> tail_{0};  // written by consumer
+};
+
+// Sense-reversing counting barrier. Short adaptive spin, then parks on the
+// sense word (std::atomic::wait) — epochs are microseconds of work, but a
+// single-core host needs the loser to yield the CPU, not burn it.
+class EpochBarrier {
+ public:
+  explicit EpochBarrier(int parties) : parties_(parties) {}
+
+  void ArriveAndWait() {
+    const std::uint32_t sense = sense_.load(std::memory_order_acquire);
+    if (count_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      count_.store(0, std::memory_order_relaxed);
+      sense_.store(sense + 1, std::memory_order_release);
+      sense_.notify_all();
+      return;
+    }
+    for (int spin = 0; spin < 64; ++spin) {
+      if (sense_.load(std::memory_order_acquire) != sense) return;
+    }
+    while (sense_.load(std::memory_order_acquire) == sense) {
+      sense_.wait(sense, std::memory_order_acquire);
+    }
+  }
+
+ private:
+  const int parties_;
+  std::atomic<int> count_{0};
+  std::atomic<std::uint32_t> sense_{0};
+};
+
+// A set of Simulation domains advancing in lockstep epochs (see file
+// comment). Domain 0 runs on the calling thread and doubles as the epoch
+// coordinator; domains 1..n-1 get worker threads when worker_count() > 1,
+// else the coordinator runs every domain phase-by-phase in domain order —
+// producing the exact same schedule, which is what the cross-worker-count
+// determinism tests pin.
+class DomainGroup {
+ public:
+  // workers <= 0 → MaxParallelism(). The resolved count is capped by the
+  // domain count; an explicit request above MaxParallelism() is honored.
+  explicit DomainGroup(int workers = 0) : requested_workers_(workers) {}
+  DomainGroup(const DomainGroup&) = delete;
+  DomainGroup& operator=(const DomainGroup&) = delete;
+  ~DomainGroup() = default;
+
+  // Registration order assigns domain ids 0..n-1. Must happen before any
+  // cross-domain wiring and before the first Run.
+  void AddDomain(Simulation& sim);
+  int domain_count() const { return static_cast<int>(sims_.size()); }
+  Simulation& domain(int d) { return *sims_[static_cast<std::size_t>(d)]; }
+  int worker_count() const;
+
+  // Called by net::Link when its endpoints land in different domains. The
+  // epoch horizon is the minimum advertised value; zero is refused at Run
+  // time (it would starve the epoch loop), loudly rather than by deadlock.
+  void NoteCrossLink(Nanos lookahead);
+  Nanos lookahead() const { return lookahead_; }
+  bool has_cross_link() const { return has_cross_link_; }
+
+  // Delivers `fn` into domain `dst` at virtual time `when`. Call only from
+  // domain `src`'s thread while it is dispatching an epoch; `when` must lie
+  // strictly beyond the published epoch horizon (any positive-lookahead
+  // link guarantees this, and the call CHECKs it).
+  void CrossPost(int src, int dst, Nanos when, EventFn fn);
+
+  // One-shot event executed between epochs with every domain quiescent and
+  // advanced to `when` — the escape hatch for control-plane actions that
+  // span domains (engine crash + migration in the chaos harness). Schedule
+  // before Run. Events run in (when, registration) order, before same-time
+  // domain events.
+  template <typename F>
+  void ScheduleGlobal(Nanos when, F&& fn) {
+    globals_.push_back(GlobalEvent{when, global_seq_++,
+                                   std::function<void()>(std::forward<F>(fn))});
+  }
+
+  // Invoked once per Run on the thread that owns `domain`, before its first
+  // epoch — how per-domain telemetry registries learn their owner thread.
+  // Hooks must not touch simulation state (the coordinator may already be
+  // reading event heaps while late workers are still starting up).
+  void SetDomainStartHook(int domain, std::function<void()> hook);
+
+  // Counterparts of Simulation::Run/RunUntil/RunFor over the whole group.
+  void Run() { RunInternal(kNoEventTime); }
+  void RunUntil(Nanos deadline) { RunInternal(deadline); }
+  void RunFor(Nanos duration) { RunUntil(Now() + duration); }
+
+  // Stops the group at the next epoch boundary. Simulation::Halt() on any
+  // member domain calls this (and additionally stops that domain's own
+  // dispatch loop immediately, exactly as in a serial run).
+  void RequestHalt() { halt_requested_.store(true, std::memory_order_release); }
+
+  Nanos Now() const;                      // max over domains
+  std::uint64_t EventsProcessed() const;  // sum over domains
+  std::uint64_t epochs() const { return epochs_; }
+  std::uint64_t cross_events_delivered() const {
+    return cross_events_delivered_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct CrossEvent {
+    Nanos when = 0;
+    std::uint64_t seq = 0;  // per-mailbox push order
+    EventFn fn;
+  };
+  struct Mailbox {
+    SpscQueue<CrossEvent, 4096> queue;
+    std::uint64_t next_seq = 0;  // producer-owned
+  };
+  struct PendingCross {
+    Nanos when;
+    int src;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+  struct GlobalEvent {
+    Nanos when;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+
+  void RunInternal(Nanos deadline);
+  void RunEpochsSequential(Nanos deadline);
+  void RunEpochsParallel(Nanos deadline);
+  // One scheduling decision by the coordinator (workers quiescent): either
+  // runs due global events / computes the next epoch horizon (returns true,
+  // horizon in *limit) or decides the run is over (returns false).
+  bool NextEpoch(Nanos deadline, Nanos* limit);
+  void DrainInboxes(int dst);
+  Mailbox& MailboxFor(int src, int dst) {
+    return *mailboxes_[static_cast<std::size_t>(src) * sims_.size() +
+                       static_cast<std::size_t>(dst)];
+  }
+
+  std::vector<Simulation*> sims_;
+  int requested_workers_ = 0;
+  Nanos lookahead_ = kNoEventTime;
+  bool has_cross_link_ = false;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;  // src-major n*n
+  std::vector<std::vector<PendingCross>> drain_scratch_;
+  std::vector<GlobalEvent> globals_;
+  std::size_t next_global_ = 0;
+  std::uint64_t global_seq_ = 0;
+  std::vector<std::function<void()>> start_hooks_;
+  std::atomic<bool> halt_requested_{false};
+  std::uint64_t epochs_ = 0;
+  // Workers drain their own inboxes concurrently; the tally is the only
+  // shared word they touch.
+  std::atomic<std::uint64_t> cross_events_delivered_{0};
+  // Epoch protocol state, shared coordinator → workers. Plain fields: every
+  // write happens while the readers are parked at a barrier, and the
+  // barrier's atomics order the hand-off.
+  Nanos epoch_limit_ = 0;
+  bool stop_workers_ = false;
+  std::unique_ptr<EpochBarrier> barrier_;
+};
+
+}  // namespace cowbird::sim

@@ -17,18 +17,25 @@
 //     engine queue depths) surface through the registry without adding any
 //     cost to the code that maintains them.
 //
-// Everything is single-threaded, like the simulator it observes.
+// Each registry is single-threaded, like the event-loop domain it observes.
+// Sharded (multi-domain) runs give every domain its own registry and merge
+// the snapshots afterwards (Snapshot::MergeFrom) — the hot path stays a raw
+// increment. Debug builds additionally pin each registry to the thread that
+// called BindToCurrentThread() and CHECK every cell access against it.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/check.h"
 #include "common/stats.h"
 
 namespace cowbird::telemetry {
@@ -46,41 +53,65 @@ class MetricRegistry;
 // Monotonically increasing counter handle.
 class Counter {
  public:
-  Counter();  // unbound: increments a shared dummy cell
-  void Add(std::uint64_t delta = 1) const { *cell_ += delta; }
+  Counter();  // unbound: increments a thread-local dummy cell
+  void Add(std::uint64_t delta = 1) const {
+    DCheckOwner();
+    *cell_ += delta;
+  }
   std::uint64_t value() const { return *cell_; }
 
  private:
   friend class MetricRegistry;
-  explicit Counter(std::uint64_t* cell) : cell_(cell) {}
+  Counter(std::uint64_t* cell, const MetricRegistry* owner);
+  void DCheckOwner() const;
   std::uint64_t* cell_;
+#ifndef NDEBUG
+  const MetricRegistry* owner_ = nullptr;
+#endif
 };
 
 // Settable signed gauge handle.
 class Gauge {
  public:
   Gauge();  // unbound
-  void Set(std::int64_t v) const { *cell_ = v; }
-  void Add(std::int64_t delta) const { *cell_ += delta; }
+  void Set(std::int64_t v) const {
+    DCheckOwner();
+    *cell_ = v;
+  }
+  void Add(std::int64_t delta) const {
+    DCheckOwner();
+    *cell_ += delta;
+  }
   std::int64_t value() const { return *cell_; }
 
  private:
   friend class MetricRegistry;
-  explicit Gauge(std::int64_t* cell) : cell_(cell) {}
+  Gauge(std::int64_t* cell, const MetricRegistry* owner);
+  void DCheckOwner() const;
   std::int64_t* cell_;
+#ifndef NDEBUG
+  const MetricRegistry* owner_ = nullptr;
+#endif
 };
 
 // Power-of-two histogram handle (see common/stats.h LogHistogram).
 class Histogram {
  public:
   Histogram();  // unbound
-  void Observe(std::uint64_t value) const { cell_->Add(value); }
+  void Observe(std::uint64_t value) const {
+    DCheckOwner();
+    cell_->Add(value);
+  }
   const LogHistogram& histogram() const { return *cell_; }
 
  private:
   friend class MetricRegistry;
-  explicit Histogram(LogHistogram* cell) : cell_(cell) {}
+  Histogram(LogHistogram* cell, const MetricRegistry* owner);
+  void DCheckOwner() const;
   LogHistogram* cell_;
+#ifndef NDEBUG
+  const MetricRegistry* owner_ = nullptr;
+#endif
 };
 
 // Point-in-time copy of every series in a registry, sorted by canonical key.
@@ -110,6 +141,13 @@ struct Snapshot {
   std::optional<std::uint64_t> CounterValue(std::string_view key) const;
   std::optional<std::int64_t> GaugeValue(std::string_view key) const;
   const HistogramEntry* FindHistogram(std::string_view key) const;
+
+  // Folds `other` into this snapshot: counters and gauges sum on key
+  // collision, histogram buckets add element-wise and p50/p99 are recomputed
+  // from the merged distribution. New keys are inserted at their canonical
+  // sorted position, so merging per-domain snapshots in domain order yields
+  // a byte-deterministic aggregate regardless of how many threads ran.
+  void MergeFrom(const Snapshot& other);
 
   // {"counters":{...},"gauges":{...},"histograms":{...}} with keys in
   // canonical (sorted) order. Deterministic byte-for-byte.
@@ -144,12 +182,56 @@ class MetricRegistry {
   }
   std::size_t histogram_series() const { return histograms_.size(); }
 
+  // Debug-build thread confinement. Binding pins the registry (and every
+  // handle it issued) to the calling thread; any cell access from another
+  // thread CHECK-fails. Release builds compile both to nothing — the hot
+  // path stays a raw increment. Rebinding is allowed (domain workers are
+  // respawned per Run); ReleaseThreadBinding restores "any thread".
+  void BindToCurrentThread() {
+#ifndef NDEBUG
+    owner_thread_.store(std::this_thread::get_id(),
+                        std::memory_order_relaxed);
+#endif
+  }
+  void ReleaseThreadBinding() {
+#ifndef NDEBUG
+    owner_thread_.store(std::thread::id(), std::memory_order_relaxed);
+#endif
+  }
+#ifndef NDEBUG
+  void DCheckAccess() const {
+    const std::thread::id owner =
+        owner_thread_.load(std::memory_order_relaxed);
+    COWBIRD_CHECK(owner == std::thread::id() ||
+                  owner == std::this_thread::get_id());
+  }
+#endif
+
  private:
   // std::map: node-based, so cell addresses are stable across inserts.
   std::map<std::string, std::uint64_t> counters_;
   std::map<std::string, std::int64_t> gauges_;
   std::map<std::string, LogHistogram> histograms_;
   std::map<std::string, std::function<std::int64_t()>> callback_gauges_;
+#ifndef NDEBUG
+  std::atomic<std::thread::id> owner_thread_{};
+#endif
 };
+
+#ifndef NDEBUG
+inline void Counter::DCheckOwner() const {
+  if (owner_ != nullptr) owner_->DCheckAccess();
+}
+inline void Gauge::DCheckOwner() const {
+  if (owner_ != nullptr) owner_->DCheckAccess();
+}
+inline void Histogram::DCheckOwner() const {
+  if (owner_ != nullptr) owner_->DCheckAccess();
+}
+#else
+inline void Counter::DCheckOwner() const {}
+inline void Gauge::DCheckOwner() const {}
+inline void Histogram::DCheckOwner() const {}
+#endif
 
 }  // namespace cowbird::telemetry

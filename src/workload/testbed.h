@@ -3,12 +3,23 @@
 // pool node, a spot node (1 core granted to the Cowbird-Spot agent), and a
 // bystander node for contending traffic (Figure 14). All links 100 Gbps
 // except the bystander's 25 Gbps NIC, matching the paper's setup.
+//
+// With `split_domains` the testbed becomes a two-domain sim::DomainGroup cut
+// at the compute NIC's attachment: the compute node keeps `sim`, while the
+// switch and the memory/spot/bystander hosts move to a second event loop
+// (`esim`). The cut links' propagation delay is the conservative lookahead.
+// In the default serial mode `esim` aliases `sim` and every construction and
+// schedule happens exactly as before — the chaos parity goldens pin this.
 #pragma once
+
+#include <cstdint>
+#include <memory>
 
 #include "common/sparse_memory.h"
 #include "net/switch.h"
 #include "rdma/device.h"
 #include "rdma/params.h"
+#include "sim/parallel.h"
 #include "sim/simulation.h"
 #include "sim/thread.h"
 
@@ -20,7 +31,12 @@ struct Testbed {
   static constexpr net::NodeId kSpotId = 3;
   static constexpr net::NodeId kBystanderId = 4;
 
-  sim::Simulation sim;
+  sim::Simulation sim;  // compute-node domain (domain 0 when split)
+  // Engine-side event loop: a real second Simulation when split, otherwise
+  // a reference back to `sim` so serial wiring is byte-identical.
+  std::unique_ptr<sim::Simulation> engine_sim_store;
+  sim::Simulation& esim;
+  std::unique_ptr<sim::DomainGroup> group;
   rdma::FabricParams fabric;
   rdma::NicConfig nic_config;
   net::Switch sw;
@@ -39,25 +55,60 @@ struct Testbed {
   sim::Machine spot_machine;
 
   explicit Testbed(int compute_cores = 16,
-                   BitRate compute_uplink = BitRate::Gbps(100))
-      : sw(sim,
+                   BitRate compute_uplink = BitRate::Gbps(100),
+                   bool split_domains = false, int split_workers = 0)
+      : engine_sim_store(split_domains ? std::make_unique<sim::Simulation>()
+                                       : nullptr),
+        esim(engine_sim_store ? *engine_sim_store : sim),
+        group(split_domains
+                  ? std::make_unique<sim::DomainGroup>(split_workers)
+                  : nullptr),
+        sw(esim,
            net::Switch::Config{.pipeline_latency = fabric.switch_pipeline}),
         compute_nic(sim, kComputeId, compute_uplink,
                     fabric.link_propagation),
-        memory_nic(sim, kMemoryId, fabric.host_link, fabric.link_propagation),
-        spot_nic(sim, kSpotId, fabric.host_link, fabric.link_propagation),
-        bystander_nic(sim, kBystanderId, BitRate::Gbps(25),
+        memory_nic(esim, kMemoryId, fabric.host_link,
+                   fabric.link_propagation),
+        spot_nic(esim, kSpotId, fabric.host_link, fabric.link_propagation),
+        bystander_nic(esim, kBystanderId, BitRate::Gbps(25),
                       fabric.link_propagation),
         compute_dev(compute_nic, compute_mem, nic_config),
         memory_dev(memory_nic, memory_mem, nic_config),
         spot_dev(spot_nic, spot_mem, nic_config),
         compute_machine(sim, compute_cores),
-        memory_machine(sim, 8),
-        spot_machine(sim, 1) {
+        memory_machine(esim, 8),
+        spot_machine(esim, 1) {
+    // Domain registration must precede ConnectTo: SetDestination inspects
+    // domain ids to recognize the cut and advertise lookahead.
+    if (group) {
+      group->AddDomain(sim);
+      group->AddDomain(esim);
+    }
     compute_nic.ConnectTo(sw);
     memory_nic.ConnectTo(sw);
     spot_nic.ConnectTo(sw);
     bystander_nic.ConnectTo(sw);
+  }
+
+  bool split() const { return group != nullptr; }
+
+  // Run the whole testbed — the group when split, the single loop otherwise.
+  void Run() {
+    if (group) {
+      group->Run();
+    } else {
+      sim.Run();
+    }
+  }
+  void RunFor(Nanos duration) {
+    if (group) {
+      group->RunFor(duration);
+    } else {
+      sim.RunFor(duration);
+    }
+  }
+  std::uint64_t EventsProcessed() const {
+    return group ? group->EventsProcessed() : sim.EventsProcessed();
   }
 };
 

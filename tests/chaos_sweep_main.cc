@@ -2,12 +2,18 @@
 // seed" in the README).
 //
 //   chaos_sweep [--engine spot|p4|both] [--seeds N] [--start S]
-//               [--trace-dir DIR] [--break-fence]
+//               [--trace-dir DIR] [--break-fence] [--jobs N]
+//               [--split] [--split-workers N]
 //
 // Normal mode: runs N seeds per engine, each with a seed-derived mixed
 // fault plan (drop + duplicate + reorder + delay, partitions, engine
 // crashes on odd seeds). Any checker violation dumps a replayable failure
 // trace into --trace-dir and the sweep exits non-zero.
+//
+// --jobs runs that many simulations concurrently (default: hardware
+// concurrency). The report is byte-identical for any jobs value. --split
+// executes each run domain-split (the parallel intra-sim datapath) instead
+// of the golden-pinned serial loop.
 //
 // --break-fence mode is the harness's own canary: it re-runs the sweep with
 // the engines' read-after-write fence disabled and exits zero only if the
@@ -19,40 +25,13 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
-#include <vector>
 
 #include "chaos/runner.h"
-#include "chaos/trace.h"
-
-namespace {
-
-using namespace cowbird::chaos;
-
-struct SweepArgs {
-  std::vector<EngineKind> engines = {EngineKind::kSpot, EngineKind::kP4};
-  std::uint64_t seeds = 8;
-  std::uint64_t start = 1;
-  std::string trace_dir = ".";
-  bool break_fence = false;
-};
-
-std::string DumpTrace(const SweepArgs& args, const ChaosOptions& opt,
-                      const ChaosResult& result) {
-  const std::string path = args.trace_dir + "/chaos-trace-" +
-                           EngineKindName(opt.engine) + "-seed" +
-                           std::to_string(opt.seed) + ".txt";
-  if (!WriteTraceFile(path, MakeTrace(opt, result))) {
-    std::fprintf(stderr, "chaos_sweep: cannot write trace %s\n",
-                 path.c_str());
-    return {};
-  }
-  return path;
-}
-
-}  // namespace
+#include "chaos/sweep.h"
 
 int main(int argc, char** argv) {
-  SweepArgs args;
+  using namespace cowbird::chaos;
+  SweepConfig config;
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
     auto next = [&]() -> const char* {
@@ -62,9 +41,9 @@ int main(int argc, char** argv) {
       const char* value = next();
       if (value == nullptr) return 2;
       if (std::strcmp(value, "both") == 0) {
-        args.engines = {EngineKind::kSpot, EngineKind::kP4};
+        config.engines = {EngineKind::kSpot, EngineKind::kP4};
       } else if (const auto kind = ParseEngineKind(value)) {
-        args.engines = {*kind};
+        config.engines = {*kind};
       } else {
         std::fprintf(stderr, "chaos_sweep: unknown engine %s\n", value);
         return 2;
@@ -72,101 +51,40 @@ int main(int argc, char** argv) {
     } else if (flag == "--seeds") {
       const char* value = next();
       if (value == nullptr) return 2;
-      args.seeds = std::strtoull(value, nullptr, 10);
+      config.seeds = std::strtoull(value, nullptr, 10);
     } else if (flag == "--start") {
       const char* value = next();
       if (value == nullptr) return 2;
-      args.start = std::strtoull(value, nullptr, 10);
+      config.start = std::strtoull(value, nullptr, 10);
     } else if (flag == "--trace-dir") {
       const char* value = next();
       if (value == nullptr) return 2;
-      args.trace_dir = value;
+      config.trace_dir = value;
     } else if (flag == "--break-fence") {
-      args.break_fence = true;
+      config.break_fence = true;
+    } else if (flag == "--jobs") {
+      const char* value = next();
+      if (value == nullptr) return 2;
+      config.jobs = std::atoi(value);
+    } else if (flag == "--split") {
+      config.split = true;
+    } else if (flag == "--split-workers") {
+      const char* value = next();
+      if (value == nullptr) return 2;
+      config.split_workers = std::atoi(value);
     } else {
       std::fprintf(stderr, "chaos_sweep: unknown flag %s\n", flag.c_str());
       return 2;
     }
   }
   if (const char* env = std::getenv("COWBIRD_TEST_SEED")) {
-    args.start = std::strtoull(env, nullptr, 10);
-    args.seeds = 1;
+    config.start = std::strtoull(env, nullptr, 10);
+    config.seeds = 1;
     std::printf("COWBIRD_TEST_SEED=%llu: single-seed run\n",
-                static_cast<unsigned long long>(args.start));
+                static_cast<unsigned long long>(config.start));
   }
 
-  std::uint64_t runs = 0, failures = 0, caught = 0;
-  bool replay_ok = true;
-  for (const EngineKind engine : args.engines) {
-    for (std::uint64_t seed = args.start; seed < args.start + args.seeds;
-         ++seed) {
-      const ChaosOptions opt = SweepOptions(engine, seed, args.break_fence);
-      const ChaosResult result = RunChaos(opt);
-      ++runs;
-      if (!result.counters_exact) {
-        std::printf("FAIL engine=%s seed=%llu: fault counters inexact\n",
-                    EngineKindName(engine),
-                    static_cast<unsigned long long>(seed));
-        ++failures;
-      }
-      if (args.break_fence) {
-        if (result.violations.empty()) continue;
-        ++caught;
-        if (caught == 1) {
-          // Prove the capture→replay loop on the first caught violation.
-          const std::string path = DumpTrace(args, opt, result);
-          const auto loaded = path.empty()
-                                  ? std::nullopt
-                                  : ReadTraceFile(path);
-          if (!loaded.has_value()) {
-            replay_ok = false;
-          } else {
-            const ReplayOutcome outcome = ReplayTrace(*loaded);
-            replay_ok = outcome.deterministic;
-            std::printf("caught engine=%s seed=%llu (%zu violations), "
-                        "replay %s: %s\n",
-                        EngineKindName(engine),
-                        static_cast<unsigned long long>(seed),
-                        result.violations.size(),
-                        outcome.deterministic ? "deterministic"
-                                              : "MISMATCH",
-                        path.c_str());
-            if (!outcome.deterministic) {
-              std::printf("%s\n", outcome.mismatch.c_str());
-            }
-          }
-        }
-        continue;
-      }
-      if (!result.violations.empty()) {
-        ++failures;
-        const std::string path = DumpTrace(args, opt, result);
-        std::printf(
-            "FAIL engine=%s seed=%llu: %zu violations (reads=%llu "
-            "crashes=%llu)\n  repro: COWBIRD_TEST_SEED=%llu or "
-            "chaos_replay %s\n",
-            EngineKindName(engine), static_cast<unsigned long long>(seed),
-            result.violations.size(),
-            static_cast<unsigned long long>(result.reads_checked),
-            static_cast<unsigned long long>(result.crashes_executed),
-            static_cast<unsigned long long>(seed), path.c_str());
-        for (const Violation& v : result.violations) {
-          std::printf("    %s\n", v.Format().c_str());
-        }
-      }
-    }
-  }
-
-  if (args.break_fence) {
-    std::printf("chaos_sweep --break-fence: %llu/%llu seeds caught the "
-                "planted bug, replay %s\n",
-                static_cast<unsigned long long>(caught),
-                static_cast<unsigned long long>(runs),
-                replay_ok ? "ok" : "FAILED");
-    return (caught > 0 && replay_ok && failures == 0) ? 0 : 1;
-  }
-  std::printf("chaos_sweep: %llu runs, %llu failures\n",
-              static_cast<unsigned long long>(runs),
-              static_cast<unsigned long long>(failures));
-  return failures == 0 ? 0 : 1;
+  const SweepOutcome outcome = RunSweep(config);
+  std::fputs(outcome.report.c_str(), stdout);
+  return outcome.ok ? 0 : 1;
 }
