@@ -101,12 +101,10 @@ Result RunBursty(bool adaptive, Nanos base_interval) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  int jobs = 0;
+  bench::ParallelFlags flags;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-      jobs = std::atoi(argv[++i]);
-    } else {
-      std::printf("usage: %s [--jobs N]\n", argv[0]);
+    if (!flags.Consume(argc, argv, i) || !flags.ok()) {
+      std::printf("usage: %s %s\n", argv[0], flags.Usage());
       return 2;
     }
   }
@@ -121,7 +119,7 @@ int main(int argc, char** argv) {
   const Config configs[] = {
       {false, Micros(2)}, {false, Micros(32)}, {true, Micros(2)}};
   std::vector<Result> results(3);
-  sim::ParallelFor(jobs > 0 ? jobs : sim::HardwareJobs(), 3, [&](int i) {
+  sim::ParallelFor(flags.Jobs(), 3, [&](int i) {
     results[static_cast<std::size_t>(i)] =
         RunBursty(configs[i].adaptive, configs[i].base_interval);
   });

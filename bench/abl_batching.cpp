@@ -22,12 +22,10 @@ using workload::LatencyProbeConfig;
 using workload::Paradigm;
 
 int main(int argc, char** argv) {
-  int jobs = 0;
+  bench::ParallelFlags flags;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-      jobs = std::atoi(argv[++i]);
-    } else {
-      std::printf("usage: %s [--jobs N]\n", argv[0]);
+    if (!flags.Consume(argc, argv, i) || !flags.ok()) {
+      std::printf("usage: %s %s\n", argv[0], flags.Usage());
       return 2;
     }
   }
@@ -42,7 +40,7 @@ int main(int argc, char** argv) {
     workload::LatencyResult lat;
   };
   std::vector<Point> results(static_cast<std::size_t>(points));
-  sim::ParallelFor(jobs > 0 ? jobs : sim::HardwareJobs(), points, [&](int i) {
+  sim::ParallelFor(flags.Jobs(), points, [&](int i) {
     const int b = batches[i];
     HashWorkloadConfig c;
     c.paradigm = Paradigm::kCowbird;

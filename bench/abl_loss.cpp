@@ -21,12 +21,10 @@ using workload::Paradigm;
 using workload::RunHashWorkload;
 
 int main(int argc, char** argv) {
-  int jobs = 0;
+  bench::ParallelFlags flags;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-      jobs = std::atoi(argv[++i]);
-    } else {
-      std::printf("usage: %s [--jobs N]\n", argv[0]);
+    if (!flags.Consume(argc, argv, i) || !flags.ok()) {
+      std::printf("usage: %s %s\n", argv[0], flags.Usage());
       return 2;
     }
   }
@@ -37,7 +35,7 @@ int main(int argc, char** argv) {
   const double rates[] = {0.0, 0.0001, 0.001, 0.005, 0.02};
   const int points = static_cast<int>(std::size(rates));
   std::vector<double> mops(static_cast<std::size_t>(points), 0);
-  sim::ParallelFor(jobs > 0 ? jobs : sim::HardwareJobs(), points, [&](int i) {
+  sim::ParallelFor(flags.Jobs(), points, [&](int i) {
     HashWorkloadConfig c;
     c.paradigm = Paradigm::kCowbird;
     c.threads = 4;

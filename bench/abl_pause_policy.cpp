@@ -22,12 +22,10 @@ using workload::Paradigm;
 using workload::RunHashWorkload;
 
 int main(int argc, char** argv) {
-  int jobs = 0;
+  bench::ParallelFlags flags;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-      jobs = std::atoi(argv[++i]);
-    } else {
-      std::printf("usage: %s [--jobs N]\n", argv[0]);
+    if (!flags.Consume(argc, argv, i) || !flags.ok()) {
+      std::printf("usage: %s %s\n", argv[0], flags.Usage());
       return 2;
     }
   }
@@ -40,7 +38,7 @@ int main(int argc, char** argv) {
   // Grid index: 2*i for P4, 2*i+1 for Spot.
   std::vector<double> grid(static_cast<std::size_t>(2 * points), 0);
   sim::ParallelFor(
-      jobs > 0 ? jobs : sim::HardwareJobs(), 2 * points, [&](int g) {
+      flags.Jobs(), 2 * points, [&](int g) {
         HashWorkloadConfig c;
         c.paradigm = g % 2 == 0 ? Paradigm::kCowbirdP4 : Paradigm::kCowbird;
         c.threads = 4;

@@ -92,12 +92,10 @@ double RunHotTenant(p4::CowbirdP4Engine::ProbePolicy policy) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  int jobs = 0;
+  bench::ParallelFlags flags;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-      jobs = std::atoi(argv[++i]);
-    } else {
-      std::printf("usage: %s [--jobs N]\n", argv[0]);
+    if (!flags.Consume(argc, argv, i) || !flags.ok()) {
+      std::printf("usage: %s %s\n", argv[0], flags.Usage());
       return 2;
     }
   }
@@ -109,7 +107,7 @@ int main(int argc, char** argv) {
       p4::CowbirdP4Engine::ProbePolicy::kRoundRobin,
       p4::CowbirdP4Engine::ProbePolicy::kActivityWeighted};
   double mops[2] = {0, 0};
-  sim::ParallelFor(jobs > 0 ? jobs : sim::HardwareJobs(), 2, [&](int i) {
+  sim::ParallelFor(flags.Jobs(), 2, [&](int i) {
     mops[i] = RunHotTenant(policies[i]);
   });
   const double rr = mops[0];

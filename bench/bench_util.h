@@ -8,14 +8,83 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "sim/parallel.h"
 #include "telemetry/json.h"
 #include "telemetry/metrics.h"
 
 namespace cowbird::bench {
+
+// The parallel-execution flags every sweep driver grew its own copy of:
+// --jobs N always, plus --split / --split-workers N / --split-scope
+// pair|node when constructed with `with_split`. Call Consume once per argv
+// position inside the driver's flag loop; it returns true when it
+// recognized (and consumed, including any value operand) the flag. A
+// missing or malformed value flips ok() to false — the driver prints
+// Usage() and exits, same as for an unknown flag.
+class ParallelFlags {
+ public:
+  explicit ParallelFlags(bool with_split = false) : with_split_(with_split) {}
+
+  bool Consume(int argc, char** argv, int& i) {
+    const char* const flag = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        ok_ = false;
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(flag, "--jobs") == 0) {
+      if (const char* v = value()) jobs = std::atoi(v);
+      return true;
+    }
+    if (!with_split_) return false;
+    if (std::strcmp(flag, "--split") == 0) {
+      split = true;
+      return true;
+    }
+    if (std::strcmp(flag, "--split-workers") == 0) {
+      if (const char* v = value()) split_workers = std::atoi(v);
+      return true;
+    }
+    if (std::strcmp(flag, "--split-scope") == 0) {
+      const char* const v = value();
+      if (v == nullptr) return true;
+      if (std::strcmp(v, "pair") != 0 && std::strcmp(v, "node") != 0) {
+        ok_ = false;
+        return true;
+      }
+      split_scope = v;
+      return true;
+    }
+    return false;
+  }
+
+  bool ok() const { return ok_; }
+  const char* Usage() const {
+    return with_split_ ? "[--jobs N] [--split] [--split-workers N] "
+                         "[--split-scope pair|node]"
+                       : "[--jobs N]";
+  }
+  // Resolved sweep width: the explicit --jobs value or hardware concurrency.
+  int Jobs() const { return jobs > 0 ? jobs : sim::HardwareJobs(); }
+  bool per_node_scope() const { return split_scope == "node"; }
+
+  int jobs = 0;  // 0 → hardware concurrency
+  bool split = false;
+  int split_workers = 1;
+  std::string split_scope = "pair";
+
+ private:
+  bool with_split_ = false;
+  bool ok_ = true;
+};
 
 inline void Banner(const char* artifact, const char* description) {
   std::printf("==============================================================\n");
@@ -81,7 +150,10 @@ inline void ShapeCheck(bool ok, const char* claim) {
 // Version 1 is the original layout. Version 2 (sim_throughput) keeps the
 // same structure but adds aggregate/parallel rows whose wall metrics are
 // named *_wall; a schema bump marks the row-set change so stale baselines
-// are caught by inspection, not by silent drift.
+// are caught by inspection, not by silent drift. Version 3 (sim_throughput)
+// adds the split-scaling rows: the 16-node rack workload partitioned one
+// PDES domain per topology node, swept across worker counts (params gain a
+// "workers" key; deterministic scale_ops is gated, wall curves stay *_wall).
 class BenchJson {
  public:
   using Params = std::vector<std::pair<std::string, std::string>>;

@@ -8,7 +8,7 @@
 // the steady-state measure window via HashWorkloadConfig's measure hooks, so
 // warmup, topology construction, and teardown never pollute the count.
 //
-// Two parallel sections ride along (schema v2):
+// Three parallel sections ride along (schema v3):
 //
 //   * --jobs N (default: hardware concurrency) re-runs each engine's rep
 //     batch on a sim::ParallelFor pool and reports aggregate wall
@@ -18,11 +18,18 @@
 //     event-loop domains (sim::DomainGroup) and reports the wall speedup of
 //     the split run over the serial run, plus the split run's own
 //     worker-count invariance (1 worker vs N must match bit for bit).
+//   * A split-scaling section runs the 16-node rack fan-in workload
+//     (12 clients + 2 memory servers + spot + switch) partitioned one PDES
+//     domain per topology node, sweeping 1 → 8 workers. Per-client op
+//     counts must be bit-identical for every worker count; the wall
+//     speedup curve is reported per point and its monotonicity is only
+//     asserted when the machine actually has >= 8 hardware threads.
 //
 // All *_wall metrics are informational in bench_gate unless --gate-wall;
-// the deterministic outcome totals (ops_total, split_ops) are gated tight.
+// the deterministic outcome totals (ops_total, split_ops, scale_ops) are
+// gated tight.
 //
-// Emits BENCH_sim_throughput.json (schema v2). The committed baseline under
+// Emits BENCH_sim_throughput.json (schema v3). The committed baseline under
 // bench/baselines/ plus the bench_gate comparator turn this into the CI
 // perf-regression gate; see README.md.
 #include <atomic>
@@ -41,6 +48,7 @@
 #include "common/stats.h"
 #include "sim/parallel.h"
 #include "workload/hash_workload.h"
+#include "workload/scale_workload.h"
 
 namespace {
 
@@ -307,32 +315,124 @@ void SplitSection(Paradigm paradigm, const BenchArgs& args, int jobs,
   json.ShapeCheck(drift <= 0.02, claim);
 }
 
+// Level-3 parallelism: the 16-node rack fabric (12 clients + 2 memory
+// servers + spot + switch, workload/scale_workload.h) partitioned one PDES
+// domain per topology node and swept across worker counts. The op totals are
+// bit-deterministic and gated; the wall speedup curve is informational and
+// its monotonicity is only asserted on machines with enough hardware
+// threads to actually run the workers concurrently.
+void ScaleSection(BenchJson& json, Table& table) {
+  using workload::ScaleWorkloadConfig;
+  using workload::ScaleWorkloadResult;
+  const auto base = [] {
+    ScaleWorkloadConfig cfg;  // defaults: 12 clients + 2 memory servers
+    cfg.records = 50'000;
+    cfg.warmup = Micros(200);
+    cfg.measure = Millis(1);
+    return cfg;
+  };
+
+  ScaleWorkloadResult serial;
+  const double serial_s =
+      WallSeconds([&] { serial = workload::RunScaleWorkload(base()); });
+  table.Row({"cowbird", "scale-serial", std::to_string(serial.ops), "-", "-",
+             "-", "-", "-", Fmt(serial_s * 1e3, 1)});
+  json.Row({{"engine", "cowbird"}, {"rep", "scale"}, {"workers", "serial"}},
+           {{"scale_ops", static_cast<double>(serial.ops)},
+            {"scale_ms_wall", serial_s * 1e3}});
+
+  constexpr int kWorkerCounts[] = {1, 2, 4, 8};
+  std::vector<std::uint64_t> pinned_client_ops;
+  std::uint64_t split_ops = 0;
+  bool identical = true;
+  bool monotonic = true;
+  double prev_speedup = 0;
+  for (const int workers : kWorkerCounts) {
+    ScaleWorkloadConfig cfg = base();
+    cfg.split = true;
+    cfg.split_workers = workers;
+    ScaleWorkloadResult r;
+    const double split_s =
+        WallSeconds([&] { r = workload::RunScaleWorkload(cfg); });
+    const double speedup = split_s > 0 ? serial_s / split_s : 0;
+    if (pinned_client_ops.empty()) {
+      pinned_client_ops = r.client_ops;
+      split_ops = r.ops;
+    } else {
+      identical = identical && r.client_ops == pinned_client_ops &&
+                  r.ops == split_ops;
+    }
+    // 10% slack absorbs wall-clock noise between adjacent sweep points.
+    monotonic =
+        monotonic && (prev_speedup == 0 || speedup >= prev_speedup * 0.9);
+    prev_speedup = speedup;
+    table.Row({"cowbird", "scale-w" + std::to_string(workers),
+               std::to_string(r.ops), "-", "-", "-", "-", "-",
+               Fmt(split_s * 1e3, 1)});
+    json.Row({{"engine", "cowbird"},
+              {"rep", "scale"},
+              {"workers", std::to_string(workers)}},
+             {{"scale_ops", static_cast<double>(r.ops)},
+              {"scale_ms_wall", split_s * 1e3},
+              {"scale_speedup_wall", speedup}});
+  }
+
+  char claim[160];
+  std::snprintf(claim, sizeof(claim),
+                "16-node scale split bit-identical across workers 1/2/4/8 "
+                "(%llu ops, serial %llu)",
+                static_cast<unsigned long long>(split_ops),
+                static_cast<unsigned long long>(serial.ops));
+  json.ShapeCheck(identical, claim);
+  const int hardware = sim::MaxParallelism();
+  if (hardware >= kWorkerCounts[3]) {
+    std::snprintf(claim, sizeof(claim),
+                  "scale split speedup non-decreasing 1->8 workers "
+                  "(final %.2fx, 10%% slack)",
+                  prev_speedup);
+    json.ShapeCheck(monotonic, claim);
+  } else {
+    std::snprintf(claim, sizeof(claim),
+                  "scale split speedup curve informational: %d hardware "
+                  "thread(s) < 8 workers",
+                  hardware);
+    json.ShapeCheck(true, claim);
+  }
+}
+
 int Main(int argc, char** argv) {
   BenchArgs args;
+  ParallelFlags parallel;
   for (int i = 1; i < argc; ++i) {
+    if (parallel.Consume(argc, argv, i)) {
+      if (!parallel.ok()) {
+        std::printf("usage: %s [--reps N] [--threads N] [--measure-ms N] %s\n",
+                    argv[0], parallel.Usage());
+        return 2;
+      }
+      continue;
+    }
     if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
       args.reps = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       args.threads = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--measure-ms") == 0 && i + 1 < argc) {
       args.measure = Millis(std::atoi(argv[++i]));
-    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-      args.jobs = std::atoi(argv[++i]);
     } else {
-      std::printf(
-          "usage: %s [--reps N] [--threads N] [--measure-ms N] [--jobs N]\n",
-          argv[0]);
+      std::printf("usage: %s [--reps N] [--threads N] [--measure-ms N] %s\n",
+                  argv[0], parallel.Usage());
       return 2;
     }
   }
-  const int jobs = args.jobs > 0 ? args.jobs : sim::HardwareJobs();
+  args.jobs = parallel.jobs;
+  const int jobs = parallel.Jobs();
 
   Banner("sim_throughput",
          "simulator wall-clock throughput, allocations per op, and "
          "parallel-execution speedups");
 
   const Paradigm engines[] = {Paradigm::kCowbird, Paradigm::kCowbirdP4};
-  BenchJson json("sim_throughput", "perf-gate", /*schema_version=*/2);
+  BenchJson json("sim_throughput", "perf-gate", /*schema_version=*/3);
   Table table({"engine", "rep", "ops", "ops/sec(wall)", "allocs/op",
                "bytes/op", "events/op", "sim MOPS", "wall ms"});
 
@@ -380,6 +480,7 @@ int Main(int argc, char** argv) {
     AggregateSection(paradigm, args, jobs, json, table);
     SplitSection(paradigm, args, jobs, json, table);
   }
+  ScaleSection(json, table);
 
   table.Print();
   json.ShapeCheck(total_ops > 0, "workload retired operations");

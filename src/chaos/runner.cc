@@ -13,6 +13,7 @@
 #include "common/sparse_memory.h"
 #include "core/client.h"
 #include "net/switch.h"
+#include "net/topology.h"
 #include "offload/progress.h"
 #include "offload/registry.h"
 #include "p4/engine.h"
@@ -45,73 +46,111 @@ constexpr Nanos kDrainDeadline = Millis(40);
 // topology, a client, the serving engine plus spot standbys behind an
 // InstanceRegistry, the fault injector, and the recorded history.
 struct ChaosHarness {
+  // Topology node ids, in BuildTopo insertion order.
+  static constexpr net::TopoNodeId kComputeNode = 0;
+  static constexpr net::TopoNodeId kSwitchNode = 1;
+  static constexpr net::TopoNodeId kMemoryNode = 2;
+  static constexpr net::TopoNodeId kSpotNode = 3;
+
+  // The Section 7 testbed as a topology plan: compute, memory, and spot
+  // hosts on one switch. Serial collapses everything into domain 0; kPair
+  // reproduces the historical two-way cut (compute node vs the rest);
+  // kPerNode leaves every node in a domain of its own.
+  static net::Topology BuildTopo(const ChaosOptions& opt, Nanos propagation) {
+    net::Topology topo;
+    const net::TopoNodeId compute =
+        topo.AddNode(net::TopoNodeKind::kComputeHost, "compute", kComputeId);
+    const net::TopoNodeId tor =
+        topo.AddNode(net::TopoNodeKind::kSwitch, "switch");
+    const net::TopoNodeId memory =
+        topo.AddNode(net::TopoNodeKind::kMemoryServer, "memory", kMemoryId);
+    const net::TopoNodeId spot =
+        topo.AddNode(net::TopoNodeKind::kSpotHost, "spot", kSpotId);
+    topo.AddEdge(compute, tor, propagation);
+    topo.AddEdge(memory, tor, propagation);
+    topo.AddEdge(spot, tor, propagation);
+    if (opt.mode == ExecutionMode::kSerial) {
+      topo.GroupAll(0);
+    } else if (opt.split_scope == SplitScope::kPair) {
+      topo.SetGroup(tor, 1);
+      topo.SetGroup(memory, 1);
+      topo.SetGroup(spot, 1);
+    }
+    return topo;
+  }
+
   ChaosHarness(const ChaosOptions& opt, telemetry::Hub* hub)
       : options(opt),
-        engine_sim_store(opt.mode == ExecutionMode::kSplit
-                             ? std::make_unique<sim::Simulation>()
-                             : nullptr),
-        esim(engine_sim_store ? *engine_sim_store : sim),
-        group(opt.mode == ExecutionMode::kSplit
-                  ? std::make_unique<sim::DomainGroup>(opt.split_workers)
-                  : nullptr),
+        topo(BuildTopo(opt, fabric_params.link_propagation)),
+        partition(net::PartitionTopology(topo)),
+        domains(sim, partition, opt.split_workers),
+        esim(domains.sim_for(kSwitchNode)),
+        msim(domains.sim_for(kMemoryNode)),
+        ssim(domains.sim_for(kSpotNode)),
+        group(domains.group()),
         sw(esim, net::Switch::Config{.pipeline_latency =
                                          fabric_params.switch_pipeline}),
         compute_nic(sim, kComputeId, fabric_params.host_link,
                     fabric_params.link_propagation),
-        memory_nic(esim, kMemoryId, fabric_params.host_link,
+        memory_nic(msim, kMemoryId, fabric_params.host_link,
                    fabric_params.link_propagation),
-        spot_nic(esim, kSpotId, fabric_params.host_link,
+        spot_nic(ssim, kSpotId, fabric_params.host_link,
                  fabric_params.link_propagation),
         compute_dev(compute_nic, compute_mem, nic_config),
         memory_dev(memory_nic, memory_mem, nic_config),
         spot_dev(spot_nic, spot_mem, nic_config),
         compute_machine(sim, 16),
-        machine_a(esim, 1),
-        machine_b(esim, 1),
+        machine_a(ssim, 1),
+        machine_b(ssim, 1),
         injector(sim, opt.plan, opt.seed) {
-    // Domains must be registered before ConnectTo wires the cross-domain
-    // links (SetDestination reads domain ids to record the lookahead).
-    if (group != nullptr) {
-      group->AddDomain(sim);
-      group->AddDomain(esim);
-    }
-    compute_nic.ConnectTo(sw);
-    memory_nic.ConnectTo(sw);
-    spot_nic.ConnectTo(sw);
+    // FabricDomains registered every domain before ConnectTo wires the
+    // cross-domain links (SetDestination reads domain ids to record the
+    // per-cut lookahead).
+    COWBIRD_CHECK(!partition.zero_lookahead_error().has_value());
+    compute_nic.ConnectTo(sw, "compute");
+    memory_nic.ConnectTo(sw, "memory");
+    spot_nic.ConnectTo(sw, "spot");
     pool_mr = memory_dev.RegisterMemory(kPoolBase, MiB(64));
 
-    if (hub != nullptr && group != nullptr) {
-      // Engine-side components mutate telemetry from domain 1's thread; a
-      // private hub keeps the caller's registry domain-0-confined. It is
-      // merged into the caller's snapshot after the run.
-      engine_hub =
-          std::make_unique<telemetry::Hub>([this] { return esim.Now(); });
-    }
-    telemetry::Hub* const ehub = engine_hub ? engine_hub.get() : hub;
+    // Telemetry shards per PDES domain: shard 0 is the caller's hub, the
+    // engine-side domains get private hubs that are merged into the
+    // caller's snapshot after the run.
+    shards.Reset(hub, partition.domain_count(), [this](int d) {
+      sim::Simulation& dsim = domains.domain_sim(d);
+      return telemetry::Clock([&dsim] { return dsim.Now(); });
+    });
 
     if (hub != nullptr) {
       hub->tracer.SetClock([this] { return sim.Now(); });
       const struct {
         const char* name;
         net::Link* link;
-        telemetry::Hub* owner;  // hub of the domain whose thread delivers
+        int domain;  // the domain whose thread delivers on this link
       } fabric[] = {
-          {"sw_to_compute", &sw.EgressLink(compute_nic.switch_port()), hub},
-          {"sw_to_memory", &sw.EgressLink(memory_nic.switch_port()), ehub},
-          {"sw_to_spot", &sw.EgressLink(spot_nic.switch_port()), ehub},
-          {"compute_uplink", &compute_nic.uplink(), ehub},
-          {"memory_uplink", &memory_nic.uplink(), ehub},
-          {"spot_uplink", &spot_nic.uplink(), ehub},
+          {"sw_to_compute", &sw.EgressLink(compute_nic.switch_port()),
+           partition.domain_of(kComputeNode)},
+          {"sw_to_memory", &sw.EgressLink(memory_nic.switch_port()),
+           partition.domain_of(kMemoryNode)},
+          {"sw_to_spot", &sw.EgressLink(spot_nic.switch_port()),
+           partition.domain_of(kSpotNode)},
+          {"compute_uplink", &compute_nic.uplink(),
+           partition.domain_of(kSwitchNode)},
+          {"memory_uplink", &memory_nic.uplink(),
+           partition.domain_of(kSwitchNode)},
+          {"spot_uplink", &spot_nic.uplink(),
+           partition.domain_of(kSwitchNode)},
       };
       for (const auto& f : fabric) {
-        f.link->BindTelemetry(f.owner->metrics, {{"link", f.name}});
+        f.link->BindTelemetry(shards.ForDomain(f.domain)->metrics,
+                              {{"link", f.name}});
         bound_links.push_back(f.link);
       }
       if (group != nullptr) {
-        group->SetDomainStartHook(
-            0, [hub] { hub->metrics.BindToCurrentThread(); });
-        group->SetDomainStartHook(
-            1, [this] { engine_hub->metrics.BindToCurrentThread(); });
+        for (int d = 0; d < partition.domain_count(); ++d) {
+          group->SetDomainStartHook(d, [this, d] {
+            shards.ForDomain(d)->metrics.BindToCurrentThread();
+          });
+        }
       }
     }
 
@@ -126,14 +165,16 @@ struct ChaosHarness {
     client->RegisterRegion(core::RegionInfo{kRegion, kMemoryId, kPoolBase,
                                             pool_mr->rkey, MiB(64)});
 
+    telemetry::Hub* const spot_hub =
+        shards.ForDomain(partition.domain_of(kSpotNode));
     spot::SpotAgent::Config config_a;
     config_a.staging_base = 0x4000'0000;
     config_a.chaos_unsafe_skip_hazards = opt.break_fence;
-    config_a.telemetry = ehub;
+    config_a.telemetry = spot_hub;
     spot::SpotAgent::Config config_b;
     config_b.staging_base = 0x8000'0000;
     config_b.chaos_unsafe_skip_hazards = opt.break_fence;
-    config_b.telemetry = ehub;
+    config_b.telemetry = spot_hub;
     agent_a = std::make_unique<spot::SpotAgent>(spot_dev, machine_a, config_a);
     agent_b = std::make_unique<spot::SpotAgent>(spot_dev, machine_b, config_b);
     agent_a->Start();
@@ -143,7 +184,7 @@ struct ChaosHarness {
       p4::CowbirdP4Engine::Config ec;
       ec.switch_node_id = kSwitchId;
       ec.chaos_unsafe_skip_hazards = opt.break_fence;
-      ec.telemetry = ehub;
+      ec.telemetry = shards.ForDomain(partition.domain_of(kSwitchNode));
       p4_engine = std::make_unique<p4::CowbirdP4Engine>(sw, ec);
       p4_engine->Start();
       serving = registry.AddEngine(P4Binding());
@@ -284,15 +325,20 @@ struct ChaosHarness {
 
   const ChaosOptions& options;
   sim::Simulation sim;
-  // Split mode cuts the testbed at the compute node's uplink: the compute
-  // NIC, client and app threads stay in `sim` (domain 0) while the switch
-  // and the memory/spot machines run in `esim` (domain 1). Serial mode
-  // aliases esim to sim and leaves `group` null.
-  std::unique_ptr<sim::Simulation> engine_sim_store;
-  sim::Simulation& esim;
-  std::unique_ptr<sim::DomainGroup> group;
   rdma::FabricParams fabric_params;
   rdma::NicConfig nic_config;
+  // Split mode partitions the testbed topology per ChaosOptions::split_scope:
+  // the compute NIC, client and app threads stay in `sim` (domain 0) while
+  // the switch and the memory/spot nodes run in the domains the partitioner
+  // assigns them. esim/msim/ssim all alias `sim` when serial (group null)
+  // and one shared engine domain under kPair; kPerNode gives each its own.
+  net::Topology topo;
+  net::Partition partition;
+  net::FabricDomains domains;
+  sim::Simulation& esim;  // switch domain
+  sim::Simulation& msim;  // memory-server domain
+  sim::Simulation& ssim;  // spot-host domain
+  sim::DomainGroup* group = nullptr;  // null when serial
   net::Switch sw;
   net::HostNic compute_nic;
   net::HostNic memory_nic;
@@ -317,7 +363,7 @@ struct ChaosHarness {
   EngineId serving = offload::kNoEngine;
   FaultInjector injector;
   telemetry::Hub* telemetry_hub = nullptr;
-  std::unique_ptr<telemetry::Hub> engine_hub;
+  telemetry::HubShards shards;
   std::vector<net::Link*> bound_links;
   HistoryRecorder recorder;
   std::uint64_t reads_checked = 0;
@@ -519,11 +565,7 @@ ChaosResult RunChaos(const ChaosOptions& options, telemetry::Hub* hub) {
   for (int t = 0; t < options.workload.threads; ++t) {
     harness.sim.Spawn(WorkloadThread(harness, t));
   }
-  if (harness.group != nullptr) {
-    harness.group->Run();
-  } else {
-    harness.sim.Run();
-  }
+  harness.domains.Run();
 
   ChaosResult result;
   result.history = harness.recorder.ops();
@@ -539,10 +581,7 @@ ChaosResult RunChaos(const ChaosOptions& options, telemetry::Hub* hub) {
   result.crashes_executed = harness.crashes_executed;
   if (hub != nullptr) {
     result.telemetry = hub->metrics.TakeSnapshot();
-    if (harness.engine_hub != nullptr) {
-      result.telemetry.MergeFrom(harness.engine_hub->metrics.TakeSnapshot());
-      hub->tracer.MergeFrom(harness.engine_hub->tracer);
-    }
+    harness.shards.MergeInto(result.telemetry);
   }
   return result;
 }

@@ -44,12 +44,18 @@ struct WorkloadParams {
 };
 
 // How RunChaos executes the run's simulation. kSerial is the single-loop
-// golden-pinned path; kSplit cuts the testbed into two event-loop domains
-// (compute node vs switch + memory/spot machines) driven by a
-// sim::DomainGroup. The mode is a property of this process's execution, not
-// of the recorded scenario: it is never serialized into failure traces, and
-// replay always runs serial.
+// golden-pinned path; kSplit partitions the testbed topology into PDES
+// domains driven by a sim::DomainGroup. The mode is a property of this
+// process's execution, not of the recorded scenario: it is never serialized
+// into failure traces, and replay always runs serial.
 enum class ExecutionMode { kSerial, kSplit };
+
+// kSplit only: which partition the topology-driven partitioner derives.
+// kPair is the historical two-way cut (compute node in one domain, switch +
+// memory/spot machines in the other); kPerNode gives every topology node —
+// compute, switch, memory, spot — a domain of its own, the N-way partition
+// the rack-scale fabrics use.
+enum class SplitScope { kPair, kPerNode };
 
 struct ChaosOptions {
   EngineKind engine = EngineKind::kSpot;
@@ -60,6 +66,7 @@ struct ChaosOptions {
   WorkloadParams workload;
   FaultPlan plan;
   ExecutionMode mode = ExecutionMode::kSerial;
+  SplitScope split_scope = SplitScope::kPair;
   // kSplit only: worker threads for the domain group (0 → hardware
   // concurrency). Split runs are bit-deterministic for any worker count.
   int split_workers = 1;

@@ -60,6 +60,7 @@ SweepOutcome RunSweep(const SweepConfig& config) {
                                     config.break_fence);
     if (config.split) {
       opt.mode = ExecutionMode::kSplit;
+      opt.split_scope = config.split_scope;
       opt.split_workers = config.split_workers;
     }
     records[index].opt = opt;

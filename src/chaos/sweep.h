@@ -30,6 +30,9 @@ struct SweepConfig {
   // serial. Split runs exercise the same scenarios through the parallel
   // datapath; the golden-pinned byte-exact outcomes belong to serial mode.
   bool split = false;
+  // Partition shape when split: the historical two-domain cut or one
+  // domain per topology node (SplitScope::kPerNode).
+  SplitScope split_scope = SplitScope::kPair;
   int split_workers = 1;  // per-run workers when split (0 → hardware)
 };
 

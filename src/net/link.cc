@@ -17,7 +17,14 @@ void Link::SetDestination(sim::Simulation& dst) {
   sim::DomainGroup* group = sim_->domain_group();
   if (group != nullptr && dst.domain_group() == group &&
       dst.domain_id() != sim_->domain_id()) {
-    group->NoteCrossLink(propagation_);
+    sim::CutEdge edge;
+    edge.src = sim_->domain_id();
+    edge.dst = dst.domain_id();
+    edge.lookahead = propagation_;
+    edge.link = name_;
+    edge.src_node = src_node_;
+    edge.dst_node = dst_node_;
+    group->NoteCrossLink(edge);
   }
 }
 

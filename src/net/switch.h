@@ -11,6 +11,7 @@
 #include <array>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/pool.h"
@@ -111,7 +112,8 @@ class HostNic {
 
   NodeId id() const { return id_; }
 
-  void ConnectTo(Switch& sw) {
+  void ConnectTo(Switch& sw, const std::string& host_name = {},
+                 const std::string& switch_name = "switch") {
     switch_port_ = sw.AddPort(uplink_->rate(), uplink_->propagation());
     sw.SetRoute(id_, switch_port_);
     uplink_->set_receiver([&sw, port = switch_port_](Packet p) {
@@ -120,6 +122,11 @@ class HostNic {
     sw.EgressLink(switch_port_).set_receiver([this](Packet p) {
       Dispatch(std::move(p));
     });
+    const std::string host =
+        host_name.empty() ? "node" + std::to_string(id_) : host_name;
+    uplink_->SetNames("uplink[" + host + "]", host, switch_name);
+    sw.EgressLink(switch_port_)
+        .SetNames("egress[" + host + "]", switch_name, host);
     // Deliveries run on the receiving endpoint's event loop; when the host
     // and the switch live in different DomainGroup domains these two calls
     // turn the attachment into the domain cut (no-ops otherwise).

@@ -1,0 +1,169 @@
+#include "net/topology.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "common/check.h"
+
+namespace cowbird::net {
+
+const char* TopoNodeKindName(TopoNodeKind kind) {
+  switch (kind) {
+    case TopoNodeKind::kComputeHost:
+      return "compute";
+    case TopoNodeKind::kMemoryServer:
+      return "memory";
+    case TopoNodeKind::kSpotHost:
+      return "spot";
+    case TopoNodeKind::kBystanderHost:
+      return "bystander";
+    case TopoNodeKind::kSwitch:
+      return "switch";
+  }
+  return "?";
+}
+
+TopoNodeId Topology::AddNode(TopoNodeKind kind, std::string name,
+                             NodeId address) {
+  nodes_.push_back(Node{kind, std::move(name), address, -1});
+  return static_cast<TopoNodeId>(nodes_.size() - 1);
+}
+
+int Topology::AddEdge(TopoNodeId a, TopoNodeId b, Nanos propagation,
+                      std::string name) {
+  COWBIRD_CHECK(a >= 0 && a < node_count());
+  COWBIRD_CHECK(b >= 0 && b < node_count());
+  COWBIRD_CHECK(a != b);
+  if (name.empty()) {
+    name = node(a).name + "<->" + node(b).name;
+  }
+  edges_.push_back(Edge{a, b, propagation, std::move(name)});
+  return static_cast<int>(edges_.size() - 1);
+}
+
+void Topology::SetGroup(TopoNodeId node, int group) {
+  nodes_[static_cast<std::size_t>(node)].group = group;
+}
+
+void Topology::GroupAll(int group) {
+  for (Node& node : nodes_) node.group = group;
+}
+
+Partition PartitionTopology(const Topology& topo) {
+  Partition partition;
+  partition.domain_of_.assign(static_cast<std::size_t>(topo.node_count()), -1);
+
+  // Domain ids by first appearance in node order. Ungrouped nodes (-1) are
+  // singletons; equal non-negative tags fuse.
+  std::vector<std::pair<int, int>> tag_to_domain;  // (group tag, domain)
+  for (TopoNodeId n = 0; n < topo.node_count(); ++n) {
+    const int tag = topo.node(n).group;
+    int domain = -1;
+    if (tag >= 0) {
+      for (const auto& [known_tag, known_domain] : tag_to_domain) {
+        if (known_tag == tag) {
+          domain = known_domain;
+          break;
+        }
+      }
+    }
+    if (domain < 0) {
+      domain = partition.domain_count_++;
+      if (tag >= 0) tag_to_domain.emplace_back(tag, domain);
+    }
+    partition.domain_of_[static_cast<std::size_t>(n)] = domain;
+  }
+
+  // Cut edges in edge order, a → b before b → a; the per-edge lookahead is
+  // the edge's own propagation delay. Intra-domain edges place no bound on
+  // the epoch horizon and are skipped entirely.
+  for (int e = 0; e < topo.edge_count(); ++e) {
+    const Topology::Edge& edge = topo.edge(e);
+    const int da = partition.domain_of(edge.a);
+    const int db = partition.domain_of(edge.b);
+    if (da == db) continue;
+    partition.cut_edges_.push_back(CutEdgeInfo{e, da, db, edge.propagation});
+    partition.cut_edges_.push_back(CutEdgeInfo{e, db, da, edge.propagation});
+    partition.lookahead_ = std::min(partition.lookahead_, edge.propagation);
+    if (edge.propagation <= 0 && !partition.zero_lookahead_error_) {
+      char buffer[512];
+      std::snprintf(buffer, sizeof(buffer),
+                    "zero-lookahead cut: edge '%s' between '%s' (domain %d) "
+                    "and '%s' (domain %d) has propagation %lld ns; every cut "
+                    "edge needs a positive propagation delay, or both "
+                    "endpoints must share a partition group",
+                    edge.name.c_str(), topo.node(edge.a).name.c_str(), da,
+                    topo.node(edge.b).name.c_str(), db,
+                    static_cast<long long>(edge.propagation));
+      partition.zero_lookahead_error_ = buffer;
+    }
+  }
+  return partition;
+}
+
+std::string Partition::Describe(const Topology& topo) const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "partition: %d domains, %zu cut edges\n",
+                domain_count_, cut_edges_.size());
+  out += line;
+  for (TopoNodeId n = 0; n < topo.node_count(); ++n) {
+    std::snprintf(line, sizeof(line), "  node %d '%s' (%s) -> domain %d\n", n,
+                  topo.node(n).name.c_str(),
+                  TopoNodeKindName(topo.node(n).kind), domain_of(n));
+    out += line;
+  }
+  for (const CutEdgeInfo& cut : cut_edges_) {
+    std::snprintf(line, sizeof(line),
+                  "  cut '%s' domain %d -> %d, lookahead %lld ns\n",
+                  topo.edge(cut.edge).name.c_str(), cut.src_domain,
+                  cut.dst_domain, static_cast<long long>(cut.lookahead));
+    out += line;
+  }
+  if (lookahead_ != sim::kNoEventTime) {
+    std::snprintf(line, sizeof(line), "  epoch horizon: %lld ns\n",
+                  static_cast<long long>(lookahead_));
+    out += line;
+  }
+  return out;
+}
+
+FabricDomains::FabricDomains(sim::Simulation& root, const Partition& partition,
+                             int workers)
+    : root_(&root), partition_(&partition) {
+  if (partition.domain_count() <= 1) return;
+  group_ = std::make_unique<sim::DomainGroup>(workers);
+  group_->AddDomain(root);
+  owned_.reserve(static_cast<std::size_t>(partition.domain_count() - 1));
+  for (int d = 1; d < partition.domain_count(); ++d) {
+    owned_.push_back(std::make_unique<sim::Simulation>());
+    group_->AddDomain(*owned_.back());
+  }
+}
+
+void FabricDomains::Run() {
+  if (group_) {
+    group_->Run();
+  } else {
+    root_->Run();
+  }
+}
+
+void FabricDomains::RunFor(Nanos duration) {
+  if (group_) {
+    group_->RunFor(duration);
+  } else {
+    root_->RunFor(duration);
+  }
+}
+
+Nanos FabricDomains::Now() const {
+  return group_ ? group_->Now() : root_->Now();
+}
+
+std::uint64_t FabricDomains::EventsProcessed() const {
+  return group_ ? group_->EventsProcessed() : root_->EventsProcessed();
+}
+
+}  // namespace cowbird::net

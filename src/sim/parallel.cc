@@ -1,6 +1,8 @@
 #include "sim/parallel.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <deque>
 #include <mutex>
 
@@ -98,9 +100,25 @@ void DomainGroup::AddDomain(Simulation& sim) {
   sims_.push_back(&sim);
   start_hooks_.resize(sims_.size());
   drain_scratch_.resize(sims_.size());
+  // The slot grid is rebuilt on every registration; re-materialize mailboxes
+  // for cuts that were (unusually) registered before this domain joined.
   mailboxes_.clear();
   mailboxes_.resize(sims_.size() * sims_.size());
-  for (auto& box : mailboxes_) box = std::make_unique<Mailbox>();
+  if (route_all_pairs_) {
+    for (int src = 0; src < domain_count(); ++src) {
+      for (int dst = 0; dst < domain_count(); ++dst) EnsureMailbox(src, dst);
+    }
+  }
+  for (const CutEdge& edge : cut_edges_) {
+    if (edge.src >= 0 && edge.dst >= 0) EnsureMailbox(edge.src, edge.dst);
+  }
+}
+
+void DomainGroup::EnsureMailbox(int src, int dst) {
+  if (src == dst) return;
+  auto& slot = mailboxes_[static_cast<std::size_t>(src) * sims_.size() +
+                          static_cast<std::size_t>(dst)];
+  if (!slot) slot = std::make_unique<Mailbox>();
 }
 
 int DomainGroup::worker_count() const {
@@ -111,9 +129,25 @@ int DomainGroup::worker_count() const {
   return std::max(1, std::min(w, static_cast<int>(sims_.size())));
 }
 
+void DomainGroup::NoteCrossLink(const CutEdge& edge) {
+  COWBIRD_CHECK(edge.src >= 0 && edge.src < domain_count());
+  COWBIRD_CHECK(edge.dst >= 0 && edge.dst < domain_count());
+  COWBIRD_CHECK(edge.src != edge.dst);
+  has_cross_link_ = true;
+  lookahead_ = std::min(lookahead_, edge.lookahead);
+  cut_edges_.push_back(edge);
+  EnsureMailbox(edge.src, edge.dst);
+}
+
 void DomainGroup::NoteCrossLink(Nanos lookahead) {
   has_cross_link_ = true;
   lookahead_ = std::min(lookahead_, lookahead);
+  cut_edges_.push_back(CutEdge{-1, -1, lookahead, "<unnamed cross-link>",
+                               "<unknown>", "<unknown>"});
+  route_all_pairs_ = true;
+  for (int src = 0; src < domain_count(); ++src) {
+    for (int dst = 0; dst < domain_count(); ++dst) EnsureMailbox(src, dst);
+  }
 }
 
 void DomainGroup::CrossPost(int src, int dst, Nanos when, EventFn fn) {
@@ -121,9 +155,10 @@ void DomainGroup::CrossPost(int src, int dst, Nanos when, EventFn fn) {
   // already dispatched events it could have affected — the lookahead
   // contract is broken, not merely this call.
   COWBIRD_CHECK(when > epoch_limit_);
-  Mailbox& box = MailboxFor(src, dst);
+  Mailbox* box = MailboxSlot(src, dst);
+  COWBIRD_CHECK(box != nullptr);  // pair registered via NoteCrossLink
   const bool pushed =
-      box.queue.TryPush(CrossEvent{when, box.next_seq++, std::move(fn)});
+      box->queue.TryPush(CrossEvent{when, box->next_seq++, std::move(fn)});
   COWBIRD_CHECK(pushed);  // ring sized for worst-case in-flight deliveries
 }
 
@@ -148,9 +183,10 @@ void DomainGroup::DrainInboxes(int dst) {
   scratch.clear();
   for (int src = 0; src < domain_count(); ++src) {
     if (src == dst) continue;
-    Mailbox& box = MailboxFor(src, dst);
+    Mailbox* box = MailboxSlot(src, dst);
+    if (box == nullptr) continue;  // pair carries no cut edge
     CrossEvent event;
-    while (box.queue.TryPop(event)) {
+    while (box->queue.TryPop(event)) {
       scratch.push_back(
           PendingCross{event.when, src, event.seq, std::move(event.fn)});
     }
@@ -216,29 +252,46 @@ void DomainGroup::RunEpochsSequential(Nanos deadline) {
 
 void DomainGroup::RunEpochsParallel(Nanos deadline) {
   stop_workers_ = false;
-  barrier_ = std::make_unique<EpochBarrier>(domain_count());
+  const int workers = worker_count();
+  barrier_ = std::make_unique<EpochBarrier>(workers);
 
-  auto worker_main = [this](int d) {
-    if (start_hooks_[static_cast<std::size_t>(d)]) {
-      start_hooks_[static_cast<std::size_t>(d)]();
+  // Worker w owns domains {d : d % workers == w} and advances them in
+  // ascending id within each phase — the same order the sequential path
+  // uses, so any worker count replays the identical epoch schedule.
+  auto run_hooks = [this, workers](int w) {
+    for (int d = w; d < domain_count(); d += workers) {
+      if (start_hooks_[static_cast<std::size_t>(d)]) {
+        start_hooks_[static_cast<std::size_t>(d)]();
+      }
     }
-    Simulation& sim = *sims_[static_cast<std::size_t>(d)];
+  };
+  auto dispatch_owned = [this, workers](int w) {
+    for (int d = w; d < domain_count(); d += workers) {
+      sims_[static_cast<std::size_t>(d)]->DispatchUpTo(epoch_limit_);
+    }
+  };
+  auto drain_owned = [this, workers](int w) {
+    for (int d = w; d < domain_count(); d += workers) DrainInboxes(d);
+  };
+
+  auto worker_main = [&run_hooks, &dispatch_owned, &drain_owned, this](int w) {
+    run_hooks(w);
     for (;;) {
       barrier_->ArriveAndWait();  // A: epoch published (or stop)
       if (stop_workers_) return;
-      sim.DispatchUpTo(epoch_limit_);
+      dispatch_owned(w);
       barrier_->ArriveAndWait();  // B: all dispatch done, mailboxes final
-      DrainInboxes(d);
+      drain_owned(w);
       barrier_->ArriveAndWait();  // C: all heaps updated, workers park
     }
   };
 
   std::vector<std::thread> threads;
-  threads.reserve(sims_.size() - 1);
-  for (int d = 1; d < domain_count(); ++d) {
-    threads.emplace_back(worker_main, d);
+  threads.reserve(static_cast<std::size_t>(workers - 1));
+  for (int w = 1; w < workers; ++w) {
+    threads.emplace_back(worker_main, w);
   }
-  if (start_hooks_[0]) start_hooks_[0]();
+  run_hooks(0);
 
   // Between barrier C and the next barrier A every worker is parked, so the
   // coordinator is free to read all heaps and run global events.
@@ -247,9 +300,9 @@ void DomainGroup::RunEpochsParallel(Nanos deadline) {
     ++epochs_;
     epoch_limit_ = limit;
     barrier_->ArriveAndWait();  // A
-    sims_[0]->DispatchUpTo(limit);
+    dispatch_owned(0);
     barrier_->ArriveAndWait();  // B
-    DrainInboxes(0);
+    drain_owned(0);
     barrier_->ArriveAndWait();  // C
   }
   stop_workers_ = true;
@@ -257,11 +310,42 @@ void DomainGroup::RunEpochsParallel(Nanos deadline) {
   for (std::thread& t : threads) t.join();
 }
 
+void DomainGroup::FailZeroLookahead() const {
+  const CutEdge* bad = nullptr;
+  for (const CutEdge& edge : cut_edges_) {
+    if (edge.lookahead <= 0) {
+      bad = &edge;
+      break;
+    }
+  }
+  if (bad != nullptr && bad->src >= 0) {
+    std::fprintf(stderr,
+                 "DomainGroup: zero-lookahead cut: link '%s' from '%s' "
+                 "(domain %d) to '%s' (domain %d) advertises %lld ns of "
+                 "propagation delay.\n",
+                 bad->link.c_str(), bad->src_node.c_str(), bad->src,
+                 bad->dst_node.c_str(), bad->dst,
+                 static_cast<long long>(bad->lookahead));
+  } else {
+    std::fprintf(stderr,
+                 "DomainGroup: zero-lookahead cut: a cross-domain link "
+                 "advertised 0 ns of propagation delay "
+                 "(NoteCrossLink(0)).\n");
+  }
+  std::fprintf(stderr,
+               "Conservative epochs dispatch [T, T + min-lookahead - 1]; a "
+               "zero-lookahead cut makes that window empty, so the group "
+               "would spin forever. Give the link a positive propagation "
+               "delay or place both endpoints in the same partition group.\n");
+  std::abort();
+}
+
 void DomainGroup::RunInternal(Nanos deadline) {
   COWBIRD_CHECK(!sims_.empty());
   // A zero-lookahead cut admits no safe horizon: the epoch loop would make
-  // no progress. Fail loudly instead of deadlocking (regression-tested).
-  if (has_cross_link_) COWBIRD_CHECK(lookahead_ > 0);
+  // no progress. Fail loudly — naming the offending link — instead of
+  // deadlocking (regression-tested).
+  if (has_cross_link_ && lookahead_ <= 0) FailZeroLookahead();
   halt_requested_.store(false, std::memory_order_release);
   for (Simulation* sim : sims_) sim->ClearHalt();
   epoch_limit_ = 0;

@@ -7,19 +7,30 @@
 // no matter how many workers ran it.
 //
 // Level 2 — intra-sim domains: DomainGroup partitions one logical
-// simulation into several Simulation instances (event-loop domains) cut at
+// simulation into N Simulation instances (event-loop domains) cut at
 // net::Link boundaries. Synchronization is classic conservative PDES: every
-// cross-domain link advertises its propagation delay as lookahead L, and
-// the group advances in epochs. With T_min the earliest pending event time
-// across all domains, every event at t in [T_min, T_min + L - 1] can be
-// dispatched without hearing from the other domains first — a cross-domain
-// message emitted at t >= T_min arrives no earlier than t + L, strictly
-// beyond the epoch horizon. Cross-domain deliveries travel through SPSC
-// timestamped queues and are merged into the destination heap between
-// epochs in a fixed (when, src, seq) order, so the epoch schedule — and
-// therefore the whole run — is bit-identical whether the domains execute on
-// one thread or many. Zero lookahead would make the horizon empty; the
-// group refuses to run (loud CHECK) instead of spinning forever.
+// cross-domain link registers a CutEdge advertising its propagation delay
+// as lookahead, and the group advances in epochs whose horizon is the
+// minimum lookahead over *cut* edges only. With T_min the earliest pending
+// event time across all domains, every event at t in [T_min, T_min + L - 1]
+// can be dispatched without hearing from the other domains first — a
+// cross-domain message emitted at t >= T_min arrives no earlier than t + L,
+// strictly beyond the epoch horizon. Cross-domain deliveries travel through
+// per-(src,dst) SPSC timestamped queues (materialized only for registered
+// cut pairs, so an N-node fabric does not pay for N^2 rings) and are merged
+// into the destination heap between epochs in a fixed (when, src, seq)
+// order, so the epoch schedule — and therefore the whole run — is
+// bit-identical whether the domains execute on one thread or many.
+//
+// N domains run on W = worker_count() threads: domain d is owned by worker
+// d % W, each worker advancing its domains in ascending id within every
+// epoch phase. W = 1 degenerates to the sequential schedule, so the same
+// run is bit-identical for any worker count — the determinism tests pin
+// 1/2/4/8 workers against each other.
+//
+// Zero lookahead would make the horizon empty; the group refuses to run —
+// naming the offending link and both endpoints — instead of spinning
+// forever.
 #pragma once
 
 #include <array>
@@ -28,6 +39,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -122,10 +134,24 @@ class EpochBarrier {
   std::atomic<std::uint32_t> sense_{0};
 };
 
+// One registered cross-domain link: the unit the partitioner hands to the
+// group. `lookahead` is the link's propagation delay; the names exist so a
+// zero-lookahead misconfiguration can be reported against the topology the
+// user actually wrote instead of as a bare CHECK.
+struct CutEdge {
+  int src = -1;
+  int dst = -1;
+  Nanos lookahead = 0;
+  std::string link;      // e.g. "uplink[client3]"
+  std::string src_node;  // e.g. "client3"
+  std::string dst_node;  // e.g. "tor"
+};
+
 // A set of Simulation domains advancing in lockstep epochs (see file
-// comment). Domain 0 runs on the calling thread and doubles as the epoch
-// coordinator; domains 1..n-1 get worker threads when worker_count() > 1,
-// else the coordinator runs every domain phase-by-phase in domain order —
+// comment). The calling thread doubles as worker 0 / the epoch coordinator;
+// worker_count() - 1 extra threads are started per Run, each owning the
+// domains d with d % worker_count() == its index. worker_count() == 1 runs
+// every domain phase-by-phase in domain order on the calling thread —
 // producing the exact same schedule, which is what the cross-worker-count
 // determinism tests pin.
 class DomainGroup {
@@ -145,11 +171,16 @@ class DomainGroup {
   int worker_count() const;
 
   // Called by net::Link when its endpoints land in different domains. The
-  // epoch horizon is the minimum advertised value; zero is refused at Run
-  // time (it would starve the epoch loop), loudly rather than by deadlock.
+  // epoch horizon is the minimum advertised lookahead; zero is refused at
+  // Run time (it would starve the epoch loop) with an error naming the
+  // offending link and endpoints. The named form materializes the mailbox
+  // for exactly that (src, dst) pair; the anonymous Nanos overload keeps
+  // every pair routable (small hand-built groups, tests).
+  void NoteCrossLink(const CutEdge& edge);
   void NoteCrossLink(Nanos lookahead);
   Nanos lookahead() const { return lookahead_; }
   bool has_cross_link() const { return has_cross_link_; }
+  const std::vector<CutEdge>& cut_edges() const { return cut_edges_; }
 
   // Delivers `fn` into domain `dst` at virtual time `when`. Call only from
   // domain `src`'s thread while it is dispatching an epoch; `when` must lie
@@ -221,16 +252,23 @@ class DomainGroup {
   // horizon in *limit) or decides the run is over (returns false).
   bool NextEpoch(Nanos deadline, Nanos* limit);
   void DrainInboxes(int dst);
-  Mailbox& MailboxFor(int src, int dst) {
-    return *mailboxes_[static_cast<std::size_t>(src) * sims_.size() +
-                       static_cast<std::size_t>(dst)];
+  [[noreturn]] void FailZeroLookahead() const;
+  void EnsureMailbox(int src, int dst);
+  Mailbox* MailboxSlot(int src, int dst) {
+    return mailboxes_[static_cast<std::size_t>(src) * sims_.size() +
+                      static_cast<std::size_t>(dst)]
+        .get();
   }
 
   std::vector<Simulation*> sims_;
   int requested_workers_ = 0;
   Nanos lookahead_ = kNoEventTime;
   bool has_cross_link_ = false;
-  std::vector<std::unique_ptr<Mailbox>> mailboxes_;  // src-major n*n
+  bool route_all_pairs_ = false;  // anonymous NoteCrossLink(Nanos) was used
+  std::vector<CutEdge> cut_edges_;
+  // Src-major n*n grid of mailbox slots; only registered (src, dst) pairs
+  // are materialized (all pairs when route_all_pairs_).
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<std::vector<PendingCross>> drain_scratch_;
   std::vector<GlobalEvent> globals_;
   std::size_t next_global_ = 0;

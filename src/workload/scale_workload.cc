@@ -1,0 +1,287 @@
+#include "workload/scale_workload.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "core/client.h"
+#include "p4/engine.h"
+#include "spot/setup.h"
+#include "workload/testbed.h"
+
+namespace cowbird::workload {
+namespace {
+
+constexpr std::uint64_t kPoolBase = 0x1000'0000;
+constexpr std::uint64_t kHeapBase = 0x8000'0000;
+constexpr std::uint64_t kHeapStride = MiB(4);
+constexpr std::uint16_t kRegion = 1;
+
+struct ScaleHarness {
+  explicit ScaleHarness(const ScaleWorkloadConfig& config)
+      : cfg(config), bed(MakeFanInConfig(config)) {
+    const Bytes pool_bytes = cfg.records * cfg.record_size + KiB(4);
+    for (int m = 0; m < cfg.memory_servers; ++m) {
+      pool_mrs.push_back(
+          bed.memory_devs[static_cast<std::size_t>(m)]->RegisterMemory(
+              kPoolBase, pool_bytes));
+      bed.memory_mems[static_cast<std::size_t>(m)]->PreFault(kPoolBase,
+                                                             pool_bytes);
+    }
+
+    BindTelemetry();
+
+    // Per-client Cowbird instances, every one offloaded through the same
+    // engine (fan-in). Client k's region lives on memory server k % M.
+    for (int k = 0; k < cfg.clients; ++k) {
+      const auto kk = static_cast<std::size_t>(k);
+      for (int t = 0; t < cfg.threads_per_client; ++t) {
+        bed.client_mems[kk]->PreFault(kHeapBase + t * kHeapStride,
+                                      kHeapStride);
+        threads.push_back(std::make_unique<sim::SimThread>(
+            *bed.client_machines[kk],
+            "app-" + std::to_string(k) + "-" + std::to_string(t)));
+      }
+      core::CowbirdClient::Config cc;
+      cc.layout.base = 0x10000;
+      cc.layout.threads = cfg.threads_per_client;
+      cc.layout.meta_slots = 4096;
+      cc.layout.data_capacity = MiB(1);
+      cc.layout.resp_capacity = MiB(1);
+      cc.costs = cfg.costs;
+      cc.telemetry = HubFor(bed.client_node(k));
+      clients.push_back(std::make_unique<core::CowbirdClient>(
+          *bed.client_devs[kk], cc));
+      const int server = k % cfg.memory_servers;
+      clients.back()->RegisterRegion(core::RegionInfo{
+          kRegion, bed.memory_id(server), kPoolBase,
+          pool_mrs[static_cast<std::size_t>(server)]->rkey, pool_bytes});
+      ops.emplace_back(static_cast<std::size_t>(cfg.threads_per_client), 0);
+    }
+
+    if (cfg.paradigm == Paradigm::kCowbirdP4) {
+      p4::CowbirdP4Engine::Config ec;
+      ec.telemetry = HubFor(bed.switch_node());
+      p4_engine = std::make_unique<p4::CowbirdP4Engine>(bed.sw, ec);
+      for (int k = 0; k < cfg.clients; ++k) {
+        const int server = k % cfg.memory_servers;
+        auto conn = p4::ConnectP4Engine(
+            *p4_engine, ec.switch_node_id,
+            *bed.client_devs[static_cast<std::size_t>(k)],
+            *bed.memory_devs[static_cast<std::size_t>(server)],
+            0x800 + 0x20 * static_cast<std::uint32_t>(k));
+        p4_engine->AddInstance(clients[static_cast<std::size_t>(k)]
+                                   ->descriptor(),
+                               conn);
+      }
+      p4_engine->Start();
+    } else {
+      COWBIRD_CHECK(cfg.paradigm == Paradigm::kCowbird);
+      spot::SpotAgent::Config ac = cfg.agent;
+      ac.costs = cfg.costs;
+      ac.telemetry = HubFor(bed.spot_node());
+      agent = std::make_unique<spot::SpotAgent>(*bed.spot_dev,
+                                                *bed.spot_machine, ac);
+      for (int k = 0; k < cfg.clients; ++k) {
+        const int server = k % cfg.memory_servers;
+        rdma::Device* memories[] = {
+            bed.memory_devs[static_cast<std::size_t>(server)].get()};
+        auto conn = spot::ConnectSpotEngine(
+            *bed.spot_dev, *bed.client_devs[static_cast<std::size_t>(k)],
+            memories);
+        agent->AddInstance(clients[static_cast<std::size_t>(k)]
+                               ->descriptor(),
+                           conn.to_compute, conn.compute_cq, conn.to_memory,
+                           conn.memory_cqs);
+      }
+      agent->Start();
+    }
+  }
+
+  ~ScaleHarness() {
+    if (cfg.telemetry != nullptr) {
+      for (int k = 0; k < cfg.clients; ++k) {
+        bed.client_devs[static_cast<std::size_t>(k)]->UnbindTelemetry();
+      }
+      for (int m = 0; m < cfg.memory_servers; ++m) {
+        bed.memory_devs[static_cast<std::size_t>(m)]->UnbindTelemetry();
+      }
+      bed.spot_dev->UnbindTelemetry();
+      for (net::Link* link : bound_links) link->UnbindTelemetry();
+      cfg.telemetry->tracer.SetClock([now = bed.sim.Now()] { return now; });
+    }
+  }
+
+  static FanInConfig MakeFanInConfig(const ScaleWorkloadConfig& config) {
+    FanInConfig fan;
+    fan.clients = config.clients;
+    fan.memory_servers = config.memory_servers;
+    fan.client_cores = std::max(2, config.threads_per_client);
+    fan.split = config.split;
+    fan.split_workers = config.split_workers;
+    return fan;
+  }
+
+  // Shard selection: every component binds to the hub of the domain whose
+  // thread mutates its cells.
+  telemetry::Hub* HubFor(net::TopoNodeId node) {
+    return shards.ForDomain(bed.partition.domain_of(node));
+  }
+
+  void BindTelemetry() {
+    telemetry::Hub* hub = cfg.telemetry;
+    if (hub == nullptr) return;
+    hub->tracer.SetClock([this] { return bed.sim.Now(); });
+    shards.Reset(hub, bed.partition.domain_count(), [this](int domain) {
+      return telemetry::Clock(
+          [sim = &bed.domains.domain_sim(domain)] { return sim->Now(); });
+    });
+    if (sim::DomainGroup* group = bed.group()) {
+      // Debug builds pin each registry to its domain's worker thread.
+      for (int d = 0; d < bed.partition.domain_count(); ++d) {
+        group->SetDomainStartHook(d, [this, d] {
+          shards.ForDomain(d)->metrics.BindToCurrentThread();
+        });
+      }
+    }
+    auto bind_host = [this](rdma::Device& dev, net::HostNic& nic,
+                            net::TopoNodeId node) {
+      const std::string& name = bed.topo.node(node).name;
+      dev.BindTelemetry(HubFor(node)->metrics, {{"node", name}});
+      // Link counters mutate on the delivery side: the uplink delivers into
+      // the switch domain, the egress link into the host domain.
+      net::Link& up = nic.uplink();
+      net::Link& down = bed.sw.EgressLink(nic.switch_port());
+      up.BindTelemetry(HubFor(bed.switch_node())->metrics,
+                       {{"link", "uplink[" + name + "]"}});
+      down.BindTelemetry(HubFor(node)->metrics,
+                         {{"link", "egress[" + name + "]"}});
+      bound_links.push_back(&up);
+      bound_links.push_back(&down);
+    };
+    for (int k = 0; k < cfg.clients; ++k) {
+      const auto kk = static_cast<std::size_t>(k);
+      bind_host(*bed.client_devs[kk], *bed.client_nics[kk],
+                bed.client_node(k));
+    }
+    for (int m = 0; m < cfg.memory_servers; ++m) {
+      const auto mm = static_cast<std::size_t>(m);
+      bind_host(*bed.memory_devs[mm], *bed.memory_nics[mm],
+                bed.memory_node(m));
+    }
+    bind_host(*bed.spot_dev, *bed.spot_nic, bed.spot_node());
+  }
+
+  sim::SimThread& ThreadFor(int k, int t) {
+    return *threads[static_cast<std::size_t>(k * cfg.threads_per_client + t)];
+  }
+
+  ScaleWorkloadConfig cfg;
+  FanInTestbed bed;
+  std::vector<const rdma::MemoryRegion*> pool_mrs;
+  std::vector<std::unique_ptr<core::CowbirdClient>> clients;
+  std::unique_ptr<spot::SpotAgent> agent;
+  std::unique_ptr<p4::CowbirdP4Engine> p4_engine;
+  std::vector<std::unique_ptr<sim::SimThread>> threads;
+  std::vector<std::vector<std::uint64_t>> ops;  // [client][thread]
+  telemetry::HubShards shards;
+  std::vector<net::Link*> bound_links;
+};
+
+// The async read loop of the hash workload (DriveCowbird), reads only —
+// issue up to `window`, then harvest. Wiring is per (client, thread); the
+// coroutine runs on the client's own domain.
+sim::Task<void> DriveClient(ScaleHarness& h, int k, int t) {
+  sim::SimThread& thread = h.ThreadFor(k, t);
+  auto& ctx = h.clients[static_cast<std::size_t>(k)]->thread(t);
+  Rng rng(h.cfg.seed * 7919 + static_cast<std::uint64_t>(k) * 131 +
+          static_cast<std::uint64_t>(t));
+  const core::PollId poll = ctx.PollCreate();
+  std::vector<core::ReqId> done;
+  done.reserve(static_cast<std::size_t>(h.cfg.window));
+  std::uint64_t& counter =
+      h.ops[static_cast<std::size_t>(k)][static_cast<std::size_t>(t)];
+  int outstanding = 0;
+  for (;;) {
+    if (outstanding < h.cfg.window) {
+      const std::uint64_t key = rng.Below(h.cfg.records);
+      co_await thread.Work(h.cfg.app_compute, sim::CpuCategory::kCompute);
+      const std::uint64_t slot =
+          rng.Below(static_cast<std::uint64_t>(h.cfg.window));
+      auto id = co_await ctx.AsyncRead(
+          thread, kRegion, key * h.cfg.record_size,
+          kHeapBase + t * kHeapStride + slot * h.cfg.record_size,
+          static_cast<std::uint32_t>(h.cfg.record_size));
+      if (id.has_value()) {
+        ctx.PollAdd(poll, *id);
+        ++outstanding;
+        continue;
+      }
+    }
+    co_await ctx.PollWait(thread, poll, done, h.cfg.window, 0);
+    if (done.empty()) {
+      co_await thread.Idle(300);
+      continue;
+    }
+    for (std::size_t i = 0; i < done.size(); ++i) {
+      co_await thread.Work(h.cfg.costs.CopyCost(h.cfg.record_size),
+                           sim::CpuCategory::kCompute);
+      ++counter;
+    }
+    outstanding -= static_cast<int>(done.size());
+  }
+}
+
+std::vector<std::uint64_t> PerClientOps(const ScaleHarness& h) {
+  std::vector<std::uint64_t> totals;
+  totals.reserve(static_cast<std::size_t>(h.cfg.clients));
+  for (const auto& per_thread : h.ops) {
+    std::uint64_t total = 0;
+    for (const std::uint64_t count : per_thread) total += count;
+    totals.push_back(total);
+  }
+  return totals;
+}
+
+}  // namespace
+
+ScaleWorkloadResult RunScaleWorkload(const ScaleWorkloadConfig& config) {
+  COWBIRD_CHECK(config.clients >= 1);
+  COWBIRD_CHECK(config.memory_servers >= 1);
+  ScaleHarness h(config);
+  for (int k = 0; k < config.clients; ++k) {
+    sim::Simulation& csim = h.bed.domains.sim_for(h.bed.client_node(k));
+    for (int t = 0; t < config.threads_per_client; ++t) {
+      csim.Spawn(DriveClient(h, k, t));
+    }
+  }
+
+  h.bed.RunFor(config.warmup);
+  const std::vector<std::uint64_t> warm = PerClientOps(h);
+  const Nanos t0 = h.bed.domains.Now();
+  const std::uint64_t events0 = h.bed.EventsProcessed();
+  h.bed.RunFor(config.measure);
+  const Nanos elapsed = h.bed.domains.Now() - t0;
+
+  ScaleWorkloadResult result;
+  result.client_ops = PerClientOps(h);
+  for (int k = 0; k < config.clients; ++k) {
+    const auto kk = static_cast<std::size_t>(k);
+    result.client_ops[kk] -= warm[kk];
+    result.ops += result.client_ops[kk];
+  }
+  result.sim_events = h.bed.EventsProcessed() - events0;
+  result.elapsed = elapsed;
+  result.mops = Mops(result.ops, elapsed);
+  if (config.telemetry != nullptr) {
+    result.telemetry = config.telemetry->metrics.TakeSnapshot();
+    h.shards.MergeInto(result.telemetry);
+  }
+  return result;
+}
+
+}  // namespace cowbird::workload

@@ -1,0 +1,61 @@
+// The rack-scale fan-in workload: K compute clients and M memory servers
+// around one top-of-rack switch (FanInTestbed), every client running the
+// async read loop of the hash workload against a pool on memory server
+// k % M, all offloaded through one engine — a single Cowbird-Spot agent
+// serving K instances (fan-in), or the P4 engine on the switch.
+//
+// The default shape is the 16-node scaling fabric of the ROADMAP: 12
+// clients + 2 memory servers + 1 spot host + 1 switch. With `split` the
+// testbed partitions one PDES domain per node; a split run's per-client
+// operation counts are bit-identical for any worker count, which the
+// scale tests and the sim_throughput split-scaling section pin.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+#include "rdma/params.h"
+#include "spot/agent.h"
+#include "telemetry/hub.h"
+#include "workload/hash_workload.h"
+
+namespace cowbird::workload {
+
+struct ScaleWorkloadConfig {
+  // Engine serving every client: Paradigm::kCowbird (one spot agent,
+  // fan-in) or Paradigm::kCowbirdP4 (engine on the switch).
+  Paradigm paradigm = Paradigm::kCowbird;
+  int clients = 12;
+  int memory_servers = 2;
+  int threads_per_client = 2;
+  Bytes record_size = 128;
+  std::uint64_t records = 100'000;  // per memory-server pool
+  Nanos app_compute = 60;
+  int window = 32;
+  Nanos warmup = Micros(200);
+  Nanos measure = Millis(1);
+  std::uint64_t seed = 1;
+  spot::SpotAgent::Config agent;
+  rdma::CostModel costs;
+  // One PDES domain per topology node, executed by `split_workers` threads
+  // (0 → hardware concurrency). Bit-deterministic for any worker count.
+  bool split = false;
+  int split_workers = 0;
+  // Optional telemetry: sharded per domain (telemetry::HubShards) and merged
+  // N-way into the caller's hub after the run.
+  telemetry::Hub* telemetry = nullptr;
+};
+
+struct ScaleWorkloadResult {
+  std::uint64_t ops = 0;  // total over the measure window
+  std::vector<std::uint64_t> client_ops;  // per client, the determinism pin
+  std::uint64_t sim_events = 0;
+  Nanos elapsed = 0;
+  double mops = 0;
+  telemetry::Snapshot telemetry;  // filled when config.telemetry was set
+};
+
+ScaleWorkloadResult RunScaleWorkload(const ScaleWorkloadConfig& config);
+
+}  // namespace cowbird::workload

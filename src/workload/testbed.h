@@ -4,19 +4,31 @@
 // bystander node for contending traffic (Figure 14). All links 100 Gbps
 // except the bystander's 25 Gbps NIC, matching the paper's setup.
 //
-// With `split_domains` the testbed becomes a two-domain sim::DomainGroup cut
-// at the compute NIC's attachment: the compute node keeps `sim`, while the
-// switch and the memory/spot/bystander hosts move to a second event loop
-// (`esim`). The cut links' propagation delay is the conservative lookahead.
-// In the default serial mode `esim` aliases `sim` and every construction and
+// Domains are derived from an explicit net::Topology: every host and the
+// switch is a topology node, every attachment an edge carrying its
+// propagation delay. With `split_domains` the compute host partitions into
+// its own PDES domain while the switch and the memory/spot/bystander hosts
+// fuse into a second one — the PR 5 two-way cut expressed as the trivial
+// grouping of the general partitioner. The cut links' propagation delay is
+// the conservative lookahead. In the default serial mode the whole graph is
+// one partition group: `esim` aliases `sim` and every construction and
 // schedule happens exactly as before — the chaos parity goldens pin this.
+//
+// FanInTestbed below generalizes the same wiring to K compute clients and M
+// memory servers around one switch (plus a spot host): the rack-size
+// fan-in fabric the scaling workload runs on, with one domain per node when
+// split.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "common/check.h"
 #include "common/sparse_memory.h"
 #include "net/switch.h"
+#include "net/topology.h"
 #include "rdma/device.h"
 #include "rdma/params.h"
 #include "sim/parallel.h"
@@ -31,14 +43,23 @@ struct Testbed {
   static constexpr net::NodeId kSpotId = 3;
   static constexpr net::NodeId kBystanderId = 4;
 
-  sim::Simulation sim;  // compute-node domain (domain 0 when split)
-  // Engine-side event loop: a real second Simulation when split, otherwise
-  // a reference back to `sim` so serial wiring is byte-identical.
-  std::unique_ptr<sim::Simulation> engine_sim_store;
-  sim::Simulation& esim;
-  std::unique_ptr<sim::DomainGroup> group;
+  // Topology node ids (node 0 first → compute is always domain 0).
+  static constexpr net::TopoNodeId kComputeNode = 0;
+  static constexpr net::TopoNodeId kSwitchNode = 1;
+  static constexpr net::TopoNodeId kMemoryNode = 2;
+  static constexpr net::TopoNodeId kSpotNode = 3;
+  static constexpr net::TopoNodeId kBystanderNode = 4;
+
   rdma::FabricParams fabric;
   rdma::NicConfig nic_config;
+  sim::Simulation sim;  // compute-node domain (domain 0 when split)
+  net::Topology topo;
+  net::Partition partition;
+  net::FabricDomains domains;
+  // Engine-side event loop: a real second Simulation when split, otherwise
+  // a reference back to `sim` so serial wiring is byte-identical.
+  sim::Simulation& esim;
+  sim::DomainGroup* group;  // null when serial
   net::Switch sw;
   net::HostNic compute_nic;
   net::HostNic memory_nic;
@@ -54,15 +75,46 @@ struct Testbed {
   sim::Machine memory_machine;
   sim::Machine spot_machine;
 
+  static net::Topology BuildTopo(Nanos propagation, bool split_domains) {
+    net::Topology topo;
+    const net::TopoNodeId compute = topo.AddNode(
+        net::TopoNodeKind::kComputeHost, "compute", kComputeId);
+    const net::TopoNodeId tor =
+        topo.AddNode(net::TopoNodeKind::kSwitch, "switch");
+    const net::TopoNodeId memory =
+        topo.AddNode(net::TopoNodeKind::kMemoryServer, "memory", kMemoryId);
+    const net::TopoNodeId spot =
+        topo.AddNode(net::TopoNodeKind::kSpotHost, "spot", kSpotId);
+    const net::TopoNodeId bystander = topo.AddNode(
+        net::TopoNodeKind::kBystanderHost, "bystander", kBystanderId);
+    topo.AddEdge(compute, tor, propagation);
+    topo.AddEdge(memory, tor, propagation);
+    topo.AddEdge(spot, tor, propagation);
+    topo.AddEdge(bystander, tor, propagation);
+    if (split_domains) {
+      // The two-way cut at the compute attachment: compute alone, engine
+      // side fused. The general partitioner reduces to PR 5's layout.
+      topo.SetGroup(compute, 0);
+      topo.SetGroup(tor, 1);
+      topo.SetGroup(memory, 1);
+      topo.SetGroup(spot, 1);
+      topo.SetGroup(bystander, 1);
+    } else {
+      topo.GroupAll(0);
+    }
+    return topo;
+  }
+
   explicit Testbed(int compute_cores = 16,
                    BitRate compute_uplink = BitRate::Gbps(100),
                    bool split_domains = false, int split_workers = 0)
-      : engine_sim_store(split_domains ? std::make_unique<sim::Simulation>()
-                                       : nullptr),
-        esim(engine_sim_store ? *engine_sim_store : sim),
-        group(split_domains
-                  ? std::make_unique<sim::DomainGroup>(split_workers)
-                  : nullptr),
+      : topo(BuildTopo(fabric.link_propagation, split_domains)),
+        partition(net::PartitionTopology(topo)),
+        // Domain registration happens here, before ConnectTo: SetDestination
+        // inspects domain ids to recognize the cut and register its CutEdge.
+        domains(sim, partition, split_workers),
+        esim(domains.sim_for(kSwitchNode)),
+        group(domains.group()),
         sw(esim,
            net::Switch::Config{.pipeline_latency = fabric.switch_pipeline}),
         compute_nic(sim, kComputeId, compute_uplink,
@@ -78,38 +130,162 @@ struct Testbed {
         compute_machine(sim, compute_cores),
         memory_machine(esim, 8),
         spot_machine(esim, 1) {
-    // Domain registration must precede ConnectTo: SetDestination inspects
-    // domain ids to recognize the cut and advertise lookahead.
-    if (group) {
-      group->AddDomain(sim);
-      group->AddDomain(esim);
-    }
-    compute_nic.ConnectTo(sw);
-    memory_nic.ConnectTo(sw);
-    spot_nic.ConnectTo(sw);
-    bystander_nic.ConnectTo(sw);
+    COWBIRD_CHECK(partition.domain_count() == (split_domains ? 2 : 1));
+    COWBIRD_CHECK(!partition.zero_lookahead_error());
+    compute_nic.ConnectTo(sw, "compute");
+    memory_nic.ConnectTo(sw, "memory");
+    spot_nic.ConnectTo(sw, "spot");
+    bystander_nic.ConnectTo(sw, "bystander");
   }
 
   bool split() const { return group != nullptr; }
 
   // Run the whole testbed — the group when split, the single loop otherwise.
-  void Run() {
-    if (group) {
-      group->Run();
-    } else {
-      sim.Run();
+  void Run() { domains.Run(); }
+  void RunFor(Nanos duration) { domains.RunFor(duration); }
+  std::uint64_t EventsProcessed() const { return domains.EventsProcessed(); }
+};
+
+// K compute clients and M memory servers fanning into one top-of-rack
+// switch, plus one spot host running the offload engine — the rack-size
+// fabric of the scaling workload (defaults: 12 + 2 + spot + switch = 16
+// nodes). When `split`, every node partitions into its own PDES domain
+// (N = clients + memory_servers + 2) executed by `split_workers` threads;
+// serial fuses the whole graph into one domain on the caller's loop.
+struct FanInConfig {
+  int clients = 12;
+  int memory_servers = 2;
+  int client_cores = 4;
+  int memory_cores = 8;
+  BitRate client_uplink = BitRate::Gbps(100);
+  bool split = false;
+  int split_workers = 0;
+};
+
+struct FanInTestbed {
+  FanInConfig cfg;
+  rdma::FabricParams fabric;
+  rdma::NicConfig nic_config;
+  sim::Simulation sim;  // client 0's event loop (domain 0 when split)
+  net::Topology topo;
+  net::Partition partition;
+  net::FabricDomains domains;
+  net::Switch sw;
+  std::vector<std::unique_ptr<net::HostNic>> client_nics;
+  std::vector<std::unique_ptr<SparseMemory>> client_mems;
+  std::vector<std::unique_ptr<rdma::Device>> client_devs;
+  std::vector<std::unique_ptr<sim::Machine>> client_machines;
+  std::vector<std::unique_ptr<net::HostNic>> memory_nics;
+  std::vector<std::unique_ptr<SparseMemory>> memory_mems;
+  std::vector<std::unique_ptr<rdma::Device>> memory_devs;
+  std::vector<std::unique_ptr<sim::Machine>> memory_machines;
+  std::unique_ptr<net::HostNic> spot_nic;
+  std::unique_ptr<SparseMemory> spot_mem;
+  std::unique_ptr<rdma::Device> spot_dev;
+  std::unique_ptr<sim::Machine> spot_machine;
+
+  // Topology node ids: clients first (client 0 → domain 0), then the
+  // switch, the memory servers, and the spot host.
+  net::TopoNodeId client_node(int k) const { return k; }
+  net::TopoNodeId switch_node() const { return cfg.clients; }
+  net::TopoNodeId memory_node(int m) const { return cfg.clients + 1 + m; }
+  net::TopoNodeId spot_node() const {
+    return cfg.clients + 1 + cfg.memory_servers;
+  }
+  // Fabric addresses (switch routing).
+  net::NodeId client_id(int k) const {
+    return static_cast<net::NodeId>(1 + k);
+  }
+  net::NodeId memory_id(int m) const {
+    return static_cast<net::NodeId>(1 + cfg.clients + m);
+  }
+  net::NodeId spot_id() const {
+    return static_cast<net::NodeId>(1 + cfg.clients + cfg.memory_servers);
+  }
+
+  static net::Topology BuildTopo(const FanInConfig& cfg, Nanos propagation) {
+    net::Topology topo;
+    for (int k = 0; k < cfg.clients; ++k) {
+      topo.AddNode(net::TopoNodeKind::kComputeHost,
+                   "client" + std::to_string(k),
+                   static_cast<net::NodeId>(1 + k));
     }
-  }
-  void RunFor(Nanos duration) {
-    if (group) {
-      group->RunFor(duration);
-    } else {
-      sim.RunFor(duration);
+    const net::TopoNodeId tor =
+        topo.AddNode(net::TopoNodeKind::kSwitch, "tor");
+    for (int m = 0; m < cfg.memory_servers; ++m) {
+      topo.AddNode(net::TopoNodeKind::kMemoryServer,
+                   "mem" + std::to_string(m),
+                   static_cast<net::NodeId>(1 + cfg.clients + m));
     }
+    const net::TopoNodeId spot = topo.AddNode(
+        net::TopoNodeKind::kSpotHost, "spot",
+        static_cast<net::NodeId>(1 + cfg.clients + cfg.memory_servers));
+    for (int k = 0; k < cfg.clients; ++k) {
+      topo.AddEdge(k, tor, propagation);
+    }
+    for (int m = 0; m < cfg.memory_servers; ++m) {
+      topo.AddEdge(cfg.clients + 1 + m, tor, propagation);
+    }
+    topo.AddEdge(spot, tor, propagation);
+    if (!cfg.split) topo.GroupAll(0);  // split: one domain per node
+    return topo;
   }
-  std::uint64_t EventsProcessed() const {
-    return group ? group->EventsProcessed() : sim.EventsProcessed();
+
+  explicit FanInTestbed(const FanInConfig& config)
+      : cfg(config),
+        topo(BuildTopo(cfg, fabric.link_propagation)),
+        partition(net::PartitionTopology(topo)),
+        domains(sim, partition, cfg.split_workers),
+        sw(domains.sim_for(switch_node()),
+           net::Switch::Config{.pipeline_latency = fabric.switch_pipeline}) {
+    COWBIRD_CHECK(partition.domain_count() ==
+                  (cfg.split ? topo.node_count() : 1));
+    COWBIRD_CHECK(!partition.zero_lookahead_error());
+    for (int k = 0; k < cfg.clients; ++k) {
+      sim::Simulation& csim = domains.sim_for(client_node(k));
+      client_nics.push_back(std::make_unique<net::HostNic>(
+          csim, client_id(k), cfg.client_uplink, fabric.link_propagation));
+      client_mems.push_back(std::make_unique<SparseMemory>());
+      client_devs.push_back(std::make_unique<rdma::Device>(
+          *client_nics.back(), *client_mems.back(), nic_config));
+      client_machines.push_back(
+          std::make_unique<sim::Machine>(csim, cfg.client_cores));
+    }
+    for (int m = 0; m < cfg.memory_servers; ++m) {
+      sim::Simulation& msim = domains.sim_for(memory_node(m));
+      memory_nics.push_back(std::make_unique<net::HostNic>(
+          msim, memory_id(m), fabric.host_link, fabric.link_propagation));
+      memory_mems.push_back(std::make_unique<SparseMemory>());
+      memory_devs.push_back(std::make_unique<rdma::Device>(
+          *memory_nics.back(), *memory_mems.back(), nic_config));
+      memory_machines.push_back(
+          std::make_unique<sim::Machine>(msim, cfg.memory_cores));
+    }
+    sim::Simulation& ssim = domains.sim_for(spot_node());
+    spot_nic = std::make_unique<net::HostNic>(
+        ssim, spot_id(), fabric.host_link, fabric.link_propagation);
+    spot_mem = std::make_unique<SparseMemory>();
+    spot_dev =
+        std::make_unique<rdma::Device>(*spot_nic, *spot_mem, nic_config);
+    spot_machine = std::make_unique<sim::Machine>(ssim, 1);
+
+    for (int k = 0; k < cfg.clients; ++k) {
+      client_nics[static_cast<std::size_t>(k)]->ConnectTo(
+          sw, topo.node(client_node(k)).name, "tor");
+    }
+    for (int m = 0; m < cfg.memory_servers; ++m) {
+      memory_nics[static_cast<std::size_t>(m)]->ConnectTo(
+          sw, topo.node(memory_node(m)).name, "tor");
+    }
+    spot_nic->ConnectTo(sw, "spot", "tor");
   }
+
+  bool split() const { return domains.group() != nullptr; }
+  sim::DomainGroup* group() { return domains.group(); }
+
+  void Run() { domains.Run(); }
+  void RunFor(Nanos duration) { domains.RunFor(duration); }
+  std::uint64_t EventsProcessed() const { return domains.EventsProcessed(); }
 };
 
 }  // namespace cowbird::workload

@@ -3,7 +3,7 @@
 //
 //   chaos_sweep [--engine spot|p4|both] [--seeds N] [--start S]
 //               [--trace-dir DIR] [--break-fence] [--jobs N]
-//               [--split] [--split-workers N]
+//               [--split] [--split-workers N] [--split-scope pair|node]
 //
 // Normal mode: runs N seeds per engine, each with a seed-derived mixed
 // fault plan (drop + duplicate + reorder + delay, partitions, engine
@@ -13,7 +13,8 @@
 // --jobs runs that many simulations concurrently (default: hardware
 // concurrency). The report is byte-identical for any jobs value. --split
 // executes each run domain-split (the parallel intra-sim datapath) instead
-// of the golden-pinned serial loop.
+// of the golden-pinned serial loop; --split-scope node partitions one PDES
+// domain per topology node instead of the default two-way cut.
 //
 // --break-fence mode is the harness's own canary: it re-runs the sweep with
 // the engines' read-after-write fence disabled and exits zero only if the
@@ -26,13 +27,19 @@
 #include <cstring>
 #include <string>
 
+#include "bench_util.h"
 #include "chaos/runner.h"
 #include "chaos/sweep.h"
 
 int main(int argc, char** argv) {
   using namespace cowbird::chaos;
   SweepConfig config;
+  cowbird::bench::ParallelFlags parallel(/*with_split=*/true);
   for (int i = 1; i < argc; ++i) {
+    if (parallel.Consume(argc, argv, i)) {
+      if (!parallel.ok()) return 2;
+      continue;
+    }
     const std::string flag = argv[i];
     auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
@@ -62,21 +69,16 @@ int main(int argc, char** argv) {
       config.trace_dir = value;
     } else if (flag == "--break-fence") {
       config.break_fence = true;
-    } else if (flag == "--jobs") {
-      const char* value = next();
-      if (value == nullptr) return 2;
-      config.jobs = std::atoi(value);
-    } else if (flag == "--split") {
-      config.split = true;
-    } else if (flag == "--split-workers") {
-      const char* value = next();
-      if (value == nullptr) return 2;
-      config.split_workers = std::atoi(value);
     } else {
       std::fprintf(stderr, "chaos_sweep: unknown flag %s\n", flag.c_str());
       return 2;
     }
   }
+  config.jobs = parallel.jobs;
+  config.split = parallel.split;
+  config.split_workers = parallel.split_workers;
+  config.split_scope =
+      parallel.per_node_scope() ? SplitScope::kPerNode : SplitScope::kPair;
   if (const char* env = std::getenv("COWBIRD_TEST_SEED")) {
     config.start = std::strtoull(env, nullptr, 10);
     config.seeds = 1;

@@ -214,7 +214,30 @@ TEST(DomainGroupDeathTest, ZeroLookaheadIsRefusedAtRun) {
   // must refuse to run instead of spinning or deadlocking.
   group.NoteCrossLink(0);
   a.ScheduleAt(10, [] {});
-  EXPECT_DEATH(group.Run(), "CHECK failed");
+  EXPECT_DEATH(group.Run(), "zero-lookahead cut");
+}
+
+TEST(DomainGroupDeathTest, ZeroLookaheadErrorNamesLinkAndEndpoints) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  sim::Simulation a;
+  sim::Simulation b;
+  sim::DomainGroup group(1);
+  group.AddDomain(a);
+  group.AddDomain(b);
+  sim::CutEdge edge;
+  edge.src = 0;
+  edge.dst = 1;
+  edge.lookahead = 0;
+  edge.link = "uplink[clientX]";
+  edge.src_node = "clientX";
+  edge.dst_node = "torY";
+  group.NoteCrossLink(edge);
+  a.ScheduleAt(10, [] {});
+  // The structured error must name the offending link and both endpoints so
+  // a misconfigured topology is actionable without a debugger.
+  EXPECT_DEATH(group.Run(),
+               "uplink\\[clientX\\].*clientX.*\\(domain 0\\).*torY.*"
+               "\\(domain 1\\)");
 }
 
 // ------------------------------------------------- hash workload, split mode

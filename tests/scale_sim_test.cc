@@ -1,0 +1,168 @@
+// The rack-scale fan-in workload (workload/scale_workload.h) and the N-way
+// partitioned runs it drives:
+//
+//   * The 16-node scaling fabric (12 clients + 2 memory servers + spot +
+//     switch) split one-domain-per-node is bit-identical — per-client op
+//     counts, event totals, virtual time — for 1/2/4/8 workers, on both
+//     engines.
+//   * Serial vs split agrees within the same-timestamp tie-break tolerance
+//     the 2-domain path pins.
+//   * Telemetry shards merge N-way into the caller's snapshot.
+//   * Chaos runs partitioned per node (SplitScope::kPerNode) uphold every
+//     invariant and stay bit-identical across worker counts on both engines.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chaos/runner.h"
+#include "telemetry/hub.h"
+#include "workload/scale_workload.h"
+
+namespace cowbird {
+namespace {
+
+using workload::Paradigm;
+using workload::RunScaleWorkload;
+using workload::ScaleWorkloadConfig;
+using workload::ScaleWorkloadResult;
+
+ScaleWorkloadConfig Base(Paradigm paradigm) {
+  ScaleWorkloadConfig c;  // 12 clients + 2 memory servers: the 16-node rack
+  c.paradigm = paradigm;
+  c.records = 20'000;
+  c.warmup = Micros(100);
+  c.measure = Micros(400);
+  return c;
+}
+
+bool SameOutcome(const ScaleWorkloadResult& a, const ScaleWorkloadResult& b) {
+  return a.client_ops == b.client_ops && a.ops == b.ops &&
+         a.sim_events == b.sim_events && a.elapsed == b.elapsed;
+}
+
+TEST(ScaleSimTest, SixteenNodeSplitBitIdenticalAcrossWorkerCounts) {
+  ScaleWorkloadConfig c = Base(Paradigm::kCowbird);
+  c.split = true;
+  c.split_workers = 1;
+  const ScaleWorkloadResult one = RunScaleWorkload(c);
+  ASSERT_EQ(one.client_ops.size(), 12u);
+  for (std::uint64_t ops : one.client_ops) EXPECT_GT(ops, 0u);
+  for (int workers : {2, 4, 8}) {
+    c.split_workers = workers;
+    const ScaleWorkloadResult many = RunScaleWorkload(c);
+    EXPECT_TRUE(SameOutcome(one, many)) << "workers=" << workers;
+  }
+}
+
+TEST(ScaleSimTest, P4FanInSplitBitIdenticalAcrossWorkerCounts) {
+  // Smaller fabric (4 clients + 2 servers = 8 nodes) keeps the P4 variant
+  // cheap; the determinism claim is the same.
+  ScaleWorkloadConfig c = Base(Paradigm::kCowbirdP4);
+  c.clients = 4;
+  c.split = true;
+  c.split_workers = 1;
+  const ScaleWorkloadResult one = RunScaleWorkload(c);
+  ASSERT_EQ(one.client_ops.size(), 4u);
+  for (std::uint64_t ops : one.client_ops) EXPECT_GT(ops, 0u);
+  for (int workers : {2, 8}) {
+    c.split_workers = workers;
+    const ScaleWorkloadResult many = RunScaleWorkload(c);
+    EXPECT_TRUE(SameOutcome(one, many)) << "workers=" << workers;
+  }
+}
+
+TEST(ScaleSimTest, SplitTracksSerialWithinTieBreakTolerance) {
+  const ScaleWorkloadResult serial = RunScaleWorkload(Base(Paradigm::kCowbird));
+  ScaleWorkloadConfig c = Base(Paradigm::kCowbird);
+  c.split = true;
+  c.split_workers = 2;
+  const ScaleWorkloadResult split = RunScaleWorkload(c);
+  ASSERT_GT(serial.ops, 0u);
+  ASSERT_GT(split.ops, 0u);
+  // Cross-domain deliveries can flip same-timestamp tie-breaks at the cuts;
+  // with 30 directed cuts the effect stays sub-percent in aggregate. Serial
+  // byte-identity itself is owned by the golden-pinned tests.
+  const double drift = std::abs(static_cast<double>(split.ops) -
+                                static_cast<double>(serial.ops)) /
+                       static_cast<double>(serial.ops);
+  EXPECT_LT(drift, 0.02) << "serial=" << serial.ops << " split=" << split.ops;
+}
+
+TEST(ScaleSimTest, TelemetryShardsMergeNWayIntoCallerSnapshot) {
+  Nanos now = 0;
+  telemetry::Hub hub([&now] { return now; });
+  ScaleWorkloadConfig c = Base(Paradigm::kCowbird);
+  c.clients = 4;
+  c.split = true;
+  c.split_workers = 2;
+  c.telemetry = &hub;
+  const ScaleWorkloadResult result = RunScaleWorkload(c);
+  EXPECT_GT(result.ops, 0u);
+  // The merged snapshot must carry metrics from engine-side domains (bound
+  // to private shards during the run), not just the root's. Client uplinks
+  // bind their gauges to the switch domain's shard.
+  bool saw_uplink = false;
+  for (const auto& gauge : result.telemetry.gauges) {
+    if (gauge.key.find("uplink[") != std::string::npos) saw_uplink = true;
+  }
+  EXPECT_TRUE(saw_uplink);
+}
+
+// ----------------------------------------------------- chaos, per-node scope
+
+TEST(ChaosPerNodeSplitTest, BitIdenticalAcrossWorkerCountsOnBothEngines) {
+  for (chaos::EngineKind engine :
+       {chaos::EngineKind::kSpot, chaos::EngineKind::kP4}) {
+    // Seed 3 schedules engine crashes (odd seeds do); seed 4 is crash-free.
+    for (std::uint64_t seed : {std::uint64_t{3}, std::uint64_t{4}}) {
+      chaos::ChaosOptions opt = chaos::SweepOptions(engine, seed);
+      opt.mode = chaos::ExecutionMode::kSplit;
+      opt.split_scope = chaos::SplitScope::kPerNode;
+      opt.split_workers = 1;
+      const chaos::ChaosResult one = chaos::RunChaos(opt);
+      EXPECT_TRUE(one.Passed())
+          << chaos::EngineKindName(engine) << " seed " << seed;
+      if (seed % 2 == 1) {
+        EXPECT_GT(one.crashes_executed, 0u);
+      }
+      for (int workers : {2, 4}) {
+        opt.split_workers = workers;
+        const chaos::ChaosResult many = chaos::RunChaos(opt);
+        EXPECT_TRUE(many.Passed())
+            << chaos::EngineKindName(engine) << " seed " << seed
+            << " workers " << workers;
+        EXPECT_EQ(one.history.size(), many.history.size());
+        EXPECT_EQ(one.reads_checked, many.reads_checked);
+        EXPECT_EQ(one.writes_completed, many.writes_completed);
+        EXPECT_EQ(one.faults_injected, many.faults_injected);
+        EXPECT_EQ(one.decided_dropped, many.decided_dropped);
+        EXPECT_EQ(one.decided_duplicated, many.decided_duplicated);
+        EXPECT_EQ(one.decided_reordered, many.decided_reordered);
+        EXPECT_EQ(one.decided_delayed, many.decided_delayed);
+        EXPECT_EQ(one.crashes_executed, many.crashes_executed);
+      }
+    }
+  }
+}
+
+TEST(ChaosPerNodeSplitTest, PerNodeUpholdsInvariantsAgainstSerial) {
+  for (chaos::EngineKind engine :
+       {chaos::EngineKind::kSpot, chaos::EngineKind::kP4}) {
+    chaos::ChaosOptions opt = chaos::SweepOptions(engine, /*seed=*/5);
+    const chaos::ChaosResult serial = chaos::RunChaos(opt);
+    opt.mode = chaos::ExecutionMode::kSplit;
+    opt.split_scope = chaos::SplitScope::kPerNode;
+    opt.split_workers = 2;
+    const chaos::ChaosResult split = chaos::RunChaos(opt);
+    EXPECT_TRUE(serial.Passed()) << chaos::EngineKindName(engine);
+    EXPECT_TRUE(split.Passed()) << chaos::EngineKindName(engine);
+    EXPECT_EQ(serial.history.size(), split.history.size());
+    EXPECT_EQ(serial.crashes_executed, split.crashes_executed);
+  }
+}
+
+}  // namespace
+}  // namespace cowbird

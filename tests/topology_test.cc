@@ -1,0 +1,312 @@
+// The topology graph and its partitioner (net/topology.h):
+//
+//   * Topology round-trips nodes (kind, name, fabric address) and edges
+//     (endpoints, propagation, auto-generated names).
+//   * PartitionTopology assigns one domain per partition group with domain
+//     ids in first-appearance order, emits cut edges per direction in edge
+//     order, and derives the epoch horizon as the minimum lookahead over
+//     cut edges only.
+//   * A zero-propagation cut is reported as a structured error naming the
+//     edge and both endpoints; intra-domain edges never trip it.
+//   * FabricDomains aliases domain 0 to the caller's root Simulation,
+//     creates no group for a single-domain partition, and drives an N-way
+//     DomainGroup bit-identically for any worker count.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/topology.h"
+#include "sim/parallel.h"
+#include "sim/simulation.h"
+#include "workload/testbed.h"
+
+namespace cowbird {
+namespace {
+
+using net::FabricDomains;
+using net::Partition;
+using net::PartitionTopology;
+using net::TopoNodeId;
+using net::TopoNodeKind;
+using net::Topology;
+
+// ------------------------------------------------------------------- Topology
+
+TEST(TopologyTest, RoundTripsNodesAndEdges) {
+  Topology topo;
+  const TopoNodeId host =
+      topo.AddNode(TopoNodeKind::kComputeHost, "client0", /*address=*/1);
+  const TopoNodeId tor = topo.AddNode(TopoNodeKind::kSwitch, "tor");
+  const TopoNodeId mem =
+      topo.AddNode(TopoNodeKind::kMemoryServer, "mem0", /*address=*/2);
+  const int uplink = topo.AddEdge(host, tor, 200, "uplink[client0]");
+  const int auto_named = topo.AddEdge(mem, tor, 150);
+
+  ASSERT_EQ(topo.node_count(), 3);
+  ASSERT_EQ(topo.edge_count(), 2);
+  EXPECT_EQ(topo.node(host).kind, TopoNodeKind::kComputeHost);
+  EXPECT_EQ(topo.node(host).name, "client0");
+  EXPECT_EQ(topo.node(host).address, 1u);
+  EXPECT_EQ(topo.node(tor).address, 0u);
+  EXPECT_EQ(topo.edge(uplink).a, host);
+  EXPECT_EQ(topo.edge(uplink).b, tor);
+  EXPECT_EQ(topo.edge(uplink).propagation, 200);
+  EXPECT_EQ(topo.edge(uplink).name, "uplink[client0]");
+  // Unnamed edges self-describe from their endpoint names.
+  EXPECT_EQ(topo.edge(auto_named).name, "mem0<->tor");
+}
+
+TEST(TopologyTest, KindNamesCoverEveryKind) {
+  EXPECT_STREQ(net::TopoNodeKindName(TopoNodeKind::kComputeHost), "compute");
+  EXPECT_STREQ(net::TopoNodeKindName(TopoNodeKind::kMemoryServer), "memory");
+  EXPECT_STREQ(net::TopoNodeKindName(TopoNodeKind::kSpotHost), "spot");
+  EXPECT_STREQ(net::TopoNodeKindName(TopoNodeKind::kBystanderHost),
+               "bystander");
+  EXPECT_STREQ(net::TopoNodeKindName(TopoNodeKind::kSwitch), "switch");
+}
+
+// ------------------------------------------------------------------ Partition
+
+TEST(PartitionTest, UngroupedNodesPartitionAlone) {
+  Topology topo;
+  topo.AddNode(TopoNodeKind::kComputeHost, "a");
+  topo.AddNode(TopoNodeKind::kSwitch, "b");
+  topo.AddNode(TopoNodeKind::kMemoryServer, "c");
+  const Partition part = PartitionTopology(topo);
+  EXPECT_EQ(part.domain_count(), 3);
+  for (TopoNodeId n = 0; n < 3; ++n) EXPECT_EQ(part.domain_of(n), n);
+}
+
+TEST(PartitionTest, GroupsFuseWithFirstAppearanceDomainOrder) {
+  Topology topo;
+  const TopoNodeId n0 = topo.AddNode(TopoNodeKind::kComputeHost, "n0");
+  const TopoNodeId n1 = topo.AddNode(TopoNodeKind::kSwitch, "n1");
+  const TopoNodeId n2 = topo.AddNode(TopoNodeKind::kMemoryServer, "n2");
+  const TopoNodeId n3 = topo.AddNode(TopoNodeKind::kSpotHost, "n3");
+  // Group tags are arbitrary labels; domain ids follow first appearance in
+  // node order, so node 0 always lands in domain 0.
+  topo.SetGroup(n0, 7);
+  topo.SetGroup(n2, 7);
+  topo.SetGroup(n3, 2);
+  const Partition part = PartitionTopology(topo);
+  EXPECT_EQ(part.domain_count(), 3);
+  EXPECT_EQ(part.domain_of(n0), 0);
+  EXPECT_EQ(part.domain_of(n1), 1);  // ungrouped singleton
+  EXPECT_EQ(part.domain_of(n2), 0);
+  EXPECT_EQ(part.domain_of(n3), 2);
+}
+
+TEST(PartitionTest, GroupAllCollapsesToOneDomainWithNoCuts) {
+  Topology topo;
+  const TopoNodeId a = topo.AddNode(TopoNodeKind::kComputeHost, "a");
+  const TopoNodeId b = topo.AddNode(TopoNodeKind::kSwitch, "b");
+  topo.AddEdge(a, b, 0);  // zero propagation is fine intra-domain
+  topo.GroupAll(0);
+  const Partition part = PartitionTopology(topo);
+  EXPECT_EQ(part.domain_count(), 1);
+  EXPECT_TRUE(part.cut_edges().empty());
+  EXPECT_EQ(part.lookahead(), sim::kNoEventTime);
+  EXPECT_FALSE(part.zero_lookahead_error().has_value());
+}
+
+TEST(PartitionTest, CutEdgesEmittedPerDirectionWithMinLookahead) {
+  Topology topo;
+  const TopoNodeId a = topo.AddNode(TopoNodeKind::kComputeHost, "a");
+  const TopoNodeId b = topo.AddNode(TopoNodeKind::kSwitch, "b");
+  const TopoNodeId c = topo.AddNode(TopoNodeKind::kMemoryServer, "c");
+  const int ab = topo.AddEdge(a, b, 200);
+  const int bc = topo.AddEdge(b, c, 150);
+  // Fuse b and c: only a<->b is cut; b<->c places no bound on the horizon.
+  topo.SetGroup(b, 1);
+  topo.SetGroup(c, 1);
+  const Partition part = PartitionTopology(topo);
+  ASSERT_EQ(part.domain_count(), 2);
+  ASSERT_EQ(part.cut_edges().size(), 2u);
+  EXPECT_EQ(part.cut_edges()[0].edge, ab);
+  EXPECT_EQ(part.cut_edges()[0].src_domain, 0);
+  EXPECT_EQ(part.cut_edges()[0].dst_domain, 1);
+  EXPECT_EQ(part.cut_edges()[1].src_domain, 1);
+  EXPECT_EQ(part.cut_edges()[1].dst_domain, 0);
+  EXPECT_EQ(part.lookahead(), 200);
+  (void)bc;
+
+  // Split the fused pair too: now both edges are cut and the horizon drops
+  // to the smaller propagation.
+  topo.SetGroup(c, 2);
+  const Partition finer = PartitionTopology(topo);
+  EXPECT_EQ(finer.domain_count(), 3);
+  EXPECT_EQ(finer.cut_edges().size(), 4u);
+  EXPECT_EQ(finer.lookahead(), 150);
+}
+
+TEST(PartitionTest, ZeroLookaheadCutNamesEdgeAndBothEndpoints) {
+  Topology topo;
+  const TopoNodeId a = topo.AddNode(TopoNodeKind::kComputeHost, "clientX");
+  const TopoNodeId b = topo.AddNode(TopoNodeKind::kSwitch, "torY");
+  topo.AddEdge(a, b, 0, "uplink[clientX]");
+  const Partition part = PartitionTopology(topo);
+  ASSERT_TRUE(part.zero_lookahead_error().has_value());
+  const std::string& error = *part.zero_lookahead_error();
+  EXPECT_NE(error.find("zero-lookahead cut"), std::string::npos) << error;
+  EXPECT_NE(error.find("uplink[clientX]"), std::string::npos) << error;
+  EXPECT_NE(error.find("'clientX' (domain 0)"), std::string::npos) << error;
+  EXPECT_NE(error.find("'torY' (domain 1)"), std::string::npos) << error;
+}
+
+TEST(PartitionTest, DescribeListsDomainMapCutsAndHorizon) {
+  Topology topo;
+  const TopoNodeId a = topo.AddNode(TopoNodeKind::kComputeHost, "host");
+  const TopoNodeId b = topo.AddNode(TopoNodeKind::kSwitch, "tor");
+  topo.AddEdge(a, b, 250);
+  const Partition part = PartitionTopology(topo);
+  const std::string text = part.Describe(topo);
+  EXPECT_NE(text.find("2 domains"), std::string::npos) << text;
+  EXPECT_NE(text.find("'host' (compute) -> domain 0"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("'tor' (switch) -> domain 1"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("epoch horizon: 250 ns"), std::string::npos) << text;
+}
+
+// -------------------------------------------------------------- FabricDomains
+
+TEST(FabricDomainsTest, SingleDomainAliasesRootWithNoGroup) {
+  Topology topo;
+  topo.AddNode(TopoNodeKind::kComputeHost, "a");
+  topo.AddNode(TopoNodeKind::kSwitch, "b");
+  topo.AddEdge(0, 1, 100);
+  topo.GroupAll(0);
+  const Partition part = PartitionTopology(topo);
+  sim::Simulation root;
+  FabricDomains fabric(root, part);
+  EXPECT_EQ(fabric.group(), nullptr);
+  EXPECT_EQ(&fabric.sim_for(0), &root);
+  EXPECT_EQ(&fabric.sim_for(1), &root);
+  bool ran = false;
+  root.ScheduleAt(10, [&] { ran = true; });
+  fabric.Run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(fabric.Now(), root.Now());
+  EXPECT_EQ(fabric.EventsProcessed(), root.EventsProcessed());
+}
+
+TEST(FabricDomainsTest, SplitOwnsOneSimulationPerExtraDomain) {
+  Topology topo;
+  topo.AddNode(TopoNodeKind::kComputeHost, "a");
+  topo.AddNode(TopoNodeKind::kSwitch, "b");
+  topo.AddNode(TopoNodeKind::kMemoryServer, "c");
+  topo.AddEdge(0, 1, 100);
+  topo.AddEdge(1, 2, 100);
+  const Partition part = PartitionTopology(topo);
+  sim::Simulation root;
+  FabricDomains fabric(root, part, /*workers=*/1);
+  ASSERT_NE(fabric.group(), nullptr);
+  EXPECT_EQ(fabric.group()->domain_count(), 3);
+  EXPECT_EQ(&fabric.domain_sim(0), &root);
+  EXPECT_NE(&fabric.domain_sim(1), &root);
+  EXPECT_NE(&fabric.domain_sim(2), &fabric.domain_sim(1));
+}
+
+// A 4-domain chain driven end to end: an event hops domain to domain across
+// the cut edges. The arrival times and event totals must be identical for
+// any worker count — the N-way generalization of the 2-domain pin.
+TEST(FabricDomainsTest, NWayChainBitIdenticalAcrossWorkerCounts) {
+  constexpr int kNodes = 4;
+  constexpr Nanos kHop = 100;
+  struct Outcome {
+    std::vector<Nanos> arrival;
+    std::uint64_t events = 0;
+    bool operator==(const Outcome& o) const {
+      return arrival == o.arrival && events == o.events;
+    }
+  };
+  auto run = [&](int workers) {
+    Topology topo;
+    for (int n = 0; n < kNodes; ++n) {
+      topo.AddNode(TopoNodeKind::kComputeHost, "n" + std::to_string(n));
+    }
+    for (int n = 0; n + 1 < kNodes; ++n) topo.AddEdge(n, n + 1, kHop);
+    const Partition part = PartitionTopology(topo);
+    sim::Simulation root;
+    FabricDomains fabric(root, part, workers);
+    sim::DomainGroup* group = fabric.group();
+    // Register every cut edge the way a wired testbed's links would.
+    for (const net::CutEdgeInfo& cut : part.cut_edges()) {
+      sim::CutEdge edge;
+      edge.src = cut.src_domain;
+      edge.dst = cut.dst_domain;
+      edge.lookahead = cut.lookahead;
+      edge.link = topo.edge(cut.edge).name;
+      edge.src_node = topo.node(topo.edge(cut.edge).a).name;
+      edge.dst_node = topo.node(topo.edge(cut.edge).b).name;
+      group->NoteCrossLink(edge);
+    }
+
+    Outcome outcome;
+    outcome.arrival.assign(kNodes, -1);
+    std::function<void(int)> hop;
+    hop = [&](int d) {
+      outcome.arrival[static_cast<std::size_t>(d)] =
+          fabric.domain_sim(d).Now();
+      if (d + 1 < kNodes) {
+        group->CrossPost(d, d + 1, fabric.domain_sim(d).Now() + kHop,
+                         [&hop, d] { hop(d + 1); });
+      }
+    };
+    fabric.domain_sim(0).ScheduleAt(50, [&] { hop(0); });
+    fabric.Run();
+    outcome.events = fabric.EventsProcessed();
+    return outcome;
+  };
+
+  const Outcome one = run(1);
+  EXPECT_EQ(one.arrival, (std::vector<Nanos>{50, 150, 250, 350}));
+  for (int workers : {2, 4, 8}) {
+    EXPECT_TRUE(run(workers) == one) << "workers=" << workers;
+  }
+}
+
+// ----------------------------------------------------- testbeds as topologies
+
+TEST(TestbedTopologyTest, SerialAndSplitReduceToExpectedPartitions) {
+  workload::Testbed serial;
+  EXPECT_EQ(serial.partition.domain_count(), 1);
+  EXPECT_EQ(serial.group, nullptr);
+
+  workload::Testbed split(/*compute_cores=*/16, BitRate::Gbps(100),
+                          /*split_domains=*/true, /*split_workers=*/1);
+  EXPECT_EQ(split.partition.domain_count(), 2);
+  ASSERT_NE(split.group, nullptr);
+  // The PR 5 layout through the general partitioner: the compute host alone
+  // in domain 0, switch + memory/spot/bystander fused in domain 1.
+  EXPECT_EQ(split.partition.domain_of(workload::Testbed::kComputeNode), 0);
+  EXPECT_EQ(split.partition.domain_of(workload::Testbed::kSwitchNode), 1);
+}
+
+TEST(TestbedTopologyTest, FanInSplitsOneDomainPerNode) {
+  workload::FanInConfig cfg;
+  cfg.clients = 3;
+  cfg.memory_servers = 2;
+  cfg.split = true;
+  cfg.split_workers = 1;
+  workload::FanInTestbed bed(cfg);
+  // 3 clients + switch + 2 memory servers + spot host = 7 nodes, 7 domains.
+  EXPECT_EQ(bed.topo.node_count(), 7);
+  EXPECT_EQ(bed.partition.domain_count(), 7);
+  ASSERT_TRUE(bed.split());
+  // Every client uplink is a cut edge: 6 directed cuts per... 6 edges × 2.
+  EXPECT_EQ(bed.partition.cut_edges().size(), 12u);
+  EXPECT_GT(bed.partition.lookahead(), 0);
+
+  workload::FanInConfig serial_cfg;
+  serial_cfg.clients = 3;
+  serial_cfg.memory_servers = 2;
+  workload::FanInTestbed serial_bed(serial_cfg);
+  EXPECT_EQ(serial_bed.partition.domain_count(), 1);
+  EXPECT_FALSE(serial_bed.split());
+}
+
+}  // namespace
+}  // namespace cowbird
