@@ -18,6 +18,26 @@ std::string FormatRate(double v) {
 
 }  // namespace
 
+const char* CongestionScenarioName(CongestionScenario scenario) {
+  switch (scenario) {
+    case CongestionScenario::kNone: return "none";
+    case CongestionScenario::kIncast: return "incast";
+    case CongestionScenario::kVictim: return "victim";
+    case CongestionScenario::kPauseStorm: return "pause_storm";
+  }
+  return "none";
+}
+
+std::optional<CongestionScenario> ParseCongestionScenario(
+    std::string_view name) {
+  for (const CongestionScenario scenario :
+       {CongestionScenario::kNone, CongestionScenario::kIncast,
+        CongestionScenario::kVictim, CongestionScenario::kPauseStorm}) {
+    if (name == CongestionScenarioName(scenario)) return scenario;
+  }
+  return std::nullopt;
+}
+
 std::string FaultPlan::Serialize() const {
   std::ostringstream out;
   out << "drop=" << FormatRate(drop_rate)
@@ -35,6 +55,10 @@ std::string FaultPlan::Serialize() const {
   for (std::size_t i = 0; i < crashes.size(); ++i) {
     if (i > 0) out << ',';
     out << crashes[i];
+  }
+  // Emitted only when set: pre-congestion traces stay byte-identical.
+  if (congestion != CongestionScenario::kNone) {
+    out << " congestion=" << CongestionScenarioName(congestion);
   }
   return out.str();
 }
@@ -84,6 +108,11 @@ std::optional<FaultPlan> FaultPlan::Parse(std::string_view line) {
       while (std::getline(list, item, ',')) {
         plan.crashes.push_back(std::strtoll(item.c_str(), nullptr, 10));
       }
+      continue;
+    } else if (key == "congestion") {
+      const auto scenario = ParseCongestionScenario(value);
+      if (!scenario.has_value()) return std::nullopt;
+      plan.congestion = *scenario;
       continue;
     } else {
       return std::nullopt;  // unknown key: refuse to half-parse a trace

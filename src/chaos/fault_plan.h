@@ -17,6 +17,23 @@
 
 namespace cowbird::chaos {
 
+// Shared-fabric congestion scenarios a chaos run can layer on top of the
+// packet faults. kIncast shrinks the switch's egress queues and turns on
+// ECN marking + DCQCN so the fabric is genuinely contended; kVictim is the
+// same contention shape but the checker's interest shifts to the
+// uncongested flows (they must keep their rate); kPauseStorm enables PFC
+// and injects repeated pause frames at the switch egress links.
+enum class CongestionScenario : std::uint8_t {
+  kNone,
+  kIncast,
+  kVictim,
+  kPauseStorm,
+};
+
+const char* CongestionScenarioName(CongestionScenario scenario);
+std::optional<CongestionScenario> ParseCongestionScenario(
+    std::string_view name);
+
 struct FaultPlan {
   // Per-RDMA-packet fault probabilities. The injector draws one uniform
   // variate per packet and partitions it, so the faults are mutually
@@ -47,6 +64,10 @@ struct FaultPlan {
   // without draining (halting its QPs) and migrates the instance through
   // the registry.
   std::vector<Nanos> crashes;
+
+  // Congestion scenario (kNone by default; Serialize omits the key then,
+  // so pre-congestion traces round-trip byte-identically).
+  CongestionScenario congestion = CongestionScenario::kNone;
 
   bool AnyPacketFaults() const {
     return drop_rate > 0 || duplicate_rate > 0 || reorder_rate > 0 ||

@@ -17,6 +17,7 @@
 #include "offload/progress.h"
 #include "offload/registry.h"
 #include "p4/engine.h"
+#include "rdma/congestion.h"
 #include "rdma/device.h"
 #include "rdma/params.h"
 #include "sim/parallel.h"
@@ -41,6 +42,17 @@ constexpr std::uint16_t kRegion = 1;
 // Issue no new operations past this point; drain until the hard deadline.
 constexpr Nanos kIssueDeadline = Millis(20);
 constexpr Nanos kDrainDeadline = Millis(40);
+
+// Bystander-tenant traffic behind the incast/victim scenarios: 4 KiB
+// closed-loop streams deep enough to push an egress queue past the ECN
+// threshold. Starts almost immediately so it overlaps even the shortest
+// workloads (the run's Halt() is what ends it).
+constexpr Nanos kBgStart = Micros(50);
+constexpr Bytes kBgBytes = 4096;
+constexpr int kBgWindow = 24;
+constexpr std::uint64_t kBgSpan = MiB(4);
+constexpr std::uint64_t kBgMemBase = 0xA000'0000;    // scratch on responder
+constexpr std::uint64_t kBgLocalBase = 0xC000'0000;  // requester staging
 
 // The whole deterministic world of one chaos run: the Section 7 testbed
 // topology, a client, the serving engine plus spot standbys behind an
@@ -79,8 +91,41 @@ struct ChaosHarness {
     return topo;
   }
 
+  // Congestion scenarios tighten the fabric; kNone leaves every knob at
+  // its default so pre-congestion runs stay byte-identical.
+  static net::Switch::Config MakeSwitchConfig(
+      const ChaosOptions& opt, const rdma::FabricParams& fabric) {
+    net::Switch::Config sc;
+    sc.pipeline_latency = fabric.switch_pipeline;
+    switch (opt.plan.congestion) {
+      case CongestionScenario::kNone:
+        break;
+      case CongestionScenario::kIncast:
+      case CongestionScenario::kVictim:
+        sc.egress_queue_capacity = KiB(64);
+        sc.ecn_threshold = KiB(16);
+        break;
+      case CongestionScenario::kPauseStorm:
+        sc.pfc_enabled = true;
+        sc.pfc_pause_threshold = KiB(32);
+        sc.pfc_resume_threshold = KiB(16);
+        break;
+    }
+    return sc;
+  }
+
+  static rdma::NicConfig MakeNicConfig(const ChaosOptions& opt) {
+    rdma::NicConfig nc;
+    if (opt.plan.congestion == CongestionScenario::kIncast ||
+        opt.plan.congestion == CongestionScenario::kVictim) {
+      nc.dcqcn.enabled = true;
+    }
+    return nc;
+  }
+
   ChaosHarness(const ChaosOptions& opt, telemetry::Hub* hub)
       : options(opt),
+        nic_config(MakeNicConfig(opt)),
         topo(BuildTopo(opt, fabric_params.link_propagation)),
         partition(net::PartitionTopology(topo)),
         domains(sim, partition, opt.split_workers),
@@ -88,8 +133,7 @@ struct ChaosHarness {
         msim(domains.sim_for(kMemoryNode)),
         ssim(domains.sim_for(kSpotNode)),
         group(domains.group()),
-        sw(esim, net::Switch::Config{.pipeline_latency =
-                                         fabric_params.switch_pipeline}),
+        sw(esim, MakeSwitchConfig(opt, fabric_params)),
         compute_nic(sim, kComputeId, fabric_params.host_link,
                     fabric_params.link_propagation),
         memory_nic(msim, kMemoryId, fabric_params.host_link,
@@ -206,6 +250,23 @@ struct ChaosHarness {
       injector.Attach(memory_nic.uplink());
       injector.Attach(spot_nic.uplink());
     }
+    if (opt.plan.congestion == CongestionScenario::kIncast ||
+        opt.plan.congestion == CongestionScenario::kVictim) {
+      SetupBackgroundTraffic(opt.plan.congestion);
+    }
+    if (opt.plan.congestion == CongestionScenario::kPauseStorm) {
+      // A storm of pause frames "received" at the switch egress: every
+      // 200us between 1ms and 6ms, the links toward the memory and compute
+      // hosts pause their data classes for 50us. Egress-link transmit state
+      // lives in the switch domain, so the events schedule on esim and the
+      // storm is identical under any split.
+      for (Nanos when = Millis(1); when < Millis(6); when += Micros(200)) {
+        esim.ScheduleAt(when, [this] {
+          sw.EgressLink(memory_nic.switch_port()).PauseData(Micros(50));
+          sw.EgressLink(compute_nic.switch_port()).PauseData(Micros(50));
+        });
+      }
+    }
     for (const Nanos when : opt.plan.crashes) {
       if (group != nullptr) {
         // Crash + migration spans both domains (registry, both NIC sides,
@@ -309,6 +370,73 @@ struct ChaosHarness {
     return binding;
   }
 
+  // One bystander flow: a closed-loop 4 KiB stream on its own QP pair,
+  // pumped from the requester's domain sim so splits see identical event
+  // orderings.
+  struct BgFlow {
+    rdma::QpPair pair;
+    sim::Simulation* psim = nullptr;
+    bool write = false;
+    std::uint64_t laddr = 0;
+    std::uint64_t raddr = 0;
+    std::uint32_t rkey = 0;
+    std::uint64_t posted = 0;
+  };
+
+  // kIncast fans two read streams (served by the memory and spot hosts)
+  // into the compute port, so the tenant under test shares the congested
+  // egress with the bystander. kVictim aims two write streams at the
+  // memory port instead: the tenant's own requests must cross a port
+  // somebody else congested. Both shapes leave the fault plan's packet
+  // streams untouched — the bystander packets go through the same
+  // injector, which is part of the scenario's determinism surface.
+  void SetupBackgroundTraffic(CongestionScenario scenario) {
+    bg_flows.reserve(2);
+    if (scenario == CongestionScenario::kIncast) {
+      const auto* mem_mr = memory_dev.RegisterMemory(kBgMemBase, kBgSpan);
+      const auto* spot_mr = spot_dev.RegisterMemory(kBgMemBase, kBgSpan);
+      memory_mem.PreFault(kBgMemBase, kBgSpan);
+      spot_mem.PreFault(kBgMemBase, kBgSpan);
+      compute_mem.PreFault(kBgLocalBase, 2 * kBgSpan);
+      bg_flows.push_back(BgFlow{ConnectQueuePairs(compute_dev, memory_dev),
+                                &sim, /*write=*/false, kBgLocalBase,
+                                mem_mr->base, mem_mr->rkey});
+      bg_flows.push_back(BgFlow{ConnectQueuePairs(compute_dev, spot_dev),
+                                &sim, /*write=*/false, kBgLocalBase + kBgSpan,
+                                spot_mr->base, spot_mr->rkey});
+    } else {
+      const auto* mem_mr = memory_dev.RegisterMemory(kBgMemBase, kBgSpan);
+      memory_mem.PreFault(kBgMemBase, kBgSpan);
+      compute_mem.PreFault(kBgLocalBase, kBgSpan);
+      spot_mem.PreFault(kBgLocalBase, kBgSpan);
+      bg_flows.push_back(BgFlow{ConnectQueuePairs(compute_dev, memory_dev),
+                                &sim, /*write=*/true, kBgLocalBase,
+                                mem_mr->base, mem_mr->rkey});
+      bg_flows.push_back(BgFlow{ConnectQueuePairs(spot_dev, memory_dev),
+                                &ssim, /*write=*/true, kBgLocalBase,
+                                mem_mr->base, mem_mr->rkey});
+    }
+    for (BgFlow& f : bg_flows) {
+      f.psim->ScheduleAt(kBgStart, [this, &f] {
+        for (int i = 0; i < kBgWindow; ++i) PostBg(f);
+        PumpBg(f);
+      });
+    }
+  }
+
+  void PostBg(BgFlow& f) {
+    const std::uint64_t slot = f.posted++ % (kBgSpan / kBgBytes);
+    f.pair.a->PostSend(rdma::SendWqe{
+        f.write ? rdma::WqeOp::kWrite : rdma::WqeOp::kRead, f.posted,
+        f.laddr + slot * kBgBytes, f.raddr + slot * kBgBytes, f.rkey,
+        static_cast<std::uint32_t>(kBgBytes), true});
+  }
+
+  void PumpBg(BgFlow& f) {
+    while (f.pair.a_send_cq->Pop()) PostBg(f);
+    f.psim->ScheduleAfter(500, [this, &f] { PumpBg(f); });
+  }
+
   void CrashServingEngine() {
     if (serving == offload::kNoEngine) return;
     // Bring up the standby as a *new* registry engine first so the
@@ -362,6 +490,7 @@ struct ChaosHarness {
   spot::SpotAgent* serving_agent = nullptr;
   EngineId serving = offload::kNoEngine;
   FaultInjector injector;
+  std::vector<BgFlow> bg_flows;
   telemetry::Hub* telemetry_hub = nullptr;
   telemetry::HubShards shards;
   std::vector<net::Link*> bound_links;
@@ -579,6 +708,22 @@ ChaosResult RunChaos(const ChaosOptions& options, telemetry::Hub* hub) {
   result.decided_reordered = harness.injector.decided_reordered();
   result.decided_delayed = harness.injector.decided_delayed();
   result.crashes_executed = harness.crashes_executed;
+  result.ecn_marked = harness.sw.ecn_marked();
+  result.pfc_pauses = harness.sw.pfc_pauses_sent();
+  for (net::Link* link :
+       {&harness.sw.EgressLink(harness.compute_nic.switch_port()),
+        &harness.sw.EgressLink(harness.memory_nic.switch_port()),
+        &harness.sw.EgressLink(harness.spot_nic.switch_port()),
+        &harness.compute_nic.uplink(), &harness.memory_nic.uplink(),
+        &harness.spot_nic.uplink()}) {
+    result.link_pauses += link->pauses_received();
+  }
+  for (rdma::Device* dev :
+       {&harness.compute_dev, &harness.memory_dev, &harness.spot_dev}) {
+    if (rdma::CongestionManager* cm = dev->congestion()) {
+      result.cnps += cm->cnps_received();
+    }
+  }
   if (hub != nullptr) {
     result.telemetry = hub->metrics.TakeSnapshot();
     harness.shards.MergeInto(result.telemetry);

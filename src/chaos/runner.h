@@ -88,6 +88,11 @@ struct ChaosResult {
   std::uint64_t decided_reordered = 0;
   std::uint64_t decided_delayed = 0;
   std::uint64_t crashes_executed = 0;
+  // Congestion observability (all zero when the plan's scenario is kNone).
+  std::uint64_t ecn_marked = 0;       // CE rewrites at the switch
+  std::uint64_t pfc_pauses = 0;       // pause frames the switch originated
+  std::uint64_t link_pauses = 0;      // pauses honored across fabric links
+  std::uint64_t cnps = 0;             // CNPs received across every NIC
   // Metric snapshot taken just before teardown when RunChaos was given a
   // hub (empty otherwise). Teardown unbinds every per-run gauge — the links
   // and engines die with the harness — so this is the instrumented run's

@@ -58,6 +58,7 @@ SweepOutcome RunSweep(const SweepConfig& config) {
     const auto index = static_cast<std::size_t>(i);
     ChaosOptions opt = SweepOptions(items[index].engine, items[index].seed,
                                     config.break_fence);
+    opt.plan.congestion = config.congestion;
     if (config.split) {
       opt.mode = ExecutionMode::kSplit;
       opt.split_scope = config.split_scope;

@@ -34,6 +34,10 @@ struct SweepConfig {
   // domain per topology node (SplitScope::kPerNode).
   SplitScope split_scope = SplitScope::kPair;
   int split_workers = 1;  // per-run workers when split (0 → hardware)
+  // Layers a shared-fabric congestion scenario onto every seed's fault
+  // plan. kNone leaves the plans untouched, so the report stays byte-
+  // identical to a pre-congestion sweep.
+  CongestionScenario congestion = CongestionScenario::kNone;
 };
 
 struct SweepOutcome {

@@ -9,7 +9,40 @@ namespace cowbird::net {
 
 void Link::Send(Packet packet) {
   queue_.push_back(std::move(packet));
-  if (!busy_) StartNext();
+  if (!busy_ && HasEligible()) StartNext();
+}
+
+bool Link::HasEligible() const {
+  if (!data_paused_) return !queue_.empty();
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    if (queue_[i].priority == Priority::kControl) return true;
+  }
+  return false;
+}
+
+void Link::PauseData(Nanos duration) {
+  if (duration <= 0) {
+    ResumeData();
+    return;
+  }
+  ++pauses_received_;
+  if (!data_paused_) {
+    data_paused_ = true;
+    pause_started_at_ = sim_->Now();
+  }
+  // A refresh extends the deadline: congestion that persists keeps the port
+  // paused without gaps.
+  pause_timer_.Cancel();
+  pause_timer_ =
+      sim_->ScheduleCancelableAfter(duration, [this] { ResumeData(); });
+}
+
+void Link::ResumeData() {
+  if (!data_paused_) return;
+  data_paused_ = false;
+  paused_ns_ += static_cast<std::uint64_t>(sim_->Now() - pause_started_at_);
+  pause_timer_.Cancel();
+  if (!busy_ && HasEligible()) StartNext();
 }
 
 void Link::SetDestination(sim::Simulation& dst) {
@@ -29,17 +62,24 @@ void Link::SetDestination(sim::Simulation& dst) {
 }
 
 void Link::StartNext() {
-  COWBIRD_CHECK(!queue_.empty());
-  busy_ = true;
-  std::size_t next = 0;
-  if (priority_scheduling_) {
-    for (std::size_t i = 1; i < queue_.size(); ++i) {
-      if (static_cast<int>(queue_[i].priority) >
-          static_cast<int>(queue_[next].priority)) {
-        next = i;
-      }
+  // Pick the first eligible packet (FIFO), or the highest-priority eligible
+  // one under priority scheduling. While data-paused only kControl is
+  // eligible; ineligible packets are held in place, never dropped.
+  std::size_t next = queue_.size();
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    if (data_paused_ && queue_[i].priority != Priority::kControl) continue;
+    if (next == queue_.size()) {
+      next = i;
+      if (!priority_scheduling_) break;
+      continue;
+    }
+    if (static_cast<int>(queue_[i].priority) >
+        static_cast<int>(queue_[next].priority)) {
+      next = i;
     }
   }
+  COWBIRD_CHECK(next < queue_.size());
+  busy_ = true;
   Packet packet = std::move(queue_[next]);
   queue_.erase_at(next);
   const Nanos tx = rate_.TransmitTime(packet.WireBytes());
@@ -63,9 +103,12 @@ void Link::StartNext() {
   }
   sim_->ScheduleAfter(tx, [this] {
     busy_ = false;
-    if (!queue_.empty()) {
+    if (HasEligible()) {
       StartNext();
-    } else if (idle_callback_) {
+    } else if (queue_.empty() && idle_callback_) {
+      // Data held behind a pause is neither transmitted nor "drained": the
+      // idle callback only fires on a genuinely empty queue; ResumeData
+      // re-kicks held packets when the pause lifts.
       idle_callback_();
     }
   });
@@ -136,6 +179,8 @@ void Link::BindTelemetry(telemetry::MetricRegistry& registry,
       {"link_faults_duplicated", &faults_duplicated_},
       {"link_faults_delayed", &faults_delayed_},
       {"link_faults_reordered", &faults_reordered_},
+      {"link_paused_ns", &paused_ns_},
+      {"link_pfc_pauses", &pauses_received_},
   };
   for (const auto& s : series) {
     registry.RegisterCallbackGauge(s.name, labels, [cell = s.cell] {
@@ -150,7 +195,7 @@ void Link::UnbindTelemetry() {
        {"link_packets_delivered", "link_bytes_delivered",
         "link_packets_dropped", "link_faults_dropped",
         "link_faults_duplicated", "link_faults_delayed",
-        "link_faults_reordered"}) {
+        "link_faults_reordered", "link_paused_ns", "link_pfc_pauses"}) {
     telemetry_registry_->UnregisterCallbackGauge(name, telemetry_labels_);
   }
   telemetry_registry_ = nullptr;

@@ -92,10 +92,27 @@ class Link {
     priority_scheduling_ = enabled;
   }
 
+  // PFC: pauses the data classes (everything below Priority::kControl) for
+  // `duration` ns. Control frames keep flowing — that is what keeps the
+  // pause/CNP loop itself deadlock-free. A refresh while already paused
+  // extends the deadline; a zero/negative duration (or the timer expiring)
+  // resumes and re-kicks the transmitter. Queued data packets are *held*,
+  // not dropped, so delivery back-pressures instead of losing frames — and
+  // the per-fault counters (counted once at delivery) stay exact even when
+  // a pause defers the transmit that precedes them.
+  void PauseData(Nanos duration);
+  void ResumeData();
+  bool data_paused() const { return data_paused_; }
+
   bool TransmitterIdle() const { return !busy_; }
   std::size_t QueuedPackets() const { return queue_.size(); }
   BitRate rate() const { return rate_; }
   Nanos propagation() const { return propagation_; }
+
+  // Completed pause intervals, accumulated (an in-progress pause counts
+  // once it resumes).
+  std::uint64_t paused_ns() const { return paused_ns_; }
+  std::uint64_t pauses_received() const { return pauses_received_; }
 
   std::uint64_t packets_delivered() const { return packets_delivered_; }
   std::uint64_t bytes_delivered() const { return bytes_delivered_; }
@@ -116,6 +133,9 @@ class Link {
   void UnbindTelemetry();
 
  private:
+  // True when some queued packet may transmit now (any packet normally;
+  // only kControl while data-paused).
+  bool HasEligible() const;
   void StartNext();
   void Deliver(Packet packet);
   void Arrive(Packet packet);
@@ -137,6 +157,11 @@ class Link {
   FixedDeque<Packet> queue_;
   bool priority_scheduling_ = false;
   bool busy_ = false;
+  bool data_paused_ = false;
+  Nanos pause_started_at_ = 0;
+  sim::TimerHandle pause_timer_;
+  std::uint64_t paused_ns_ = 0;
+  std::uint64_t pauses_received_ = 0;
   std::uint64_t packets_delivered_ = 0;
   std::uint64_t bytes_delivered_ = 0;
   std::uint64_t packets_dropped_ = 0;

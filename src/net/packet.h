@@ -31,7 +31,16 @@ constexpr std::size_t kL2L3L4Bytes =
 constexpr std::size_t kWireExtraBytes = 24;
 constexpr std::uint16_t kRoceUdpPort = 4791;
 constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+// IEEE 802.3x/802.1Qbb flow-control frames (PFC pause/resume).
+constexpr std::uint16_t kEtherTypePfc = 0x8808;
 constexpr std::uint8_t kIpProtoUdp = 17;
+
+// ECN codepoints (RFC 3168, low two bits of the IPv4 TOS byte). Senders
+// with congestion control enabled stamp ECT(0); a congested switch queue
+// rewrites ECT to CE in place.
+constexpr std::uint8_t kEcnNotCapable = 0b00;
+constexpr std::uint8_t kEcnEct0 = 0b10;
+constexpr std::uint8_t kEcnCe = 0b11;
 
 struct EthernetHeader {
   std::uint64_t dst_mac = 0;  // low 48 bits used
@@ -60,6 +69,7 @@ struct EthernetHeader {
 
 struct Ipv4Header {
   std::uint8_t dscp = 0;  // carries the priority class on the wire
+  std::uint8_t ecn = kEcnNotCapable;  // RFC 3168 codepoint (TOS low bits)
   std::uint16_t total_length = 0;
   std::uint8_t ttl = 64;
   std::uint8_t protocol = kIpProtoUdp;
@@ -69,7 +79,7 @@ struct Ipv4Header {
   void Serialize(std::span<std::uint8_t> buf) const {
     COWBIRD_DCHECK(buf.size() >= kIpv4HeaderBytes);
     PutU8(buf, 0, 0x45);  // version 4, IHL 5
-    PutU8(buf, 1, static_cast<std::uint8_t>(dscp << 2));
+    PutU8(buf, 1, static_cast<std::uint8_t>((dscp << 2) | (ecn & 3)));
     PutU16(buf, 2, total_length);
     PutU16(buf, 4, 0);  // identification
     PutU16(buf, 6, 0x4000);  // don't fragment
@@ -83,6 +93,7 @@ struct Ipv4Header {
     COWBIRD_DCHECK(buf.size() >= kIpv4HeaderBytes);
     Ipv4Header h;
     h.dscp = static_cast<std::uint8_t>(GetU8(buf, 1) >> 2);
+    h.ecn = static_cast<std::uint8_t>(GetU8(buf, 1) & 3);
     h.total_length = GetU16(buf, 2);
     h.ttl = GetU8(buf, 8);
     h.protocol = GetU8(buf, 9);
@@ -277,6 +288,24 @@ struct Packet {
 
   Bytes WireBytes() const { return bytes.size() + kWireExtraBytes; }
 
+  // ECN codepoint of IPv4 frames, read/rewritten in place (frame offset 15
+  // is the TOS byte). Non-IPv4 frames (PFC) report kEcnNotCapable.
+  std::uint8_t EcnBits() const {
+    if (bytes.size() < kEthernetHeaderBytes + kIpv4HeaderBytes) {
+      return kEcnNotCapable;
+    }
+    if (EthernetHeader::Parse(bytes).ether_type != kEtherTypeIpv4) {
+      return kEcnNotCapable;
+    }
+    return static_cast<std::uint8_t>(bytes[kEthernetHeaderBytes + 1] & 3);
+  }
+  bool IsEcnCapable() const { return (EcnBits() & kEcnEct0) != 0; }
+  void SetEcnBits(std::uint8_t codepoint) {
+    COWBIRD_DCHECK(bytes.size() >= kEthernetHeaderBytes + kIpv4HeaderBytes);
+    std::uint8_t& tos = bytes[kEthernetHeaderBytes + 1];
+    tos = static_cast<std::uint8_t>((tos & ~3u) | (codepoint & 3u));
+  }
+
   std::span<const std::uint8_t> L3() const {
     return std::span<const std::uint8_t>(bytes).subspan(kEthernetHeaderBytes);
   }
@@ -317,6 +346,46 @@ inline Packet MakeUdpPacket(NodeId src, NodeId dst, std::size_t payload_len,
   udp.Serialize(std::span<std::uint8_t>(p.bytes).subspan(
       kEthernetHeaderBytes + kIpv4HeaderBytes));
   return p;
+}
+
+// --- PFC (priority flow control) frames ---------------------------------
+//
+// Modeled after 802.3x pause frames: an Ethernet header with ethertype
+// 0x8808, a 16-bit opcode, and the pause duration in virtual nanoseconds
+// (the real standard counts 512-bit quanta; the simulation pauses for an
+// explicit duration and refreshes before expiry while congestion
+// persists). A duration of zero is a resume. Pause applies to the data
+// classes only — Priority::kControl always flows, which is what keeps the
+// pause/CNP control loop itself deadlock-free.
+constexpr std::uint16_t kPfcOpcodePause = 0x0101;
+constexpr std::size_t kPfcFrameBytes = kEthernetHeaderBytes + 2 + 8;
+
+inline Packet MakePfcFrame(NodeId src, NodeId dst, Nanos pause_duration) {
+  Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.priority = Priority::kControl;
+  p.bytes.resize(kPfcFrameBytes);
+  EthernetHeader eth;
+  eth.dst_mac = 0x0180'C200'0001ull;  // 802.3x reserved multicast
+  eth.src_mac = 0x0200'0000'0000ull | src;
+  eth.ether_type = kEtherTypePfc;
+  eth.Serialize(p.bytes);
+  PutU16(p.bytes, kEthernetHeaderBytes, kPfcOpcodePause);
+  PutU64(p.bytes, kEthernetHeaderBytes + 2,
+         static_cast<std::uint64_t>(pause_duration));
+  return p;
+}
+
+inline bool IsPfcFrame(const Packet& p) {
+  return p.bytes.size() >= kPfcFrameBytes &&
+         EthernetHeader::Parse(p.bytes).ether_type == kEtherTypePfc;
+}
+
+// Pause duration carried by a PFC frame; zero means resume.
+inline Nanos PfcPauseDuration(const Packet& p) {
+  COWBIRD_DCHECK(IsPfcFrame(p));
+  return static_cast<Nanos>(GetU64(p.bytes, kEthernetHeaderBytes + 2));
 }
 
 }  // namespace cowbird::net

@@ -19,6 +19,7 @@
 #include "net/link.h"
 #include "net/packet.h"
 #include "sim/simulation.h"
+#include "telemetry/metrics.h"
 
 namespace cowbird::net {
 
@@ -42,6 +43,22 @@ class Switch {
   struct Config {
     Bytes egress_queue_capacity = MiB(4);  // per port, across priorities
     Nanos pipeline_latency = 400;          // ingress→egress, Tofino-like
+
+    // --- shared-fabric congestion (all off by default; the defaults keep
+    // every pre-existing run byte-identical) ---
+
+    // RED/ECN: when an egress queue already holds >= ecn_threshold bytes,
+    // an arriving ECT packet is rewritten to CE in place. 0 disables.
+    Bytes ecn_threshold = 0;
+    // PFC: per-ingress buffered-byte watermarks with hysteresis. Crossing
+    // pause_threshold sends a pause frame back out of that ingress port's
+    // egress link; draining to resume_threshold sends an explicit resume.
+    // The pause also self-expires after pfc_pause_duration (the deadline is
+    // the safety net if the resume frame is lost by a fault filter).
+    bool pfc_enabled = false;
+    Bytes pfc_pause_threshold = KiB(64);
+    Bytes pfc_resume_threshold = KiB(32);
+    Nanos pfc_pause_duration = Micros(10);
   };
 
   Switch(sim::Simulation& sim, Config config)
@@ -69,25 +86,60 @@ class Switch {
   void SetProcessor(PacketProcessor* processor) { processor_ = processor; }
 
   // Places a processed packet on an egress queue (tail-drops when full).
-  void EnqueueEgress(int port, Packet packet);
+  // The overload taking `ingress_port` attributes the buffered bytes to the
+  // port the packet came in on, which is what PFC watermarks count;
+  // processor-generated packets (P4 recycling, probes) use the two-argument
+  // form and stay un-attributed (ingress -1, never paused against).
+  void EnqueueEgress(int port, Packet packet) {
+    EnqueueEgress(port, std::move(packet), -1);
+  }
+  void EnqueueEgress(int port, Packet packet, int ingress_port);
 
   sim::Simulation& simulation() { return *sim_; }
 
   std::uint64_t egress_drops(int port) const { return ports_[port]->drops; }
+  Bytes egress_queued_bytes(int port) const {
+    return ports_[port]->queued_bytes;
+  }
   std::uint64_t forwarded() const { return forwarded_; }
+  std::uint64_t ecn_marked() const { return ecn_marked_; }
+  std::uint64_t pfc_pauses_sent() const { return pfc_pauses_sent_; }
+  std::uint64_t pfc_resumes_sent() const { return pfc_resumes_sent_; }
+  std::uint64_t total_drops() const {
+    std::uint64_t total = 0;
+    for (const auto& port : ports_) total += port->drops;
+    return total;
+  }
+
+  // Queue-depth / mark-rate / pause counters as snapshot-time callback
+  // gauges. The switch must outlive the registry or UnbindTelemetry first.
+  void BindTelemetry(telemetry::MetricRegistry& registry,
+                     const telemetry::Labels& labels);
+  void UnbindTelemetry();
 
  private:
+  struct Queued {
+    Packet packet;
+    int ingress = -1;  // attributed ingress port; -1 = generated
+  };
+
   struct Port {
     std::unique_ptr<Link> link;
-    std::array<FixedDeque<Packet>,
+    std::array<FixedDeque<Queued>,
                static_cast<std::size_t>(Priority::kLevels)>
         queues;
     Bytes queued_bytes = 0;
     std::uint64_t drops = 0;
+    // PFC state for this port acting as an *ingress*: bytes it currently
+    // has buffered anywhere in the switch, and whether it is paused.
+    Bytes ingress_buffered = 0;
+    bool pause_asserted = false;
   };
 
   void RunPipeline(int ingress_port, Packet packet);
   void Drain(int port);
+  void UpdatePfcOnEnqueue(int ingress_port);
+  void UpdatePfcOnDequeue(int ingress_port);
 
   sim::Simulation* sim_;
   Config config_;
@@ -95,6 +147,12 @@ class Switch {
   std::vector<std::pair<NodeId, int>> routes_;
   PacketProcessor* processor_ = nullptr;  // null → L3 forwarding
   std::uint64_t forwarded_ = 0;
+  std::uint64_t ecn_marked_ = 0;
+  std::uint64_t pfc_pauses_sent_ = 0;
+  std::uint64_t pfc_resumes_sent_ = 0;
+  Bytes queue_high_water_ = 0;  // deepest any single egress queue has been
+  telemetry::MetricRegistry* telemetry_registry_ = nullptr;
+  telemetry::Labels telemetry_labels_;
   // Per-packet action scratch, reused across pipeline invocations (the
   // pipeline never reenters itself: it only runs from scheduled events).
   std::vector<ForwardAction> pipeline_scratch_;
@@ -150,6 +208,12 @@ class HostNic {
 
  private:
   void Dispatch(Packet packet) {
+    // PFC frames terminate at the MAC: pause (or resume) the uplink's data
+    // classes instead of reaching any UDP consumer.
+    if (IsPfcFrame(packet)) {
+      uplink_->PauseData(PfcPauseDuration(packet));
+      return;
+    }
     const auto udp = UdpHeader::Parse(
         std::span<const std::uint8_t>(packet.bytes)
             .subspan(kEthernetHeaderBytes + kIpv4HeaderBytes));

@@ -316,6 +316,20 @@ void CowbirdP4Engine::ConsumeRdma(net::Packet packet) {
     HandleReadResponse(*inst, *qp, view, packet);
   } else if (view.bth.opcode == rdma::Opcode::kAcknowledge) {
     HandleAck(*inst, *qp, view);
+  } else if (view.bth.opcode == rdma::Opcode::kCnp) {
+    // The RMT pipeline has no per-flow rate state, so a CNP aimed at a
+    // switch endpoint is reflected to the memory *host* whose pool reads
+    // feed that flow — its NIC-side DCQCN is the reaction point. This is
+    // the P4/Spot asymmetry: Spot CNPs terminate at the memory host
+    // directly, P4 CNPs take this one extra reflection hop.
+    ++cnps_reflected_;
+    rdma::Bth bth;
+    bth.opcode = rdma::Opcode::kCnp;
+    bth.dest_qp = inst->to_memory.host.host_qpn;
+    bth.psn = 0;
+    SendPacket(rdma::BuildRdmaPacket(
+        config_.switch_node_id, inst->to_memory.host.node,
+        net::Priority::kControl, bth, nullptr, nullptr, {}));
   }
   // Anything else addressed to the switch endpoint is dropped.
 }
@@ -978,8 +992,13 @@ net::Packet CowbirdP4Engine::BuildRequest(
   bth.ack_request = ack_request;
   bth.dest_qp = qp.host.host_qpn;
   bth.psn = psn & rdma::kPsnMask;
-  return rdma::BuildRdmaPacket(config_.switch_node_id, qp.host.node,
-                               priority, bth, reth, nullptr, payload);
+  net::Packet packet =
+      rdma::BuildRdmaPacket(config_.switch_node_id, qp.host.node, priority,
+                            bth, reth, nullptr, payload);
+  if (config_.ecn_capable && priority != net::Priority::kControl) {
+    packet.SetEcnBits(net::kEcnEct0);
+  }
+  return packet;
 }
 
 void CowbirdP4Engine::SendPacket(net::Packet packet) {

@@ -108,6 +108,11 @@ class CowbirdP4Engine : public net::PacketProcessor {
     // Exists so the chaos harness can prove its linearizability checker
     // catches a real consistency bug; never enable outside tests.
     bool chaos_unsafe_skip_hazards = false;
+    // Stamps switch-generated data packets ECT(0) so congested egress
+    // queues can CE-mark them. The RMT pipeline keeps no per-flow rate
+    // state, so CNPs that come back are *reflected* to the memory host's
+    // endpoint (see ConsumeRdma) — the host NIC's DCQCN does the pacing.
+    bool ecn_capable = false;
     // Optional telemetry hub: op lifecycle phases (parsed/execute/done),
     // probe spans, per-instance queue-depth gauges, and engine counters.
     // nullptr = telemetry off.
@@ -168,6 +173,7 @@ class CowbirdP4Engine : public net::PacketProcessor {
     return reads_paused_by_writes_;
   }
   std::uint64_t recoveries() const { return recoveries_; }
+  std::uint64_t cnps_reflected() const { return cnps_reflected_; }
 
  public:
   enum class PendingKind : std::uint8_t {
@@ -345,6 +351,7 @@ class CowbirdP4Engine : public net::PacketProcessor {
   std::uint64_t ops_completed_ = 0;
   std::uint64_t reads_paused_by_writes_ = 0;
   std::uint64_t recoveries_ = 0;
+  std::uint64_t cnps_reflected_ = 0;
 };
 
 // Phase I helper: creates responder QPs on the hosts and wires them to the

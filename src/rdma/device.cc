@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "rdma/congestion.h"
 #include "rdma/qp.h"
 
 namespace cowbird::rdma {
@@ -19,6 +20,10 @@ Device::Device(net::HostNic& nic, SparseMemory& memory, NicConfig config)
     : nic_(&nic), memory_(&memory), config_(config) {
   nic_->SetPortReceiver(net::kRoceUdpPort,
                         [this](net::Packet p) { OnPacket(std::move(p)); });
+  if (config_.dcqcn.enabled) {
+    congestion_ = std::make_unique<CongestionManager>(
+        *this, config_.dcqcn, nic_->uplink().rate().GbpsValue());
+  }
 }
 
 Device::~Device() = default;
@@ -64,13 +69,41 @@ void Device::EmitPacket(net::Packet packet) {
                              });
 }
 
+void Device::EmitPaced(std::uint32_t qpn, net::Packet packet) {
+  if (congestion_ != nullptr) {
+    packet.SetEcnBits(net::kEcnEct0);
+    const Nanos delay = congestion_->ReserveSend(qpn, packet.WireBytes());
+    if (delay > 0) {
+      ++packets_sent_;
+      simulation().ScheduleAfter(delay + config_.processing_delay,
+                                 [this, p = std::move(packet)]() mutable {
+                                   nic_->Send(std::move(p));
+                                 });
+      return;
+    }
+  }
+  EmitPacket(std::move(packet));
+}
+
 void Device::OnPacket(net::Packet packet) {
   ++packets_received_;
   simulation().ScheduleAfter(
       config_.processing_delay, [this, p = std::move(packet)]() mutable {
         const RdmaMessageView view = ParseRdmaPacket(p);
+        if (view.bth.opcode == Opcode::kCnp) {
+          // A CNP names the local QP whose flow must slow down; it never
+          // reaches the QP state machines.
+          if (congestion_ != nullptr) {
+            congestion_->OnCnpReceived(view.bth.dest_qp);
+          }
+          return;
+        }
         QueuePair* qp = FindQp(view.bth.dest_qp);
         if (qp == nullptr || !qp->Connected()) return;  // stale packet
+        if (congestion_ != nullptr && CarriesPayload(view.bth.opcode) &&
+            p.EcnBits() == net::kEcnCe) {
+          congestion_->NoteCeMark(*qp);
+        }
         qp->HandlePacket(p, view);
       });
 }
@@ -95,6 +128,7 @@ void Device::BindTelemetry(telemetry::MetricRegistry& registry,
   registry.RegisterCallbackGauge("qp_retransmissions", labels, [this] {
     return static_cast<std::int64_t>(total_retransmissions());
   });
+  if (congestion_ != nullptr) congestion_->BindTelemetry(registry, labels);
 }
 
 void Device::UnbindTelemetry() {
@@ -103,6 +137,7 @@ void Device::UnbindTelemetry() {
        {"nic_packets_sent", "nic_packets_received", "qp_retransmissions"}) {
     telemetry_registry_->UnregisterCallbackGauge(name, telemetry_labels_);
   }
+  if (congestion_ != nullptr) congestion_->UnbindTelemetry();
   telemetry_registry_ = nullptr;
   telemetry_labels_.clear();
 }

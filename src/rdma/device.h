@@ -26,6 +26,7 @@
 
 namespace cowbird::rdma {
 
+class CongestionManager;
 class QueuePair;
 
 struct MemoryRegion {
@@ -91,6 +92,13 @@ class Device {
   // Hands a fully-built packet to the NIC after the TX processing delay.
   void EmitPacket(net::Packet packet);
 
+  // Data-path emit for QP `qpn`: when DCQCN is enabled the packet is
+  // stamped ECT and may be held by the flow's leaky bucket before the
+  // processing delay. Unpaced flows (never marked, or fully recovered)
+  // take the exact EmitPacket path, byte- and timestamp-identical to a
+  // congestion-disabled run.
+  void EmitPaced(std::uint32_t qpn, net::Packet packet);
+
   SparseMemory& memory() { return *memory_; }
   net::HostNic& nic() { return *nic_; }
   sim::Simulation& simulation() { return nic_->simulation(); }
@@ -99,6 +107,9 @@ class Device {
 
   std::uint64_t packets_sent() const { return packets_sent_; }
   std::uint64_t packets_received() const { return packets_received_; }
+
+  // Null unless config.dcqcn.enabled.
+  CongestionManager* congestion() { return congestion_.get(); }
 
   // Sum of Go-Back-N retransmissions across every QP on this device.
   std::uint64_t total_retransmissions() const;
@@ -118,6 +129,7 @@ class Device {
   std::vector<std::unique_ptr<MemoryRegion>> regions_;
   std::vector<std::unique_ptr<CompletionQueue>> cqs_;
   std::vector<std::unique_ptr<QueuePair>> qps_;
+  std::unique_ptr<CongestionManager> congestion_;
   std::uint64_t packets_sent_ = 0;
   std::uint64_t packets_received_ = 0;
   telemetry::MetricRegistry* telemetry_registry_ = nullptr;

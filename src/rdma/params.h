@@ -85,6 +85,25 @@ struct CostModel {
   }
 };
 
+// DCQCN-style per-QP rate control (the congestion half of the RoCEv2
+// engine split; the GBN half is rdma::ReliabilityManager). Disabled by
+// default: with `enabled` false the device builds no CongestionManager,
+// stamps no ECT bits, and every pre-existing run stays byte-identical.
+// Timer periods are compressed relative to the published DCQCN constants
+// (55 us / 40 Mbps steps) so flows converge within the simulated
+// millisecond-scale measure windows; the control *law* is unchanged.
+struct DcqcnConfig {
+  bool enabled = false;
+  double g = 1.0 / 16.0;         // alpha EWMA gain
+  double min_rate_gbps = 1.0;    // floor under multiplicative decrease
+  double rate_ai_gbps = 2.0;     // additive-increase step
+  double rate_hai_gbps = 10.0;   // hyper-increase step
+  int fast_recovery_stages = 3;  // stages of (rate+target)/2 before AI
+  Nanos alpha_timer = Micros(20);     // alpha decay period (no-CNP window)
+  Nanos recovery_timer = Micros(25);  // rate-increase period
+  Nanos cnp_interval = Micros(5);     // min gap between CNPs per flow
+};
+
 struct NicConfig {
   // Doorbell-to-wire (TX) / wire-to-DMA-complete (RX) latency per packet.
   Nanos processing_delay = 250;
@@ -93,6 +112,8 @@ struct NicConfig {
   // Retransmission timeout. Datacenter RTTs here are a few microseconds;
   // the paper's recovery relies on data-plane timeouts in the same regime.
   Nanos retransmit_timeout = Micros(100);
+  // Congestion control (ECN echo + rate limiting); off by default.
+  DcqcnConfig dcqcn;
 };
 
 // Testbed-wide constants (Section 7): 100 Gbps ConnectX-5 NICs, one switch.

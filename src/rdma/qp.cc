@@ -9,39 +9,11 @@ namespace cowbird::rdma {
 
 namespace {
 
-Opcode SegmentOpcode(WqeOp op, std::uint32_t index, std::uint32_t count) {
-  const bool only = count == 1;
-  const bool first = index == 0;
-  const bool last = index == count - 1;
-  switch (op) {
-    case WqeOp::kWrite:
-      if (only) return Opcode::kWriteOnly;
-      if (first) return Opcode::kWriteFirst;
-      return last ? Opcode::kWriteLast : Opcode::kWriteMiddle;
-    case WqeOp::kSend:
-      if (only) return Opcode::kSendOnly;
-      if (first) return Opcode::kSendFirst;
-      return last ? Opcode::kSendLast : Opcode::kSendMiddle;
-    case WqeOp::kRead:
-      break;
-  }
-  COWBIRD_CHECK(false);
-}
-
 Opcode ReadResponseOpcode(std::uint32_t index, std::uint32_t count) {
   if (count == 1) return Opcode::kReadResponseOnly;
   if (index == 0) return Opcode::kReadResponseFirst;
   return index == count - 1 ? Opcode::kReadResponseLast
                             : Opcode::kReadResponseMiddle;
-}
-
-CqeOpcode ToCqeOpcode(WqeOp op) {
-  switch (op) {
-    case WqeOp::kRead: return CqeOpcode::kRead;
-    case WqeOp::kWrite: return CqeOpcode::kWrite;
-    case WqeOp::kSend: return CqeOpcode::kSend;
-  }
-  COWBIRD_CHECK(false);
 }
 
 }  // namespace
@@ -57,7 +29,7 @@ void QueuePair::Connect(net::NodeId remote_node, std::uint32_t remote_qpn,
                         std::uint32_t peer_start_psn) {
   remote_node_ = remote_node;
   remote_qpn_ = remote_qpn;
-  next_psn_ = my_start_psn & kPsnMask;
+  reliability_.set_start_psn(my_start_psn);
   epsn_ = peer_start_psn & kPsnMask;
   connected_ = true;
 }
@@ -66,167 +38,17 @@ void QueuePair::PostSend(SendWqe wqe) {
   COWBIRD_CHECK(connected_);
   COWBIRD_CHECK(wqe.length > 0);
   if (halted_) return;
-  pending_.push_back(wqe);
-  TryTransmit();
+  reliability_.Enqueue(wqe);
 }
 
 void QueuePair::Halt() {
   halted_ = true;
-  retransmit_timer_.Cancel();
-  pending_.clear();
-  inflight_.clear();
+  reliability_.Halt();
   recv_queue_.clear();
   recv_active_ = false;
 }
 
 void QueuePair::PostRecv(RecvWqe wqe) { recv_queue_.push_back(wqe); }
-
-// ---------------------------------------------------------------------------
-// Requester side
-// ---------------------------------------------------------------------------
-
-void QueuePair::TryTransmit() {
-  while (!pending_.empty() &&
-         inflight_.size() <
-             static_cast<std::size_t>(device_->config().max_outstanding)) {
-    InflightWqe entry;
-    entry.wqe = pending_.front();
-    pending_.pop_front();
-    entry.segments = SegmentCount(entry.wqe.length);
-    entry.first_psn = next_psn_;
-    entry.last_psn = PsnAdd(next_psn_, entry.segments - 1);
-    next_psn_ = PsnAdd(next_psn_, entry.segments);
-    inflight_.push_back(entry);
-    EmitMessage(inflight_.back());
-  }
-  if (!inflight_.empty()) ArmTimer();
-}
-
-void QueuePair::EmitMessage(const InflightWqe& entry) {
-  const SendWqe& wqe = entry.wqe;
-  if (wqe.op == WqeOp::kRead) {
-    Reth reth{wqe.raddr, wqe.rkey, wqe.length};
-    Emit(Opcode::kReadRequest, entry.first_psn, /*ack_request=*/false, &reth,
-         nullptr, {});
-    return;
-  }
-  for (std::uint32_t i = 0; i < entry.segments; ++i) {
-    const std::uint64_t offset = std::uint64_t{i} * kPathMtu;
-    const auto len = static_cast<std::size_t>(
-        std::min<std::uint64_t>(kPathMtu, wqe.length - offset));
-    const Opcode opcode = SegmentOpcode(wqe.op, i, entry.segments);
-    const bool last = i == entry.segments - 1;
-    Reth reth{wqe.raddr, wqe.rkey, wqe.length};
-    EmitFromMemory(opcode, PsnAdd(entry.first_psn, i), /*ack_request=*/last,
-                   HasReth(opcode) ? &reth : nullptr, nullptr,
-                   wqe.laddr + offset, len);
-  }
-}
-
-void QueuePair::HandleReadResponse(const RdmaMessageView& view) {
-  // Responses arrive in PSN order for the oldest incomplete read.
-  InflightWqe* target = nullptr;
-  for (auto& entry : inflight_) {
-    if (entry.wqe.op == WqeOp::kRead && !entry.done) {
-      target = &entry;
-      break;
-    }
-  }
-  if (target == nullptr) return;  // stale duplicate after recovery
-  const std::uint32_t expected =
-      PsnAdd(target->first_psn, target->bytes_done / kPathMtu);
-  if (view.bth.psn != expected) return;  // gap or stale; timer recovers
-
-  device_->memory().Write(target->wqe.laddr + target->bytes_done,
-                          view.payload);
-  target->bytes_done += static_cast<std::uint32_t>(view.payload.size());
-  if (target->bytes_done >= target->wqe.length) {
-    COWBIRD_CHECK(target->bytes_done == target->wqe.length);
-    target->done = true;
-  }
-  OnProgress();
-  CompleteInOrder();
-}
-
-void QueuePair::HandleAck(const RdmaMessageView& view) {
-  COWBIRD_CHECK(view.aeth.has_value());
-  const std::uint8_t syndrome = view.aeth->syndrome;
-  if (syndrome == kSyndromeAck) {
-    const std::uint32_t acked = view.bth.psn;
-    for (auto& entry : inflight_) {
-      if (entry.wqe.op == WqeOp::kRead || entry.done) continue;
-      if (PsnDistance(acked, entry.last_psn) >= 0) {
-        entry.acked = true;
-        entry.done = true;
-      }
-    }
-    OnProgress();
-    CompleteInOrder();
-    return;
-  }
-  if (syndrome == kSyndromeNakSequenceError) {
-    GoBackN();
-    return;
-  }
-  if (syndrome == kSyndromeRnrNak) {
-    // Receiver-not-ready: back off briefly before rewinding so we do not
-    // hammer a responder that has no RECV posted yet.
-    retransmit_timer_.Cancel();
-    retransmit_timer_ = device_->simulation().ScheduleCancelableAfter(
-        device_->config().retransmit_timeout / 8, [this] { GoBackN(); });
-    return;
-  }
-  if (syndrome == kSyndromeNakRemoteAccess) {
-    // Fatal for the offending WQE: complete it with an error status.
-    for (auto& entry : inflight_) {
-      if (!entry.done) {
-        entry.done = true;
-        entry.status = CqeStatus::kRemoteAccessError;
-        break;
-      }
-    }
-    OnProgress();
-    CompleteInOrder();
-  }
-}
-
-void QueuePair::CompleteInOrder() {
-  bool freed = false;
-  while (!inflight_.empty() && inflight_.front().done) {
-    const InflightWqe& entry = inflight_.front();
-    if (entry.wqe.signaled) {
-      send_cq_->Push(Cqe{entry.wqe.wr_id, ToCqeOpcode(entry.wqe.op),
-                         entry.status, entry.wqe.length});
-    }
-    inflight_.pop_front();
-    freed = true;
-  }
-  if (freed) TryTransmit();
-  if (inflight_.empty()) retransmit_timer_.Cancel();
-}
-
-void QueuePair::GoBackN() {
-  retransmit_timer_.Cancel();
-  if (halted_ || inflight_.empty()) return;
-  ++retransmissions_;
-  for (auto& entry : inflight_) {
-    if (entry.done) continue;
-    entry.bytes_done = 0;
-    EmitMessage(entry);
-  }
-  ArmTimer();
-}
-
-void QueuePair::ArmTimer() {
-  if (retransmit_timer_.Pending()) return;
-  retransmit_timer_ = device_->simulation().ScheduleCancelableAfter(
-      device_->config().retransmit_timeout, [this] { GoBackN(); });
-}
-
-void QueuePair::OnProgress() {
-  retransmit_timer_.Cancel();
-  if (!inflight_.empty()) ArmTimer();
-}
 
 // ---------------------------------------------------------------------------
 // Responder side
@@ -238,11 +60,11 @@ void QueuePair::HandlePacket(const net::Packet& packet,
   if (halted_) return;
   const Opcode op = view.bth.opcode;
   if (IsReadResponse(op)) {
-    HandleReadResponse(view);
+    reliability_.HandleReadResponse(view);
     return;
   }
   if (op == Opcode::kAcknowledge) {
-    HandleAck(view);
+    reliability_.HandleAck(view);
     return;
   }
   HandleRequest(view);
@@ -394,7 +216,7 @@ void QueuePair::Emit(Opcode opcode, std::uint32_t psn, bool ack_request,
   net::Packet packet = BuildRdmaPacket(
       device_->node_id(), remote_node_, data_priority_, bth, reth, aeth,
       payload);
-  device_->EmitPacket(std::move(packet));
+  device_->EmitPaced(qpn_, std::move(packet));
 }
 
 void QueuePair::EmitFromMemory(Opcode opcode, std::uint32_t psn,
@@ -411,7 +233,7 @@ void QueuePair::EmitFromMemory(Opcode opcode, std::uint32_t psn,
       BuildRdmaPacketInPlace(device_->node_id(), remote_node_, data_priority_,
                              bth, reth, aeth, len, &payload);
   device_->memory().Read(addr, payload);
-  device_->EmitPacket(std::move(packet));
+  device_->EmitPaced(qpn_, std::move(packet));
 }
 
 QpPair ConnectQueuePairs(Device& a, Device& b, std::uint32_t start_psn_a,

@@ -7,6 +7,12 @@
 // retransmission timeout. Read requests consume as many PSNs as their
 // response will span, exactly as in InfiniBand — this is what lets the
 // Cowbird-P4 switch predict and rewrite response PSNs.
+//
+// The requester half (window, PSNs, GBN timer) lives in the QP's
+// ReliabilityManager; congestion control lives in the device's
+// CongestionManager. The QP itself keeps packet construction and the
+// responder state machine, and routes its data packets through the
+// device's paced emit path so both managers compose per flow.
 #pragma once
 
 #include <cstdint>
@@ -14,22 +20,10 @@
 #include "common/pool.h"
 #include "common/units.h"
 #include "rdma/device.h"
+#include "rdma/reliability.h"
 #include "rdma/wire.h"
 
 namespace cowbird::rdma {
-
-enum class WqeOp : std::uint8_t { kRead, kWrite, kSend };
-
-struct SendWqe {
-  WqeOp op = WqeOp::kRead;
-  std::uint64_t wr_id = 0;
-  std::uint64_t laddr = 0;   // local buffer (source for write/send,
-                             // destination for read)
-  std::uint64_t raddr = 0;   // remote address (read/write)
-  std::uint32_t rkey = 0;
-  std::uint32_t length = 0;
-  bool signaled = true;
-};
 
 struct RecvWqe {
   std::uint64_t wr_id = 0;
@@ -57,13 +51,13 @@ class QueuePair {
   std::uint32_t remote_qpn() const { return remote_qpn_; }
   bool Connected() const { return connected_; }
 
-  std::size_t OutstandingWqes() const {
-    return inflight_.size() + pending_.size();
-  }
+  std::size_t OutstandingWqes() const { return reliability_.Outstanding(); }
   std::size_t PostedRecvs() const { return recv_queue_.size(); }
-  std::uint32_t next_psn() const { return next_psn_; }
+  std::uint32_t next_psn() const { return reliability_.next_psn(); }
   std::uint32_t expected_psn() const { return epsn_; }
-  std::uint64_t retransmissions() const { return retransmissions_; }
+  std::uint64_t retransmissions() const {
+    return reliability_.retransmissions();
+  }
 
   // Priority used for data packets (ACKs always use kControl).
   void set_data_priority(net::Priority p) { data_priority_ = p; }
@@ -81,26 +75,7 @@ class QueuePair {
   void HandlePacket(const net::Packet& packet, const RdmaMessageView& view);
 
  private:
-  struct InflightWqe {
-    SendWqe wqe;
-    std::uint32_t first_psn = 0;
-    std::uint32_t last_psn = 0;
-    std::uint32_t segments = 1;
-    std::uint32_t bytes_done = 0;  // read-response progress
-    bool acked = false;            // write/send: covered by cumulative ACK
-    bool done = false;             // ready to complete in order
-    CqeStatus status = CqeStatus::kSuccess;
-  };
-
-  // ---- requester side ----
-  void TryTransmit();
-  void EmitMessage(const InflightWqe& entry);
-  void HandleReadResponse(const RdmaMessageView& view);
-  void HandleAck(const RdmaMessageView& view);
-  void CompleteInOrder();
-  void GoBackN();
-  void ArmTimer();
-  void OnProgress();
+  friend class ReliabilityManager;
 
   // ---- responder side ----
   void HandleRequest(const RdmaMessageView& view);
@@ -126,13 +101,8 @@ class QueuePair {
   bool halted_ = false;
   net::Priority data_priority_ = net::Priority::kRdma;
 
-  // Requester state. FixedDeque: WQE queues cycle at packet rate, and
-  // std::deque's block churn would put the allocator on the datapath.
-  FixedDeque<SendWqe> pending_;       // posted, not yet transmitted
-  FixedDeque<InflightWqe> inflight_;  // transmitted, not completed
-  std::uint32_t next_psn_ = 0;
-  sim::TimerHandle retransmit_timer_;
-  std::uint64_t retransmissions_ = 0;
+  // Requester state machine (window, PSNs, Go-Back-N).
+  ReliabilityManager reliability_{*this};
 
   // Responder state.
   std::uint32_t epsn_ = 0;

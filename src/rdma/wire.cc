@@ -31,6 +31,7 @@ const char* OpcodeName(Opcode op) {
     case Opcode::kReadResponseLast: return "READ_RESP_LAST";
     case Opcode::kReadResponseOnly: return "READ_RESP_ONLY";
     case Opcode::kAcknowledge: return "ACKNOWLEDGE";
+    case Opcode::kCnp: return "CNP";
   }
   return "UNKNOWN";
 }

@@ -32,6 +32,10 @@ enum class Opcode : std::uint8_t {
   kReadResponseLast = 0x0F,
   kReadResponseOnly = 0x10,
   kAcknowledge = 0x11,
+  // Congestion Notification Packet (RoCEv2 CNP, the DCQCN ECN echo): a
+  // BTH-only frame whose dest_qp names the *sender-side* QP whose flow
+  // must slow down. Carries no RETH/AETH/payload.
+  kCnp = 0x81,
 };
 
 const char* OpcodeName(Opcode op);

@@ -2,6 +2,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -10,6 +11,7 @@
 #include "common/stats.h"
 #include "core/client.h"
 #include "p4/engine.h"
+#include "rdma/congestion.h"
 #include "spot/setup.h"
 #include "workload/testbed.h"
 
@@ -21,9 +23,16 @@ constexpr std::uint64_t kHeapBase = 0x8000'0000;
 constexpr std::uint64_t kHeapStride = MiB(4);
 constexpr std::uint16_t kRegion = 1;
 
+// Incast collapses the striping: every client hits memory server 0.
+int ServerFor(const ScaleWorkloadConfig& cfg, int k) {
+  return cfg.incast ? 0 : k % cfg.memory_servers;
+}
+
 struct ScaleHarness {
   explicit ScaleHarness(const ScaleWorkloadConfig& config)
       : cfg(config), bed(MakeFanInConfig(config)) {
+    latency_traces.resize(
+        static_cast<std::size_t>(cfg.clients * cfg.threads_per_client));
     const Bytes pool_bytes = cfg.records * cfg.record_size + KiB(4);
     for (int m = 0; m < cfg.memory_servers; ++m) {
       pool_mrs.push_back(
@@ -56,7 +65,7 @@ struct ScaleHarness {
       cc.telemetry = HubFor(bed.client_node(k));
       clients.push_back(std::make_unique<core::CowbirdClient>(
           *bed.client_devs[kk], cc));
-      const int server = k % cfg.memory_servers;
+      const int server = ServerFor(cfg, k);
       clients.back()->RegisterRegion(core::RegionInfo{
           kRegion, bed.memory_id(server), kPoolBase,
           pool_mrs[static_cast<std::size_t>(server)]->rkey, pool_bytes});
@@ -66,9 +75,12 @@ struct ScaleHarness {
     if (cfg.paradigm == Paradigm::kCowbirdP4) {
       p4::CowbirdP4Engine::Config ec;
       ec.telemetry = HubFor(bed.switch_node());
+      // When the NICs run DCQCN, the switch-generated packets join the ECN
+      // loop too (and the engine reflects CNPs to the memory hosts).
+      ec.ecn_capable = cfg.dcqcn.enabled;
       p4_engine = std::make_unique<p4::CowbirdP4Engine>(bed.sw, ec);
       for (int k = 0; k < cfg.clients; ++k) {
-        const int server = k % cfg.memory_servers;
+        const int server = ServerFor(cfg, k);
         auto conn = p4::ConnectP4Engine(
             *p4_engine, ec.switch_node_id,
             *bed.client_devs[static_cast<std::size_t>(k)],
@@ -87,7 +99,7 @@ struct ScaleHarness {
       agent = std::make_unique<spot::SpotAgent>(*bed.spot_dev,
                                                 *bed.spot_machine, ac);
       for (int k = 0; k < cfg.clients; ++k) {
-        const int server = k % cfg.memory_servers;
+        const int server = ServerFor(cfg, k);
         rdma::Device* memories[] = {
             bed.memory_devs[static_cast<std::size_t>(server)].get()};
         auto conn = spot::ConnectSpotEngine(
@@ -123,6 +135,11 @@ struct ScaleHarness {
     fan.client_cores = std::max(2, config.threads_per_client);
     fan.split = config.split;
     fan.split_workers = config.split_workers;
+    fan.egress_queue_capacity = config.egress_queue_capacity;
+    fan.ecn_threshold = config.ecn_threshold;
+    fan.pfc = config.pfc;
+    fan.dcqcn = config.dcqcn;
+    fan.retransmit_timeout = config.retransmit_timeout;
     return fan;
   }
 
@@ -180,6 +197,11 @@ struct ScaleHarness {
     return *threads[static_cast<std::size_t>(k * cfg.threads_per_client + t)];
   }
 
+  std::vector<std::pair<Nanos, Nanos>>& TraceFor(int k, int t) {
+    return latency_traces[static_cast<std::size_t>(
+        k * cfg.threads_per_client + t)];
+  }
+
   ScaleWorkloadConfig cfg;
   FanInTestbed bed;
   std::vector<const rdma::MemoryRegion*> pool_mrs;
@@ -188,6 +210,11 @@ struct ScaleHarness {
   std::unique_ptr<p4::CowbirdP4Engine> p4_engine;
   std::vector<std::unique_ptr<sim::SimThread>> threads;
   std::vector<std::vector<std::uint64_t>> ops;  // [client][thread]
+  // One latency trace per (client, thread): (completion time, latency)
+  // pairs, recorded only when cfg.sample_latency. Traces merge in fixed
+  // (k, t) order after the run so the percentile set is independent of
+  // worker count.
+  std::vector<std::vector<std::pair<Nanos, Nanos>>> latency_traces;
   telemetry::HubShards shards;
   std::vector<net::Link*> bound_links;
 };
@@ -205,6 +232,11 @@ sim::Task<void> DriveClient(ScaleHarness& h, int k, int t) {
   done.reserve(static_cast<std::size_t>(h.cfg.window));
   std::uint64_t& counter =
       h.ops[static_cast<std::size_t>(k)][static_cast<std::size_t>(t)];
+  // Opt-in latency bookkeeping. It draws no RNG values and charges no
+  // simulated time, so op streams match a non-sampling run exactly.
+  const bool sample = h.cfg.sample_latency;
+  std::unordered_map<std::uint64_t, Nanos> issued_at;
+  auto& trace = h.TraceFor(k, t);
   int outstanding = 0;
   for (;;) {
     if (outstanding < h.cfg.window) {
@@ -218,6 +250,7 @@ sim::Task<void> DriveClient(ScaleHarness& h, int k, int t) {
           static_cast<std::uint32_t>(h.cfg.record_size));
       if (id.has_value()) {
         ctx.PollAdd(poll, *id);
+        if (sample) issued_at[id->value()] = thread.simulation().Now();
         ++outstanding;
         continue;
       }
@@ -226,6 +259,15 @@ sim::Task<void> DriveClient(ScaleHarness& h, int k, int t) {
     if (done.empty()) {
       co_await thread.Idle(300);
       continue;
+    }
+    if (sample) {
+      const Nanos now = thread.simulation().Now();
+      for (const core::ReqId id : done) {
+        const auto it = issued_at.find(id.value());
+        if (it == issued_at.end()) continue;
+        trace.emplace_back(now, now - it->second);
+        issued_at.erase(it);
+      }
     }
     for (std::size_t i = 0; i < done.size(); ++i) {
       co_await thread.Work(h.cfg.costs.CopyCost(h.cfg.record_size),
@@ -277,6 +319,37 @@ ScaleWorkloadResult RunScaleWorkload(const ScaleWorkloadConfig& config) {
   result.sim_events = h.bed.EventsProcessed() - events0;
   result.elapsed = elapsed;
   result.mops = Mops(result.ops, elapsed);
+
+  if (config.sample_latency) {
+    // Merge traces in fixed (client, thread) order and keep only ops that
+    // completed inside the measure window.
+    PercentileSampler sampler;
+    for (const auto& trace : h.latency_traces) {
+      for (const auto& [completed_at, latency] : trace) {
+        if (completed_at <= t0) continue;
+        sampler.Add(static_cast<double>(latency));
+      }
+    }
+    result.latency_samples = sampler.count();
+    if (sampler.count() > 0) {
+      result.p50_latency = static_cast<Nanos>(sampler.Median());
+      result.p99_latency = static_cast<Nanos>(sampler.P99());
+    }
+  }
+
+  result.switch_drops = h.bed.sw.total_drops();
+  result.ecn_marked = h.bed.sw.ecn_marked();
+  result.pfc_pauses = h.bed.sw.pfc_pauses_sent();
+  auto accumulate_dev = [&result](rdma::Device& dev) {
+    result.retransmissions += dev.total_retransmissions();
+    if (rdma::CongestionManager* cm = dev.congestion()) {
+      result.cnps += cm->cnps_received();
+    }
+  };
+  for (auto& dev : h.bed.client_devs) accumulate_dev(*dev);
+  for (auto& dev : h.bed.memory_devs) accumulate_dev(*dev);
+  accumulate_dev(*h.bed.spot_dev);
+
   if (config.telemetry != nullptr) {
     result.telemetry = config.telemetry->metrics.TakeSnapshot();
     h.shards.MergeInto(result.telemetry);

@@ -45,6 +45,23 @@ struct ScaleWorkloadConfig {
   // Optional telemetry: sharded per domain (telemetry::HubShards) and merged
   // N-way into the caller's hub after the run.
   telemetry::Hub* telemetry = nullptr;
+  // Incast: every client targets memory server 0 instead of k % M, so all
+  // K client flows converge on one switch egress port.
+  bool incast = false;
+  // Fabric congestion profile, passed through to the testbed. Defaults
+  // keep the fabric byte-identical to the uncontended runs.
+  Bytes egress_queue_capacity = MiB(4);
+  Bytes ecn_threshold = 0;
+  bool pfc = false;
+  rdma::DcqcnConfig dcqcn;
+  // Go-Back-N timeout for every NIC. Raise well above the congested RTT
+  // when DCQCN paces flows, or pacing delays read as loss and the rewinds
+  // re-execute whole read windows (see FanInConfig::retransmit_timeout).
+  Nanos retransmit_timeout = Micros(100);
+  // Records per-op issue→completion latency and reports p50/p99 over the
+  // measure window. Off by default; enabling draws no extra RNG values, so
+  // the op streams are unchanged.
+  bool sample_latency = false;
 };
 
 struct ScaleWorkloadResult {
@@ -54,6 +71,16 @@ struct ScaleWorkloadResult {
   Nanos elapsed = 0;
   double mops = 0;
   telemetry::Snapshot telemetry;  // filled when config.telemetry was set
+  // Measure-window latency percentiles (only when config.sample_latency).
+  Nanos p50_latency = 0;
+  Nanos p99_latency = 0;
+  std::uint64_t latency_samples = 0;
+  // Whole-run congestion counters (warmup included).
+  std::uint64_t switch_drops = 0;
+  std::uint64_t ecn_marked = 0;
+  std::uint64_t pfc_pauses = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t cnps = 0;  // CNPs received across every NIC
 };
 
 ScaleWorkloadResult RunScaleWorkload(const ScaleWorkloadConfig& config);

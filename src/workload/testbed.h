@@ -160,6 +160,19 @@ struct FanInConfig {
   BitRate client_uplink = BitRate::Gbps(100);
   bool split = false;
   int split_workers = 0;
+  // Congestion realism knobs. The defaults reproduce the uncontended
+  // fabric byte-for-byte: unbounded-feeling queues, no marking, no PFC,
+  // DCQCN off. An incast experiment shrinks the queue, turns marking or
+  // PFC on, and enables DCQCN on every NIC.
+  Bytes egress_queue_capacity = MiB(4);
+  Bytes ecn_threshold = 0;
+  bool pfc = false;
+  rdma::DcqcnConfig dcqcn;
+  // Go-Back-N timeout for every NIC. DCQCN experiments must raise this
+  // above the worst congested RTT: pacing delays that cross the timeout
+  // read as loss, and the resulting rewinds re-execute whole read windows
+  // (a retransmission storm the rate control then amplifies).
+  Nanos retransmit_timeout = Micros(100);
 };
 
 struct FanInTestbed {
@@ -203,6 +216,16 @@ struct FanInTestbed {
     return static_cast<net::NodeId>(1 + cfg.clients + cfg.memory_servers);
   }
 
+  static net::Switch::Config MakeSwitchConfig(
+      const FanInConfig& cfg, const rdma::FabricParams& fabric) {
+    net::Switch::Config sc;
+    sc.pipeline_latency = fabric.switch_pipeline;
+    sc.egress_queue_capacity = cfg.egress_queue_capacity;
+    sc.ecn_threshold = cfg.ecn_threshold;
+    sc.pfc_enabled = cfg.pfc;
+    return sc;
+  }
+
   static net::Topology BuildTopo(const FanInConfig& cfg, Nanos propagation) {
     net::Topology topo;
     for (int k = 0; k < cfg.clients; ++k) {
@@ -236,11 +259,13 @@ struct FanInTestbed {
         topo(BuildTopo(cfg, fabric.link_propagation)),
         partition(net::PartitionTopology(topo)),
         domains(sim, partition, cfg.split_workers),
-        sw(domains.sim_for(switch_node()),
-           net::Switch::Config{.pipeline_latency = fabric.switch_pipeline}) {
+        sw(domains.sim_for(switch_node()), MakeSwitchConfig(cfg, fabric)) {
     COWBIRD_CHECK(partition.domain_count() ==
                   (cfg.split ? topo.node_count() : 1));
     COWBIRD_CHECK(!partition.zero_lookahead_error());
+    // Before any Device copies nic_config.
+    nic_config.dcqcn = cfg.dcqcn;
+    nic_config.retransmit_timeout = cfg.retransmit_timeout;
     for (int k = 0; k < cfg.clients; ++k) {
       sim::Simulation& csim = domains.sim_for(client_node(k));
       client_nics.push_back(std::make_unique<net::HostNic>(

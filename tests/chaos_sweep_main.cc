@@ -4,6 +4,7 @@
 //   chaos_sweep [--engine spot|p4|both] [--seeds N] [--start S]
 //               [--trace-dir DIR] [--break-fence] [--jobs N]
 //               [--split] [--split-workers N] [--split-scope pair|node]
+//               [--congestion none|incast|victim|pause_storm]
 //
 // Normal mode: runs N seeds per engine, each with a seed-derived mixed
 // fault plan (drop + duplicate + reorder + delay, partitions, engine
@@ -15,6 +16,11 @@
 // executes each run domain-split (the parallel intra-sim datapath) instead
 // of the golden-pinned serial loop; --split-scope node partitions one PDES
 // domain per topology node instead of the default two-way cut.
+//
+// --congestion layers a shared-fabric congestion scenario onto every
+// seed's fault plan (finite switch queues, ECN+DCQCN, or a PFC pause
+// storm); the default leaves the plans — and the report bytes — exactly
+// as a pre-congestion sweep produced them.
 //
 // --break-fence mode is the harness's own canary: it re-runs the sweep with
 // the engines' read-after-write fence disabled and exits zero only if the
@@ -69,6 +75,16 @@ int main(int argc, char** argv) {
       config.trace_dir = value;
     } else if (flag == "--break-fence") {
       config.break_fence = true;
+    } else if (flag == "--congestion") {
+      const char* value = next();
+      if (value == nullptr) return 2;
+      if (const auto scenario = ParseCongestionScenario(value)) {
+        config.congestion = *scenario;
+      } else {
+        std::fprintf(stderr, "chaos_sweep: unknown congestion scenario %s\n",
+                     value);
+        return 2;
+      }
     } else {
       std::fprintf(stderr, "chaos_sweep: unknown flag %s\n", flag.c_str());
       return 2;

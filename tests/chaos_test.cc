@@ -122,6 +122,37 @@ TEST(FaultPlanTest, SerializeParsesBackIdentically) {
   EXPECT_EQ(parsed->partitions.back().end, 2000);
 }
 
+TEST(FaultPlanTest, CongestionScenarioRoundTrips) {
+  for (const CongestionScenario scenario :
+       {CongestionScenario::kIncast, CongestionScenario::kVictim,
+        CongestionScenario::kPauseStorm}) {
+    FaultPlan plan = FaultPlan::FromSeed(42, 1);
+    plan.congestion = scenario;
+    const std::string line = plan.Serialize();
+    EXPECT_NE(line.find("congestion="), std::string::npos) << line;
+    const auto parsed = FaultPlan::Parse(line);
+    ASSERT_TRUE(parsed.has_value()) << line;
+    EXPECT_EQ(parsed->congestion, scenario);
+    EXPECT_EQ(parsed->Serialize(), line);
+  }
+  EXPECT_FALSE(FaultPlan::Parse("congestion=bogus").has_value());
+}
+
+TEST(FaultPlanTest, LegacyLinesWithoutCongestionKeyStayByteCompatible) {
+  // Traces captured before the congestion scenarios existed have no
+  // congestion= token: they must parse to kNone and re-serialize to the
+  // exact same bytes, so replaying an old trace dir still works and a
+  // kNone plan never grows the new key.
+  FaultPlan plan = FaultPlan::FromSeed(1234, 2);
+  ASSERT_EQ(plan.congestion, CongestionScenario::kNone);
+  const std::string line = plan.Serialize();
+  EXPECT_EQ(line.find("congestion="), std::string::npos) << line;
+  const auto parsed = FaultPlan::Parse(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->congestion, CongestionScenario::kNone);
+  EXPECT_EQ(parsed->Serialize(), line);
+}
+
 TEST(FaultPlanTest, FromSeedIsDeterministic) {
   const FaultPlan a = FaultPlan::FromSeed(77, 1);
   const FaultPlan b = FaultPlan::FromSeed(77, 1);

@@ -288,6 +288,152 @@ TEST_F(StarFixture, TwoFlowsShareBottleneckFairly) {
   EXPECT_NEAR(f1.GoodputGbps(), f2.GoodputGbps(), 3.0);
 }
 
+// --- shared-fabric congestion: finite queues, ECN, PFC -------------------
+//
+// The congestion fixtures all push 1442-byte frames (1400B payload) from a
+// 100 Gbps host into a slow egress, so arrivals outrun the drain by orders
+// of magnitude and the queue depths at each arrival are exactly computable:
+// the first packet drains straight to the link, every later one stacks up.
+
+constexpr std::size_t kCongPayload = 1400;
+constexpr Bytes kCongFrame = kL2L3L4Bytes + kCongPayload;  // 1442 buffered
+
+Packet EctPacket(NodeId src, NodeId dst) {
+  Packet p = TestPacket(src, dst, kCongPayload);
+  p.SetEcnBits(kEcnEct0);
+  return p;
+}
+
+// Five back-to-back frames find the egress queue at depths 0 (drained to
+// the link immediately), 0, 1×, 2×, and 3× kCongFrame bytes. Marking is
+// on-arrival against the pre-enqueue depth, so the threshold boundary is
+// pinned by where the first CE shows up.
+std::vector<std::uint8_t> EcnBitsSeen(Bytes ecn_threshold, bool ect) {
+  sim::Simulation sim;
+  Switch sw(sim, Switch::Config{.pipeline_latency = 100,
+                                .ecn_threshold = ecn_threshold});
+  HostNic a(sim, 1, BitRate::Gbps(100), 100);
+  HostNic b(sim, 2, BitRate::Mbps(10), 100);
+  a.ConnectTo(sw);
+  b.ConnectTo(sw);
+  std::vector<std::uint8_t> seen;
+  b.SetDefaultReceiver([&](Packet p) { seen.push_back(p.EcnBits()); });
+  for (int i = 0; i < 5; ++i) {
+    a.Send(ect ? EctPacket(1, 2) : TestPacket(1, 2, kCongPayload));
+  }
+  sim.Run();
+  return seen;
+}
+
+TEST(SwitchEcn, MarksThePacketThatFindsTheQueueExactlyAtThreshold) {
+  // Threshold == 2 frames: the 4th packet arrives to find exactly that
+  // depth and must be the first one marked (>= comparison).
+  const auto seen = EcnBitsSeen(2 * kCongFrame, /*ect=*/true);
+  ASSERT_EQ(seen.size(), 5u);
+  const std::vector<std::uint8_t> want = {kEcnEct0, kEcnEct0, kEcnEct0,
+                                          kEcnCe, kEcnCe};
+  EXPECT_EQ(seen, want);
+}
+
+TEST(SwitchEcn, OneByteBelowThresholdIsNotMarked) {
+  // One byte above the 4th packet's arrival depth: it squeaks under, only
+  // the 5th is marked.
+  const auto seen = EcnBitsSeen(2 * kCongFrame + 1, /*ect=*/true);
+  ASSERT_EQ(seen.size(), 5u);
+  const std::vector<std::uint8_t> want = {kEcnEct0, kEcnEct0, kEcnEct0,
+                                          kEcnEct0, kEcnCe};
+  EXPECT_EQ(seen, want);
+}
+
+TEST(SwitchEcn, NonEctPacketsAreNeverMarked) {
+  const auto seen = EcnBitsSeen(kCongFrame, /*ect=*/false);
+  ASSERT_EQ(seen.size(), 5u);
+  for (const std::uint8_t bits : seen) EXPECT_EQ(bits, kEcnNotCapable);
+}
+
+TEST(SwitchQueue, OverflowAuditsDropsAndPreservesFifoOrder) {
+  // Capacity = 2 frames + slack. Burst 1: packet 0 drains to the link,
+  // 1 and 2 queue, 3–5 tail-drop. Burst 2 lands after packets 1 and 2
+  // transmitted (the queue is empty again but the link is busy with 2):
+  // 6 and 7 queue, 8 and 9 tail-drop. Survivors stay in arrival order and
+  // every packet is accounted for as delivered or dropped.
+  sim::Simulation sim;
+  Switch sw(sim, Switch::Config{.egress_queue_capacity = 2 * kCongFrame + 100,
+                                .pipeline_latency = 100});
+  HostNic a(sim, 1, BitRate::Gbps(100), 100);
+  HostNic b(sim, 2, BitRate::Mbps(10), 100);
+  a.ConnectTo(sw);
+  b.ConnectTo(sw);
+  std::vector<int> seen;
+  b.SetDefaultReceiver(
+      [&](Packet p) { seen.push_back(p.L4Payload()[0]); });
+  auto send_seq = [&](int seq) {
+    Packet p = TestPacket(1, 2, kCongPayload);
+    p.MutableL4Payload()[0] = static_cast<std::uint8_t>(seq);
+    a.Send(std::move(p));
+  };
+  for (int i = 0; i < 6; ++i) send_seq(i);
+  sim.ScheduleAt(Millis(3), [&] {
+    for (int i = 6; i < 10; ++i) send_seq(i);
+  });
+  sim.Run();
+  const std::vector<int> want = {0, 1, 2, 6, 7};
+  EXPECT_EQ(seen, want);
+  EXPECT_EQ(sw.egress_drops(b.switch_port()), 5u);
+  EXPECT_EQ(sw.egress_drops(a.switch_port()), 0u);
+  EXPECT_EQ(sw.total_drops(), 5u);
+  EXPECT_EQ(seen.size() + sw.total_drops(), 10u);
+}
+
+TEST(SwitchPfc, PauseResumeRoundTripIsLossless) {
+  // 60 frames from a 100G host into a 10G egress. The switch pauses the
+  // sender's ingress when its buffered bytes cross the pause threshold, the
+  // host NIC honors the pause at its MAC (uplink data classes held), and an
+  // explicit resume arrives once the backlog drains — so the burst survives
+  // a queue that it would otherwise overflow.
+  sim::Simulation sim;
+  Switch sw(sim, Switch::Config{.egress_queue_capacity = 16 * kCongFrame,
+                                .pipeline_latency = 100,
+                                .pfc_enabled = true,
+                                .pfc_pause_threshold = 7 * kCongFrame,
+                                .pfc_resume_threshold = 3 * kCongFrame});
+  HostNic a(sim, 1, BitRate::Gbps(100), 100);
+  HostNic b(sim, 2, BitRate::Gbps(10), 100);
+  a.ConnectTo(sw);
+  b.ConnectTo(sw);
+  int received = 0;
+  b.SetDefaultReceiver([&](Packet) { ++received; });
+  for (int i = 0; i < 60; ++i) a.Send(TestPacket(1, 2, kCongPayload));
+  sim.Run();
+  EXPECT_EQ(received, 60);
+  EXPECT_EQ(sw.total_drops(), 0u);
+  EXPECT_GE(sw.pfc_pauses_sent(), 1u);
+  EXPECT_GE(sw.pfc_resumes_sent(), 1u);
+  // The host's uplink saw the pause frames and actually idled.
+  EXPECT_GE(a.uplink().pauses_received(), 1u);
+  EXPECT_GT(a.uplink().paused_ns(), 0u);
+  EXPECT_FALSE(a.uplink().data_paused());  // resumed by the end
+}
+
+TEST(Link, PauseHoldsDataWhileControlKeepsFlowing) {
+  sim::Simulation sim;
+  Link link(sim, BitRate::Gbps(100), /*propagation=*/10);
+  std::vector<std::pair<Priority, Nanos>> deliveries;
+  link.set_receiver(
+      [&](Packet p) { deliveries.emplace_back(p.priority, sim.Now()); });
+  link.PauseData(Micros(5));
+  link.Send(TestPacket(1, 2, 64));                      // held by the pause
+  link.Send(TestPacket(1, 2, 64, Priority::kControl));  // flows through
+  sim.Run();
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_EQ(deliveries[0].first, Priority::kControl);
+  EXPECT_LT(deliveries[0].second, Micros(1));
+  EXPECT_EQ(deliveries[1].first, Priority::kRdma);
+  EXPECT_GE(deliveries[1].second, Micros(5));  // released at pause expiry
+  EXPECT_EQ(link.pauses_received(), 1u);
+  EXPECT_EQ(link.paused_ns(), static_cast<std::uint64_t>(Micros(5)));
+}
+
 TEST(SwitchProcessor, CustomProcessorCanRewriteAndMultiply) {
   sim::Simulation sim;
   Switch sw(sim, Switch::Config{});

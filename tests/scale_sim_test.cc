@@ -91,6 +91,20 @@ TEST(ScaleSimTest, SplitTracksSerialWithinTieBreakTolerance) {
   EXPECT_LT(drift, 0.02) << "serial=" << serial.ops << " split=" << split.ops;
 }
 
+TEST(ScaleSimTest, DcqcnEnabledButUnmarkedIsByteIdenticalToDefault) {
+  // The default fabric never marks (ecn_threshold = 0), so an enabled
+  // CongestionManager must not shift a single timestamp: unpaced flows
+  // take the identical code path as a congestion-disabled run (the pacing
+  // purity contract in rdma/congestion.h). This is what lets DCQCN be
+  // switched on fleet-wide without re-baselining the uncontended goldens.
+  const ScaleWorkloadResult off = RunScaleWorkload(Base(Paradigm::kCowbird));
+  ScaleWorkloadConfig c = Base(Paradigm::kCowbird);
+  c.dcqcn.enabled = true;
+  const ScaleWorkloadResult on = RunScaleWorkload(c);
+  EXPECT_EQ(on.ecn_marked, 0u);
+  EXPECT_TRUE(SameOutcome(off, on));
+}
+
 TEST(ScaleSimTest, TelemetryShardsMergeNWayIntoCallerSnapshot) {
   Nanos now = 0;
   telemetry::Hub hub([&now] { return now; });
