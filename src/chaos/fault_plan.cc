@@ -60,6 +60,10 @@ std::string FaultPlan::Serialize() const {
   if (congestion != CongestionScenario::kNone) {
     out << " congestion=" << CongestionScenarioName(congestion);
   }
+  // Same opt-in rule for the migration scenario.
+  if (migrate) {
+    out << " migrate=1 migrate_start=" << migrate_start;
+  }
   return out.str();
 }
 
@@ -114,6 +118,10 @@ std::optional<FaultPlan> FaultPlan::Parse(std::string_view line) {
       if (!scenario.has_value()) return std::nullopt;
       plan.congestion = *scenario;
       continue;
+    } else if (key == "migrate") {
+      plan.migrate = std::strtol(value.c_str(), &end, 10) != 0;
+    } else if (key == "migrate_start") {
+      plan.migrate_start = std::strtoll(value.c_str(), &end, 10);
     } else {
       return std::nullopt;  // unknown key: refuse to half-parse a trace
     }

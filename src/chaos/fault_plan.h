@@ -69,6 +69,14 @@ struct FaultPlan {
   // so pre-congestion traces round-trip byte-identically).
   CongestionScenario congestion = CongestionScenario::kNone;
 
+  // Live region migration (DESIGN.md §14): at `migrate_start` the runner
+  // begins copying the region's hot range from the primary memory server
+  // to a second one and cuts the translation entry over mid-run, while the
+  // workload keeps issuing. Off by default — and omitted from Serialize
+  // then — so pre-migration traces stay byte-identical.
+  bool migrate = false;
+  Nanos migrate_start = Micros(150);
+
   bool AnyPacketFaults() const {
     return drop_rate > 0 || duplicate_rate > 0 || reorder_rate > 0 ||
            delay_rate > 0 || !partitions.empty();

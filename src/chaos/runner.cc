@@ -4,7 +4,9 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <optional>
 #include <sstream>
+#include <utility>
 #include <vector>
 
 #include "chaos/fault_injector.h"
@@ -12,6 +14,8 @@
 #include "common/rng.h"
 #include "common/sparse_memory.h"
 #include "core/client.h"
+#include "core/cluster_pool.h"
+#include "core/migration.h"
 #include "net/switch.h"
 #include "net/topology.h"
 #include "offload/progress.h"
@@ -35,6 +39,7 @@ using core::ReqId;
 constexpr net::NodeId kComputeId = 1;
 constexpr net::NodeId kMemoryId = 2;
 constexpr net::NodeId kSpotId = 3;
+constexpr net::NodeId kMemory2Id = 4;  // migration runs only
 constexpr net::NodeId kSwitchId = 100;
 constexpr std::uint64_t kPoolBase = 0x100000;
 constexpr std::uint64_t kHeap = 0x4000000;
@@ -42,6 +47,14 @@ constexpr std::uint16_t kRegion = 1;
 // Issue no new operations past this point; drain until the hard deadline.
 constexpr Nanos kIssueDeadline = Millis(20);
 constexpr Nanos kDrainDeadline = Millis(40);
+
+// Migration runs (plan.migrate): the primary server's slab is deliberately
+// this small, so the region's hot head — every offset the workload touches —
+// becomes its own range there and the cold tail spills to the second
+// server. The scenario then live-migrates the hot range under traffic.
+constexpr Bytes kMigrateRangeBytes = KiB(256);
+constexpr std::uint64_t kPool2Base = 0x1000'0000;  // second server's slab
+constexpr Nanos kMigrateTick = Micros(50);  // coordinator cadence
 
 // Bystander-tenant traffic behind the incast/victim scenarios: 4 KiB
 // closed-loop streams deep enough to push an egress queue past the ECN
@@ -63,6 +76,7 @@ struct ChaosHarness {
   static constexpr net::TopoNodeId kSwitchNode = 1;
   static constexpr net::TopoNodeId kMemoryNode = 2;
   static constexpr net::TopoNodeId kSpotNode = 3;
+  static constexpr net::TopoNodeId kMemory2Node = 4;  // migration runs only
 
   // The Section 7 testbed as a topology plan: compute, memory, and spot
   // hosts on one switch. Serial collapses everything into domain 0; kPair
@@ -81,12 +95,23 @@ struct ChaosHarness {
     topo.AddEdge(compute, tor, propagation);
     topo.AddEdge(memory, tor, propagation);
     topo.AddEdge(spot, tor, propagation);
+    // The second memory server exists only for migration runs, appended
+    // after the legacy nodes so their topology ids — and everything seeded
+    // off insertion order — stay exactly as pre-migration runs had them.
+    net::TopoNodeId memory2 = 0;
+    if (opt.plan.migrate) {
+      memory2 = topo.AddNode(net::TopoNodeKind::kMemoryServer, "memory2",
+                             kMemory2Id);
+      topo.AddEdge(memory2, tor, propagation);
+      COWBIRD_CHECK(memory2 == kMemory2Node);
+    }
     if (opt.mode == ExecutionMode::kSerial) {
       topo.GroupAll(0);
     } else if (opt.split_scope == SplitScope::kPair) {
       topo.SetGroup(tor, 1);
       topo.SetGroup(memory, 1);
       topo.SetGroup(spot, 1);
+      if (opt.plan.migrate) topo.SetGroup(memory2, 1);
     }
     return topo;
   }
@@ -154,7 +179,20 @@ struct ChaosHarness {
     compute_nic.ConnectTo(sw, "compute");
     memory_nic.ConnectTo(sw, "memory");
     spot_nic.ConnectTo(sw, "spot");
-    pool_mr = memory_dev.RegisterMemory(kPoolBase, MiB(64));
+    if (opt.plan.migrate) {
+      memory2_nic.emplace(domains.sim_for(kMemory2Node), kMemory2Id,
+                          fabric_params.host_link,
+                          fabric_params.link_propagation);
+      memory2_dev.emplace(*memory2_nic, memory2_mem, nic_config);
+      memory2_nic->ConnectTo(sw, "memory2");
+      // The elastic pool owns the slabs (it registers the MRs itself);
+      // legacy runs keep the historical single RegisterMemory call so the
+      // rkey sequence — and thus every golden-pinned byte — is untouched.
+      pool.AddServer(memory_dev, kPoolBase, kMigrateRangeBytes);
+      pool.AddServer(*memory2_dev, kPool2Base, MiB(80));
+    } else {
+      pool_mr = memory_dev.RegisterMemory(kPoolBase, MiB(64));
+    }
 
     // Telemetry shards per PDES domain: shard 0 is the caller's hub, the
     // engine-side domains get private hubs that are merged into the
@@ -189,6 +227,21 @@ struct ChaosHarness {
                               {{"link", f.name}});
         bound_links.push_back(f.link);
       }
+      if (memory2_nic.has_value()) {
+        const std::pair<const char*, net::Link*> extra[] = {
+            {"sw_to_memory2", &sw.EgressLink(memory2_nic->switch_port())},
+            {"memory2_uplink", &memory2_nic->uplink()},
+        };
+        const int extra_domain[] = {partition.domain_of(kMemory2Node),
+                                    partition.domain_of(kSwitchNode)};
+        for (int i = 0; i < 2; ++i) {
+          extra[i].second->BindTelemetry(
+              shards.ForDomain(extra_domain[i])->metrics,
+              {{"link", extra[i].first}});
+          bound_links.push_back(extra[i].second);
+        }
+        pool.BindTelemetry(hub->metrics, telemetry::Labels{});
+      }
       if (group != nullptr) {
         for (int d = 0; d < partition.domain_count(); ++d) {
           group->SetDomainStartHook(d, [this, d] {
@@ -206,8 +259,20 @@ struct ChaosHarness {
     cc.layout.resp_capacity = KiB(128);
     cc.telemetry = hub;
     client = std::make_unique<CowbirdClient>(compute_dev, cc);
-    client->RegisterRegion(core::RegionInfo{kRegion, kMemoryId, kPoolBase,
-                                            pool_mr->rkey, MiB(64)});
+    if (opt.plan.migrate) {
+      // Preferred-first allocation carves the hot head on the primary
+      // server and spills the tail to memory2; the client publishes the
+      // pool's authoritative range table so both engines translate per
+      // range from the very first attach.
+      const auto region =
+          pool.AllocateRegion(kRegion, kPoolBase, MiB(64), kMemoryId);
+      COWBIRD_CHECK(region.has_value());
+      client->RegisterRegion(*region);
+      client->SetRegionRanges(kRegion, pool.RangesFor(kRegion));
+    } else {
+      client->RegisterRegion(core::RegionInfo{kRegion, kMemoryId, kPoolBase,
+                                              pool_mr->rkey, MiB(64)});
+    }
 
     telemetry::Hub* const spot_hub =
         shards.ForDomain(partition.domain_of(kSpotNode));
@@ -249,6 +314,12 @@ struct ChaosHarness {
       injector.Attach(compute_nic.uplink());
       injector.Attach(memory_nic.uplink());
       injector.Attach(spot_nic.uplink());
+      // Migration-only links attach last so the legacy links keep their
+      // historical per-link fault streams.
+      if (memory2_nic.has_value()) {
+        injector.Attach(sw.EgressLink(memory2_nic->switch_port()));
+        injector.Attach(memory2_nic->uplink());
+      }
     }
     if (opt.plan.congestion == CongestionScenario::kIncast ||
         opt.plan.congestion == CongestionScenario::kVictim) {
@@ -275,6 +346,23 @@ struct ChaosHarness {
         group->ScheduleGlobal(when, [this] { CrashServingEngine(); });
       } else {
         sim.ScheduleAt(when, [this] { CrashServingEngine(); });
+      }
+    }
+    if (opt.plan.migrate) {
+      // The copy stream's QP: source-device side `a` writes into memory2's
+      // slab, congestion-controlled against the foreground traffic.
+      migrate_qp = rdma::ConnectQueuePairs(memory_dev, *memory2_dev);
+      // Every coordinator tick is pre-scheduled up front: rescheduling a
+      // global event from inside one is undefined under conservative PDES,
+      // and a fixed tick train is bit-identical for any worker count. Ticks
+      // on a finished migration are cheap no-ops.
+      for (Nanos when = opt.plan.migrate_start; when < kDrainDeadline;
+           when += kMigrateTick) {
+        if (group != nullptr) {
+          group->ScheduleGlobal(when, [this] { MigrationTick(); });
+        } else {
+          sim.ScheduleAt(when, [this] { MigrationTick(); });
+        }
       }
     }
     telemetry_hub = hub;
@@ -312,7 +400,8 @@ struct ChaosHarness {
     binding.attach = [this, &agent](std::uint32_t instance_id,
                                     const offload::InstanceProgress* resume) {
       COWBIRD_CHECK(instance_id == client->descriptor().instance_id);
-      rdma::Device* memories[] = {&memory_dev};
+      std::vector<rdma::Device*> memories{&memory_dev};
+      if (memory2_dev.has_value()) memories.push_back(&*memory2_dev);
       auto conn = spot::ConnectSpotEngine(spot_dev, compute_dev, memories);
       offload::InstanceProgress reconciled;
       const offload::InstanceProgress* use = resume;
@@ -350,8 +439,15 @@ struct ChaosHarness {
     binding.attach = [this](std::uint32_t instance_id,
                             const offload::InstanceProgress* resume) {
       COWBIRD_CHECK(instance_id == client->descriptor().instance_id);
+      // Every attach consumes a fresh QPN block: a handoff re-attach must
+      // not collide with the host QPs the detached connection left behind.
+      // (The first attach still gets the historical 0x800 base.)
+      const std::uint32_t qpn_base = p4_qpn_base;
+      p4_qpn_base += 0x40;
+      std::vector<rdma::Device*> memories{&memory_dev};
+      if (memory2_dev.has_value()) memories.push_back(&*memory2_dev);
       auto conn = p4::ConnectP4Engine(*p4_engine, kSwitchId, compute_dev,
-                                      memory_dev, 0x800);
+                                      memories, qpn_base);
       p4_engine->AddInstance(client->descriptor(), conn, resume);
       serving_agent = nullptr;
       return true;
@@ -361,10 +457,12 @@ struct ChaosHarness {
       // in-flight pipeline state dies with the instance entry, so its
       // export is crash-safe as-is. The switch makes no host-side verbs of
       // its own to halt; packets already on the wire land harmlessly
-      // (idempotent re-execution, Section 5.3).
+      // (idempotent re-execution, Section 5.3). A handoff detach keeps the
+      // probe loop alive — the same switch re-attaches the instance after
+      // the cutover.
       auto snapshot = p4_engine->ExportProgress(instance_id);
       p4_engine->RemoveInstance(instance_id);
-      p4_engine->StopProbing();
+      if (!handoff_in_progress) p4_engine->StopProbing();
       return snapshot;
     };
     return binding;
@@ -437,6 +535,72 @@ struct ChaosHarness {
     f.psim->ScheduleAfter(500, [this, &f] { PumpBg(f); });
   }
 
+  // One step of the copy-then-cutover state machine (core/migration.h),
+  // driven by the pre-scheduled tick train. Runs as a global event under
+  // PDES splits because the cutover — registry handoff, translation flip,
+  // client range republish, re-attach — spans every domain; like the crash
+  // path it executes with all domains quiescent at the tick time.
+  void MigrationTick() {
+    switch (migration_stage) {
+      case MigrationStage::kArmed: {
+        migrate_plan = pool.PlanMove(kRegion, kPoolBase, kMemory2Id);
+        COWBIRD_CHECK(migrate_plan.has_value());
+        core::RegionMigrator::Config mc;
+        mc.chunk = KiB(16);  // stretch the copy so foreground writes race it
+        mc.window = 2;
+        mc.telemetry = telemetry_hub;
+        migrator = std::make_unique<core::RegionMigrator>(
+            memory_dev, *migrate_qp.a, *migrate_qp.a_send_cq, *migrate_plan,
+            mc);
+        migrator->Start();
+        migration_stage = MigrationStage::kCopying;
+        break;
+      }
+      case MigrationStage::kCopying: {
+        if (!migrator->ReadyForCutover()) break;
+        // Cutover, step 1: park the instance (the registry detach exports
+        // the resume snapshot and halts the engine-side QPs) and enter the
+        // final drain. Stragglers already on the wire still land on the
+        // source, re-mark their chunk, and are chased before Synced().
+        // BeginHandoff can refuse transiently (e.g. the instance is mid
+        // crash-migration and unassigned); retry on the next tick. The flag
+        // must be raised *before* the call: BeginHandoff synchronously runs
+        // the serving engine's detach, which keeps the P4 probe loop alive
+        // only while a handoff is in progress.
+        handoff_in_progress = true;
+        if (!registry.BeginHandoff(client->descriptor().instance_id)) {
+          handoff_in_progress = false;
+          break;
+        }
+        migrator->BeginFinalDrain();
+        migration_stage = MigrationStage::kDraining;
+        break;
+      }
+      case MigrationStage::kDraining: {
+        migrator->Nudge();
+        if (!migrator->Synced()) break;
+        // Cutover, step 2 — atomic in virtual time, all inside this one
+        // event: flip the pool's translation entry, republish the client's
+        // range table, and re-attach. The resumed engine rebuilds its
+        // translation mirror from the new placement, so every re-executed
+        // and new operation resolves to the destination server.
+        pool.CommitMove(*migrate_plan);
+        client->SetRegionRanges(kRegion, pool.RangesFor(kRegion));
+        migrator->Finish();
+        const EngineId placed =
+            registry.CompleteHandoff(client->descriptor().instance_id);
+        COWBIRD_CHECK(placed != offload::kNoEngine);
+        handoff_in_progress = false;
+        serving = placed;
+        migration_stage = MigrationStage::kDone;
+        ++migrations_executed;
+        break;
+      }
+      case MigrationStage::kDone:
+        break;
+    }
+  }
+
   void CrashServingEngine() {
     if (serving == offload::kNoEngine) return;
     // Bring up the standby as a *new* registry engine first so the
@@ -477,10 +641,20 @@ struct ChaosHarness {
   rdma::Device compute_dev;
   rdma::Device memory_dev;
   rdma::Device spot_dev;
+  // Migration runs only: the second memory server (engaged after the
+  // legacy members so everything they consume — node ids, switch ports,
+  // rkeys — is untouched when absent).
+  SparseMemory memory2_mem;
+  std::optional<net::HostNic> memory2_nic;
+  std::optional<rdma::Device> memory2_dev;
   sim::Machine compute_machine;
   sim::Machine machine_a;
   sim::Machine machine_b;
   const rdma::MemoryRegion* pool_mr = nullptr;
+  // Declared before the client and engines: their destructors unregister
+  // callback gauges against the per-domain shard hubs, so the shards must
+  // outlive them.
+  telemetry::HubShards shards;
   std::unique_ptr<CowbirdClient> client;
   std::unique_ptr<spot::SpotAgent> agent_a;
   std::unique_ptr<spot::SpotAgent> agent_b;
@@ -489,10 +663,19 @@ struct ChaosHarness {
   std::map<spot::SpotAgent*, spot::SpotConnection> conn_of;
   spot::SpotAgent* serving_agent = nullptr;
   EngineId serving = offload::kNoEngine;
+  // Live-migration state (plan.migrate only).
+  enum class MigrationStage { kArmed, kCopying, kDraining, kDone };
+  core::ClusterPool pool;
+  rdma::QpPair migrate_qp;
+  std::optional<core::ClusterPool::MigrationPlan> migrate_plan;
+  std::unique_ptr<core::RegionMigrator> migrator;
+  MigrationStage migration_stage = MigrationStage::kArmed;
+  bool handoff_in_progress = false;
+  std::uint32_t p4_qpn_base = 0x800;
+  std::uint64_t migrations_executed = 0;
   FaultInjector injector;
   std::vector<BgFlow> bg_flows;
   telemetry::Hub* telemetry_hub = nullptr;
-  telemetry::HubShards shards;
   std::vector<net::Link*> bound_links;
   HistoryRecorder recorder;
   std::uint64_t reads_checked = 0;
@@ -708,18 +891,31 @@ ChaosResult RunChaos(const ChaosOptions& options, telemetry::Hub* hub) {
   result.decided_reordered = harness.injector.decided_reordered();
   result.decided_delayed = harness.injector.decided_delayed();
   result.crashes_executed = harness.crashes_executed;
+  result.migrations_executed = harness.migrations_executed;
+  if (harness.migrator != nullptr) {
+    result.migrate_bytes_copied = harness.migrator->bytes_copied();
+    result.migrate_dirty_marks = harness.migrator->dirty_marks();
+  }
   result.ecn_marked = harness.sw.ecn_marked();
   result.pfc_pauses = harness.sw.pfc_pauses_sent();
-  for (net::Link* link :
-       {&harness.sw.EgressLink(harness.compute_nic.switch_port()),
-        &harness.sw.EgressLink(harness.memory_nic.switch_port()),
-        &harness.sw.EgressLink(harness.spot_nic.switch_port()),
-        &harness.compute_nic.uplink(), &harness.memory_nic.uplink(),
-        &harness.spot_nic.uplink()}) {
+  std::vector<net::Link*> fabric_links = {
+      &harness.sw.EgressLink(harness.compute_nic.switch_port()),
+      &harness.sw.EgressLink(harness.memory_nic.switch_port()),
+      &harness.sw.EgressLink(harness.spot_nic.switch_port()),
+      &harness.compute_nic.uplink(), &harness.memory_nic.uplink(),
+      &harness.spot_nic.uplink()};
+  std::vector<rdma::Device*> devices = {
+      &harness.compute_dev, &harness.memory_dev, &harness.spot_dev};
+  if (harness.memory2_nic.has_value()) {
+    fabric_links.push_back(
+        &harness.sw.EgressLink(harness.memory2_nic->switch_port()));
+    fabric_links.push_back(&harness.memory2_nic->uplink());
+    devices.push_back(&*harness.memory2_dev);
+  }
+  for (net::Link* link : fabric_links) {
     result.link_pauses += link->pauses_received();
   }
-  for (rdma::Device* dev :
-       {&harness.compute_dev, &harness.memory_dev, &harness.spot_dev}) {
+  for (rdma::Device* dev : devices) {
     if (rdma::CongestionManager* cm = dev->congestion()) {
       result.cnps += cm->cnps_received();
     }

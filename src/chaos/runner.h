@@ -88,6 +88,13 @@ struct ChaosResult {
   std::uint64_t decided_reordered = 0;
   std::uint64_t decided_delayed = 0;
   std::uint64_t crashes_executed = 0;
+  // Live-migration observability (all zero when the plan does not migrate):
+  // completed copy-then-cutover handoffs, bytes the migrator moved (initial
+  // pass + dirty chase + drain), and chunks the dirty chase re-copied
+  // because application writes raced the copy.
+  std::uint64_t migrations_executed = 0;
+  std::uint64_t migrate_bytes_copied = 0;
+  std::uint64_t migrate_dirty_marks = 0;
   // Congestion observability (all zero when the plan's scenario is kNone).
   std::uint64_t ecn_marked = 0;       // CE rewrites at the switch
   std::uint64_t pfc_pauses = 0;       // pause frames the switch originated

@@ -2,6 +2,7 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <filesystem>
 #include <optional>
 
 #include "chaos/trace.h"
@@ -23,6 +24,8 @@ void Appendf(std::string& out, const char* fmt, ...) {
 // failure, with the error appended to the report).
 std::string DumpTrace(const std::string& trace_dir, const ChaosOptions& opt,
                       const ChaosResult& result, std::string& report) {
+  std::error_code ec;  // best-effort: WriteTraceFile reports the failure
+  std::filesystem::create_directories(trace_dir, ec);
   const std::string path = trace_dir + "/chaos-trace-" +
                            EngineKindName(opt.engine) + "-seed" +
                            std::to_string(opt.seed) + ".txt";
@@ -59,6 +62,7 @@ SweepOutcome RunSweep(const SweepConfig& config) {
     ChaosOptions opt = SweepOptions(items[index].engine, items[index].seed,
                                     config.break_fence);
     opt.plan.congestion = config.congestion;
+    opt.plan.migrate = config.migrate;
     if (config.split) {
       opt.mode = ExecutionMode::kSplit;
       opt.split_scope = config.split_scope;
@@ -80,6 +84,15 @@ SweepOutcome RunSweep(const SweepConfig& config) {
       Appendf(out.report, "FAIL engine=%s seed=%llu: fault counters inexact\n",
               EngineKindName(engine),
               static_cast<unsigned long long>(seed));
+      ++out.failures;
+    }
+    if (config.migrate && rec.result.migrations_executed != 1) {
+      Appendf(out.report,
+              "FAIL engine=%s seed=%llu: migration did not cut over "
+              "(%llu completed)\n",
+              EngineKindName(engine), static_cast<unsigned long long>(seed),
+              static_cast<unsigned long long>(
+                  rec.result.migrations_executed));
       ++out.failures;
     }
     if (config.break_fence) {

@@ -21,7 +21,10 @@ struct SweepConfig {
   std::vector<EngineKind> engines = {EngineKind::kSpot, EngineKind::kP4};
   std::uint64_t seeds = 8;
   std::uint64_t start = 1;
-  std::string trace_dir = ".";
+  // Failure traces land here (created on demand). The default is a
+  // .gitignore'd directory so an interrupted local sweep never leaves
+  // chaos-trace-*.txt litter in the repo root.
+  std::string trace_dir = "chaos-traces";
   bool break_fence = false;
   // Concurrent runs (0 → hardware concurrency). Parallelism only changes
   // wall-clock time, never the report.
@@ -38,6 +41,10 @@ struct SweepConfig {
   // plan. kNone leaves the plans untouched, so the report stays byte-
   // identical to a pre-congestion sweep.
   CongestionScenario congestion = CongestionScenario::kNone;
+  // Layers the live-migration scenario (plan.migrate at its default start
+  // time) onto every seed's fault plan, and requires every run to have
+  // completed its cutover. False leaves the plans untouched.
+  bool migrate = false;
 };
 
 struct SweepOutcome {

@@ -54,6 +54,19 @@ class CowbirdClient {
   CowbirdClient(rdma::Device& device, Config config);
 
   void RegisterRegion(const RegionInfo& region);
+  // Replaces the cluster-pool translation ranges for one region (elastic
+  // pool, DESIGN.md §14). Control-plane only: engines copy the descriptor at
+  // attach time, so call this while the instance is detached (between
+  // BeginHandoff and CompleteHandoff) and the re-attached engine sees the
+  // new placement atomically.
+  void SetRegionRanges(std::uint16_t region_id,
+                       const std::vector<RangeEntry>& ranges) {
+    auto& all = descriptor_.ranges;
+    for (auto it = all.begin(); it != all.end();) {
+      it = it->region_id == region_id ? all.erase(it) : it + 1;
+    }
+    all.insert(all.end(), ranges.begin(), ranges.end());
+  }
   const InstanceDescriptor& descriptor() const { return descriptor_; }
 
   class ThreadContext;

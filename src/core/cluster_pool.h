@@ -1,0 +1,135 @@
+// Cluster pool allocator: one elastic memory pool spanning many servers.
+//
+// The MIND-style generalization of core::RegionAllocator (ROADMAP item 3):
+// the pool is a set of memory servers, each contributing one registered
+// slab; a *region* is a contiguous virtual interval carved into one or more
+// ranges with per-range server ownership. The pool owns the authoritative
+// TranslationTable — the same entries the P4 pipeline installs as a range
+// match stage and the spot agent mirrors per instance (translation.h).
+//
+// Elasticity:
+//   * grow    — AddServer registers a new slab; subsequent allocations and
+//               spills can land on it.
+//   * shrink  — RemoveServer succeeds only when no live range owns bytes on
+//               that server (the structured refusal names the squatters).
+//   * spill   — AllocateRegion carves from the preferred server first and
+//               splits the region across the remaining servers, in 4 KiB
+//               chunks, when the preferred slab is exhausted.
+//   * rebalance — PlanMove/CommitMove relocate one range between servers.
+//               The plan carries both placements; RegionMigrator
+//               (migration.h) copies the bytes, and CommitMove is the
+//               atomic virtual-time flip of the translation entry.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "core/instance.h"
+#include "core/region_allocator.h"
+#include "core/translation.h"
+#include "rdma/device.h"
+#include "telemetry/metrics.h"
+
+namespace cowbird::core {
+
+class ClusterPool {
+ public:
+  // Virtual ranges split on 4 KiB boundaries so sub-page records never
+  // straddle an ownership boundary.
+  static constexpr Bytes kRangeAlign = 4096;
+
+  struct ServerStats {
+    net::NodeId node = 0;
+    Bytes capacity = 0;
+    Bytes allocated = 0;
+    std::size_t ranges = 0;  // live ranges owned by this server
+    std::uint32_t rkey = 0;
+  };
+
+  // One planned range move: everything the copy engine and the cutover
+  // need, resolved up front so the flip itself is a single Retarget.
+  struct MigrationPlan {
+    std::uint16_t region_id = 0;
+    std::uint64_t vbase = 0;
+    Bytes length = 0;
+    net::NodeId src_node = 0;
+    std::uint32_t src_rkey = 0;
+    std::uint64_t src_addr = 0;
+    net::NodeId dst_node = 0;
+    std::uint32_t dst_rkey = 0;
+    std::uint64_t dst_addr = 0;
+  };
+
+  ~ClusterPool();
+
+  // Grow: registers `capacity` bytes at `base` on `device` as one slab MR.
+  void AddServer(rdma::Device& device, std::uint64_t base, Bytes capacity);
+
+  // Shrink: drops an empty server. Refuses (returning false and naming the
+  // live ranges in `error`) while any range still owns bytes there.
+  bool RemoveServer(net::NodeId node, std::string* error = nullptr);
+
+  bool HasServer(net::NodeId node) const;
+  std::vector<ServerStats> servers() const;
+
+  // Carves `size` virtual bytes rooted at `vbase`. Prefers `preferred`
+  // (0 = first server added) and spills across the remaining servers in
+  // kRangeAlign chunks when it runs out; nullopt when the whole cluster
+  // cannot hold the region (nothing is leaked on failure). The returned
+  // RegionInfo describes the virtual region (remote_base = vbase); callers
+  // publish RangesFor() alongside it so engines translate per range.
+  std::optional<RegionInfo> AllocateRegion(std::uint16_t region_id,
+                                           std::uint64_t vbase, Bytes size,
+                                           net::NodeId preferred = 0);
+
+  // Frees every range of the region.
+  void ReleaseRegion(std::uint16_t region_id);
+
+  // Rebalance, step 1: reserve a destination extent on `to` for the range
+  // identified by (region_id, vbase). The translation still points at the
+  // source; nothing is live on the destination yet.
+  std::optional<MigrationPlan> PlanMove(std::uint16_t region_id,
+                                        std::uint64_t vbase, net::NodeId to);
+
+  // Rebalance, step 2 (the cutover): atomically retarget the translation
+  // entry at the destination and free the source extent. Every lookup
+  // strictly after this call resolves to the destination.
+  void CommitMove(const MigrationPlan& plan);
+
+  // Abandons a planned move: frees the reserved destination extent.
+  void AbortMove(const MigrationPlan& plan);
+
+  const TranslationTable& table() const { return table_; }
+  std::vector<RangeEntry> RangesFor(std::uint16_t region_id) const {
+    return table_.RangesFor(region_id);
+  }
+
+  // Per-server occupancy as callback gauges:
+  //   pool_server_capacity_bytes{server=N}, pool_server_allocated_bytes{...},
+  //   pool_server_ranges{...}. The pool must outlive the registry or call
+  //   UnbindTelemetry first.
+  void BindTelemetry(telemetry::MetricRegistry& registry,
+                     const telemetry::Labels& labels);
+  void UnbindTelemetry();
+
+ private:
+  struct Server {
+    net::NodeId node = 0;
+    std::uint32_t rkey = 0;
+    ExtentAllocator arena;
+  };
+
+  Server* FindServer(net::NodeId node);
+  const Server* FindServer(net::NodeId node) const;
+  std::size_t RangesOn(net::NodeId node) const;
+
+  std::vector<Server> servers_;  // in AddServer order
+  TranslationTable table_;
+  telemetry::MetricRegistry* telemetry_registry_ = nullptr;
+  telemetry::Labels telemetry_labels_;
+};
+
+}  // namespace cowbird::core

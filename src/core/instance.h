@@ -11,6 +11,7 @@
 
 #include "common/units.h"
 #include "core/layout.h"
+#include "core/translation.h"
 #include "net/packet.h"
 
 namespace cowbird::core {
@@ -29,12 +30,34 @@ struct InstanceDescriptor {
   std::uint32_t compute_rkey = 0;  // MR covering the client buffer area
   InstanceLayout layout;
   std::vector<RegionInfo> regions;
+  // Cluster-pool translation ranges (elastic pool, DESIGN.md §14). Empty
+  // means single-server identity: every engine synthesizes one range per
+  // region mapping the region onto its own memory_node 1:1, which keeps
+  // legacy descriptors byte-identical in behavior.
+  std::vector<RangeEntry> ranges;
 
   const RegionInfo* FindRegion(std::uint16_t region_id) const {
     for (const auto& region : regions) {
       if (region.region_id == region_id) return &region;
     }
     return nullptr;
+  }
+
+  // The engine-side translation mirror: explicit ranges when the control
+  // plane shipped a cluster table, identity ranges otherwise. Engines copy
+  // this at attach time — a live engine never reads a mutating table.
+  TranslationTable BuildTranslation() const {
+    TranslationTable table;
+    if (!ranges.empty()) {
+      for (const RangeEntry& entry : ranges) table.Install(entry);
+      return table;
+    }
+    for (const RegionInfo& region : regions) {
+      table.Install(RangeEntry{region.region_id, region.remote_base,
+                               region.size, region.memory_node, region.rkey,
+                               region.remote_base});
+    }
+    return table;
   }
 };
 

@@ -2,12 +2,20 @@
 //
 // Section 3: pool memory "can be reserved or harvested from fragmented
 // resources [47] but should be registered with the compute node client
-// library". This allocator manages the pool side of that hand-shake: it
-// carves registered-MR-backed regions out of a node's pool (first-fit over
-// a free list, with coalescing on release) and emits the RegionInfo records
-// the client registers and the engines resolve.
+// library". Two layers manage the pool side of that hand-shake:
+//
+//   * ExtentAllocator — the raw free-list arithmetic: first-fit carving
+//     over a sorted extent list with coalescing on release. One instance
+//     per memory server's registered slab.
+//   * RegionAllocator — the original single-server façade: one device, one
+//     MR, RegionInfo in and out. Kept for the single-pool callers.
+//
+// The multi-server generalization (grow/shrink/rebalance across servers,
+// per-range ownership) is core::ClusterPool, which composes one
+// ExtentAllocator per server — see cluster_pool.h and DESIGN.md §14.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <list>
 #include <optional>
@@ -18,47 +26,64 @@
 
 namespace cowbird::core {
 
-class RegionAllocator {
+// First-fit extent allocator over [base, base+capacity). Pure bookkeeping:
+// no device, no MR — the callers own what the addresses mean.
+class ExtentAllocator {
  public:
-  // Registers `capacity` bytes at `base` on the memory node's device as one
-  // MR; individual regions are sub-ranges (a single rkey serves them all,
-  // as with harvested slabs in practice).
-  RegionAllocator(rdma::Device& device, std::uint64_t base, Bytes capacity)
-      : node_(device.node_id()), base_(base), capacity_(capacity) {
-    mr_ = device.RegisterMemory(base, capacity);
+  struct Extent {
+    std::uint64_t start;
+    Bytes length;
+  };
+
+  ExtentAllocator(std::uint64_t base, Bytes capacity)
+      : base_(base), capacity_(capacity) {
     free_.push_back(Extent{base, capacity});
   }
 
-  // Carves a region of `size` bytes; returns nullopt when fragmented full.
-  std::optional<RegionInfo> Allocate(std::uint16_t region_id, Bytes size) {
-    COWBIRD_CHECK(size > 0);
-    const Bytes aligned = (size + 63) & ~Bytes{63};
+  // Carves `size` bytes (rounded up to `align`); nullopt when no free
+  // extent fits the whole request contiguously.
+  std::optional<std::uint64_t> Allocate(Bytes size, Bytes align = 64) {
+    COWBIRD_CHECK(size > 0 && align > 0);
+    const Bytes aligned = AlignUp(size, align);
     for (auto it = free_.begin(); it != free_.end(); ++it) {
       if (it->length < aligned) continue;
-      RegionInfo region;
-      region.region_id = region_id;
-      region.memory_node = node_;
-      region.remote_base = it->start;
-      region.rkey = mr_->rkey;
-      region.size = aligned;
+      const std::uint64_t start = it->start;
       it->start += aligned;
       it->length -= aligned;
       if (it->length == 0) free_.erase(it);
       allocated_ += aligned;
-      return region;
+      return start;
     }
     return std::nullopt;
   }
 
-  // Returns a region to the pool (harvested memory being reclaimed, or a
-  // channel torn down). Coalesces with free neighbours.
-  void Release(const RegionInfo& region) {
-    COWBIRD_CHECK(region.memory_node == node_);
-    COWBIRD_CHECK(region.remote_base >= base_ &&
-                  region.remote_base + region.size <= base_ + capacity_);
-    COWBIRD_CHECK(allocated_ >= region.size);
-    allocated_ -= region.size;
-    Extent freed{region.remote_base, region.size};
+  // Carves the largest available extent up to `size` bytes, in multiples of
+  // `align` — the spill path when a region is split across servers. Returns
+  // nullopt when not even one aligned unit is free contiguously.
+  std::optional<Extent> AllocateAtMost(Bytes size, Bytes align) {
+    COWBIRD_CHECK(size > 0 && align > 0);
+    auto best = free_.end();
+    for (auto it = free_.begin(); it != free_.end(); ++it) {
+      if (it->length < align) continue;
+      if (best == free_.end() || it->length > best->length) best = it;
+    }
+    if (best == free_.end()) return std::nullopt;
+    const Bytes take =
+        std::min(AlignUp(size, align), best->length / align * align);
+    Extent out{best->start, take};
+    best->start += take;
+    best->length -= take;
+    if (best->length == 0) free_.erase(best);
+    allocated_ += take;
+    return out;
+  }
+
+  // Returns an extent to the free list, coalescing with its neighbours.
+  void Release(std::uint64_t start, Bytes length) {
+    COWBIRD_CHECK(start >= base_ && start + length <= base_ + capacity_);
+    COWBIRD_CHECK(allocated_ >= length);
+    allocated_ -= length;
+    Extent freed{start, length};
     auto it = free_.begin();
     while (it != free_.end() && it->start < freed.start) ++it;
     // Coalesce with the previous extent.
@@ -87,23 +112,64 @@ class RegionAllocator {
     free_.insert(it, freed);
   }
 
+  std::uint64_t base() const { return base_; }
+  Bytes capacity() const { return capacity_; }
   Bytes allocated() const { return allocated_; }
   Bytes free_bytes() const { return capacity_ - allocated_; }
   std::size_t fragments() const { return free_.size(); }
+
+  static Bytes AlignUp(Bytes size, Bytes align) {
+    return (size + align - 1) / align * align;
+  }
+
+ private:
+  std::uint64_t base_;
+  Bytes capacity_;
+  std::list<Extent> free_;  // sorted by start address
+  Bytes allocated_ = 0;
+};
+
+class RegionAllocator {
+ public:
+  // Registers `capacity` bytes at `base` on the memory node's device as one
+  // MR; individual regions are sub-ranges (a single rkey serves them all,
+  // as with harvested slabs in practice).
+  RegionAllocator(rdma::Device& device, std::uint64_t base, Bytes capacity)
+      : node_(device.node_id()), extents_(base, capacity) {
+    mr_ = device.RegisterMemory(base, capacity);
+  }
+
+  // Carves a region of `size` bytes; returns nullopt when fragmented full.
+  std::optional<RegionInfo> Allocate(std::uint16_t region_id, Bytes size) {
+    COWBIRD_CHECK(size > 0);
+    const Bytes aligned = ExtentAllocator::AlignUp(size, 64);
+    const auto start = extents_.Allocate(aligned, 64);
+    if (!start.has_value()) return std::nullopt;
+    RegionInfo region;
+    region.region_id = region_id;
+    region.memory_node = node_;
+    region.remote_base = *start;
+    region.rkey = mr_->rkey;
+    region.size = aligned;
+    return region;
+  }
+
+  // Returns a region to the pool (harvested memory being reclaimed, or a
+  // channel torn down). Coalesces with free neighbours.
+  void Release(const RegionInfo& region) {
+    COWBIRD_CHECK(region.memory_node == node_);
+    extents_.Release(region.remote_base, region.size);
+  }
+
+  Bytes allocated() const { return extents_.allocated(); }
+  Bytes free_bytes() const { return extents_.free_bytes(); }
+  std::size_t fragments() const { return extents_.fragments(); }
   std::uint32_t rkey() const { return mr_->rkey; }
 
  private:
-  struct Extent {
-    std::uint64_t start;
-    Bytes length;
-  };
-
   net::NodeId node_;
-  std::uint64_t base_;
-  Bytes capacity_;
   const rdma::MemoryRegion* mr_ = nullptr;
-  std::list<Extent> free_;  // sorted by start address
-  Bytes allocated_ = 0;
+  ExtentAllocator extents_;
 };
 
 }  // namespace cowbird::core

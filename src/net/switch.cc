@@ -111,6 +111,8 @@ void Switch::Drain(int port_index) {
       UpdatePfcOnDequeue(entry.ingress);
     }
     ++forwarded_;
+    ++port.tx_packets;
+    port.tx_bytes += entry.packet.bytes.size();
     port.link->Send(std::move(entry.packet));
     return;
   }

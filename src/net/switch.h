@@ -101,6 +101,15 @@ class Switch {
   Bytes egress_queued_bytes(int port) const {
     return ports_[port]->queued_bytes;
   }
+  // Per-egress traffic counters — with one port per host these are the
+  // per-server counters the elastic-pool telemetry surfaces (a rebalance
+  // visibly shifts bytes from one server's port to another's).
+  std::uint64_t port_tx_packets(int port) const {
+    return ports_[port]->tx_packets;
+  }
+  std::uint64_t port_tx_bytes(int port) const {
+    return ports_[port]->tx_bytes;
+  }
   std::uint64_t forwarded() const { return forwarded_; }
   std::uint64_t ecn_marked() const { return ecn_marked_; }
   std::uint64_t pfc_pauses_sent() const { return pfc_pauses_sent_; }
@@ -130,6 +139,8 @@ class Switch {
         queues;
     Bytes queued_bytes = 0;
     std::uint64_t drops = 0;
+    std::uint64_t tx_packets = 0;  // packets sent out this egress
+    Bytes tx_bytes = 0;
     // PFC state for this port acting as an *ingress*: bytes it currently
     // has buffered anywhere in the switch, and whether it is paused.
     Bytes ingress_buffered = 0;

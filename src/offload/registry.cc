@@ -92,6 +92,38 @@ std::vector<std::uint32_t> InstanceRegistry::StopEngine(EngineId id) {
   return migrated;
 }
 
+bool InstanceRegistry::BeginHandoff(std::uint32_t instance_id) {
+  auto assigned = assignment_.find(instance_id);
+  if (assigned == assignment_.end() || assigned->second == kNoEngine) {
+    return false;
+  }
+  if (held_.find(instance_id) != held_.end()) return false;
+  auto& from = engines_.at(assigned->second);
+  held_[instance_id] = from.binding.detach(instance_id);
+  assigned->second = kNoEngine;
+  return true;
+}
+
+EngineId InstanceRegistry::CompleteHandoff(std::uint32_t instance_id,
+                                           EngineId to) {
+  auto parked = held_.find(instance_id);
+  if (parked == held_.end()) return kNoEngine;
+  const EngineId target = to != kNoEngine ? to : LeastLoadedLiveEngine();
+  if (target == kNoEngine) return kNoEngine;
+  auto it = engines_.find(target);
+  if (it == engines_.end() || !it->second.live) return kNoEngine;
+  const InstanceProgress* resume =
+      parked->second ? &*parked->second : nullptr;
+  if (!it->second.binding.attach(instance_id, resume)) return kNoEngine;
+  assignment_[instance_id] = target;
+  held_.erase(parked);
+  return target;
+}
+
+bool InstanceRegistry::HandoffInProgress(std::uint32_t instance_id) const {
+  return held_.find(instance_id) != held_.end();
+}
+
 EngineId InstanceRegistry::EngineOf(std::uint32_t instance_id) const {
   auto it = assignment_.find(instance_id);
   return it == assignment_.end() ? kNoEngine : it->second;

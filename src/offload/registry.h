@@ -71,6 +71,20 @@ class InstanceRegistry {
   // ids of the instances that were migrated to a survivor.
   std::vector<std::uint32_t> StopEngine(EngineId id);
 
+  // Two-step reassignment for a copy-then-cutover region migration.
+  // BeginHandoff detaches the instance from its engine and parks the
+  // exported snapshot inside the registry; the instance is "held" — served
+  // by nobody, invisible to placement. The coordinator then drains the
+  // region copy and flips the translation entry before CompleteHandoff
+  // attaches the instance to `to` (kNoEngine = least-loaded live engine)
+  // with the parked snapshot, so the resumed engine sees only the new
+  // placement. Returns the engine chosen, or kNoEngine when no live engine
+  // accepted the instance (it stays parked and can be retried).
+  bool BeginHandoff(std::uint32_t instance_id);
+  EngineId CompleteHandoff(std::uint32_t instance_id,
+                           EngineId to = kNoEngine);
+  bool HandoffInProgress(std::uint32_t instance_id) const;
+
   EngineId EngineOf(std::uint32_t instance_id) const;
   std::vector<std::uint32_t> InstancesOn(EngineId id) const;
   std::size_t live_engines() const;
@@ -86,6 +100,8 @@ class InstanceRegistry {
 
   std::map<EngineId, Engine> engines_;
   std::map<std::uint32_t, EngineId> assignment_;  // kNoEngine = unassigned
+  // Snapshots parked between BeginHandoff and CompleteHandoff.
+  std::map<std::uint32_t, std::optional<InstanceProgress>> held_;
   EngineId next_id_ = 1;
 };
 

@@ -75,6 +75,24 @@ std::vector<std::uint8_t> ControlMessage::Serialize() const {
   PutEndpoint(out, conn.memory);
   PutEndpoint(out, conn.wr_compute);
   PutEndpoint(out, conn.wr_memory);
+  // Elastic-pool extension (DESIGN.md §14), appended after the original
+  // five endpoints so old messages parse as zero extra servers and zero
+  // translation ranges: extra (read, write) endpoint pairs, then the
+  // cluster-pool range table.
+  put16(static_cast<std::uint16_t>(conn.extra_memory.size()));
+  for (const auto& [mem_ep, wr_ep] : conn.extra_memory) {
+    PutEndpoint(out, mem_ep);
+    PutEndpoint(out, wr_ep);
+  }
+  put16(static_cast<std::uint16_t>(descriptor.ranges.size()));
+  for (const auto& range : descriptor.ranges) {
+    put16(range.region_id);
+    put64(range.vbase);
+    put64(range.length);
+    put32(range.node);
+    put32(range.rkey);
+    put64(range.server_base);
+  }
   return out;
 }
 
@@ -120,6 +138,30 @@ std::optional<ControlMessage> ControlMessage::Parse(
   m.conn.memory = GetEndpoint(raw, at); at += 16;
   m.conn.wr_compute = GetEndpoint(raw, at); at += 16;
   m.conn.wr_memory = GetEndpoint(raw, at); at += 16;
+  // Elastic-pool extension: absent in legacy messages (zero extras, zero
+  // ranges — the single-server identity path).
+  if (at == raw.size()) return m;
+  if (!need(2)) return std::nullopt;
+  const std::uint16_t extras = net::GetU16(raw, at); at += 2;
+  for (std::uint16_t i = 0; i < extras; ++i) {
+    if (!need(2 * 16)) return std::nullopt;
+    const HostEndpoint mem_ep = GetEndpoint(raw, at); at += 16;
+    const HostEndpoint wr_ep = GetEndpoint(raw, at); at += 16;
+    m.conn.extra_memory.emplace_back(mem_ep, wr_ep);
+  }
+  if (!need(2)) return std::nullopt;
+  const std::uint16_t ranges = net::GetU16(raw, at); at += 2;
+  for (std::uint16_t i = 0; i < ranges; ++i) {
+    if (!need(2 + 8 + 8 + 4 + 4 + 8)) return std::nullopt;
+    core::RangeEntry range;
+    range.region_id = net::GetU16(raw, at); at += 2;
+    range.vbase = net::GetU64(raw, at); at += 8;
+    range.length = net::GetU64(raw, at); at += 8;
+    range.node = net::GetU32(raw, at); at += 4;
+    range.rkey = net::GetU32(raw, at); at += 4;
+    range.server_base = net::GetU64(raw, at); at += 8;
+    m.descriptor.ranges.push_back(range);
+  }
   return m;
 }
 

@@ -25,6 +25,24 @@ bool IsReadKindImpl(int kind_raw) {
   return kind_raw <= 3;  // kProbe, kMetaFetch, kWriteDataFetch, kPoolRead
 }
 
+// In-pipeline address translation (the ig3_range_translate stage). A miss
+// means the client addressed outside its regions or the mirror is stale —
+// a control-plane bug; abort with the structured error so the log names
+// the address and its nearest mapped neighbours.
+core::Translation MustTranslate(const core::TranslationTable& table,
+                                std::uint16_t region_id, std::uint64_t vaddr,
+                                std::uint32_t length) {
+  core::TranslateError error;
+  const std::optional<core::Translation> t =
+      table.Lookup(region_id, vaddr, length, &error);
+  if (!t.has_value()) [[unlikely]] {
+    std::fprintf(stderr, "p4 translation failed: %s\n",
+                 error.ToString().c_str());
+    COWBIRD_CHECK(t.has_value());
+  }
+  return *t;
+}
+
 }  // namespace
 
 CowbirdP4Engine::CowbirdP4Engine(net::Switch& sw, Config config)
@@ -114,6 +132,34 @@ void CowbirdP4Engine::RegisterInstanceTelemetry(Instance& inst) {
           return std::int64_t{0};
         });
   }
+  // Extra memory servers: per-server pending-depth gauges, labeled by the
+  // server node so a rebalance shows up as depth shifting between servers.
+  for (std::size_t e = 0; e < inst.extra_paths.size(); ++e) {
+    const net::NodeId node = inst.extra_paths[e]->to_memory.host.node;
+    const struct {
+      const char* qp_name;
+      SwitchQp MemoryPath::* member;
+    } path_qps[] = {
+        {"to_memory", &MemoryPath::to_memory},
+        {"wr_memory", &MemoryPath::wr_memory},
+    };
+    for (const auto& q : path_qps) {
+      telemetry::Labels labels = InstanceLabels(id);
+      labels.emplace_back(
+          "qp", std::string(q.qp_name) + "@" + std::to_string(node));
+      hub->metrics.RegisterCallbackGauge(
+          "qp_pending_depth", labels, [this, id, e, member = q.member] {
+            for (const auto& candidate : instances_) {
+              if (candidate->descriptor.instance_id == id &&
+                  e < candidate->extra_paths.size()) {
+                return static_cast<std::int64_t>(
+                    ((*candidate->extra_paths[e]).*member).pending.size());
+              }
+            }
+            return std::int64_t{0};
+          });
+    }
+  }
   hub->metrics.RegisterCallbackGauge(
       "engine_inflight_ops", InstanceLabels(id), [this, id] {
         for (const auto& candidate : instances_) {
@@ -142,6 +188,19 @@ void CowbirdP4Engine::UnregisterInstanceTelemetry(std::uint32_t instance_id) {
     labels.emplace_back("qp", qp_name);
     hub->metrics.UnregisterCallbackGauge("qp_pending_depth", labels);
   }
+  for (const auto& inst : instances_) {
+    if (inst->descriptor.instance_id != instance_id) continue;
+    for (const auto& path : inst->extra_paths) {
+      const net::NodeId node = path->to_memory.host.node;
+      for (const char* qp_name : {"to_memory", "wr_memory"}) {
+        telemetry::Labels labels = InstanceLabels(instance_id);
+        labels.emplace_back(
+            "qp", std::string(qp_name) + "@" + std::to_string(node));
+        hub->metrics.UnregisterCallbackGauge("qp_pending_depth", labels);
+      }
+    }
+    break;
+  }
   hub->metrics.UnregisterCallbackGauge("engine_inflight_ops",
                                        InstanceLabels(instance_id));
 }
@@ -151,12 +210,9 @@ void CowbirdP4Engine::AddInstance(const core::InstanceDescriptor& descriptor,
                                   const offload::InstanceProgress* resume) {
   // Instances can be added before or after Start (the control plane
   // registers them at application startup, Section 5.2 Phase I).
-  // Exactly one memory node per instance in Cowbird-P4 (testbed topology).
-  for (const auto& region : descriptor.regions) {
-    COWBIRD_CHECK(region.memory_node == conn.memory.node);
-  }
   auto inst = std::make_unique<Instance>();
   inst->descriptor = descriptor;
+  inst->translation = descriptor.BuildTranslation();
   const auto bind = [](SwitchQp& qp, const HostEndpoint& ep) {
     qp.host = ep;
     qp.next_psn = ep.start_psn;
@@ -167,6 +223,21 @@ void CowbirdP4Engine::AddInstance(const core::InstanceDescriptor& descriptor,
   bind(inst->to_memory, conn.memory);
   bind(inst->wr_compute, conn.wr_compute);
   bind(inst->wr_memory, conn.wr_memory);
+  for (const auto& [mem_ep, wr_ep] : conn.extra_memory) {
+    auto path = std::make_unique<MemoryPath>();
+    bind(path->to_memory, mem_ep);
+    bind(path->wr_memory, wr_ep);
+    inst->extra_paths.push_back(std::move(path));
+  }
+  // Every server the translation table can point at needs an endpoint pair
+  // now; a data-path miss would be far harder to debug.
+  for (const core::RangeEntry& range : inst->translation.entries()) {
+    bool reachable = range.node == conn.memory.node;
+    for (const auto& [mem_ep, wr_ep] : conn.extra_memory) {
+      reachable = reachable || range.node == mem_ep.node;
+    }
+    COWBIRD_CHECK(reachable);
+  }
   inst->threads.resize(descriptor.layout.threads);
   if (resume != nullptr) {
     // Registry migration: continue from the counters the previous engine
@@ -217,6 +288,10 @@ bool CowbirdP4Engine::RemoveInstance(std::uint32_t instance_id) {
     (*it)->to_memory.timer.Cancel();
     (*it)->wr_compute.timer.Cancel();
     (*it)->wr_memory.timer.Cancel();
+    for (auto& path : (*it)->extra_paths) {
+      path->to_memory.timer.Cancel();
+      path->wr_memory.timer.Cancel();
+    }
     UnregisterInstanceTelemetry(instance_id);
     instances_.erase(it);
     return true;
@@ -303,8 +378,34 @@ CowbirdP4Engine::Instance* CowbirdP4Engine::InstanceForQpn(
         return inst.get();
       }
     }
+    for (auto& path : inst->extra_paths) {
+      for (SwitchQp* candidate : {&path->to_memory, &path->wr_memory}) {
+        if (candidate->host.switch_qpn == switch_qpn) {
+          *qp = candidate;
+          return inst.get();
+        }
+      }
+    }
   }
   return nullptr;
+}
+
+CowbirdP4Engine::SwitchQp& CowbirdP4Engine::PoolReadQp(Instance& inst,
+                                                       net::NodeId node) {
+  if (inst.to_memory.host.node == node) return inst.to_memory;
+  for (auto& path : inst.extra_paths) {
+    if (path->to_memory.host.node == node) return path->to_memory;
+  }
+  COWBIRD_CHECK(false);  // unreachable: AddInstance validated every server
+}
+
+CowbirdP4Engine::SwitchQp& CowbirdP4Engine::PoolWriteQp(Instance& inst,
+                                                        net::NodeId node) {
+  if (inst.wr_memory.host.node == node) return inst.wr_memory;
+  for (auto& path : inst.extra_paths) {
+    if (path->wr_memory.host.node == node) return path->wr_memory;
+  }
+  COWBIRD_CHECK(false);
 }
 
 void CowbirdP4Engine::ConsumeRdma(net::Packet packet) {
@@ -323,12 +424,22 @@ void CowbirdP4Engine::ConsumeRdma(net::Packet packet) {
     // the P4/Spot asymmetry: Spot CNPs terminate at the memory host
     // directly, P4 CNPs take this one extra reflection hop.
     ++cnps_reflected_;
+    // Multi-server pool: a CNP aimed at an extra path's QP is reflected to
+    // *that* server's endpoint; everything else keeps the legacy primary
+    // target (byte-identical single-server behavior).
+    const HostEndpoint* reflect = &inst->to_memory.host;
+    for (const auto& path : inst->extra_paths) {
+      if (qp == &path->to_memory || qp == &path->wr_memory) {
+        reflect = &path->to_memory.host;
+        break;
+      }
+    }
     rdma::Bth bth;
     bth.opcode = rdma::Opcode::kCnp;
-    bth.dest_qp = inst->to_memory.host.host_qpn;
+    bth.dest_qp = reflect->host_qpn;
     bth.psn = 0;
     SendPacket(rdma::BuildRdmaPacket(
-        config_.switch_node_id, inst->to_memory.host.node,
+        config_.switch_node_id, reflect->node,
         net::Priority::kControl, bth, nullptr, nullptr, {}));
   }
   // Anything else addressed to the switch endpoint is dropped.
@@ -470,12 +581,13 @@ void CowbirdP4Engine::RefetchOrphans(Instance& inst) {
         fetch.rkey = inst.descriptor.compute_rkey;
         Admit(inst, inst.to_compute, fetch);
       } else {
-        const core::RegionInfo* region =
-            inst.descriptor.FindRegion(op.meta.region_id);
+        const core::Translation src =
+            MustTranslate(inst.translation, op.meta.region_id,
+                          op.meta.req_addr, op.meta.length);
         fetch.kind = PendingKind::kPoolRead;
-        fetch.raddr = op.meta.req_addr;
-        fetch.rkey = region->rkey;
-        Admit(inst, inst.to_memory, fetch);
+        fetch.raddr = src.addr;
+        fetch.rkey = src.rkey;
+        Admit(inst, PoolReadQp(inst, src.node), fetch);
       }
     }
   }
@@ -561,10 +673,6 @@ void CowbirdP4Engine::OnMetaData(Instance& inst, Pending& pending,
     RecordOpPhase(inst, thread, op.is_write, op.seq,
                   telemetry::OpPhase::kExecute);
 
-    const core::RegionInfo* region =
-        inst.descriptor.FindRegion(meta.region_id);
-    COWBIRD_CHECK(region != nullptr);
-
     if (op.is_write) {
       // Phase III, Step 1b: fetch the to-be-written payload from the
       // compute node's request data ring.
@@ -579,16 +687,19 @@ void CowbirdP4Engine::OnMetaData(Instance& inst, Pending& pending,
       fetch.rkey = inst.descriptor.compute_rkey;
       Admit(inst, inst.to_compute, fetch);
     } else {
-      // Phase III, Step 1a: read the requested data from the memory pool.
+      // Phase III, Step 1a: range-translate (region, vaddr) to the owning
+      // server and read the requested data from its pool MR.
+      const core::Translation src = MustTranslate(
+          inst.translation, meta.region_id, meta.req_addr, meta.length);
       Pending fetch;
       fetch.kind = PendingKind::kPoolRead;
       fetch.thread = thread;
       fetch.seq = op.seq;
       fetch.length = meta.length;
       fetch.segments = rdma::SegmentCount(meta.length);
-      fetch.raddr = meta.req_addr;
-      fetch.rkey = region->rkey;
-      Admit(inst, inst.to_memory, fetch);
+      fetch.raddr = src.addr;
+      fetch.rkey = src.rkey;
+      Admit(inst, PoolReadQp(inst, src.node), fetch);
     }
   }
 
@@ -614,8 +725,14 @@ void CowbirdP4Engine::OnWritePayloadChunk(Instance& inst, Pending& pending,
   Op* op = FindOpImpl(ts.inflight, pending.seq, /*is_write=*/true);
   if (op == nullptr) return;  // stale duplicate: op already completed
 
+  // Translate the pool destination: the owning server's write QP carries
+  // the recycled stream (the per-op mapping is stable, so every chunk of
+  // one op lands on the same QP).
+  const core::Translation dst = MustTranslate(
+      inst.translation, op->meta.region_id, op->meta.resp_addr,
+      op->meta.length);
   // Find or create the pool-write pending whose PSN span carries this data.
-  SwitchQp& pool = inst.wr_memory;
+  SwitchQp& pool = PoolWriteQp(inst, dst.node);
   Pending* dest = nullptr;
   for (auto& p : pool.pending) {
     if (p.kind == PendingKind::kPoolWrite && p.thread == pending.thread &&
@@ -629,8 +746,6 @@ void CowbirdP4Engine::OnWritePayloadChunk(Instance& inst, Pending& pending,
       op->refetch_needed = true;  // orphan: re-fetched on next probe
       return;
     }
-    const core::RegionInfo* region =
-        inst.descriptor.FindRegion(op->meta.region_id);
     Pending w;
     w.kind = PendingKind::kPoolWrite;
     w.thread = pending.thread;
@@ -638,8 +753,8 @@ void CowbirdP4Engine::OnWritePayloadChunk(Instance& inst, Pending& pending,
     w.is_write_op = true;
     w.length = op->meta.length;
     w.segments = rdma::SegmentCount(op->meta.length);
-    w.raddr = op->meta.resp_addr;  // pool destination
-    w.rkey = region->rkey;
+    w.raddr = dst.addr;  // pool destination on the owning server
+    w.rkey = dst.rkey;
     dest = &AppendPending(pool, w);
   }
   if (chunk_offset != dest->bytes_sent) return;  // replayed chunk, skip
@@ -825,15 +940,27 @@ void CowbirdP4Engine::WalkAndEmit(Instance& inst, SwitchQp& qp) {
           // Rebuild the source read on the other QP (idempotent re-fetch);
           // its responses re-convert onto this pending's reserved PSN span.
           // Skip when the original source read is still pending — its
-          // responses will arrive and convert.
-          SwitchQp& source_qp = p.kind == PendingKind::kPoolWrite
-                                    ? inst.to_compute
-                                    : inst.to_memory;
-          const PendingKind source_kind = p.kind == PendingKind::kPoolWrite
-                                              ? PendingKind::kWriteDataFetch
-                                              : PendingKind::kPoolRead;
+          // responses will arrive and convert. A pending that is not done
+          // always has a live op (ops retire only after their write ACKs).
+          ThreadState& ts = inst.threads[p.thread];
+          Op* op = FindOpImpl(ts.inflight, p.seq,
+                              p.kind == PendingKind::kPoolWrite);
+          COWBIRD_CHECK(op != nullptr);
+          SwitchQp* source_qp;
+          PendingKind source_kind;
+          std::optional<core::Translation> src;
+          if (p.kind == PendingKind::kPoolWrite) {
+            source_qp = &inst.to_compute;
+            source_kind = PendingKind::kWriteDataFetch;
+          } else {
+            src = MustTranslate(inst.translation, op->meta.region_id,
+                                op->meta.req_addr, op->meta.length);
+            source_qp = &PoolReadQp(inst, src->node);
+            source_kind = PendingKind::kPoolRead;
+          }
           bool source_alive = false;
-          for (const auto* queue : {&source_qp.pending, &source_qp.deferred}) {
+          for (const auto* queue :
+               {&source_qp->pending, &source_qp->deferred}) {
             for (const auto& sp : *queue) {
               if (sp.kind == source_kind && sp.thread == p.thread &&
                   sp.seq == p.seq && !sp.done) {
@@ -844,10 +971,6 @@ void CowbirdP4Engine::WalkAndEmit(Instance& inst, SwitchQp& qp) {
             if (source_alive) break;
           }
           if (!source_alive) {
-            ThreadState& ts = inst.threads[p.thread];
-            Op* op = FindOpImpl(ts.inflight, p.seq,
-                                p.kind == PendingKind::kPoolWrite);
-            COWBIRD_CHECK(op != nullptr);
             Pending fetch;
             fetch.thread = p.thread;
             fetch.seq = p.seq;
@@ -858,15 +981,12 @@ void CowbirdP4Engine::WalkAndEmit(Instance& inst, SwitchQp& qp) {
               fetch.is_write_op = true;
               fetch.raddr = op->meta.req_addr;
               fetch.rkey = inst.descriptor.compute_rkey;
-              Admit(inst, inst.to_compute, fetch);
             } else {
-              const core::RegionInfo* region =
-                  inst.descriptor.FindRegion(op->meta.region_id);
               fetch.kind = PendingKind::kPoolRead;
-              fetch.raddr = op->meta.req_addr;
-              fetch.rkey = region->rkey;
-              Admit(inst, inst.to_memory, fetch);
+              fetch.raddr = src->addr;
+              fetch.rkey = src->rkey;
             }
+            Admit(inst, *source_qp, fetch);
           }
         }
         // Later entries wait for this write to finish streaming (strict
@@ -1017,12 +1137,33 @@ P4PipelineSpec CowbirdP4Engine::BuildPipelineSpec() const {
                        : instances_[0]->descriptor.layout.threads;
   params.max_inflight = config_.max_inflight_per_thread;
   params.meta_entries_per_fetch = config_.meta_entries_per_fetch;
+  for (const auto& inst : instances_) {
+    params.translation_ranges = std::max(
+        params.translation_ranges, static_cast<int>(inst->translation.size()));
+  }
   return BuildCowbirdP4Spec(params);
 }
 
 // ---------------------------------------------------------------------------
 // Phase I plumbing
 // ---------------------------------------------------------------------------
+
+namespace {
+HostEndpoint SetupHostEndpoint(rdma::Device& dev, net::NodeId switch_id,
+                               std::uint32_t switch_qpn,
+                               std::uint32_t host_psn,
+                               std::uint32_t switch_psn) {
+  auto* cq = dev.CreateCq();
+  auto* qp = dev.CreateQp(cq, cq);
+  qp->Connect(switch_id, switch_qpn, host_psn, switch_psn);
+  HostEndpoint ep;
+  ep.node = dev.node_id();
+  ep.host_qpn = qp->qpn();
+  ep.switch_qpn = switch_qpn;
+  ep.start_psn = switch_psn;
+  return ep;
+}
+}  // namespace
 
 P4Connection ConnectP4Engine(CowbirdP4Engine& engine, net::NodeId switch_id,
                              rdma::Device& compute, rdma::Device& memory,
@@ -1032,21 +1173,35 @@ P4Connection ConnectP4Engine(CowbirdP4Engine& engine, net::NodeId switch_id,
   auto setup = [&](rdma::Device& dev, std::uint32_t switch_qpn,
                    std::uint32_t host_psn,
                    std::uint32_t switch_psn) -> HostEndpoint {
-    auto* cq = dev.CreateCq();
-    auto* qp = dev.CreateQp(cq, cq);
-    qp->Connect(switch_id, switch_qpn, host_psn, switch_psn);
-    HostEndpoint ep;
-    ep.node = dev.node_id();
-    ep.host_qpn = qp->qpn();
-    ep.switch_qpn = switch_qpn;
-    ep.start_psn = switch_psn;
-    return ep;
+    return SetupHostEndpoint(dev, switch_id, switch_qpn, host_psn,
+                             switch_psn);
   };
   conn.compute = setup(compute, qpn_base, 1000, 5000);
   conn.probe = setup(compute, qpn_base + 1, 1500, 5500);
   conn.memory = setup(memory, qpn_base + 2, 2000, 6000);
   conn.wr_compute = setup(compute, qpn_base + 3, 2500, 6500);
   conn.wr_memory = setup(memory, qpn_base + 4, 3000, 7000);
+  return conn;
+}
+
+P4Connection ConnectP4Engine(CowbirdP4Engine& engine, net::NodeId switch_id,
+                             rdma::Device& compute,
+                             std::span<rdma::Device* const> memories,
+                             std::uint32_t qpn_base) {
+  COWBIRD_CHECK(!memories.empty());
+  P4Connection conn =
+      ConnectP4Engine(engine, switch_id, compute, *memories[0], qpn_base);
+  std::uint32_t qpn = qpn_base + 5;
+  for (std::uint32_t i = 1; i < memories.size(); ++i) {
+    rdma::Device& dev = *memories[i];
+    // Per-server PSN offsets keep every stream disjoint from the primary
+    // pair (2000/6000, 3000/7000) and from each other.
+    const HostEndpoint mem = SetupHostEndpoint(
+        dev, switch_id, qpn++, 2000 + 100 * i, 6000 + 100 * i);
+    const HostEndpoint wr = SetupHostEndpoint(
+        dev, switch_id, qpn++, 3000 + 100 * i, 7000 + 100 * i);
+    conn.extra_memory.emplace_back(mem, wr);
+  }
   return conn;
 }
 

@@ -47,6 +47,8 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "common/pool.h"
@@ -77,12 +79,17 @@ struct HostEndpoint {
 
 // The five QPs Phase I establishes per instance. Requests and recycled write
 // streams are deliberately separate (see the fault-tolerance note above).
+// Elastic pool (DESIGN.md §14): every memory server beyond the first adds
+// one (pool-read, pool-write) endpoint pair with the same read/write QP
+// split; the in-switch translation table picks the pair per operation.
 struct P4Connection {
   HostEndpoint compute;     // metadata / data-ring reads (compute node)
   HostEndpoint probe;       // lowest-priority green-region probes
-  HostEndpoint memory;      // pool reads (memory node)
+  HostEndpoint memory;      // pool reads (primary memory node)
   HostEndpoint wr_compute;  // recycled payload writes + red writes
-  HostEndpoint wr_memory;   // recycled pool writes
+  HostEndpoint wr_memory;   // recycled pool writes (primary memory node)
+  // (pool read, pool write) per additional memory server.
+  std::vector<std::pair<HostEndpoint, HostEndpoint>> extra_memory;
 };
 
 class CowbirdP4Engine : public net::PacketProcessor {
@@ -123,10 +130,11 @@ class CowbirdP4Engine : public net::PacketProcessor {
   ~CowbirdP4Engine();
 
   // Control-plane RPC (Phase I): registers an instance with its descriptor
-  // and established QPs. Exactly one memory endpoint per instance (the
-  // testbed topology; multi-pool instances use Cowbird-Spot). When `resume`
-  // is non-null the instance continues from a progress snapshot exported by
-  // another engine (InstanceRegistry migration) instead of starting fresh.
+  // and established QPs. Every memory server the descriptor's translation
+  // table references must have an endpoint (conn.memory or an extra_memory
+  // pair) — checked here, not on the data path. When `resume` is non-null
+  // the instance continues from a progress snapshot exported by another
+  // engine (InstanceRegistry migration) instead of starting fresh.
   void AddInstance(const core::InstanceDescriptor& descriptor,
                    const P4Connection& conn,
                    const offload::InstanceProgress* resume = nullptr);
@@ -249,19 +257,33 @@ class CowbirdP4Engine : public net::PacketProcessor {
     bool meta_fetch_inflight = false;
   };
 
+  // One extra memory server's QP pair, same read/write split as the
+  // primary. Heap-allocated so SwitchQp addresses stay stable for the
+  // retransmission-timer captures.
+  struct MemoryPath {
+    SwitchQp to_memory;
+    SwitchQp wr_memory;
+  };
+
   struct Instance {
     core::InstanceDescriptor descriptor;
+    // In-switch translation mirror (the ig3_range_translate stage): every
+    // pool access range-matches (region, vaddr) to {server, rkey, offset}.
+    // Copied from the descriptor at attach, never mutated while attached.
+    core::TranslationTable translation;
     std::uint64_t activity_credit = 0;  // recent tail movement (TDM weight)
     SwitchQp to_compute;  // metadata + data-ring reads (never blocks)
     SwitchQp to_probe;    // dedicated QP for lowest-priority probes: probe
                           // packets may be overtaken by higher classes, so
                           // they cannot share a PSN space with data
-    SwitchQp to_memory;   // pool reads (never blocks)
+    SwitchQp to_memory;   // pool reads, primary server (never blocks)
     // Recycled write streams: a conversion mid-stream stalls its QP until
     // fed, so writes get QPs of their own — the reads that feed them (and
     // rebuild them after Go-Back-N) stay emittable. See the header comment.
     SwitchQp wr_compute;  // payload writes (read delivery) + red writes
-    SwitchQp wr_memory;   // pool writes (write-op data)
+    SwitchQp wr_memory;   // pool writes, primary server (write-op data)
+    // Additional memory servers (elastic pool), one pair each.
+    std::vector<std::unique_ptr<MemoryPath>> extra_paths;
     std::vector<ThreadState> threads;
     bool probe_inflight = false;
     // Telemetry: probe round-trip span + precomputed track name.
@@ -307,6 +329,11 @@ class CowbirdP4Engine : public net::PacketProcessor {
   void MaybeFetchMetadata(Instance& inst, int thread);
   void RefetchOrphans(Instance& inst);
   void StartOps(Instance& inst, int thread);
+
+  // Pool QP selection by owning server (translation output). The primary
+  // pair serves conn.memory's node; extra servers get their own pair.
+  SwitchQp& PoolReadQp(Instance& inst, net::NodeId node);
+  SwitchQp& PoolWriteQp(Instance& inst, net::NodeId node);
 
   // --- fault tolerance ---
   void ArmTimer(Instance& inst, SwitchQp& qp);
@@ -358,6 +385,15 @@ class CowbirdP4Engine : public net::PacketProcessor {
 // switch endpoint identity. Consumes five switch QPNs starting at qpn_base.
 P4Connection ConnectP4Engine(CowbirdP4Engine& engine, net::NodeId switch_id,
                              rdma::Device& compute, rdma::Device& memory,
+                             std::uint32_t qpn_base);
+
+// Multi-server variant (elastic pool): memories[0] is the primary endpoint
+// with the exact QPN/PSN layout of the two-device overload; every further
+// server consumes two more switch QPNs (read + write pair) with per-server
+// PSN offsets. Consumes 5 + 2*(memories.size()-1) QPNs from qpn_base.
+P4Connection ConnectP4Engine(CowbirdP4Engine& engine, net::NodeId switch_id,
+                             rdma::Device& compute,
+                             std::span<rdma::Device* const> memories,
                              std::uint32_t qpn_base);
 
 }  // namespace cowbird::p4

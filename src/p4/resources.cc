@@ -31,6 +31,7 @@ P4PipelineSpec BuildCowbirdP4Spec(const P4SpecParams& p) {
   const auto iq = static_cast<std::uint64_t>(p.instances);
   const auto tq = static_cast<std::uint64_t>(p.threads);
   const auto fq = static_cast<std::uint64_t>(p.max_inflight);
+  const auto rq = static_cast<std::uint64_t>(p.translation_ranges);
 
   // --- Stages --------------------------------------------------------------
   // Entry sizes (bits) for the stateful structures.
@@ -40,6 +41,11 @@ P4PipelineSpec BuildCowbirdP4Spec(const P4SpecParams& p) {
   constexpr std::uint64_t kCounterBlock = 5 * 64;  // red-block registers
   constexpr std::uint64_t kTailBlock = 3 * 64;     // probe-side cursors
   constexpr std::uint64_t kQpState = 256;          // PSNs per switch QP
+  // Range translation (elastic pool): the match key is region id + vaddr;
+  // a range match compiles to ~2 TCAM prefixes per entry, and the action
+  // data rewrites {server, rkey, remote offset}.
+  constexpr std::uint64_t kRangeKey = 80;      // region(16) + vaddr(64)
+  constexpr std::uint64_t kRangeAction = 160;  // node/rkey/base rewrite
 
   spec.stages = {
       // Ingress.
@@ -47,10 +53,14 @@ P4PipelineSpec BuildCowbirdP4Spec(const P4SpecParams& p) {
        /*tcam=*/static_cast<std::uint64_t>(1.25 * 1024 * 8), /*vliw=*/3, /*salu=*/0},
       {"ig1_qpn_to_instance", iq * 128 * kQpnMapEntry, 0, 3, 0},
       {"ig2_region_table", iq * 64 * kRegionEntry, 0, 2, 0},
-      {"ig3_probe_tail_compare", iq * tq * kTailBlock, 0, 3, 2},
-      {"ig4_meta_cursor_update", iq * tq * kTailBlock, 0, 3, 1},
-      {"ig5_write_fence", iq * tq * 64, 0, 2, 1},
-      {"ig6_pending_table_lookup", iq * tq * fq * kPendingEntry, 0, 4, 2},
+      // Elastic pool (DESIGN.md §14): range-match the virtual pool address
+      // to the owning memory server and rewrite raddr/rkey in the PHV.
+      {"ig3_range_translate", iq * rq * kRangeAction,
+       iq * rq * kRangeKey * 2, 3, 0},
+      {"ig4_probe_tail_compare", iq * tq * kTailBlock, 0, 3, 2},
+      {"ig5_meta_cursor_update", iq * tq * kTailBlock, 0, 3, 1},
+      {"ig6_write_fence", iq * tq * 64, 0, 2, 1},
+      {"ig7_pending_table_lookup", iq * tq * fq * kPendingEntry, 0, 4, 2},
       // Egress.
       {"eg0_psn_allocate", iq * 2 * kQpState, 0, 4, 2},
       {"eg1_opcode_rewrite", 16 * 1024 * 8, 0, 5, 0},

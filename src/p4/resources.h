@@ -60,6 +60,11 @@ struct P4SpecParams {
   int threads = 16;     // hardware threads per compute node
   int max_inflight = 64;
   int meta_entries_per_fetch = 8;
+  // Elastic-pool range-translation entries per instance (the
+  // ig3_range_translate TCAM stage, DESIGN.md §14). The default covers a
+  // region split across a handful of servers; single-server identity
+  // tables need one entry per region.
+  int translation_ranges = 4;
 };
 
 // Builds the stage-by-stage layout of the Cowbird-P4 program.

@@ -111,6 +111,29 @@ class Device {
   // Null unless config.dcqcn.enabled.
   CongestionManager* congestion() { return congestion_.get(); }
 
+  // Write watch for live region migration (core::RegionMigrator): `cb`
+  // fires for every RDMA WRITE payload chunk a responder lands inside
+  // [base, base+length) on this device — the dirty-tracking hook a real
+  // NIC would implement with ODP/dirty-bit scanning. One watch per device;
+  // re-arming replaces the previous one.
+  void SetWriteWatch(std::uint64_t base, Bytes length,
+                     std::function<void(std::uint64_t, std::uint32_t)> cb) {
+    watch_base_ = base;
+    watch_length_ = length;
+    write_watch_ = std::move(cb);
+  }
+  void ClearWriteWatch() {
+    write_watch_ = nullptr;
+    watch_length_ = 0;
+  }
+  // Called by QueuePair on every landed WRITE chunk; no cost when unarmed.
+  void NotifyWrite(std::uint64_t addr, std::uint32_t len) {
+    if (write_watch_ && addr < watch_base_ + watch_length_ &&
+        addr + len > watch_base_) {
+      write_watch_(addr, len);
+    }
+  }
+
   // Sum of Go-Back-N retransmissions across every QP on this device.
   std::uint64_t total_retransmissions() const;
 
@@ -132,6 +155,9 @@ class Device {
   std::unique_ptr<CongestionManager> congestion_;
   std::uint64_t packets_sent_ = 0;
   std::uint64_t packets_received_ = 0;
+  std::uint64_t watch_base_ = 0;
+  Bytes watch_length_ = 0;  // 0 = watch unarmed
+  std::function<void(std::uint64_t, std::uint32_t)> write_watch_;
   telemetry::MetricRegistry* telemetry_registry_ = nullptr;
   telemetry::Labels telemetry_labels_;
 };

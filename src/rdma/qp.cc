@@ -113,6 +113,8 @@ void QueuePair::HandleRequest(const RdmaMessageView& view) {
     case Opcode::kWriteMiddle:
     case Opcode::kWriteLast: {
       device_->memory().Write(write_target_, view.payload);
+      device_->NotifyWrite(write_target_,
+                           static_cast<std::uint32_t>(view.payload.size()));
       write_target_ += view.payload.size();
       epsn_ = PsnAdd(epsn_, 1);
       if (IsLastOrOnly(op)) {

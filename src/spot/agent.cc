@@ -11,6 +11,24 @@ namespace {
 constexpr std::uint8_t kKindShift = 60;
 constexpr std::uint64_t kInstanceShift = 48;
 constexpr std::uint64_t kThreadShift = 32;
+
+// Pool-address resolution through the instance's translation mirror. A miss
+// is a control-plane bug (the client addressed outside its regions, or the
+// mirror is stale); abort with the structured error so the log names the
+// address and its nearest mapped neighbours.
+core::Translation MustTranslate(const core::TranslationTable& table,
+                                std::uint16_t region_id, std::uint64_t vaddr,
+                                std::uint32_t length) {
+  core::TranslateError error;
+  const std::optional<core::Translation> t =
+      table.Lookup(region_id, vaddr, length, &error);
+  if (!t.has_value()) [[unlikely]] {
+    std::fprintf(stderr, "spot translation failed: %s\n",
+                 error.ToString().c_str());
+    COWBIRD_CHECK(t.has_value());
+  }
+  return *t;
+}
 }  // namespace
 
 std::uint64_t SpotAgent::MakeWrId(CompletionKind kind, std::uint32_t instance,
@@ -117,10 +135,16 @@ void SpotAgent::AddInstance(
     const offload::InstanceProgress* resume) {
   auto inst = std::make_unique<Instance>();
   inst->descriptor = descriptor;
+  inst->translation = descriptor.BuildTranslation();
   inst->to_compute = to_compute;
   inst->to_memory.reserve(to_memory.size());
   for (const auto& [node, qp] : to_memory) {
     inst->to_memory.emplace_back(node, qp);
+  }
+  // Every server the translation table can point at must be reachable now;
+  // discovering a missing QP on the data path would be far harder to debug.
+  for (const core::RangeEntry& range : inst->translation.entries()) {
+    COWBIRD_CHECK(to_memory.find(range.node) != to_memory.end());
   }
   inst->index = static_cast<std::uint32_t>(instances_.size());
   inst->threads.resize(descriptor.layout.threads);
@@ -420,17 +444,16 @@ sim::Task<void> SpotAgent::HandleCompletion(rdma::Cqe cqe) {
           COWBIRD_CHECK(op.state == OpState::kFetching);
           op.state = OpState::kWriting;
           ts.progress.data_head += op.meta.length;
-          const core::RegionInfo* region =
-              inst.descriptor.FindRegion(op.meta.region_id);
-          COWBIRD_CHECK(region != nullptr);
-          rdma::QueuePair* pool_qp = MemoryQp(inst, region->memory_node);
+          const core::Translation dst = MustTranslate(
+              inst.translation, op.meta.region_id, op.meta.resp_addr,
+              op.meta.length);
+          rdma::QueuePair* pool_qp = MemoryQp(inst, dst.node);
           COWBIRD_CHECK(pool_qp != nullptr);
           const rdma::SendWqe pw{
               rdma::WqeOp::kWrite,
               MakeWrId(CompletionKind::kPoolWrite, instance_index,
                        static_cast<std::uint16_t>(thread_index), token),
-              op.staging_addr, op.meta.resp_addr, region->rkey,
-              op.meta.length, true};
+              op.staging_addr, dst.addr, dst.rkey, op.meta.length, true};
           co_await rdma::EnginePostBatchVerb(
               thread_, config_.costs, *pool_qp,
               std::span<const rdma::SendWqe>(&pw, 1));
@@ -615,9 +638,6 @@ sim::Task<void> SpotAgent::PumpThread(Instance& inst, int thread) {
   for (auto& op : ts.ops) {
     if (inflight >= config_.max_inflight_per_thread) break;
     if (op.state != OpState::kQueued) continue;
-    const core::RegionInfo* region =
-        inst.descriptor.FindRegion(op.meta.region_id);
-    COWBIRD_CHECK(region != nullptr);
     if (op.meta.rw_type == core::RwType::kRead) {
       if (!config_.chaos_unsafe_skip_hazards &&
           ts.hazards.ReadBlocked(
@@ -634,7 +654,10 @@ sim::Task<void> SpotAgent::PumpThread(Instance& inst, int thread) {
       ++inflight;
       RecordOpPhase(inst, thread, /*is_write=*/false, op.seq,
                     telemetry::OpPhase::kExecute);
-      rdma::QueuePair* pool_qp = MemoryQp(inst, region->memory_node);
+      const core::Translation src = MustTranslate(
+          inst.translation, op.meta.region_id, op.meta.req_addr,
+          op.meta.length);
+      rdma::QueuePair* pool_qp = MemoryQp(inst, src.node);
       COWBIRD_CHECK(pool_qp != nullptr);
       batch_for(pool_qp)
           .push_back(rdma::SendWqe{
@@ -642,8 +665,7 @@ sim::Task<void> SpotAgent::PumpThread(Instance& inst, int thread) {
               MakeWrId(CompletionKind::kPoolRead, instance_index,
                        static_cast<std::uint16_t>(thread),
                        static_cast<std::uint32_t>(op.seq)),
-              op.staging_addr, op.meta.req_addr, region->rkey,
-              op.meta.length, true});
+              op.staging_addr, src.addr, src.rkey, op.meta.length, true});
     } else if (op.carried_payload != nullptr) {
       // Crash-resume replay: the snapshot carried the payload because the
       // dead engine had consumed the client's data-ring bytes. Stage it
@@ -655,7 +677,10 @@ sim::Task<void> SpotAgent::PumpThread(Instance& inst, int thread) {
       ++inflight;
       RecordOpPhase(inst, thread, /*is_write=*/true, op.seq,
                     telemetry::OpPhase::kExecute);
-      rdma::QueuePair* pool_qp = MemoryQp(inst, region->memory_node);
+      const core::Translation dst = MustTranslate(
+          inst.translation, op.meta.region_id, op.meta.resp_addr,
+          op.meta.length);
+      rdma::QueuePair* pool_qp = MemoryQp(inst, dst.node);
       COWBIRD_CHECK(pool_qp != nullptr);
       batch_for(pool_qp)
           .push_back(rdma::SendWqe{
@@ -663,8 +688,7 @@ sim::Task<void> SpotAgent::PumpThread(Instance& inst, int thread) {
               MakeWrId(CompletionKind::kPoolWrite, instance_index,
                        static_cast<std::uint16_t>(thread),
                        static_cast<std::uint32_t>(op.seq)),
-              op.staging_addr, op.meta.resp_addr, region->rkey,
-              op.meta.length, true});
+              op.staging_addr, dst.addr, dst.rkey, op.meta.length, true});
     } else {
       op.staging_addr = AllocStaging(op.meta.length);
       op.state = OpState::kFetching;

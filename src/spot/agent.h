@@ -188,6 +188,12 @@ class SpotAgent {
 
   struct Instance {
     core::InstanceDescriptor descriptor;
+    // Engine-side mirror of the cluster-pool translation table, copied from
+    // the descriptor at attach. Every pool access resolves (region, vaddr)
+    // through it; the single-server case degenerates to one identity range
+    // per region. Never mutated while attached — a migration cutover
+    // detaches, retargets the authoritative table, and re-attaches.
+    core::TranslationTable translation;
     rdma::QueuePair* to_compute = nullptr;
     // Flattened from the AddInstance map (node-sorted): region lookups run
     // per issued op, and a handful of memory nodes scan faster than a tree.

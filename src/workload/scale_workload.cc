@@ -10,6 +10,8 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "core/client.h"
+#include "core/cluster_pool.h"
+#include "core/migration.h"
 #include "p4/engine.h"
 #include "rdma/congestion.h"
 #include "spot/setup.h"
@@ -22,6 +24,13 @@ constexpr std::uint64_t kPoolBase = 0x1000'0000;
 constexpr std::uint64_t kHeapBase = 0x8000'0000;
 constexpr std::uint64_t kHeapStride = MiB(4);
 constexpr std::uint16_t kRegion = 1;
+// Physical slabs backing the migrating client's ClusterPool region live
+// away from the striped per-server pools so neither registration overlaps.
+constexpr std::uint64_t kSlabBase = 0x4000'0000;
+// Cadence of the migration coordinator. Ticks are pre-scheduled (global
+// events when split) because conservative PDES forbids rescheduling a
+// global event from inside one.
+constexpr Nanos kMigrateTick = Micros(25);
 
 // Incast collapses the striping: every client hits memory server 0.
 int ServerFor(const ScaleWorkloadConfig& cfg, int k) {
@@ -40,6 +49,23 @@ struct ScaleHarness {
               kPoolBase, pool_bytes));
       bed.memory_mems[static_cast<std::size_t>(m)]->PreFault(kPoolBase,
                                                              pool_bytes);
+    }
+    if (cfg.migrate) {
+      // Client 0's region comes from an elastic ClusterPool instead of the
+      // striped per-server pool: one slab per server (source + rebalance
+      // destination), region carved entirely on server 0.
+      COWBIRD_CHECK(cfg.memory_servers >= 2);
+      slab_bytes = (pool_bytes + core::ClusterPool::kRangeAlign - 1) /
+                   core::ClusterPool::kRangeAlign *
+                   core::ClusterPool::kRangeAlign;
+      for (int m = 0; m < 2; ++m) {
+        const auto mm = static_cast<std::size_t>(m);
+        pool.AddServer(*bed.memory_devs[mm], kSlabBase, slab_bytes);
+        bed.memory_mems[mm]->PreFault(kSlabBase, slab_bytes);
+      }
+      if (cfg.telemetry != nullptr) {
+        pool.BindTelemetry(cfg.telemetry->metrics, telemetry::Labels{});
+      }
     }
 
     BindTelemetry();
@@ -66,9 +92,17 @@ struct ScaleHarness {
       clients.push_back(std::make_unique<core::CowbirdClient>(
           *bed.client_devs[kk], cc));
       const int server = ServerFor(cfg, k);
-      clients.back()->RegisterRegion(core::RegionInfo{
-          kRegion, bed.memory_id(server), kPoolBase,
-          pool_mrs[static_cast<std::size_t>(server)]->rkey, pool_bytes});
+      if (cfg.migrate && k == 0) {
+        const auto region = pool.AllocateRegion(kRegion, kPoolBase,
+                                                slab_bytes, bed.memory_id(0));
+        COWBIRD_CHECK(region.has_value());
+        clients.back()->RegisterRegion(*region);
+        clients.back()->SetRegionRanges(kRegion, pool.RangesFor(kRegion));
+      } else {
+        clients.back()->RegisterRegion(core::RegionInfo{
+            kRegion, bed.memory_id(server), kPoolBase,
+            pool_mrs[static_cast<std::size_t>(server)]->rkey, pool_bytes});
+      }
       ops.emplace_back(static_cast<std::size_t>(cfg.threads_per_client), 0);
     }
 
@@ -78,18 +112,32 @@ struct ScaleHarness {
       // When the NICs run DCQCN, the switch-generated packets join the ECN
       // loop too (and the engine reflects CNPs to the memory hosts).
       ec.ecn_capable = cfg.dcqcn.enabled;
+      p4_switch_id = ec.switch_node_id;
       p4_engine = std::make_unique<p4::CowbirdP4Engine>(bed.sw, ec);
       for (int k = 0; k < cfg.clients; ++k) {
         const int server = ServerFor(cfg, k);
-        auto conn = p4::ConnectP4Engine(
-            *p4_engine, ec.switch_node_id,
-            *bed.client_devs[static_cast<std::size_t>(k)],
-            *bed.memory_devs[static_cast<std::size_t>(server)],
-            0x800 + 0x20 * static_cast<std::uint32_t>(k));
+        const std::uint32_t qpn_base =
+            0x800 + 0x20 * static_cast<std::uint32_t>(k);
+        p4::P4Connection conn;
+        if (cfg.migrate && k == 0) {
+          // The migrating instance needs an endpoint pair on both servers:
+          // post-cutover translations resolve to the destination.
+          rdma::Device* memories[] = {bed.memory_devs[0].get(),
+                                      bed.memory_devs[1].get()};
+          conn = p4::ConnectP4Engine(*p4_engine, ec.switch_node_id,
+                                     *bed.client_devs[0], memories, qpn_base);
+        } else {
+          conn = p4::ConnectP4Engine(
+              *p4_engine, ec.switch_node_id,
+              *bed.client_devs[static_cast<std::size_t>(k)],
+              *bed.memory_devs[static_cast<std::size_t>(server)], qpn_base);
+        }
         p4_engine->AddInstance(clients[static_cast<std::size_t>(k)]
                                    ->descriptor(),
                                conn);
       }
+      reattach_qpn_base = 0x800 + 0x20 * static_cast<std::uint32_t>(
+                                             cfg.clients);
       p4_engine->Start();
     } else {
       COWBIRD_CHECK(cfg.paradigm == Paradigm::kCowbird);
@@ -100,8 +148,13 @@ struct ScaleHarness {
                                                 *bed.spot_machine, ac);
       for (int k = 0; k < cfg.clients; ++k) {
         const int server = ServerFor(cfg, k);
-        rdma::Device* memories[] = {
-            bed.memory_devs[static_cast<std::size_t>(server)].get()};
+        std::vector<rdma::Device*> memories;
+        if (cfg.migrate && k == 0) {
+          memories = {bed.memory_devs[0].get(), bed.memory_devs[1].get()};
+        } else {
+          memories = {bed.memory_devs[static_cast<std::size_t>(server)]
+                          .get()};
+        }
         auto conn = spot::ConnectSpotEngine(
             *bed.spot_dev, *bed.client_devs[static_cast<std::size_t>(k)],
             memories);
@@ -111,6 +164,92 @@ struct ScaleHarness {
                            conn.memory_cqs);
       }
       agent->Start();
+    }
+
+    if (cfg.migrate) {
+      // The copy stream rides a dedicated QP src→dst, sharing the fabric —
+      // and therefore contending — with the foreground read traffic.
+      migrate_qp = rdma::ConnectQueuePairs(*bed.memory_devs[0],
+                                           *bed.memory_devs[1]);
+    }
+  }
+
+  std::uint64_t TotalOps() const {
+    std::uint64_t total = 0;
+    for (const auto& per_thread : ops) {
+      for (const std::uint64_t count : per_thread) total += count;
+    }
+    return total;
+  }
+
+  // One pre-scheduled coordinator tick (a global event when split): drives
+  // the copy-then-cutover state machine for client 0's region. The cutover
+  // itself — translation flip, client range republish, engine re-attach —
+  // happens inside a single tick, atomic in virtual time.
+  void MigrationTick(Nanos now) {
+    switch (migration_stage) {
+      case MigrationStage::kArmed: {
+        migrate_started_at = now;
+        ops_at_migrate_start = TotalOps();
+        migrate_plan = pool.PlanMove(kRegion, kPoolBase, bed.memory_id(1));
+        COWBIRD_CHECK(migrate_plan.has_value());
+        core::RegionMigrator::Config mc;
+        mc.chunk = cfg.migrate_chunk;
+        mc.window = cfg.migrate_window;
+        mc.telemetry = cfg.telemetry;
+        migrator = std::make_unique<core::RegionMigrator>(
+            *bed.memory_devs[0], *migrate_qp.a, *migrate_qp.a_send_cq,
+            *migrate_plan, mc);
+        migrator->Start();
+        migration_stage = MigrationStage::kCopying;
+        break;
+      }
+      case MigrationStage::kCopying: {
+        if (!migrator->ReadyForCutover()) break;
+        // Detach: export the resume snapshot and stop serving client 0.
+        // Reads it had in flight are re-executed after the re-attach.
+        const std::uint32_t id = clients[0]->descriptor().instance_id;
+        if (p4_engine != nullptr) {
+          migrate_resume = p4_engine->ExportProgress(id);
+          p4_engine->RemoveInstance(id);
+        } else {
+          migrate_resume = agent->ExportProgress(id);
+          agent->RemoveInstance(id);
+        }
+        COWBIRD_CHECK(migrate_resume.has_value());
+        migrator->BeginFinalDrain();
+        migration_stage = MigrationStage::kDraining;
+        break;
+      }
+      case MigrationStage::kDraining: {
+        migrator->Nudge();
+        if (!migrator->Synced()) break;
+        pool.CommitMove(*migrate_plan);
+        clients[0]->SetRegionRanges(kRegion, pool.RangesFor(kRegion));
+        migrator->Finish();
+        rdma::Device* memories[] = {bed.memory_devs[0].get(),
+                                    bed.memory_devs[1].get()};
+        if (p4_engine != nullptr) {
+          const auto conn = p4::ConnectP4Engine(
+              *p4_engine, p4_switch_id, *bed.client_devs[0], memories,
+              reattach_qpn_base);
+          p4_engine->AddInstance(clients[0]->descriptor(), conn,
+                                 &*migrate_resume);
+        } else {
+          const auto conn = spot::ConnectSpotEngine(
+              *bed.spot_dev, *bed.client_devs[0], memories);
+          agent->AddInstance(clients[0]->descriptor(), conn.to_compute,
+                             conn.compute_cq, conn.to_memory,
+                             conn.memory_cqs, &*migrate_resume);
+        }
+        migrate_cutover_at = now;
+        ops_at_cutover = TotalOps();
+        ++migrations;
+        migration_stage = MigrationStage::kDone;
+        break;
+      }
+      case MigrationStage::kDone:
+        break;
     }
   }
 
@@ -205,6 +344,10 @@ struct ScaleHarness {
   ScaleWorkloadConfig cfg;
   FanInTestbed bed;
   std::vector<const rdma::MemoryRegion*> pool_mrs;
+  // Declared before the clients and engines: their destructors unregister
+  // callback gauges against the per-domain shard hubs, so the shards must
+  // outlive them.
+  telemetry::HubShards shards;
   std::vector<std::unique_ptr<core::CowbirdClient>> clients;
   std::unique_ptr<spot::SpotAgent> agent;
   std::unique_ptr<p4::CowbirdP4Engine> p4_engine;
@@ -215,8 +358,24 @@ struct ScaleHarness {
   // (k, t) order after the run so the percentile set is independent of
   // worker count.
   std::vector<std::vector<std::pair<Nanos, Nanos>>> latency_traces;
-  telemetry::HubShards shards;
   std::vector<net::Link*> bound_links;
+
+  // Live-rebalance state (untouched unless cfg.migrate).
+  enum class MigrationStage { kArmed, kCopying, kDraining, kDone };
+  core::ClusterPool pool;
+  Bytes slab_bytes = 0;
+  net::NodeId p4_switch_id = 0;
+  std::uint32_t reattach_qpn_base = 0;
+  rdma::QpPair migrate_qp;
+  std::optional<core::ClusterPool::MigrationPlan> migrate_plan;
+  std::unique_ptr<core::RegionMigrator> migrator;
+  std::optional<offload::InstanceProgress> migrate_resume;
+  MigrationStage migration_stage = MigrationStage::kArmed;
+  std::uint64_t migrations = 0;
+  Nanos migrate_started_at = 0;
+  Nanos migrate_cutover_at = 0;
+  std::uint64_t ops_at_migrate_start = 0;
+  std::uint64_t ops_at_cutover = 0;
 };
 
 // The async read loop of the hash workload (DriveCowbird), reads only —
@@ -302,6 +461,20 @@ ScaleWorkloadResult RunScaleWorkload(const ScaleWorkloadConfig& config) {
     }
   }
 
+  if (config.migrate) {
+    // Pre-scheduled coordinator tick train (conservative PDES forbids
+    // rescheduling a global event from inside one): one tick every
+    // kMigrateTick from migrate_start to the end of the run.
+    for (Nanos when = config.migrate_start;
+         when < config.warmup + config.measure; when += kMigrateTick) {
+      if (sim::DomainGroup* group = h.bed.group()) {
+        group->ScheduleGlobal(when, [&h, when] { h.MigrationTick(when); });
+      } else {
+        h.bed.sim.ScheduleAt(when, [&h, when] { h.MigrationTick(when); });
+      }
+    }
+  }
+
   h.bed.RunFor(config.warmup);
   const std::vector<std::uint64_t> warm = PerClientOps(h);
   const Nanos t0 = h.bed.domains.Now();
@@ -334,6 +507,58 @@ ScaleWorkloadResult RunScaleWorkload(const ScaleWorkloadConfig& config) {
     if (sampler.count() > 0) {
       result.p50_latency = static_cast<Nanos>(sampler.Median());
       result.p99_latency = static_cast<Nanos>(sampler.P99());
+    }
+  }
+
+  if (config.migrate) {
+    result.migrations = h.migrations;
+    if (h.migrator != nullptr) {
+      result.migrate_bytes_copied = h.migrator->bytes_copied();
+      result.migrate_dirty_marks = h.migrator->dirty_marks();
+    }
+    result.migrate_started_at = h.migrate_started_at;
+    result.migrate_cutover_at = h.migrate_cutover_at;
+    // Phase split of the measure window, defined only when the whole
+    // migration happened inside it.
+    if (h.migrations == 1 && h.migrate_started_at >= t0) {
+      std::uint64_t warm_total = 0;
+      for (const std::uint64_t w : warm) warm_total += w;
+      const Nanos t_end = t0 + elapsed;
+      const auto window_mops = [](std::uint64_t lo_ops, std::uint64_t hi_ops,
+                                  Nanos lo, Nanos hi) {
+        return hi > lo ? Mops(hi_ops - lo_ops, hi - lo) : 0.0;
+      };
+      result.mops_before = window_mops(warm_total, h.ops_at_migrate_start,
+                                       t0, h.migrate_started_at);
+      result.mops_during = window_mops(h.ops_at_migrate_start,
+                                       h.ops_at_cutover,
+                                       h.migrate_started_at,
+                                       h.migrate_cutover_at);
+      result.mops_after = window_mops(h.ops_at_cutover,
+                                      warm_total + result.ops,
+                                      h.migrate_cutover_at, t_end);
+      if (config.sample_latency) {
+        PercentileSampler before, during, after;
+        for (const auto& trace : h.latency_traces) {
+          for (const auto& [completed_at, latency] : trace) {
+            if (completed_at <= t0) continue;
+            PercentileSampler& phase =
+                completed_at <= h.migrate_started_at ? before
+                : completed_at <= h.migrate_cutover_at ? during
+                                                       : after;
+            phase.Add(static_cast<double>(latency));
+          }
+        }
+        if (before.count() > 0) {
+          result.p99_before = static_cast<Nanos>(before.P99());
+        }
+        if (during.count() > 0) {
+          result.p99_during = static_cast<Nanos>(during.P99());
+        }
+        if (after.count() > 0) {
+          result.p99_after = static_cast<Nanos>(after.P99());
+        }
+      }
     }
   }
 

@@ -62,6 +62,16 @@ struct ScaleWorkloadConfig {
   // measure window. Off by default; enabling draws no extra RNG values, so
   // the op streams are unchanged.
   bool sample_latency = false;
+  // Live rebalance (requires memory_servers >= 2): client 0's region is
+  // allocated from a ClusterPool on memory server 0 and, at `migrate_start`
+  // (absolute sim time, warmup included), live-migrated to memory server 1
+  // while every client keeps issuing — copy pass, cutover, re-attach, all
+  // under the foreground read traffic. Off by default; a non-migrating run
+  // is byte-identical to a pre-rebalance build.
+  bool migrate = false;
+  Nanos migrate_start = Micros(400);
+  Bytes migrate_chunk = KiB(64);
+  int migrate_window = 4;  // outstanding copy WRITEs
 };
 
 struct ScaleWorkloadResult {
@@ -81,6 +91,21 @@ struct ScaleWorkloadResult {
   std::uint64_t pfc_pauses = 0;
   std::uint64_t retransmissions = 0;
   std::uint64_t cnps = 0;  // CNPs received across every NIC
+  // Live-rebalance observability (all zero unless config.migrate). The
+  // before/during/after split covers the measure window only: before ends
+  // at migrate_start, during spans copy + cutover, after is post-cutover
+  // steady state. Phase p99s need config.sample_latency too.
+  std::uint64_t migrations = 0;
+  std::uint64_t migrate_bytes_copied = 0;
+  std::uint64_t migrate_dirty_marks = 0;
+  Nanos migrate_started_at = 0;
+  Nanos migrate_cutover_at = 0;
+  double mops_before = 0;
+  double mops_during = 0;
+  double mops_after = 0;
+  Nanos p99_before = 0;
+  Nanos p99_during = 0;
+  Nanos p99_after = 0;
 };
 
 ScaleWorkloadResult RunScaleWorkload(const ScaleWorkloadConfig& config);

@@ -5,6 +5,7 @@
 //               [--trace-dir DIR] [--break-fence] [--jobs N]
 //               [--split] [--split-workers N] [--split-scope pair|node]
 //               [--congestion none|incast|victim|pause_storm]
+//               [--migration]
 //
 // Normal mode: runs N seeds per engine, each with a seed-derived mixed
 // fault plan (drop + duplicate + reorder + delay, partitions, engine
@@ -21,6 +22,11 @@
 // seed's fault plan (finite switch queues, ECN+DCQCN, or a PFC pause
 // storm); the default leaves the plans — and the report bytes — exactly
 // as a pre-congestion sweep produced them.
+//
+// --migration layers the live region migration onto every seed: a second
+// memory server joins the testbed and the region's hot range is copied
+// and cut over mid-run (DESIGN.md §14). A seed whose migration never
+// completes its cutover is a failure.
 //
 // --break-fence mode is the harness's own canary: it re-runs the sweep with
 // the engines' read-after-write fence disabled and exits zero only if the
@@ -75,6 +81,8 @@ int main(int argc, char** argv) {
       config.trace_dir = value;
     } else if (flag == "--break-fence") {
       config.break_fence = true;
+    } else if (flag == "--migration") {
+      config.migrate = true;
     } else if (flag == "--congestion") {
       const char* value = next();
       if (value == nullptr) return 2;

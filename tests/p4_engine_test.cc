@@ -277,14 +277,15 @@ TEST_F(P4EngineTest, SurvivesPacketLossViaGoBackN) {
 TEST_F(P4EngineTest, ResourceSpecMatchesTable5Shape) {
   const P4PipelineSpec spec = BuildCowbirdP4Spec(P4SpecParams{});
   const auto totals = spec.Sum();
-  // Table 5: PHV 1085 b, SRAM 1424 KB, TCAM 1.28 KB, 12 stages, 38 VLIW,
-  // 11 sALU (worst case: 32 ports).
+  // Table 5 (PHV 1085 b, SRAM 1424 KB, TCAM 1.28 KB, 12 stages, 38 VLIW,
+  // 11 sALU at 32 ports) plus the elastic-pool ig3_range_translate stage
+  // (DESIGN.md §14): +1 stage, +3 VLIW, +2.5 KiB SRAM, +2.5 KiB TCAM.
   EXPECT_EQ(totals.phv_bits, 1085);
-  EXPECT_EQ(totals.stages, 12);
-  EXPECT_EQ(totals.vliw_instructions, 38);
+  EXPECT_EQ(totals.stages, 13);
+  EXPECT_EQ(totals.vliw_instructions, 41);
   EXPECT_EQ(totals.stateful_alus, 11);
-  EXPECT_NEAR(totals.sram_kib, 1424.0, 30.0);
-  EXPECT_NEAR(totals.tcam_kib, 1.28, 0.05);
+  EXPECT_NEAR(totals.sram_kib, 1426.5, 30.0);
+  EXPECT_NEAR(totals.tcam_kib, 3.78, 0.05);
 }
 
 // Two instances share one switch: TDM probing must serve both.
