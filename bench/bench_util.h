@@ -22,7 +22,7 @@ namespace cowbird::bench {
 
 // The parallel-execution flags every sweep driver grew its own copy of:
 // --jobs N always, plus --split / --split-workers N / --split-scope
-// pair|node when constructed with `with_split`. Call Consume once per argv
+// pair|node|packed when constructed with `with_split`. Call Consume once per argv
 // position inside the driver's flag loop; it returns true when it
 // recognized (and consumed, including any value operand) the flag. A
 // missing or malformed value flips ok() to false — the driver prints
@@ -56,7 +56,8 @@ class ParallelFlags {
     if (std::strcmp(flag, "--split-scope") == 0) {
       const char* const v = value();
       if (v == nullptr) return true;
-      if (std::strcmp(v, "pair") != 0 && std::strcmp(v, "node") != 0) {
+      if (std::strcmp(v, "pair") != 0 && std::strcmp(v, "node") != 0 &&
+          std::strcmp(v, "packed") != 0) {
         ok_ = false;
         return true;
       }
@@ -69,12 +70,13 @@ class ParallelFlags {
   bool ok() const { return ok_; }
   const char* Usage() const {
     return with_split_ ? "[--jobs N] [--split] [--split-workers N] "
-                         "[--split-scope pair|node]"
+                         "[--split-scope pair|node|packed]"
                        : "[--jobs N]";
   }
   // Resolved sweep width: the explicit --jobs value or hardware concurrency.
   int Jobs() const { return jobs > 0 ? jobs : sim::HardwareJobs(); }
   bool per_node_scope() const { return split_scope == "node"; }
+  bool packed_scope() const { return split_scope == "packed"; }
 
   int jobs = 0;  // 0 → hardware concurrency
   bool split = false;
@@ -154,6 +156,11 @@ inline void ShapeCheck(bool ok, const char* claim) {
 // adds the split-scaling rows: the 16-node rack workload partitioned one
 // PDES domain per topology node, swept across worker counts (params gain a
 // "workers" key; deterministic scale_ops is gated, wall curves stay *_wall).
+// Version 4 (sim_throughput) adds the fabric-scaling rows: a 128-client
+// two-tier fabric swept across worker counts and split scopes (params gain
+// "scope"), plus the horizon A/B rows comparing per-edge against global-min
+// epoch horizons (deterministic fabric_ops / epochs / epochs_per_sim_ms are
+// gated, wall metrics stay *_wall informational).
 class BenchJson {
  public:
   using Params = std::vector<std::pair<std::string, std::string>>;

@@ -8,7 +8,7 @@
 // the steady-state measure window via HashWorkloadConfig's measure hooks, so
 // warmup, topology construction, and teardown never pollute the count.
 //
-// Three parallel sections ride along (schema v3):
+// Four parallel sections ride along (schema v4):
 //
 //   * --jobs N (default: hardware concurrency) re-runs each engine's rep
 //     batch on a sim::ParallelFor pool and reports aggregate wall
@@ -24,12 +24,21 @@
 //     counts must be bit-identical for every worker count; the wall
 //     speedup curve is reported per point and its monotonicity is only
 //     asserted when the machine actually has >= 8 hardware threads.
+//   * A fabric-scaling section (new in v4) runs the 128-client two-tier
+//     fabric (8 groups of 16 clients behind per-group ToRs trunked into the
+//     core, 4 memory servers) swept across worker counts 1 → 8 under both
+//     split scopes: one PDES domain per node (142 domains) and the
+//     event-rate-packed partition (net::PackDomains, budget 8). Per-scope op
+//     and epoch counts are bit-deterministic and gated; the horizon A/B rows
+//     rerun each scope under the historical global-min horizon and gate the
+//     per-edge policy's epoch reduction (>= 3x fewer barrier rounds per
+//     simulated ms on the per-node partition).
 //
 // All *_wall metrics are informational in bench_gate unless --gate-wall;
-// the deterministic outcome totals (ops_total, split_ops, scale_ops) are
-// gated tight.
+// the deterministic outcome totals (ops_total, split_ops, scale_ops,
+// fabric_ops, fabric_epochs, epochs_per_sim_ms) are gated tight.
 //
-// Emits BENCH_sim_throughput.json (schema v3). The committed baseline under
+// Emits BENCH_sim_throughput.json (schema v4). The committed baseline under
 // bench/baselines/ plus the bench_gate comparator turn this into the CI
 // perf-regression gate; see README.md.
 #include <atomic>
@@ -400,6 +409,170 @@ void ScaleSection(BenchJson& json, Table& table) {
   }
 }
 
+// Level-4 parallelism: the 128-client two-tier fabric — 8 groups of 16
+// clients behind per-group ToR switches trunked into the core, 4 memory
+// servers — swept across worker counts under both split scopes. "node" is
+// one PDES domain per topology node (142 domains); "packed" folds those
+// down to 8 via net::PackDomains over event rates profiled by a short
+// deterministic pre-run. Within each scope, per-client op counts and epoch
+// counts are bit-identical for every worker count (gated); across scopes
+// the partition legitimately shifts same-timestamp tie-breaks at the cuts,
+// so only per-scope totals are pinned. The horizon A/B rows rerun each
+// scope under HorizonPolicy::kGlobalMin — outcomes are policy-invariant,
+// and epochs-per-simulated-ms is the gated efficiency metric: per-edge
+// LBTS horizons must cut barrier rounds >= 3x on the per-node partition.
+void FabricSection(BenchJson& json, Table& table) {
+  using workload::ScaleWorkloadConfig;
+  using workload::ScaleWorkloadResult;
+  constexpr Nanos kMeasure = Micros(200);
+  const double sim_ms = static_cast<double>(kMeasure) * 1e-6;
+  const auto base = [] {
+    ScaleWorkloadConfig cfg;
+    cfg.paradigm = Paradigm::kCowbirdP4;
+    cfg.clients = 128;
+    cfg.memory_servers = 4;
+    cfg.client_groups = 8;
+    cfg.threads_per_client = 1;
+    cfg.records = 20'000;
+    cfg.app_compute = Micros(10);
+    cfg.window = 1;
+    // Completions are probe-paced, so poll coarsely instead of spinning:
+    // the idle polls otherwise floor every domain's horizon. At 128
+    // instances the probe engine also spaces its sweeps out, or probe
+    // handling alone keeps every rack neighborhood hot.
+    cfg.poll_idle = Micros(2);
+    cfg.poll_jitter = 31;
+    cfg.p4_probe_interval = Micros(4);
+    // In-rack client <-> ToR DACs: ~4 m at 5 ns/m. The short uplinks make
+    // the lookahead graph heterogeneous; the global-min horizon is floored
+    // at this value fabric-wide, while per-edge horizons confine it to the
+    // client neighborhoods.
+    cfg.client_propagation = 20;
+    // Hall-scale ToR <-> core optics: ~120 m of fiber. The wide trunk
+    // lookahead is what lets each rack neighborhood advance in trunk-sized
+    // epoch steps regardless of how dense the core's own event stream is.
+    cfg.trunk_propagation = 600;
+    cfg.warmup = Micros(50);
+    cfg.measure = kMeasure;
+    cfg.split = true;
+    return cfg;
+  };
+
+  struct Scope {
+    const char* name;
+    bool packed;
+  };
+  constexpr Scope kScopes[] = {{"node", false}, {"packed", true}};
+  constexpr int kWorkerCounts[] = {1, 2, 4, 8};
+
+  for (const Scope& scope : kScopes) {
+    std::vector<std::uint64_t> pinned_client_ops;
+    std::uint64_t pinned_ops = 0, pinned_epochs = 0, pinned_skipped = 0;
+    bool identical = true;
+    int domains = 0;
+    for (const int workers : kWorkerCounts) {
+      ScaleWorkloadConfig cfg = base();
+      cfg.packed = scope.packed;
+      cfg.split_workers = workers;
+      ScaleWorkloadResult r;
+      const double wall_s =
+          WallSeconds([&] { r = workload::RunScaleWorkload(cfg); });
+      domains = r.domains;
+      if (pinned_client_ops.empty()) {
+        pinned_client_ops = r.client_ops;
+        pinned_ops = r.ops;
+        pinned_epochs = r.epochs;
+        pinned_skipped = r.epochs_skipped;
+      } else {
+        identical = identical && r.client_ops == pinned_client_ops &&
+                    r.ops == pinned_ops && r.epochs == pinned_epochs &&
+                    r.epochs_skipped == pinned_skipped;
+      }
+      table.Row({"cowbird",
+                 std::string("fabric-") + scope.name + "-w" +
+                     std::to_string(workers),
+                 std::to_string(r.ops), "-", "-", "-", "-", "-",
+                 Fmt(wall_s * 1e3, 1)});
+      json.Row({{"engine", "cowbird"},
+                {"rep", "fabric"},
+                {"scope", scope.name},
+                {"workers", std::to_string(workers)}},
+               {{"fabric_ops", static_cast<double>(r.ops)},
+                {"fabric_epochs", static_cast<double>(r.epochs)},
+                {"fabric_epochs_skipped",
+                 static_cast<double>(r.epochs_skipped)},
+                {"fabric_domains", static_cast<double>(r.domains)},
+                {"fabric_ms_wall", wall_s * 1e3}});
+    }
+
+    char claim[192];
+    std::snprintf(claim, sizeof(claim),
+                  "128-client two-tier %s scope bit-identical across workers "
+                  "1/2/4/8 (%llu ops, %llu epochs, %d domains)",
+                  scope.name, static_cast<unsigned long long>(pinned_ops),
+                  static_cast<unsigned long long>(pinned_epochs), domains);
+    json.ShapeCheck(identical && domains == (scope.packed ? 8 : 142), claim);
+
+    // Horizon A/B: one global-min rerun per scope. Epoch counts are
+    // deterministic for any worker count, so a single point suffices.
+    ScaleWorkloadConfig cfg = base();
+    cfg.packed = scope.packed;
+    cfg.split_workers = 4;
+    cfg.horizon_policy = sim::HorizonPolicy::kGlobalMin;
+    ScaleWorkloadResult gm;
+    const double gm_wall_s =
+        WallSeconds([&] { gm = workload::RunScaleWorkload(cfg); });
+    const double per_edge_rate = static_cast<double>(pinned_epochs) / sim_ms;
+    const double global_min_rate = static_cast<double>(gm.epochs) / sim_ms;
+    const double reduction =
+        pinned_epochs > 0 ? static_cast<double>(gm.epochs) /
+                                static_cast<double>(pinned_epochs)
+                          : 0;
+    table.Row({"cowbird", std::string("fabric-") + scope.name + "-gmin",
+               std::to_string(gm.ops), "-", "-", "-", "-", "-",
+               Fmt(gm_wall_s * 1e3, 1)});
+    json.Row({{"engine", "cowbird"},
+              {"rep", "horizon"},
+              {"scope", scope.name},
+              {"workers", "4"}},
+             {{"fabric_ops", static_cast<double>(gm.ops)},
+              {"epochs_per_edge", static_cast<double>(pinned_epochs)},
+              {"epochs_global_min", static_cast<double>(gm.epochs)},
+              {"epochs_per_sim_ms", per_edge_rate},
+              {"epochs_per_sim_ms_global_min", global_min_rate},
+              {"fabric_ms_wall", gm_wall_s * 1e3}});
+    std::snprintf(claim, sizeof(claim),
+                  "%s scope horizon-policy-invariant outcome (per-edge %llu "
+                  "ops == global-min %llu ops)",
+                  scope.name, static_cast<unsigned long long>(pinned_ops),
+                  static_cast<unsigned long long>(gm.ops));
+    json.ShapeCheck(gm.ops == pinned_ops && gm.client_ops == pinned_client_ops,
+                    claim);
+    if (scope.packed) {
+      std::snprintf(claim, sizeof(claim),
+                    "packed scope per-edge horizons reduce epochs "
+                    "(%.0f -> %.0f epochs/sim-ms, %.2fx)",
+                    global_min_rate, per_edge_rate, reduction);
+      json.ShapeCheck(pinned_epochs < gm.epochs, claim);
+    } else {
+      std::snprintf(claim, sizeof(claim),
+                    "node scope per-edge horizons cut epochs >= 3x "
+                    "(%.0f -> %.0f epochs/sim-ms, %.2fx)",
+                    global_min_rate, per_edge_rate, reduction);
+      json.ShapeCheck(reduction >= 3.0, claim);
+    }
+    const double exec_pe = static_cast<double>(pinned_epochs) * domains -
+                           static_cast<double>(pinned_skipped);
+    const double exec_gm = static_cast<double>(gm.epochs) * domains -
+                           static_cast<double>(gm.epochs_skipped);
+    std::printf("  fabric %s: %d domains, epochs/sim-ms %.0f per-edge vs "
+                "%.0f global-min (%.2fx); executed domain-epochs %.0f vs "
+                "%.0f (%.2fx)\n",
+                scope.name, domains, per_edge_rate, global_min_rate,
+                reduction, exec_pe, exec_gm, exec_pe > 0 ? exec_gm / exec_pe : 0);
+  }
+}
+
 int Main(int argc, char** argv) {
   BenchArgs args;
   ParallelFlags parallel;
@@ -432,7 +605,7 @@ int Main(int argc, char** argv) {
          "parallel-execution speedups");
 
   const Paradigm engines[] = {Paradigm::kCowbird, Paradigm::kCowbirdP4};
-  BenchJson json("sim_throughput", "perf-gate", /*schema_version=*/3);
+  BenchJson json("sim_throughput", "perf-gate", /*schema_version=*/4);
   Table table({"engine", "rep", "ops", "ops/sec(wall)", "allocs/op",
                "bytes/op", "events/op", "sim MOPS", "wall ms"});
 
@@ -481,6 +654,7 @@ int Main(int argc, char** argv) {
     SplitSection(paradigm, args, jobs, json, table);
   }
   ScaleSection(json, table);
+  FabricSection(json, table);
 
   table.Print();
   json.ShapeCheck(total_ops > 0, "workload retired operations");

@@ -112,6 +112,29 @@ struct ChaosHarness {
       topo.SetGroup(memory, 1);
       topo.SetGroup(spot, 1);
       if (opt.plan.migrate) topo.SetGroup(memory2, 1);
+    } else if (opt.split_scope == SplitScope::kPacked) {
+      // The packed datapath on the small testbed: a static kind-weight rate
+      // vector (the switch forwards every packet, so it is the hottest node;
+      // hosts in between; the mostly-idle spot lightest) packed down to two
+      // domains. No profiling pre-run here — chaos pins outcomes, not
+      // placement quality, and a fixed vector keeps the sweep cheap and the
+      // packing trivially reproducible.
+      std::vector<std::uint64_t> rates(
+          static_cast<std::size_t>(topo.node_count()));
+      for (net::TopoNodeId n = 0; n < topo.node_count(); ++n) {
+        switch (topo.node(n).kind) {
+          case net::TopoNodeKind::kSwitch:
+            rates[static_cast<std::size_t>(n)] = 6;
+            break;
+          case net::TopoNodeKind::kSpotHost:
+            rates[static_cast<std::size_t>(n)] = 2;
+            break;
+          default:
+            rates[static_cast<std::size_t>(n)] = 3;
+            break;
+        }
+      }
+      net::PackDomains(topo, rates, 2);
     }
     return topo;
   }
@@ -176,6 +199,7 @@ struct ChaosHarness {
     // cross-domain links (SetDestination reads domain ids to record the
     // per-cut lookahead).
     COWBIRD_CHECK(!partition.zero_lookahead_error().has_value());
+    if (group != nullptr) group->set_horizon_policy(opt.horizon_policy);
     compute_nic.ConnectTo(sw, "compute");
     memory_nic.ConnectTo(sw, "memory");
     spot_nic.ConnectTo(sw, "spot");

@@ -22,6 +22,7 @@
 
 #include "chaos/fault_plan.h"
 #include "chaos/history.h"
+#include "sim/parallel.h"
 #include "telemetry/hub.h"
 
 namespace cowbird::chaos {
@@ -54,8 +55,13 @@ enum class ExecutionMode { kSerial, kSplit };
 // kPair is the historical two-way cut (compute node in one domain, switch +
 // memory/spot machines in the other); kPerNode gives every topology node —
 // compute, switch, memory, spot — a domain of its own, the N-way partition
-// the rack-scale fabrics use.
-enum class SplitScope { kPair, kPerNode };
+// the rack-scale fabrics use. kPacked runs the per-node domains through
+// net::PackDomains under a fixed budget of 2, with a static kind-weight
+// rate vector (the switch heaviest) standing in for profiled event rates —
+// exercising the packed-partition datapath on every chaos scenario. All
+// three scopes are outcome-equivalent: the scope is never serialized into
+// failure traces, and replay always runs serial.
+enum class SplitScope { kPair, kPerNode, kPacked };
 
 struct ChaosOptions {
   EngineKind engine = EngineKind::kSpot;
@@ -70,6 +76,11 @@ struct ChaosOptions {
   // kSplit only: worker threads for the domain group (0 → hardware
   // concurrency). Split runs are bit-deterministic for any worker count.
   int split_workers = 1;
+  // kSplit only: the epoch-horizon policy. Outcomes are policy-invariant
+  // (the banded cross-event keys make delivery order a pure function of
+  // published state); kGlobalMin stays selectable so tests can pin that
+  // equivalence on full chaos runs.
+  sim::HorizonPolicy horizon_policy = sim::HorizonPolicy::kPerEdge;
 };
 
 struct ChaosResult {

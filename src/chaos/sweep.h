@@ -34,7 +34,9 @@ struct SweepConfig {
   // datapath; the golden-pinned byte-exact outcomes belong to serial mode.
   bool split = false;
   // Partition shape when split: the historical two-domain cut or one
-  // domain per topology node (SplitScope::kPerNode).
+  // domain per topology node (SplitScope::kPerNode) or the packed
+  // two-domain partition (SplitScope::kPacked). Every scope produces the
+  // same report bytes.
   SplitScope split_scope = SplitScope::kPair;
   int split_workers = 1;  // per-run workers when split (0 → hardware)
   // Layers a shared-fabric congestion scenario onto every seed's fault

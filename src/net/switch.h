@@ -72,7 +72,12 @@ class Switch {
   int PortCount() const { return static_cast<int>(ports_.size()); }
 
   void SetRoute(NodeId node, int port);
-  // Port a node is reachable through; -1 if unknown.
+  // Default-route fallback for nodes with no explicit entry — a leaf
+  // switch's trunk toward the core. -1 (the initial state) keeps unknown
+  // destinations dropping.
+  void SetDefaultRoute(int port);
+  // Port a node is reachable through; the default route (-1 if unset) when
+  // unknown.
   int RouteFor(NodeId node) const;
 
   // Entry point for device uplinks (wire this as the uplink's receiver).
@@ -157,6 +162,7 @@ class Switch {
   std::vector<std::unique_ptr<Port>> ports_;
   std::vector<std::pair<NodeId, int>> routes_;
   PacketProcessor* processor_ = nullptr;  // null → L3 forwarding
+  int default_route_ = -1;
   std::uint64_t forwarded_ = 0;
   std::uint64_t ecn_marked_ = 0;
   std::uint64_t pfc_pauses_sent_ = 0;
@@ -168,6 +174,18 @@ class Switch {
   // pipeline never reenters itself: it only runs from scheduled events).
   std::vector<ForwardAction> pipeline_scratch_;
 };
+
+// Switch-to-switch attachment: one port on each side, the egress links
+// cross-wired into the peer's ingress — the full-duplex trunk a leaf (group
+// ToR) hangs off the core with. Mirrors HostNic::ConnectTo, including the
+// SetDestination calls that turn the trunk into a PDES domain cut when the
+// two switches live in different domains.
+struct TrunkPorts {
+  int a_port = -1;  // port on `a` facing `b`
+  int b_port = -1;  // port on `b` facing `a`
+};
+TrunkPorts ConnectTrunk(Switch& a, Switch& b, BitRate rate, Nanos propagation,
+                        const std::string& a_name, const std::string& b_name);
 
 // Star topology host endpoint: one full-duplex attachment to the switch,
 // with per-UDP-port receiver demultiplexing (RoCE traffic and benchmark

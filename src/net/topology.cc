@@ -102,6 +102,127 @@ Partition PartitionTopology(const Topology& topo) {
   return partition;
 }
 
+namespace {
+
+// Union-find root with path halving. Deterministic: parents only ever move
+// toward lower-indexed roots (Merge below keeps the smaller root).
+int FindRoot(std::vector<int>& parent, int x) {
+  while (parent[static_cast<std::size_t>(x)] != x) {
+    parent[static_cast<std::size_t>(x)] =
+        parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+    x = parent[static_cast<std::size_t>(x)];
+  }
+  return x;
+}
+
+}  // namespace
+
+int PackDomains(Topology& topo, const std::vector<std::uint64_t>& rates,
+                int budget) {
+  const int n = topo.node_count();
+  COWBIRD_CHECK(static_cast<int>(rates.size()) == n);
+  if (budget <= 0 || budget >= n) {
+    // Singleton fallback: the classic one-domain-per-node split.
+    for (TopoNodeId node = 0; node < n; ++node) topo.SetGroup(node, node);
+    return n;
+  }
+
+  std::vector<int> parent(static_cast<std::size_t>(n));
+  std::vector<std::uint64_t> weight(rates);
+  for (int i = 0; i < n; ++i) parent[static_cast<std::size_t>(i)] = i;
+  int components = n;
+  auto merge = [&](int ra, int rb) {
+    // Smaller root index wins so group numbering follows node order.
+    const int keep = std::min(ra, rb);
+    const int gone = std::max(ra, rb);
+    parent[static_cast<std::size_t>(gone)] = keep;
+    weight[static_cast<std::size_t>(keep)] +=
+        weight[static_cast<std::size_t>(gone)];
+    --components;
+  };
+
+  std::uint64_t total = 0;
+  std::uint64_t max_rate = 0;
+  for (const std::uint64_t r : rates) {
+    total += r;
+    max_rate = std::max(max_rate, r);
+  }
+  // Balance cap: no packed domain should carry more than ~2x its fair share
+  // of the event rate; a single node hotter than that is unsplittable and
+  // sets the cap itself.
+  const std::uint64_t cap = std::max(
+      max_rate, (2 * total + static_cast<std::uint64_t>(budget) - 1) /
+                    static_cast<std::uint64_t>(budget));
+
+  // Phase 1 — heavy-edge contraction: fuse the chattiest attachments first,
+  // so the cross-domain mailbox traffic left behind is the light edges.
+  std::vector<int> edges(static_cast<std::size_t>(topo.edge_count()));
+  for (int e = 0; e < topo.edge_count(); ++e) {
+    edges[static_cast<std::size_t>(e)] = e;
+  }
+  auto edge_weight = [&](int e) {
+    const Topology::Edge& edge = topo.edge(e);
+    return rates[static_cast<std::size_t>(edge.a)] +
+           rates[static_cast<std::size_t>(edge.b)];
+  };
+  std::sort(edges.begin(), edges.end(), [&](int lhs, int rhs) {
+    const std::uint64_t wl = edge_weight(lhs);
+    const std::uint64_t wr = edge_weight(rhs);
+    if (wl != wr) return wl > wr;
+    return lhs < rhs;
+  });
+  for (const int e : edges) {
+    if (components <= budget) break;
+    const int ra = FindRoot(parent, topo.edge(e).a);
+    const int rb = FindRoot(parent, topo.edge(e).b);
+    if (ra == rb) continue;
+    if (weight[static_cast<std::size_t>(ra)] +
+            weight[static_cast<std::size_t>(rb)] >
+        cap) {
+      continue;
+    }
+    merge(ra, rb);
+  }
+
+  // Phase 2 — remainder fold: adjacency and the cap both yield to the hard
+  // budget; repeatedly fuse the two lightest components.
+  while (components > budget) {
+    int lightest = -1, second = -1;
+    for (int i = 0; i < n; ++i) {
+      if (FindRoot(parent, i) != i) continue;
+      auto lighter = [&](int a, int b) {
+        if (b < 0) return true;
+        if (weight[static_cast<std::size_t>(a)] !=
+            weight[static_cast<std::size_t>(b)]) {
+          return weight[static_cast<std::size_t>(a)] <
+                 weight[static_cast<std::size_t>(b)];
+        }
+        return a < b;  // roots are minimum node ids: the id tie-break
+      };
+      if (lighter(i, lightest)) {
+        second = lightest;
+        lightest = i;
+      } else if (lighter(i, second)) {
+        second = i;
+      }
+    }
+    merge(lightest, second);
+  }
+
+  // Number groups by first appearance in node order (matching the domain
+  // numbering PartitionTopology will derive).
+  std::vector<int> group_of_root(static_cast<std::size_t>(n), -1);
+  int groups = 0;
+  for (TopoNodeId node = 0; node < n; ++node) {
+    const int root = FindRoot(parent, node);
+    int& g = group_of_root[static_cast<std::size_t>(root)];
+    if (g < 0) g = groups++;
+    topo.SetGroup(node, g);
+  }
+  COWBIRD_CHECK(groups == budget);
+  return groups;
+}
+
 std::string Partition::Describe(const Topology& topo) const {
   std::string out;
   char line[256];

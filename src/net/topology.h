@@ -136,6 +136,31 @@ class Partition {
 // alone. Cut edges are emitted in edge order, a → b direction first.
 Partition PartitionTopology(const Topology& topo);
 
+// Event-rate-driven domain packing: rewrites the topology's partition groups
+// so that at most `budget` domains cover all nodes, balancing the measured
+// per-node event rates instead of the blind one-domain-per-node split.
+//
+// The pass is deterministic — a pure function of (graph, rates, budget),
+// with every tie broken by id order — so a packed run stays bit-identical
+// for any worker count:
+//   1. Heavy-edge contraction: edges in descending endpoint-rate order
+//      (ties: lower edge id first) merge their endpoint components while the
+//      merged rate stays within the balance cap
+//      max(max_rate, ceil(2 * total_rate / budget)).
+//   2. Remainder fold: while more than `budget` components remain, the two
+//      lightest components merge (ties: lower minimum node id first).
+//      Domains need not be connected — a cross-domain hop costs one cut
+//      edge either way.
+//
+// `rates` is indexed by TopoNodeId (one entry per node; a profiling pre-run
+// or telemetry counter feed). A budget <= 0 or >= node_count falls back to
+// the singleton split (every node its own group). Returns the resulting
+// group count; groups are numbered by first appearance in node order, so
+// node 0's group is always 0 and PartitionTopology reproduces the packing
+// as domain ids verbatim.
+int PackDomains(Topology& topo, const std::vector<std::uint64_t>& rates,
+                int budget);
+
 // A partition made real: domain 0 aliases `root` (the caller's event loop
 // and thread), domains 1..n-1 are owned Simulations, all registered — in
 // domain order — in an owned DomainGroup. A single-domain partition creates

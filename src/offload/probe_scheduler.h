@@ -50,8 +50,8 @@ class ProbeScheduler {
   Nanos current_interval() const { return current_; }
   ProbeSelection selection() const { return config_.selection; }
 
-  // Surfaces ramp/TDM decisions as counters. Handles default to the dummy
-  // cell, so an unbound scheduler pays one dead increment per event.
+  // Surfaces ramp/TDM decisions as counters. Unbound handles are no-ops,
+  // so an unbound scheduler pays one predicted branch per event.
   void BindTelemetry(telemetry::MetricRegistry& registry,
                      const telemetry::Labels& labels) {
     probes_with_work_ = registry.GetCounter("probe_found_work", labels);

@@ -1,6 +1,7 @@
 #include "sim/parallel.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <deque>
@@ -99,11 +100,15 @@ void DomainGroup::AddDomain(Simulation& sim) {
   sim.domain_id_ = static_cast<int>(sims_.size());
   sims_.push_back(&sim);
   start_hooks_.resize(sims_.size());
-  drain_scratch_.resize(sims_.size());
+  epochs_total_.resize(sims_.size(), 0);
+  epochs_skipped_.resize(sims_.size(), 0);
+  horizon_.resize(sims_.size(), -1);
+  edge_index_dirty_ = true;
   // The slot grid is rebuilt on every registration; re-materialize mailboxes
   // for cuts that were (unusually) registered before this domain joined.
   mailboxes_.clear();
   mailboxes_.resize(sims_.size() * sims_.size());
+  inbox_srcs_.assign(sims_.size(), {});
   if (route_all_pairs_) {
     for (int src = 0; src < domain_count(); ++src) {
       for (int dst = 0; dst < domain_count(); ++dst) EnsureMailbox(src, dst);
@@ -118,7 +123,11 @@ void DomainGroup::EnsureMailbox(int src, int dst) {
   if (src == dst) return;
   auto& slot = mailboxes_[static_cast<std::size_t>(src) * sims_.size() +
                           static_cast<std::size_t>(dst)];
-  if (!slot) slot = std::make_unique<Mailbox>();
+  if (!slot) {
+    slot = std::make_unique<Mailbox>();
+    auto& srcs = inbox_srcs_[static_cast<std::size_t>(dst)];
+    srcs.insert(std::lower_bound(srcs.begin(), srcs.end(), src), src);
+  }
 }
 
 int DomainGroup::worker_count() const {
@@ -136,6 +145,7 @@ void DomainGroup::NoteCrossLink(const CutEdge& edge) {
   has_cross_link_ = true;
   lookahead_ = std::min(lookahead_, edge.lookahead);
   cut_edges_.push_back(edge);
+  edge_index_dirty_ = true;
   EnsureMailbox(edge.src, edge.dst);
 }
 
@@ -145,21 +155,20 @@ void DomainGroup::NoteCrossLink(Nanos lookahead) {
   cut_edges_.push_back(CutEdge{-1, -1, lookahead, "<unnamed cross-link>",
                                "<unknown>", "<unknown>"});
   route_all_pairs_ = true;
+  edge_index_dirty_ = true;
   for (int src = 0; src < domain_count(); ++src) {
     for (int dst = 0; dst < domain_count(); ++dst) EnsureMailbox(src, dst);
   }
 }
 
 void DomainGroup::CrossPost(int src, int dst, Nanos when, EventFn fn) {
-  // A message landing inside the current horizon would mean the epoch
+  // A message landing inside the destination's horizon would mean the epoch
   // already dispatched events it could have affected — the lookahead
   // contract is broken, not merely this call.
-  COWBIRD_CHECK(when > epoch_limit_);
+  COWBIRD_CHECK(when > horizon_[static_cast<std::size_t>(dst)]);
   Mailbox* box = MailboxSlot(src, dst);
   COWBIRD_CHECK(box != nullptr);  // pair registered via NoteCrossLink
-  const bool pushed =
-      box->queue.TryPush(CrossEvent{when, box->next_seq++, std::move(fn)});
-  COWBIRD_CHECK(pushed);  // ring sized for worst-case in-flight deliveries
+  box->events.push_back(CrossEvent{when, box->next_seq++, std::move(fn)});
 }
 
 void DomainGroup::SetDomainStartHook(int domain, std::function<void()> hook) {
@@ -179,42 +188,140 @@ std::uint64_t DomainGroup::EventsProcessed() const {
 }
 
 void DomainGroup::DrainInboxes(int dst) {
-  auto& scratch = drain_scratch_[static_cast<std::size_t>(dst)];
-  scratch.clear();
-  for (int src = 0; src < domain_count(); ++src) {
-    if (src == dst) continue;
-    Mailbox* box = MailboxSlot(src, dst);
-    if (box == nullptr) continue;  // pair carries no cut edge
-    CrossEvent event;
-    while (box->queue.TryPop(event)) {
-      scratch.push_back(
-          PendingCross{event.when, src, event.seq, std::move(event.fn)});
-    }
-  }
-  // Per-source streams arrive in push order; the merged order (when, src,
-  // seq) is a pure function of the epoch's contents, independent of thread
-  // interleaving — this sort is where cross-domain determinism comes from.
-  std::stable_sort(scratch.begin(), scratch.end(),
-                   [](const PendingCross& a, const PendingCross& b) {
-                     if (a.when != b.when) return a.when < b.when;
-                     if (a.src != b.src) return a.src < b.src;
-                     return a.seq < b.seq;
-                   });
   Simulation& sim = *sims_[static_cast<std::size_t>(dst)];
-  for (PendingCross& pending : scratch) {
-    sim.ScheduleAt(pending.when, std::move(pending.fn));
+  std::uint64_t delivered = 0;
+  for (int src : inbox_srcs_[static_cast<std::size_t>(dst)]) {
+    Mailbox* box = MailboxSlot(src, dst);
+    if (box->events.empty()) continue;
+    // Per-source streams are already in push order; the cross-band heap key
+    // (bit 63, src, push seq) merges them into a fixed (when, src, seq)
+    // dispatch order — a pure function of the epoch's contents, independent
+    // of thread interleaving and of which epoch delivered them. This is
+    // where cross-domain determinism comes from.
+    const std::uint64_t band =
+        kCrossSeqBand | (static_cast<std::uint64_t>(src) << kCrossSrcShift);
+    for (CrossEvent& event : box->events) {
+      COWBIRD_CHECK(event.seq <= kCrossSeqMask);
+      sim.ScheduleCross(event.when, band | event.seq, std::move(event.fn));
+    }
+    delivered += box->events.size();
+    box->events.clear();
   }
-  cross_events_delivered_.fetch_add(scratch.size(),
-                                    std::memory_order_relaxed);
-  scratch.clear();
+  if (delivered != 0) {
+    cross_events_delivered_.fetch_add(delivered, std::memory_order_relaxed);
+  }
 }
 
-bool DomainGroup::NextEpoch(Nanos deadline, Nanos* limit) {
+void DomainGroup::BuildEdgeIndex() {
+  const int n = domain_count();
+  out_edges_.assign(static_cast<std::size_t>(n), {});
+  // Per-pair minimum lookahead; n is at most a few hundred, so the n^2
+  // scratch is cheap and the build runs once per Run.
+  std::vector<Nanos> pair_la(static_cast<std::size_t>(n) *
+                                 static_cast<std::size_t>(n),
+                             kNoEventTime);
+  if (route_all_pairs_) {
+    Nanos anon = kNoEventTime;
+    for (const CutEdge& edge : cut_edges_) {
+      if (edge.src < 0) anon = std::min(anon, edge.lookahead);
+    }
+    for (std::size_t src = 0; src < static_cast<std::size_t>(n); ++src) {
+      for (std::size_t dst = 0; dst < static_cast<std::size_t>(n); ++dst) {
+        if (src != dst) pair_la[src * static_cast<std::size_t>(n) + dst] = anon;
+      }
+    }
+  }
+  for (const CutEdge& edge : cut_edges_) {
+    if (edge.src < 0) continue;
+    Nanos& slot = pair_la[static_cast<std::size_t>(edge.src) *
+                              static_cast<std::size_t>(n) +
+                          static_cast<std::size_t>(edge.dst)];
+    slot = std::min(slot, edge.lookahead);
+  }
+  for (int src = 0; src < n; ++src) {
+    for (int dst = 0; dst < n; ++dst) {
+      const Nanos la = pair_la[static_cast<std::size_t>(src) *
+                                   static_cast<std::size_t>(n) +
+                               static_cast<std::size_t>(dst)];
+      if (la != kNoEventTime) {
+        out_edges_[static_cast<std::size_t>(src)].push_back(OutEdge{dst, la});
+      }
+    }
+  }
+  edge_index_dirty_ = false;
+}
+
+void DomainGroup::ComputeHorizons(Nanos t_min, Nanos cap) {
+  const int n = domain_count();
+  if (horizon_policy_ == HorizonPolicy::kGlobalMin) {
+    // Saturating t_min + lookahead - 1: with no cross-domain link the
+    // horizon is unbounded and only the cap (deadline / next global)
+    // bounds it.
+    const Nanos horizon = lookahead_ >= kNoEventTime - t_min
+                              ? kNoEventTime
+                              : t_min + lookahead_ - 1;
+    horizon_.assign(static_cast<std::size_t>(n), std::min(horizon, cap));
+    return;
+  }
+  // Per-edge appointment horizons: LBTS(d) is a lower bound on every
+  // message d can receive in this or ANY later epoch, so dispatching
+  // through LBTS(d) - 1 is safe. The transitive fixpoint
+  //   LBTS(d) = min over edges s->d of min(next(s), LBTS(s)) + la(s,d)
+  // is what makes the bound hold across epochs: a relay chain can hand an
+  // intermediate domain earlier work later, so one-hop promises are not
+  // enough. Lookaheads are strictly positive, so a Dijkstra-style
+  // relaxation in ascending reach order settles every node the first time
+  // it pops. Pure function of next_times_ and the cut graph → identical on
+  // every worker count. Mailboxes were drained before this point, so every
+  // already-published delivery is accounted for by next_times_.
+  lbts_.assign(static_cast<std::size_t>(n), kNoEventTime);
+  reach_ = next_times_;  // reach(d) = min(next(d), LBTS(d)) so far
+  relax_heap_.clear();
+  const auto heap_greater = [](const std::pair<Nanos, int>& a,
+                               const std::pair<Nanos, int>& b) {
+    return a.first > b.first;
+  };
+  for (int d = 0; d < n; ++d) {
+    const Nanos reach = reach_[static_cast<std::size_t>(d)];
+    if (reach != kNoEventTime && cap != kNoEventTime && reach > cap) continue;
+    if (reach != kNoEventTime) relax_heap_.emplace_back(reach, d);
+  }
+  std::make_heap(relax_heap_.begin(), relax_heap_.end(), heap_greater);
+  while (!relax_heap_.empty()) {
+    std::pop_heap(relax_heap_.begin(), relax_heap_.end(), heap_greater);
+    const auto [reach, src] = relax_heap_.back();
+    relax_heap_.pop_back();
+    if (reach != reach_[static_cast<std::size_t>(src)]) continue;  // stale
+    for (const OutEdge& edge : out_edges_[static_cast<std::size_t>(src)]) {
+      if (reach >= kNoEventTime - edge.lookahead) continue;
+      const Nanos arrival = reach + edge.lookahead;
+      if (arrival < lbts_[static_cast<std::size_t>(edge.dst)]) {
+        lbts_[static_cast<std::size_t>(edge.dst)] = arrival;
+        if (arrival < reach_[static_cast<std::size_t>(edge.dst)]) {
+          reach_[static_cast<std::size_t>(edge.dst)] = arrival;
+          relax_heap_.emplace_back(arrival, edge.dst);
+          std::push_heap(relax_heap_.begin(), relax_heap_.end(), heap_greater);
+        }
+      }
+    }
+  }
+  for (int d = 0; d < n; ++d) {
+    const Nanos lbts = lbts_[static_cast<std::size_t>(d)];
+    horizon_[static_cast<std::size_t>(d)] =
+        lbts == kNoEventTime ? cap : std::min(lbts - 1, cap);
+  }
+}
+
+bool DomainGroup::NextEpoch(Nanos deadline) {
+  const int n = domain_count();
   for (;;) {
     if (halt_requested_.load(std::memory_order_acquire)) return false;
+    next_times_.resize(static_cast<std::size_t>(n));
     Nanos t_min = kNoEventTime;
-    for (const Simulation* sim : sims_) {
-      t_min = std::min(t_min, sim->NextEventTime());
+    for (int d = 0; d < n; ++d) {
+      next_times_[static_cast<std::size_t>(d)] =
+          sims_[static_cast<std::size_t>(d)]->NextEventTime();
+      t_min = std::min(t_min, next_times_[static_cast<std::size_t>(d)]);
     }
     const Nanos g_min =
         next_global_ < globals_.size() ? globals_[next_global_].when
@@ -227,25 +334,37 @@ bool DomainGroup::NextEpoch(Nanos deadline, Nanos* limit) {
       GlobalEvent& global = globals_[next_global_++];
       for (Simulation* sim : sims_) sim->AdvanceTo(global.when);
       global.fn();
+      // A global may send on cross-domain links (live migration does);
+      // those deliveries sit in mailboxes where the horizon computation
+      // cannot see them. Fold them into the heaps before deciding anything.
+      for (int d = 0; d < n; ++d) DrainInboxes(d);
       continue;
     }
-    // Saturating t_min + lookahead - 1: with no cross-domain link the
-    // horizon is unbounded and only the deadline (or a global) caps it.
-    Nanos horizon = lookahead_ >= kNoEventTime - t_min
-                        ? kNoEventTime
-                        : t_min + lookahead_ - 1;
-    if (g_min != kNoEventTime) horizon = std::min(horizon, g_min - 1);
-    *limit = std::min(horizon, deadline);
+    Nanos cap = deadline;
+    if (g_min != kNoEventTime) cap = std::min(cap, g_min - 1);
+    ComputeHorizons(t_min, cap);
+    // The domain holding t_min always has horizon >= t_min (every lookahead
+    // is positive), so each epoch retires at least one event — progress is
+    // guaranteed. Domains whose earliest event lies beyond their horizon
+    // skip the epoch entirely.
+    for (int d = 0; d < n; ++d) {
+      ++epochs_total_[static_cast<std::size_t>(d)];
+      if (next_times_[static_cast<std::size_t>(d)] >
+          horizon_[static_cast<std::size_t>(d)]) {
+        ++epochs_skipped_[static_cast<std::size_t>(d)];
+      }
+    }
     return true;
   }
 }
 
 void DomainGroup::RunEpochsSequential(Nanos deadline) {
-  Nanos limit = 0;
-  while (NextEpoch(deadline, &limit)) {
+  while (NextEpoch(deadline)) {
     ++epochs_;
-    epoch_limit_ = limit;
-    for (Simulation* sim : sims_) sim->DispatchUpTo(limit);
+    for (int d = 0; d < domain_count(); ++d) {
+      sims_[static_cast<std::size_t>(d)]->DispatchUpTo(
+          horizon_[static_cast<std::size_t>(d)]);
+    }
     for (int d = 0; d < domain_count(); ++d) DrainInboxes(d);
   }
 }
@@ -267,22 +386,33 @@ void DomainGroup::RunEpochsParallel(Nanos deadline) {
   };
   auto dispatch_owned = [this, workers](int w) {
     for (int d = w; d < domain_count(); d += workers) {
-      sims_[static_cast<std::size_t>(d)]->DispatchUpTo(epoch_limit_);
+      sims_[static_cast<std::size_t>(d)]->DispatchUpTo(
+          horizon_[static_cast<std::size_t>(d)]);
     }
   };
   auto drain_owned = [this, workers](int w) {
     for (int d = w; d < domain_count(); d += workers) DrainInboxes(d);
   };
+  auto timed_wait = [this](int w) {
+    const auto start = std::chrono::steady_clock::now();
+    barrier_->ArriveAndWait();
+    barrier_wait_ns_[static_cast<std::size_t>(w)] +=
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count());
+  };
 
-  auto worker_main = [&run_hooks, &dispatch_owned, &drain_owned, this](int w) {
+  auto worker_main = [&run_hooks, &dispatch_owned, &drain_owned, &timed_wait,
+                      this](int w) {
     run_hooks(w);
     for (;;) {
-      barrier_->ArriveAndWait();  // A: epoch published (or stop)
+      timed_wait(w);  // A: epoch published (or stop)
       if (stop_workers_) return;
       dispatch_owned(w);
-      barrier_->ArriveAndWait();  // B: all dispatch done, mailboxes final
+      timed_wait(w);  // B: all dispatch done, mailboxes final
       drain_owned(w);
-      barrier_->ArriveAndWait();  // C: all heaps updated, workers park
+      timed_wait(w);  // C: all heaps updated, workers park
     }
   };
 
@@ -295,15 +425,13 @@ void DomainGroup::RunEpochsParallel(Nanos deadline) {
 
   // Between barrier C and the next barrier A every worker is parked, so the
   // coordinator is free to read all heaps and run global events.
-  Nanos limit = 0;
-  while (NextEpoch(deadline, &limit)) {
+  while (NextEpoch(deadline)) {
     ++epochs_;
-    epoch_limit_ = limit;
-    barrier_->ArriveAndWait();  // A
+    timed_wait(0);  // A
     dispatch_owned(0);
-    barrier_->ArriveAndWait();  // B
+    timed_wait(0);  // B
     drain_owned(0);
-    barrier_->ArriveAndWait();  // C
+    timed_wait(0);  // C
   }
   stop_workers_ = true;
   barrier_->ArriveAndWait();  // release workers into the stop check
@@ -348,7 +476,11 @@ void DomainGroup::RunInternal(Nanos deadline) {
   if (has_cross_link_ && lookahead_ <= 0) FailZeroLookahead();
   halt_requested_.store(false, std::memory_order_release);
   for (Simulation* sim : sims_) sim->ClearHalt();
-  epoch_limit_ = 0;
+  if (edge_index_dirty_) BuildEdgeIndex();
+  resolved_workers_ = worker_count();
+  if (barrier_wait_ns_.size() < static_cast<std::size_t>(resolved_workers_)) {
+    barrier_wait_ns_.resize(static_cast<std::size_t>(resolved_workers_), 0);
+  }
   // Globals may be registered in any order; consume in (when, seq) order.
   std::stable_sort(globals_.begin() + static_cast<std::ptrdiff_t>(next_global_),
                    globals_.end(),
@@ -372,6 +504,28 @@ void DomainGroup::RunInternal(Nanos deadline) {
       !halt_requested_.load(std::memory_order_acquire)) {
     for (Simulation* sim : sims_) sim->AdvanceTo(deadline);
   }
+}
+
+std::uint64_t DomainGroup::barrier_wait_ns(int domain) const {
+  if (barrier_wait_ns_.empty()) return 0;
+  return barrier_wait_ns_[static_cast<std::size_t>(domain % resolved_workers_)];
+}
+
+void DomainGroup::ComputeHorizonsForBench(Nanos deadline) {
+  if (edge_index_dirty_) BuildEdgeIndex();
+  const int n = domain_count();
+  next_times_.resize(static_cast<std::size_t>(n));
+  Nanos t_min = kNoEventTime;
+  for (int d = 0; d < n; ++d) {
+    next_times_[static_cast<std::size_t>(d)] =
+        sims_[static_cast<std::size_t>(d)]->NextEventTime();
+    t_min = std::min(t_min, next_times_[static_cast<std::size_t>(d)]);
+  }
+  ComputeHorizons(t_min, deadline);
+}
+
+void DomainGroup::DrainAllInboxesForBench() {
+  for (int d = 0; d < domain_count(); ++d) DrainInboxes(d);
 }
 
 }  // namespace cowbird::sim

@@ -10,17 +10,35 @@
 // simulation into N Simulation instances (event-loop domains) cut at
 // net::Link boundaries. Synchronization is classic conservative PDES: every
 // cross-domain link registers a CutEdge advertising its propagation delay
-// as lookahead, and the group advances in epochs whose horizon is the
-// minimum lookahead over *cut* edges only. With T_min the earliest pending
-// event time across all domains, every event at t in [T_min, T_min + L - 1]
-// can be dispatched without hearing from the other domains first — a
-// cross-domain message emitted at t >= T_min arrives no earlier than t + L,
-// strictly beyond the epoch horizon. Cross-domain deliveries travel through
-// per-(src,dst) SPSC timestamped queues (materialized only for registered
-// cut pairs, so an N-node fabric does not pay for N^2 rings) and are merged
-// into the destination heap between epochs in a fixed (when, src, seq)
-// order, so the epoch schedule — and therefore the whole run — is
-// bit-identical whether the domains execute on one thread or many.
+// as lookahead, and the group advances in barrier-separated epochs. Each
+// epoch gives every domain d an *appointment horizon*: under the default
+// HorizonPolicy::kPerEdge it is horizon(d) = LBTS(d) - 1, where the lower
+// bound on any future incoming message time is the fixpoint
+//
+//   LBTS(d) = min over incoming cut edges (s -> d) of
+//             min(NextEventTime(s), LBTS(s)) + lookahead(s -> d)
+//
+// computed by the coordinator (a Dijkstra-style relaxation over the
+// lookahead graph) while every domain is quiescent. The transitive form
+// matters: a relay chain a -> b -> c can hand b earlier work next epoch, so
+// c's horizon must honor next(a) + la(a,b) + la(b,c), not just b's current
+// earliest event. A domain whose own earliest event lies beyond its horizon
+// simply skips the epoch. HorizonPolicy::kGlobalMin degenerates to the
+// classic single horizon T_min + min-lookahead - 1 shared by all domains
+// (T_min = earliest pending event anywhere); since every lookahead path is
+// at least min-lookahead long, per-edge horizons dominate the global one,
+// and the two policies produce bit-identical outcomes — which the scale
+// tests pin.
+//
+// Cross-domain deliveries travel through per-(src,dst) mailboxes
+// (materialized only for registered cut pairs, so an N-node fabric does not
+// pay for N^2 rings) that are appended during dispatch and merged into the
+// destination heap between epochs. Merged entries take heap keys in the
+// cross band — bit 63, then source domain, then per-mailbox push order —
+// above every locally drawn sequence number, so the dispatch order of
+// same-time events is locals first (schedule order), then cross events by
+// (src, push order): a pure function of the published epoch contents,
+// independent of worker count, drain timing, and horizon policy.
 //
 // N domains run on W = worker_count() threads: domain d is owned by worker
 // d % W, each worker advancing its domains in ascending id within every
@@ -134,6 +152,21 @@ class EpochBarrier {
   std::atomic<std::uint32_t> sense_{0};
 };
 
+// How DomainGroup bounds each epoch. Both policies yield bit-identical
+// simulation outcomes (the cross-band heap keys make same-time tie-breaks
+// independent of delivery timing); kPerEdge runs far fewer epochs on
+// fabrics where most domains are idle most of the time.
+enum class HorizonPolicy {
+  kGlobalMin,  // one horizon for all: T_min + min-lookahead - 1
+  kPerEdge,    // per-domain horizons from incoming cut edges (default)
+};
+
+// Heap-key band for cross-domain deliveries: above every locally drawn
+// sequence (bit 63), ordered by source domain then per-mailbox push order.
+inline constexpr std::uint64_t kCrossSeqBand = 1ull << 63;
+inline constexpr int kCrossSrcShift = 40;
+inline constexpr std::uint64_t kCrossSeqMask = (1ull << kCrossSrcShift) - 1;
+
 // One registered cross-domain link: the unit the partitioner hands to the
 // group. `lookahead` is the link's propagation delay; the names exist so a
 // zero-lookahead misconfiguration can be reported against the topology the
@@ -171,21 +204,26 @@ class DomainGroup {
   int worker_count() const;
 
   // Called by net::Link when its endpoints land in different domains. The
-  // epoch horizon is the minimum advertised lookahead; zero is refused at
-  // Run time (it would starve the epoch loop) with an error naming the
-  // offending link and endpoints. The named form materializes the mailbox
-  // for exactly that (src, dst) pair; the anonymous Nanos overload keeps
-  // every pair routable (small hand-built groups, tests).
+  // advertised lookahead bounds the epoch horizons (see HorizonPolicy);
+  // zero is refused at Run time (it would starve the epoch loop) with an
+  // error naming the offending link and endpoints. The named form
+  // materializes the mailbox for exactly that (src, dst) pair; the
+  // anonymous Nanos overload keeps every pair routable (small hand-built
+  // groups, tests).
   void NoteCrossLink(const CutEdge& edge);
   void NoteCrossLink(Nanos lookahead);
   Nanos lookahead() const { return lookahead_; }
   bool has_cross_link() const { return has_cross_link_; }
   const std::vector<CutEdge>& cut_edges() const { return cut_edges_; }
 
+  // Epoch-horizon policy; may be changed between runs, not during one.
+  void set_horizon_policy(HorizonPolicy policy) { horizon_policy_ = policy; }
+  HorizonPolicy horizon_policy() const { return horizon_policy_; }
+
   // Delivers `fn` into domain `dst` at virtual time `when`. Call only from
   // domain `src`'s thread while it is dispatching an epoch; `when` must lie
-  // strictly beyond the published epoch horizon (any positive-lookahead
-  // link guarantees this, and the call CHECKs it).
+  // strictly beyond `dst`'s published horizon (any positive-lookahead link
+  // guarantees this, and the call CHECKs it).
   void CrossPost(int src, int dst, Nanos when, EventFn fn);
 
   // One-shot event executed between epochs with every domain quiescent and
@@ -222,35 +260,62 @@ class DomainGroup {
     return cross_events_delivered_.load(std::memory_order_relaxed);
   }
 
+  // Per-domain epoch efficiency, accumulated across runs. `epochs_total`
+  // counts group epochs while the domain was registered; `epochs_skipped`
+  // counts those where the domain had no event inside its horizon (the
+  // per-edge policy's win). Both are deterministic. `barrier_wait_ns` is
+  // the *wall-clock* time the domain's owning worker spent parked at epoch
+  // barriers — nondeterministic by nature, report it like the benches'
+  // `_wall` metrics.
+  std::uint64_t epochs_total(int domain) const {
+    return epochs_total_[static_cast<std::size_t>(domain)];
+  }
+  std::uint64_t epochs_skipped(int domain) const {
+    return epochs_skipped_[static_cast<std::size_t>(domain)];
+  }
+  std::uint64_t barrier_wait_ns(int domain) const;
+
+  // Bench-only hooks (micro_hotpaths): one horizon recomputation over the
+  // current heap state / one full drain pass, on the calling thread.
+  void ComputeHorizonsForBench(Nanos deadline);
+  void DrainAllInboxesForBench();
+
  private:
   struct CrossEvent {
     Nanos when = 0;
     std::uint64_t seq = 0;  // per-mailbox push order
     EventFn fn;
   };
+  // Appended by the source domain's worker during dispatch, drained into
+  // the destination heap between barriers — the epoch barriers provide the
+  // happens-before, so no per-event synchronization is needed.
   struct Mailbox {
-    SpscQueue<CrossEvent, 4096> queue;
-    std::uint64_t next_seq = 0;  // producer-owned
-  };
-  struct PendingCross {
-    Nanos when;
-    int src;
-    std::uint64_t seq;
-    EventFn fn;
+    std::vector<CrossEvent> events;
+    std::uint64_t next_seq = 0;  // producer-owned, monotonic over the run
   };
   struct GlobalEvent {
     Nanos when;
     std::uint64_t seq;
     std::function<void()> fn;
   };
+  struct OutEdge {
+    int dst;
+    Nanos lookahead;  // min over registered edges src -> dst
+  };
 
   void RunInternal(Nanos deadline);
   void RunEpochsSequential(Nanos deadline);
   void RunEpochsParallel(Nanos deadline);
   // One scheduling decision by the coordinator (workers quiescent): either
-  // runs due global events / computes the next epoch horizon (returns true,
-  // horizon in *limit) or decides the run is over (returns false).
-  bool NextEpoch(Nanos deadline, Nanos* limit);
+  // runs due global events / computes per-domain horizons into horizon_
+  // (returns true) or decides the run is over (returns false).
+  bool NextEpoch(Nanos deadline);
+  // Fills horizon_ for the active policy from next_times_, capping every
+  // entry at `cap` (per-edge: the LBTS relaxation from the file comment).
+  void ComputeHorizons(Nanos t_min, Nanos cap);
+  // Per-src (dst, min-lookahead) lists derived from cut_edges_ /
+  // route_all_pairs_; rebuilt at Run when registration changed.
+  void BuildEdgeIndex();
   void DrainInboxes(int dst);
   [[noreturn]] void FailZeroLookahead() const;
   void EnsureMailbox(int src, int dst);
@@ -266,23 +331,38 @@ class DomainGroup {
   bool has_cross_link_ = false;
   bool route_all_pairs_ = false;  // anonymous NoteCrossLink(Nanos) was used
   std::vector<CutEdge> cut_edges_;
+  HorizonPolicy horizon_policy_ = HorizonPolicy::kPerEdge;
   // Src-major n*n grid of mailbox slots; only registered (src, dst) pairs
   // are materialized (all pairs when route_all_pairs_).
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
-  std::vector<std::vector<PendingCross>> drain_scratch_;
+  // Dense per-dst list of sources with a materialized mailbox (ascending),
+  // so a drain touches live pairs only instead of scanning all n^2 slots.
+  std::vector<std::vector<int>> inbox_srcs_;
+  std::vector<std::vector<OutEdge>> out_edges_;  // per src, ascending dst
+  bool edge_index_dirty_ = true;
   std::vector<GlobalEvent> globals_;
   std::size_t next_global_ = 0;
   std::uint64_t global_seq_ = 0;
   std::vector<std::function<void()>> start_hooks_;
   std::atomic<bool> halt_requested_{false};
   std::uint64_t epochs_ = 0;
+  std::vector<std::uint64_t> epochs_total_;
+  std::vector<std::uint64_t> epochs_skipped_;
+  // Per-worker barrier wait, written only by the owning worker during a
+  // parallel run and read after it.
+  std::vector<std::uint64_t> barrier_wait_ns_;
+  int resolved_workers_ = 1;  // worker count of the last run
   // Workers drain their own inboxes concurrently; the tally is the only
   // shared word they touch.
   std::atomic<std::uint64_t> cross_events_delivered_{0};
   // Epoch protocol state, shared coordinator → workers. Plain fields: every
   // write happens while the readers are parked at a barrier, and the
   // barrier's atomics order the hand-off.
-  Nanos epoch_limit_ = 0;
+  std::vector<Nanos> horizon_;     // per-domain epoch horizon (inclusive)
+  std::vector<Nanos> next_times_;  // coordinator scratch
+  std::vector<Nanos> lbts_;        // coordinator scratch (LBTS relaxation)
+  std::vector<Nanos> reach_;       // coordinator scratch (relaxation keys)
+  std::vector<std::pair<Nanos, int>> relax_heap_;  // coordinator scratch
   bool stop_workers_ = false;
   std::unique_ptr<EpochBarrier> barrier_;
 };

@@ -244,6 +244,18 @@ class Simulation {
 
   bool PopAndDispatchOne();
 
+  // DomainGroup's cross-delivery entry: like ScheduleAt, but the heap
+  // sequence is supplied by the caller instead of drawn from next_seq_.
+  // DomainGroup passes keys in the cross band (bit 63 set, then source
+  // domain, then per-mailbox push order), so the tie-break order of
+  // same-time events is a pure function of the published epoch state —
+  // independent of which epoch boundary happened to deliver the message.
+  void ScheduleCross(Nanos when, std::uint64_t seq, EventFn fn) {
+    COWBIRD_CHECK(when >= now_);
+    const PoolHandle event = events_.Acquire(std::move(fn), PoolHandle{});
+    queue_.push(QueueEntry{when, seq, event});
+  }
+
   // DomainGroup's epoch interface: dispatch everything up to an inclusive
   // horizon, advance the clock over idle stretches, reset the halt latch.
   void DispatchUpTo(Nanos limit) {

@@ -2,8 +2,8 @@
 // span tracer bound to the run's virtual clock.
 //
 // Components take a `telemetry::Hub*` in their Config and treat nullptr as
-// "telemetry off": counters fall back to unbound handles (shared dummy
-// cell), span/op recording is skipped behind a single pointer test. The
+// "telemetry off": counters fall back to unbound handles (writes are
+// no-ops), span/op recording is skipped behind a single pointer test. The
 // workload harness constructs one Hub per run:
 //
 //   telemetry::Hub hub([&sim] { return sim.Now(); });

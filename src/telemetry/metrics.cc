@@ -17,24 +17,6 @@ bool LegalAtom(std::string_view s) {
   return true;
 }
 
-// thread_local: unbound handles in different event-loop domains must not
-// share a throwaway word (that sharing was the one data race in otherwise
-// domain-confined instrumentation).
-std::uint64_t* DummyCounterCell() {
-  static thread_local std::uint64_t cell = 0;
-  return &cell;
-}
-
-std::int64_t* DummyGaugeCell() {
-  static thread_local std::int64_t cell = 0;
-  return &cell;
-}
-
-LogHistogram* DummyHistogramCell() {
-  static thread_local LogHistogram cell;
-  return &cell;
-}
-
 // Quantile over a sparse (bucket index, count) list; replicates
 // LogHistogram::QuantileUpperBound exactly — the first crossing always lands
 // on a non-empty bucket, so skipping empty ones changes nothing.
@@ -58,9 +40,13 @@ std::uint64_t SparseQuantileUpperBound(
 
 }  // namespace
 
-Counter::Counter() : cell_(DummyCounterCell()) {}
-Gauge::Gauge() : cell_(DummyGaugeCell()) {}
-Histogram::Histogram() : cell_(DummyHistogramCell()) {}
+// Unbound handles hold nullptr: a thread-local dummy cell looks tempting but
+// handles are typically constructed on the harness thread and exercised on a
+// domain worker, so every "thread-local" fallback actually lands on the
+// constructing thread's word — shared across domains, a data race.
+Counter::Counter() : cell_(nullptr) {}
+Gauge::Gauge() : cell_(nullptr) {}
+Histogram::Histogram() : cell_(nullptr) {}
 
 #ifndef NDEBUG
 Counter::Counter(std::uint64_t* cell, const MetricRegistry* owner)

@@ -5,10 +5,12 @@
 //
 //   * Handles are raw pointers into registry-owned cells. A Counter is one
 //     `std::uint64_t*`; `Add()` is a single increment through it, with no
-//     branch, lock, or lookup on the hot path. A default-constructed
-//     (unbound) handle points at a shared dummy cell, so instrumented code
-//     never needs a null check — components that were built without a
-//     telemetry hub just increment a throwaway word.
+//     lock or lookup on the hot path. A default-constructed (unbound) handle
+//     holds nullptr and its writes are no-ops — one perfectly predicted
+//     test-and-skip, so components built without a telemetry hub pay nothing
+//     and never share a cell. (An earlier shared "throwaway word" design made
+//     unbound handles constructed on one thread and exercised on another
+//     race with each other.)
 //   * The registry stores cells in `std::map` keyed by the canonical series
 //     key ("name{k=v,...}" with label keys sorted), which gives pointer
 //     stability for handles and sorted — hence deterministic — snapshots.
@@ -53,12 +55,13 @@ class MetricRegistry;
 // Monotonically increasing counter handle.
 class Counter {
  public:
-  Counter();  // unbound: increments a thread-local dummy cell
+  Counter();  // unbound: Add is a no-op
   void Add(std::uint64_t delta = 1) const {
+    if (cell_ == nullptr) return;
     DCheckOwner();
     *cell_ += delta;
   }
-  std::uint64_t value() const { return *cell_; }
+  std::uint64_t value() const { return cell_ != nullptr ? *cell_ : 0; }
 
  private:
   friend class MetricRegistry;
@@ -73,16 +76,18 @@ class Counter {
 // Settable signed gauge handle.
 class Gauge {
  public:
-  Gauge();  // unbound
+  Gauge();  // unbound: Set/Add are no-ops
   void Set(std::int64_t v) const {
+    if (cell_ == nullptr) return;
     DCheckOwner();
     *cell_ = v;
   }
   void Add(std::int64_t delta) const {
+    if (cell_ == nullptr) return;
     DCheckOwner();
     *cell_ += delta;
   }
-  std::int64_t value() const { return *cell_; }
+  std::int64_t value() const { return cell_ != nullptr ? *cell_ : 0; }
 
  private:
   friend class MetricRegistry;
@@ -97,12 +102,16 @@ class Gauge {
 // Power-of-two histogram handle (see common/stats.h LogHistogram).
 class Histogram {
  public:
-  Histogram();  // unbound
+  Histogram();  // unbound: Observe is a no-op
   void Observe(std::uint64_t value) const {
+    if (cell_ == nullptr) return;
     DCheckOwner();
     cell_->Add(value);
   }
-  const LogHistogram& histogram() const { return *cell_; }
+  const LogHistogram& histogram() const {
+    static const LogHistogram kEmpty;
+    return cell_ != nullptr ? *cell_ : kEmpty;
+  }
 
  private:
   friend class MetricRegistry;

@@ -9,6 +9,7 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "common/stats.h"
+#include "net/topology.h"
 #include "core/client.h"
 #include "core/cluster_pool.h"
 #include "core/migration.h"
@@ -38,8 +39,9 @@ int ServerFor(const ScaleWorkloadConfig& cfg, int k) {
 }
 
 struct ScaleHarness {
-  explicit ScaleHarness(const ScaleWorkloadConfig& config)
-      : cfg(config), bed(MakeFanInConfig(config)) {
+  explicit ScaleHarness(const ScaleWorkloadConfig& config,
+                        std::vector<int> pack_groups = {})
+      : cfg(config), bed(MakeFanInConfig(config, std::move(pack_groups))) {
     latency_traces.resize(
         static_cast<std::size_t>(cfg.clients * cfg.threads_per_client));
     const Bytes pool_bytes = cfg.records * cfg.record_size + KiB(4);
@@ -112,6 +114,9 @@ struct ScaleHarness {
       // When the NICs run DCQCN, the switch-generated packets join the ECN
       // loop too (and the engine reflects CNPs to the memory hosts).
       ec.ecn_capable = cfg.dcqcn.enabled;
+      if (cfg.p4_probe_interval > 0) {
+        ec.probe_interval = cfg.p4_probe_interval;
+      }
       p4_switch_id = ec.switch_node_id;
       p4_engine = std::make_unique<p4::CowbirdP4Engine>(bed.sw, ec);
       for (int k = 0; k < cfg.clients; ++k) {
@@ -267,13 +272,18 @@ struct ScaleHarness {
     }
   }
 
-  static FanInConfig MakeFanInConfig(const ScaleWorkloadConfig& config) {
+  static FanInConfig MakeFanInConfig(const ScaleWorkloadConfig& config,
+                                     std::vector<int> pack_groups = {}) {
     FanInConfig fan;
     fan.clients = config.clients;
     fan.memory_servers = config.memory_servers;
     fan.client_cores = std::max(2, config.threads_per_client);
+    fan.client_groups = config.client_groups;
+    fan.client_propagation = config.client_propagation;
+    fan.trunk_propagation = config.trunk_propagation;
     fan.split = config.split;
     fan.split_workers = config.split_workers;
+    fan.pack_groups = std::move(pack_groups);
     fan.egress_queue_capacity = config.egress_queue_capacity;
     fan.ecn_threshold = config.ecn_threshold;
     fan.pfc = config.pfc;
@@ -305,14 +315,16 @@ struct ScaleHarness {
       }
     }
     auto bind_host = [this](rdma::Device& dev, net::HostNic& nic,
-                            net::TopoNodeId node) {
+                            net::TopoNodeId node, net::Switch& attach_sw,
+                            net::TopoNodeId attach_node) {
       const std::string& name = bed.topo.node(node).name;
       dev.BindTelemetry(HubFor(node)->metrics, {{"node", name}});
       // Link counters mutate on the delivery side: the uplink delivers into
-      // the switch domain, the egress link into the host domain.
+      // the attachment switch's domain (the group ToR for a two-tier
+      // client), the egress link into the host domain.
       net::Link& up = nic.uplink();
-      net::Link& down = bed.sw.EgressLink(nic.switch_port());
-      up.BindTelemetry(HubFor(bed.switch_node())->metrics,
+      net::Link& down = attach_sw.EgressLink(nic.switch_port());
+      up.BindTelemetry(HubFor(attach_node)->metrics,
                        {{"link", "uplink[" + name + "]"}});
       down.BindTelemetry(HubFor(node)->metrics,
                          {{"link", "egress[" + name + "]"}});
@@ -322,14 +334,39 @@ struct ScaleHarness {
     for (int k = 0; k < cfg.clients; ++k) {
       const auto kk = static_cast<std::size_t>(k);
       bind_host(*bed.client_devs[kk], *bed.client_nics[kk],
-                bed.client_node(k));
+                bed.client_node(k), bed.client_switch(k),
+                bed.client_attach_node(k));
     }
     for (int m = 0; m < cfg.memory_servers; ++m) {
       const auto mm = static_cast<std::size_t>(m);
       bind_host(*bed.memory_devs[mm], *bed.memory_nics[mm],
-                bed.memory_node(m));
+                bed.memory_node(m), bed.sw, bed.switch_node());
     }
-    bind_host(*bed.spot_dev, *bed.spot_nic, bed.spot_node());
+    bind_host(*bed.spot_dev, *bed.spot_nic, bed.spot_node(), bed.sw,
+              bed.switch_node());
+    if (sim::DomainGroup* group = bed.group()) {
+      // Per-domain epoch accounting, one gauge set per shard so each value
+      // is read on (and attributed to) its own domain. `bed` outlives
+      // `shards` (member order), so the callbacks need no unregistration.
+      // epochs_total / epochs_skipped are deterministic; barrier wait is
+      // wall-clock — the `_wall` suffix marks it for the snapshot-equality
+      // tests to filter.
+      for (int d = 0; d < bed.partition.domain_count(); ++d) {
+        telemetry::MetricRegistry& registry = shards.ForDomain(d)->metrics;
+        const telemetry::Labels labels{{"domain", std::to_string(d)}};
+        registry.RegisterCallbackGauge("sim_epochs_total", labels, [group, d] {
+          return static_cast<std::int64_t>(group->epochs_total(d));
+        });
+        registry.RegisterCallbackGauge(
+            "sim_epochs_skipped", labels, [group, d] {
+              return static_cast<std::int64_t>(group->epochs_skipped(d));
+            });
+        registry.RegisterCallbackGauge(
+            "sim_barrier_wait_ns_wall", labels, [group, d] {
+              return static_cast<std::int64_t>(group->barrier_wait_ns(d));
+            });
+      }
+    }
   }
 
   sim::SimThread& ThreadFor(int k, int t) {
@@ -396,6 +433,12 @@ sim::Task<void> DriveClient(ScaleHarness& h, int k, int t) {
   const bool sample = h.cfg.sample_latency;
   std::unordered_map<std::uint64_t, Nanos> issued_at;
   auto& trace = h.TraceFor(k, t);
+  // Jittered back-off: each client parks for a slightly different interval,
+  // so the fleet's completion polls decorrelate instead of marching as one
+  // synchronized herd (deterministic — a function of the client index only).
+  const Nanos idle = h.cfg.poll_idle +
+                     h.cfg.poll_jitter * static_cast<Nanos>(k) +
+                     h.cfg.poll_jitter * static_cast<Nanos>(t) * 7;
   int outstanding = 0;
   for (;;) {
     if (outstanding < h.cfg.window) {
@@ -416,7 +459,7 @@ sim::Task<void> DriveClient(ScaleHarness& h, int k, int t) {
     }
     co_await ctx.PollWait(thread, poll, done, h.cfg.window, 0);
     if (done.empty()) {
-      co_await thread.Idle(300);
+      co_await thread.Idle(idle);
       continue;
     }
     if (sample) {
@@ -437,6 +480,47 @@ sim::Task<void> DriveClient(ScaleHarness& h, int k, int t) {
   }
 }
 
+// Event-rate profiling for the packed split: a short deterministic pre-run
+// of the same fabric and workload under the one-domain-per-node split, whose
+// per-domain event counts become the rate vector net::PackDomains balances.
+// The pre-run is itself a split run, so its counts — and therefore the
+// packing — are bit-identical for any worker count; and because the banded
+// cross-event keys make outcomes horizon-policy-invariant, the rates need no
+// policy pinning either. Telemetry, latency sampling, and migration are
+// disabled: none of them change event streams, but the pre-run should stay
+// cheap and side-effect-free.
+std::vector<int> PackGroupsFor(const ScaleWorkloadConfig& config) {
+  constexpr Nanos kProfileWindow = Micros(100);
+  ScaleWorkloadConfig prof = config;
+  prof.packed = false;
+  prof.telemetry = nullptr;
+  prof.sample_latency = false;
+  prof.migrate = false;
+  ScaleHarness h(prof);
+  for (int k = 0; k < prof.clients; ++k) {
+    sim::Simulation& csim = h.bed.domains.sim_for(h.bed.client_node(k));
+    for (int t = 0; t < prof.threads_per_client; ++t) {
+      csim.Spawn(DriveClient(h, k, t));
+    }
+  }
+  h.bed.RunFor(kProfileWindow);
+  // Under the per-node split, domain ids equal node ids (singletons in node
+  // order), so the per-domain counters read out as per-node rates directly.
+  const int n = h.bed.topo.node_count();
+  std::vector<std::uint64_t> rates(static_cast<std::size_t>(n), 0);
+  for (int node = 0; node < n; ++node) {
+    rates[static_cast<std::size_t>(node)] =
+        h.bed.domains.domain_sim(node).EventsProcessed();
+  }
+  net::Topology packed_topo = h.bed.topo;
+  net::PackDomains(packed_topo, rates, config.pack_budget);
+  std::vector<int> groups(static_cast<std::size_t>(n), 0);
+  for (int node = 0; node < n; ++node) {
+    groups[static_cast<std::size_t>(node)] = packed_topo.node(node).group;
+  }
+  return groups;
+}
+
 std::vector<std::uint64_t> PerClientOps(const ScaleHarness& h) {
   std::vector<std::uint64_t> totals;
   totals.reserve(static_cast<std::size_t>(h.cfg.clients));
@@ -453,7 +537,12 @@ std::vector<std::uint64_t> PerClientOps(const ScaleHarness& h) {
 ScaleWorkloadResult RunScaleWorkload(const ScaleWorkloadConfig& config) {
   COWBIRD_CHECK(config.clients >= 1);
   COWBIRD_CHECK(config.memory_servers >= 1);
-  ScaleHarness h(config);
+  std::vector<int> pack_groups;
+  if (config.split && config.packed) pack_groups = PackGroupsFor(config);
+  ScaleHarness h(config, std::move(pack_groups));
+  if (sim::DomainGroup* group = h.bed.group()) {
+    group->set_horizon_policy(config.horizon_policy);
+  }
   for (int k = 0; k < config.clients; ++k) {
     sim::Simulation& csim = h.bed.domains.sim_for(h.bed.client_node(k));
     for (int t = 0; t < config.threads_per_client; ++t) {
@@ -475,14 +564,29 @@ ScaleWorkloadResult RunScaleWorkload(const ScaleWorkloadConfig& config) {
     }
   }
 
+  sim::DomainGroup* group = h.bed.group();
+  auto total_skipped = [&h, group] {
+    std::uint64_t total = 0;
+    for (int d = 0; d < h.bed.partition.domain_count(); ++d) {
+      total += group->epochs_skipped(d);
+    }
+    return total;
+  };
   h.bed.RunFor(config.warmup);
   const std::vector<std::uint64_t> warm = PerClientOps(h);
   const Nanos t0 = h.bed.domains.Now();
   const std::uint64_t events0 = h.bed.EventsProcessed();
+  const std::uint64_t epochs0 = group != nullptr ? group->epochs() : 0;
+  const std::uint64_t skipped0 = group != nullptr ? total_skipped() : 0;
   h.bed.RunFor(config.measure);
   const Nanos elapsed = h.bed.domains.Now() - t0;
 
   ScaleWorkloadResult result;
+  result.domains = h.bed.partition.domain_count();
+  if (group != nullptr) {
+    result.epochs = group->epochs() - epochs0;
+    result.epochs_skipped = total_skipped() - skipped0;
+  }
   result.client_ops = PerClientOps(h);
   for (int k = 0; k < config.clients; ++k) {
     const auto kk = static_cast<std::size_t>(k);
@@ -562,9 +666,13 @@ ScaleWorkloadResult RunScaleWorkload(const ScaleWorkloadConfig& config) {
     }
   }
 
-  result.switch_drops = h.bed.sw.total_drops();
+  result.switch_drops = h.bed.switch_drops();
   result.ecn_marked = h.bed.sw.ecn_marked();
   result.pfc_pauses = h.bed.sw.pfc_pauses_sent();
+  for (const auto& leaf : h.bed.group_tors) {
+    result.ecn_marked += leaf->ecn_marked();
+    result.pfc_pauses += leaf->pfc_pauses_sent();
+  }
   auto accumulate_dev = [&result](rdma::Device& dev) {
     result.retransmissions += dev.total_retransmissions();
     if (rdma::CongestionManager* cm = dev.congestion()) {

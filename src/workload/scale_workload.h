@@ -16,6 +16,7 @@
 
 #include "common/units.h"
 #include "rdma/params.h"
+#include "sim/parallel.h"
 #include "spot/agent.h"
 #include "telemetry/hub.h"
 #include "workload/hash_workload.h"
@@ -33,15 +34,60 @@ struct ScaleWorkloadConfig {
   std::uint64_t records = 100'000;  // per memory-server pool
   Nanos app_compute = 60;
   int window = 32;
+  // Back-off between completion polls while the window is full and nothing
+  // has finished. The default spins hard; completions are probe-paced
+  // (micro-seconds end to end), so coarser values model a client that
+  // parks instead of busy-polling — and stop the idle polls from flooring
+  // every domain's epoch horizon at the client-link lookahead.
+  Nanos poll_idle = 300;
+  // Per-client increment on top of poll_idle (client k parks for
+  // poll_idle + k * poll_jitter). Jittered back-off is how real fleets
+  // avoid herd synchronization; here it also decorrelates the poll streams
+  // so the per-group epoch horizons see sparse local activity instead of
+  // fabric-wide lockstep bursts. Deterministic: a function of the client
+  // index only.
+  Nanos poll_jitter = 0;
   Nanos warmup = Micros(200);
   Nanos measure = Millis(1);
   std::uint64_t seed = 1;
   spot::SpotAgent::Config agent;
+  // kCowbirdP4 only: overrides the engine's probe pacing (0 keeps the
+  // engine default of one probe per 2 us). Sparse probing models a switch
+  // pipeline that amortizes ring fetches; it also keeps the probe packets
+  // from being the densest event stream in every rack neighborhood.
+  Nanos p4_probe_interval = 0;
   rdma::CostModel costs;
+  // Two-tier fabric: > 1 spreads the clients over this many per-group ToR
+  // switches, each trunked into the core (FanInConfig::client_groups). The
+  // default keeps the flat single-switch fan-in.
+  int client_groups = 1;
+  // Client-uplink propagation delay; 0 keeps the fabric profile's uniform
+  // link_propagation. Short in-rack DACs (tens of ns) make the lookahead
+  // graph heterogeneous, which is where per-edge horizons pull away from
+  // the global min (FanInConfig::client_propagation).
+  Nanos client_propagation = 0;
+  // ToR <-> core trunk propagation; 0 keeps the fabric profile's uniform
+  // link_propagation. Hall-scale optical runs are an order of magnitude
+  // longer than in-rack DACs (FanInConfig::trunk_propagation); the wider
+  // the trunk lookahead, the coarser the per-edge epoch steps each client
+  // group can take independently of the core's event density.
+  Nanos trunk_propagation = 0;
   // One PDES domain per topology node, executed by `split_workers` threads
   // (0 → hardware concurrency). Bit-deterministic for any worker count.
   bool split = false;
   int split_workers = 0;
+  // Split only: pack the per-node domains down to `pack_budget` domains
+  // (net::PackDomains) using per-node event rates measured by a short
+  // deterministic profiling pre-run. The budget is an explicit constant —
+  // never the worker count — so a packed run's outcome stays bit-identical
+  // for any number of workers.
+  bool packed = false;
+  int pack_budget = 8;
+  // Split only: the epoch-horizon policy. kPerEdge (default) computes
+  // per-domain LBTS horizons at each barrier; kGlobalMin is the historical
+  // single min-lookahead horizon, kept selectable for A/B epoch accounting.
+  // Outcomes are policy-invariant; only epoch counts move.
+  sim::HorizonPolicy horizon_policy = sim::HorizonPolicy::kPerEdge;
   // Optional telemetry: sharded per domain (telemetry::HubShards) and merged
   // N-way into the caller's hub after the run.
   telemetry::Hub* telemetry = nullptr;
@@ -80,6 +126,13 @@ struct ScaleWorkloadResult {
   std::uint64_t sim_events = 0;
   Nanos elapsed = 0;
   double mops = 0;
+  // Split-run epoch accounting over the measure window (zero when serial).
+  // `epochs` counts barrier rounds; `epochs_skipped` sums the per-domain
+  // rounds a domain sat out because its horizon granted no work. Both are
+  // deterministic, so the horizon A/B benchmarks can gate on them.
+  std::uint64_t epochs = 0;
+  std::uint64_t epochs_skipped = 0;
+  int domains = 0;
   telemetry::Snapshot telemetry;  // filled when config.telemetry was set
   // Measure-window latency percentiles (only when config.sample_latency).
   Nanos p50_latency = 0;

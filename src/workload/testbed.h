@@ -20,6 +20,7 @@
 // split.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -158,8 +159,34 @@ struct FanInConfig {
   int client_cores = 4;
   int memory_cores = 8;
   BitRate client_uplink = BitRate::Gbps(100);
+  // Two-tier fabric: > 1 spreads the clients over this many per-group ToR
+  // switches (contiguous blocks of ceil(clients/groups) clients each), every
+  // group ToR trunked into the core switch. 1 keeps the flat single-switch
+  // fan-in byte-identical to the historical wiring. Memory servers and the
+  // spot host stay on the core either way.
+  int client_groups = 1;
+  BitRate trunk_rate = BitRate::Gbps(400);  // group ToR <-> core
+  // Propagation delay of the ToR <-> core trunks; 0 keeps the fabric
+  // profile's link_propagation. Hall-scale core runs are optical and an
+  // order of magnitude longer than in-rack cabling, so raising this widens
+  // the lookahead gap between the trunk edges and the client edges — the
+  // per-edge horizons then let each group's neighborhood advance in
+  // trunk-sized steps while the global-min policy stays pinned to the
+  // shortest link in the whole fabric.
+  Nanos trunk_propagation = 0;
+  // Propagation delay of the client uplinks; 0 keeps the fabric profile's
+  // link_propagation everywhere. In-rack client <-> ToR cabling is a few
+  // meters of DAC (~5 ns/m), an order of magnitude shorter than the
+  // rack-to-rack runs — the asymmetry the per-edge epoch horizons exploit,
+  // since only the neighborhoods adjacent to a short link inherit its
+  // tighter lookahead.
+  Nanos client_propagation = 0;
   bool split = false;
   int split_workers = 0;
+  // Split only: explicit per-node partition-group tags (one per topology
+  // node, e.g. the output of net::PackDomains over a profiled rate vector).
+  // Empty keeps the one-domain-per-node split.
+  std::vector<int> pack_groups;
   // Congestion realism knobs. The defaults reproduce the uncontended
   // fabric byte-for-byte: unbounded-feeling queues, no marking, no PFC,
   // DCQCN off. An incast experiment shrinks the queue, turns marking or
@@ -184,6 +211,10 @@ struct FanInTestbed {
   net::Partition partition;
   net::FabricDomains domains;
   net::Switch sw;
+  // Two-tier only (cfg.client_groups > 1): one leaf switch per client
+  // group, each trunked into the core.
+  std::vector<std::unique_ptr<net::Switch>> group_tors;
+  std::vector<net::TrunkPorts> trunks;  // [g] ports: a=core side, b=leaf
   std::vector<std::unique_ptr<net::HostNic>> client_nics;
   std::vector<std::unique_ptr<SparseMemory>> client_mems;
   std::vector<std::unique_ptr<rdma::Device>> client_devs;
@@ -197,13 +228,30 @@ struct FanInTestbed {
   std::unique_ptr<rdma::Device> spot_dev;
   std::unique_ptr<sim::Machine> spot_machine;
 
-  // Topology node ids: clients first (client 0 → domain 0), then the
-  // switch, the memory servers, and the spot host.
+  // Topology node ids: clients first (client 0 → domain 0), then the core
+  // switch, the memory servers, and the spot host. Two-tier group ToRs are
+  // appended after the legacy nodes so every id here is valid for any group
+  // count.
   net::TopoNodeId client_node(int k) const { return k; }
   net::TopoNodeId switch_node() const { return cfg.clients; }
   net::TopoNodeId memory_node(int m) const { return cfg.clients + 1 + m; }
   net::TopoNodeId spot_node() const {
     return cfg.clients + 1 + cfg.memory_servers;
+  }
+  net::TopoNodeId group_tor_node(int g) const { return spot_node() + 1 + g; }
+  static int GroupOfClient(const FanInConfig& cfg, int k) {
+    if (cfg.client_groups <= 1) return 0;
+    const int per_group =
+        (cfg.clients + cfg.client_groups - 1) / cfg.client_groups;
+    return k / per_group;
+  }
+  int group_of_client(int k) const { return GroupOfClient(cfg, k); }
+  // The switch node a client's NIC attaches to: its group ToR when
+  // two-tier, the core otherwise. This is where a client's uplink delivers,
+  // i.e. the domain its uplink telemetry must bind against.
+  net::TopoNodeId client_attach_node(int k) const {
+    return cfg.client_groups > 1 ? group_tor_node(group_of_client(k))
+                                 : switch_node();
   }
   // Fabric addresses (switch routing).
   net::NodeId client_id(int k) const {
@@ -243,14 +291,44 @@ struct FanInTestbed {
     const net::TopoNodeId spot = topo.AddNode(
         net::TopoNodeKind::kSpotHost, "spot",
         static_cast<net::NodeId>(1 + cfg.clients + cfg.memory_servers));
+    // Two-tier group ToRs, appended after the legacy nodes so client /
+    // switch / memory / spot node ids never move.
+    const bool two_tier = cfg.client_groups > 1;
+    if (two_tier) {
+      for (int g = 0; g < cfg.client_groups; ++g) {
+        topo.AddNode(net::TopoNodeKind::kSwitch, "gtor" + std::to_string(g));
+      }
+    }
+    const int first_gtor = spot + 1;
+    const Nanos client_prop =
+        cfg.client_propagation > 0 ? cfg.client_propagation : propagation;
     for (int k = 0; k < cfg.clients; ++k) {
-      topo.AddEdge(k, tor, propagation);
+      topo.AddEdge(k, two_tier ? first_gtor + GroupOfClient(cfg, k) : tor,
+                   client_prop);
     }
     for (int m = 0; m < cfg.memory_servers; ++m) {
       topo.AddEdge(cfg.clients + 1 + m, tor, propagation);
     }
     topo.AddEdge(spot, tor, propagation);
-    if (!cfg.split) topo.GroupAll(0);  // split: one domain per node
+    if (two_tier) {
+      const Nanos trunk_prop =
+          cfg.trunk_propagation > 0 ? cfg.trunk_propagation : propagation;
+      for (int g = 0; g < cfg.client_groups; ++g) {
+        topo.AddEdge(first_gtor + g, tor, trunk_prop);
+      }
+    }
+    if (!cfg.split) {
+      topo.GroupAll(0);
+    } else if (!cfg.pack_groups.empty()) {
+      // A packed split: the caller ran net::PackDomains over this same
+      // graph and hands back the per-node group tags.
+      COWBIRD_CHECK(static_cast<int>(cfg.pack_groups.size()) ==
+                    topo.node_count());
+      for (net::TopoNodeId n = 0; n < topo.node_count(); ++n) {
+        topo.SetGroup(n, cfg.pack_groups[static_cast<std::size_t>(n)]);
+      }
+    }
+    // else: split with empty pack_groups → one domain per node.
     return topo;
   }
 
@@ -260,16 +338,50 @@ struct FanInTestbed {
         partition(net::PartitionTopology(topo)),
         domains(sim, partition, cfg.split_workers),
         sw(domains.sim_for(switch_node()), MakeSwitchConfig(cfg, fabric)) {
-    COWBIRD_CHECK(partition.domain_count() ==
-                  (cfg.split ? topo.node_count() : 1));
+    int expected_domains = 1;
+    if (cfg.split) {
+      expected_domains = topo.node_count();
+      if (!cfg.pack_groups.empty()) {
+        expected_domains = 0;
+        for (const int g : cfg.pack_groups) {
+          expected_domains = std::max(expected_domains, g + 1);
+        }
+      }
+    }
+    COWBIRD_CHECK(partition.domain_count() == expected_domains);
     COWBIRD_CHECK(!partition.zero_lookahead_error());
+    // Two-tier leaves: built (and trunked) before any host connects, so the
+    // flat fabric's core port numbering — clients, memories, spot — is
+    // reproduced on each switch that hosts attach to.
+    if (cfg.client_groups > 1) {
+      for (int g = 0; g < cfg.client_groups; ++g) {
+        group_tors.push_back(std::make_unique<net::Switch>(
+            domains.sim_for(group_tor_node(g)), MakeSwitchConfig(cfg, fabric)));
+        trunks.push_back(net::ConnectTrunk(
+            sw, *group_tors.back(), cfg.trunk_rate,
+            cfg.trunk_propagation > 0 ? cfg.trunk_propagation
+                                      : fabric.link_propagation,
+            "tor", topo.node(group_tor_node(g)).name));
+        // Leaf default-routes everything unknown (memories, spot, the
+        // engine's switch address) up its trunk; the core routes each
+        // client block down the matching trunk.
+        group_tors.back()->SetDefaultRoute(trunks.back().b_port);
+      }
+      for (int k = 0; k < cfg.clients; ++k) {
+        sw.SetRoute(client_id(k), trunks[static_cast<std::size_t>(
+                                             group_of_client(k))].a_port);
+      }
+    }
     // Before any Device copies nic_config.
     nic_config.dcqcn = cfg.dcqcn;
     nic_config.retransmit_timeout = cfg.retransmit_timeout;
+    const Nanos client_prop = cfg.client_propagation > 0
+                                  ? cfg.client_propagation
+                                  : fabric.link_propagation;
     for (int k = 0; k < cfg.clients; ++k) {
       sim::Simulation& csim = domains.sim_for(client_node(k));
       client_nics.push_back(std::make_unique<net::HostNic>(
-          csim, client_id(k), cfg.client_uplink, fabric.link_propagation));
+          csim, client_id(k), cfg.client_uplink, client_prop));
       client_mems.push_back(std::make_unique<SparseMemory>());
       client_devs.push_back(std::make_unique<rdma::Device>(
           *client_nics.back(), *client_mems.back(), nic_config));
@@ -296,13 +408,28 @@ struct FanInTestbed {
 
     for (int k = 0; k < cfg.clients; ++k) {
       client_nics[static_cast<std::size_t>(k)]->ConnectTo(
-          sw, topo.node(client_node(k)).name, "tor");
+          client_switch(k), topo.node(client_node(k)).name,
+          topo.node(client_attach_node(k)).name);
     }
     for (int m = 0; m < cfg.memory_servers; ++m) {
       memory_nics[static_cast<std::size_t>(m)]->ConnectTo(
           sw, topo.node(memory_node(m)).name, "tor");
     }
     spot_nic->ConnectTo(sw, "spot", "tor");
+  }
+
+  // The switch a client's NIC attaches to (its group ToR when two-tier).
+  net::Switch& client_switch(int k) {
+    return cfg.client_groups > 1
+               ? *group_tors[static_cast<std::size_t>(group_of_client(k))]
+               : sw;
+  }
+
+  // Fabric-wide drop count (core plus any group ToRs).
+  std::uint64_t switch_drops() const {
+    std::uint64_t total = sw.total_drops();
+    for (const auto& leaf : group_tors) total += leaf->total_drops();
+    return total;
   }
 
   bool split() const { return domains.group() != nullptr; }

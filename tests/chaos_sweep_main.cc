@@ -3,7 +3,7 @@
 //
 //   chaos_sweep [--engine spot|p4|both] [--seeds N] [--start S]
 //               [--trace-dir DIR] [--break-fence] [--jobs N]
-//               [--split] [--split-workers N] [--split-scope pair|node]
+//               [--split] [--split-workers N] [--split-scope pair|node|packed]
 //               [--congestion none|incast|victim|pause_storm]
 //               [--migration]
 //
@@ -16,7 +16,10 @@
 // concurrency). The report is byte-identical for any jobs value. --split
 // executes each run domain-split (the parallel intra-sim datapath) instead
 // of the golden-pinned serial loop; --split-scope node partitions one PDES
-// domain per topology node instead of the default two-way cut.
+// domain per topology node instead of the default two-way cut, and
+// --split-scope packed runs the per-node domains through net::PackDomains
+// (budget 2, static kind-weight rates). Every scope yields the same report
+// bytes — the partition never leaks into outcomes.
 //
 // --congestion layers a shared-fabric congestion scenario onto every
 // seed's fault plan (finite switch queues, ECN+DCQCN, or a PFC pause
@@ -101,8 +104,9 @@ int main(int argc, char** argv) {
   config.jobs = parallel.jobs;
   config.split = parallel.split;
   config.split_workers = parallel.split_workers;
-  config.split_scope =
-      parallel.per_node_scope() ? SplitScope::kPerNode : SplitScope::kPair;
+  config.split_scope = parallel.packed_scope()    ? SplitScope::kPacked
+                       : parallel.per_node_scope() ? SplitScope::kPerNode
+                                                   : SplitScope::kPair;
   if (const char* env = std::getenv("COWBIRD_TEST_SEED")) {
     config.start = std::strtoull(env, nullptr, 10);
     config.seeds = 1;

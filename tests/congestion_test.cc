@@ -297,7 +297,8 @@ TEST(ChaosCongestion, IncastSplitBitIdenticalAcrossWorkersAndScopes) {
   ChaosOptions opt = chaos::SweepOptions(EngineKind::kSpot, /*seed=*/4);
   opt.plan.congestion = CongestionScenario::kIncast;
   opt.mode = chaos::ExecutionMode::kSplit;
-  for (const SplitScope scope : {SplitScope::kPair, SplitScope::kPerNode}) {
+  for (const SplitScope scope :
+       {SplitScope::kPair, SplitScope::kPerNode, SplitScope::kPacked}) {
     opt.split_scope = scope;
     opt.split_workers = 1;
     const ChaosResult one = chaos::RunChaos(opt);
@@ -307,7 +308,10 @@ TEST(ChaosCongestion, IncastSplitBitIdenticalAcrossWorkersAndScopes) {
       opt.split_workers = workers;
       const ChaosResult many = chaos::RunChaos(opt);
       EXPECT_TRUE(SameChaosOutcome(one, many))
-          << "scope=" << (scope == SplitScope::kPair ? "pair" : "node")
+          << "scope="
+          << (scope == SplitScope::kPair     ? "pair"
+              : scope == SplitScope::kPerNode ? "node"
+                                              : "packed")
           << " workers=" << workers;
     }
   }

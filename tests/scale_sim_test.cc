@@ -119,10 +119,130 @@ TEST(ScaleSimTest, TelemetryShardsMergeNWayIntoCallerSnapshot) {
   // to private shards during the run), not just the root's. Client uplinks
   // bind their gauges to the switch domain's shard.
   bool saw_uplink = false;
+  bool saw_epochs = false;
+  bool saw_barrier_wall = false;
   for (const auto& gauge : result.telemetry.gauges) {
     if (gauge.key.find("uplink[") != std::string::npos) saw_uplink = true;
+    if (gauge.key.find("sim_epochs_total{") != std::string::npos) {
+      saw_epochs = true;
+      EXPECT_GT(gauge.value, 0) << gauge.key;
+    }
+    if (gauge.key.find("sim_barrier_wait_ns_wall{") != std::string::npos) {
+      saw_barrier_wall = true;
+    }
   }
   EXPECT_TRUE(saw_uplink);
+  // The per-domain epoch gauges ride the shards: deterministic epoch counts
+  // plus the wall-clock barrier gauge (suffix _wall marks it as exempt from
+  // any cross-run snapshot comparison).
+  EXPECT_TRUE(saw_epochs);
+  EXPECT_TRUE(saw_barrier_wall);
+}
+
+// ------------------------------------------- two-tier fabric and packed split
+
+// The hundreds-of-clients acceptance fabric: 128 clients in 8 groups of 16
+// behind per-group ToRs, trunked into the core with 4 memory servers and the
+// spot host. Both split scopes — one domain per node (142 domains) and the
+// packed budget-8 partition — are bit-identical for any worker count.
+TEST(ScaleSimTest, TwoTier128ClientFabricBitIdenticalAcrossWorkersAndScopes) {
+  ScaleWorkloadConfig c = Base(Paradigm::kCowbird);
+  c.clients = 128;
+  c.memory_servers = 4;
+  c.client_groups = 8;
+  c.threads_per_client = 1;
+  c.records = 20'000;
+  c.warmup = Micros(50);
+  c.measure = Micros(150);
+  c.split = true;
+  for (const bool packed : {false, true}) {
+    c.packed = packed;
+    c.split_workers = 1;
+    const ScaleWorkloadResult one = RunScaleWorkload(c);
+    ASSERT_EQ(one.client_ops.size(), 128u);
+    EXPECT_GT(one.ops, 0u);
+    // 128 clients + core + 4 memories + spot + 8 group ToRs = 142 nodes.
+    EXPECT_EQ(one.domains, packed ? 8 : 142);
+    EXPECT_GT(one.epochs, 0u);
+    for (int workers : {2, 4, 8}) {
+      c.split_workers = workers;
+      const ScaleWorkloadResult many = RunScaleWorkload(c);
+      EXPECT_TRUE(SameOutcome(one, many))
+          << "packed=" << packed << " workers=" << workers;
+      // Epoch counts are part of the deterministic contract too: the packed
+      // profiling pre-run and the horizon schedule are worker-independent.
+      EXPECT_EQ(one.epochs, many.epochs)
+          << "packed=" << packed << " workers=" << workers;
+      EXPECT_EQ(one.epochs_skipped, many.epochs_skipped)
+          << "packed=" << packed << " workers=" << workers;
+    }
+  }
+}
+
+// ----------------------------------------------------- horizon-policy property
+
+// Per-edge horizons and the historical global-min horizon must produce the
+// same simulation, bit for bit — the banded cross-event keys make delivery
+// order a pure function of published epoch state, so the horizon schedule
+// can only change how often domains wake, never what they compute. Pinned
+// on the 16-node fabric and the two-tier fabric, across worker counts.
+TEST(ScaleSimTest, HorizonPolicyInvariantOutcomesOn16NodeAndTwoTier) {
+  for (const int client_groups : {1, 4}) {
+    ScaleWorkloadConfig c = Base(Paradigm::kCowbird);
+    c.client_groups = client_groups;
+    if (client_groups > 1) {
+      c.clients = 32;
+      c.threads_per_client = 1;
+      c.measure = Micros(200);
+    }
+    c.split = true;
+    ScaleWorkloadResult per_edge;
+    ScaleWorkloadResult global_min;
+    for (int workers : {1, 4}) {
+      c.split_workers = workers;
+      c.horizon_policy = sim::HorizonPolicy::kPerEdge;
+      const ScaleWorkloadResult pe = RunScaleWorkload(c);
+      c.horizon_policy = sim::HorizonPolicy::kGlobalMin;
+      const ScaleWorkloadResult gm = RunScaleWorkload(c);
+      EXPECT_TRUE(SameOutcome(pe, gm))
+          << "groups=" << client_groups << " workers=" << workers;
+      if (workers == 1) {
+        per_edge = pe;
+        global_min = gm;
+      } else {
+        // Policies are individually bit-identical across worker counts.
+        EXPECT_TRUE(SameOutcome(per_edge, pe));
+        EXPECT_TRUE(SameOutcome(global_min, gm));
+        EXPECT_EQ(per_edge.epochs, pe.epochs);
+        EXPECT_EQ(global_min.epochs, gm.epochs);
+      }
+    }
+    // The point of per-edge horizons: strictly fewer barrier rounds for the
+    // same simulated time (the ≥3x ratio itself is gated in the
+    // sim_throughput bench, where the fabric is big enough to matter).
+    EXPECT_GT(global_min.epochs, 0u);
+    EXPECT_LT(per_edge.epochs, global_min.epochs)
+        << "groups=" << client_groups;
+  }
+}
+
+TEST(ScaleSimTest, HorizonPolicyInvariantUnderLiveMigration) {
+  ScaleWorkloadConfig c = Base(Paradigm::kCowbird);
+  c.records = 16'384;
+  c.measure = Millis(1);
+  c.migrate = true;
+  c.migrate_start = Micros(300);
+  c.split = true;
+  c.split_workers = 2;
+  c.horizon_policy = sim::HorizonPolicy::kPerEdge;
+  const ScaleWorkloadResult pe = RunScaleWorkload(c);
+  c.horizon_policy = sim::HorizonPolicy::kGlobalMin;
+  const ScaleWorkloadResult gm = RunScaleWorkload(c);
+  EXPECT_EQ(pe.migrations, 1u);
+  EXPECT_TRUE(SameOutcome(pe, gm));
+  EXPECT_EQ(pe.migrations, gm.migrations);
+  EXPECT_EQ(pe.migrate_bytes_copied, gm.migrate_bytes_copied);
+  EXPECT_EQ(pe.migrate_cutover_at, gm.migrate_cutover_at);
 }
 
 // ----------------------------------------------------- chaos, per-node scope
@@ -157,6 +277,40 @@ TEST(ChaosPerNodeSplitTest, BitIdenticalAcrossWorkerCountsOnBothEngines) {
         EXPECT_EQ(one.decided_reordered, many.decided_reordered);
         EXPECT_EQ(one.decided_delayed, many.decided_delayed);
         EXPECT_EQ(one.crashes_executed, many.crashes_executed);
+      }
+    }
+  }
+}
+
+// The policy-invariance property on full chaos runs: crash seeds (3) and
+// live-migration plans replay identically under either horizon policy.
+TEST(ChaosPerNodeSplitTest, HorizonPolicyInvariantIncludingCrashAndMigration) {
+  for (const bool migrate : {false, true}) {
+    for (std::uint64_t seed : {std::uint64_t{3}, std::uint64_t{4}}) {
+      chaos::ChaosOptions opt =
+          chaos::SweepOptions(chaos::EngineKind::kSpot, seed);
+      opt.plan.migrate = migrate;
+      opt.mode = chaos::ExecutionMode::kSplit;
+      opt.split_scope = chaos::SplitScope::kPerNode;
+      opt.split_workers = 2;
+      opt.horizon_policy = sim::HorizonPolicy::kPerEdge;
+      const chaos::ChaosResult pe = chaos::RunChaos(opt);
+      opt.horizon_policy = sim::HorizonPolicy::kGlobalMin;
+      const chaos::ChaosResult gm = chaos::RunChaos(opt);
+      EXPECT_TRUE(pe.Passed()) << "seed " << seed;
+      EXPECT_TRUE(gm.Passed()) << "seed " << seed;
+      EXPECT_EQ(pe.history.size(), gm.history.size()) << "seed " << seed;
+      EXPECT_EQ(pe.reads_checked, gm.reads_checked) << "seed " << seed;
+      EXPECT_EQ(pe.writes_completed, gm.writes_completed) << "seed " << seed;
+      EXPECT_EQ(pe.faults_injected, gm.faults_injected) << "seed " << seed;
+      EXPECT_EQ(pe.crashes_executed, gm.crashes_executed) << "seed " << seed;
+      EXPECT_EQ(pe.migrations_executed, gm.migrations_executed)
+          << "seed " << seed;
+      if (seed % 2 == 1) {
+        EXPECT_GT(pe.crashes_executed, 0u);
+      }
+      if (migrate) {
+        EXPECT_EQ(pe.migrations_executed, 1u);
       }
     }
   }

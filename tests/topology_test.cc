@@ -308,5 +308,133 @@ TEST(TestbedTopologyTest, FanInSplitsOneDomainPerNode) {
   EXPECT_FALSE(serial_bed.split());
 }
 
+TEST(TestbedTopologyTest, TwoTierFanInAppendsGroupTorsAfterLegacyNodes) {
+  workload::FanInConfig cfg;
+  cfg.clients = 6;
+  cfg.memory_servers = 2;
+  cfg.client_groups = 2;
+  cfg.split = true;
+  cfg.split_workers = 1;
+  workload::FanInTestbed bed(cfg);
+  // 6 clients + core + 2 memories + spot + 2 group ToRs = 12 nodes; the
+  // group ToRs append after the legacy ids so client/switch/memory/spot
+  // node ids are unchanged from the flat fabric.
+  EXPECT_EQ(bed.topo.node_count(), 12);
+  EXPECT_EQ(bed.partition.domain_count(), 12);
+  EXPECT_EQ(bed.switch_node(), 6);
+  EXPECT_EQ(bed.spot_node(), 9);
+  EXPECT_EQ(bed.group_tor_node(0), 10);
+  EXPECT_EQ(bed.group_tor_node(1), 11);
+  // Contiguous client blocks of ceil(6/2) = 3.
+  EXPECT_EQ(bed.group_of_client(0), 0);
+  EXPECT_EQ(bed.group_of_client(2), 0);
+  EXPECT_EQ(bed.group_of_client(3), 1);
+  EXPECT_EQ(bed.group_of_client(5), 1);
+  EXPECT_EQ(bed.client_attach_node(0), bed.group_tor_node(0));
+  EXPECT_EQ(bed.client_attach_node(5), bed.group_tor_node(1));
+  // 6 client uplinks + 2 memory + 1 spot + 2 trunks = 11 edges, all cut
+  // under the per-node split, emitted per direction.
+  EXPECT_EQ(bed.partition.cut_edges().size(), 22u);
+  ASSERT_EQ(bed.group_tors.size(), 2u);
+  ASSERT_EQ(bed.trunks.size(), 2u);
+  // Leaves default-route unknown destinations (memories, spot) up their
+  // trunk; the core routes each client block down the matching trunk.
+  EXPECT_EQ(bed.group_tors[0]->RouteFor(bed.memory_id(0)),
+            bed.trunks[0].b_port);
+  EXPECT_EQ(bed.sw.RouteFor(bed.client_id(0)), bed.trunks[0].a_port);
+  EXPECT_EQ(bed.sw.RouteFor(bed.client_id(5)), bed.trunks[1].a_port);
+}
+
+// ---------------------------------------------------------------- PackDomains
+
+TEST(PackDomainsTest, BalancesRatesUnderBudgetAndMatchesPartitioner) {
+  // A fan-in star with one hot switch and two hot hosts. Under budget 3 the
+  // 2x-fair-share cap (ceil(2*43/3) = 29) keeps the hot hosts out of the
+  // switch's group: only the light hosts contract onto the switch.
+  Topology topo;
+  for (int h = 0; h < 5; ++h) {
+    topo.AddNode(TopoNodeKind::kComputeHost, "h" + std::to_string(h));
+  }
+  const TopoNodeId sw = topo.AddNode(TopoNodeKind::kSwitch, "s");
+  for (TopoNodeId h = 0; h < 5; ++h) topo.AddEdge(h, sw, 100);
+  const std::vector<std::uint64_t> rates = {10, 10, 1, 1, 1, 20};
+  EXPECT_EQ(net::PackDomains(topo, rates, 3), 3);
+  EXPECT_EQ(topo.node(0).group, 0);
+  EXPECT_EQ(topo.node(1).group, 1);
+  for (TopoNodeId n : {TopoNodeId{2}, TopoNodeId{3}, TopoNodeId{4}, sw}) {
+    EXPECT_EQ(topo.node(n).group, 2) << "node " << n;
+  }
+  // Group tags are numbered by first appearance in node order, so the
+  // partitioner reproduces them verbatim as domain ids.
+  const Partition part = PartitionTopology(topo);
+  EXPECT_EQ(part.domain_count(), 3);
+  for (TopoNodeId n = 0; n < topo.node_count(); ++n) {
+    EXPECT_EQ(part.domain_of(n), topo.node(n).group) << "node " << n;
+  }
+}
+
+TEST(PackDomainsTest, EqualRatesContractInEdgeIdOrderDeterministically) {
+  auto build = [] {
+    Topology topo;
+    for (int n = 0; n < 4; ++n) {
+      topo.AddNode(TopoNodeKind::kComputeHost, "n" + std::to_string(n));
+    }
+    topo.AddEdge(0, 1, 100);
+    topo.AddEdge(1, 2, 100);
+    topo.AddEdge(2, 3, 100);
+    return topo;
+  };
+  const std::vector<std::uint64_t> rates = {1, 1, 1, 1};
+  // All edge weights tie; the edge-id tie-break contracts the chain head
+  // first, every time.
+  Topology once = build();
+  EXPECT_EQ(net::PackDomains(once, rates, 2), 2);
+  Topology again = build();
+  EXPECT_EQ(net::PackDomains(again, rates, 2), 2);
+  for (TopoNodeId n = 0; n < once.node_count(); ++n) {
+    EXPECT_EQ(once.node(n).group, again.node(n).group) << "node " << n;
+  }
+  EXPECT_EQ(once.node(0).group, 0);
+  EXPECT_EQ(once.node(1).group, 0);
+  EXPECT_EQ(once.node(2).group, 0);
+  EXPECT_EQ(once.node(3).group, 1);
+}
+
+TEST(PackDomainsTest, RemainderFoldFusesLightestComponents) {
+  // No edges at all: phase 1 has nothing to contract, so the remainder fold
+  // must reach the budget by repeatedly fusing the two lightest components
+  // (ties broken by lower minimum node id).
+  Topology topo;
+  for (int n = 0; n < 4; ++n) {
+    topo.AddNode(TopoNodeKind::kComputeHost, "n" + std::to_string(n));
+  }
+  const std::vector<std::uint64_t> rates = {5, 3, 2, 2};
+  EXPECT_EQ(net::PackDomains(topo, rates, 2), 2);
+  EXPECT_EQ(topo.node(0).group, 0);  // the heavy node stays alone
+  EXPECT_EQ(topo.node(1).group, 1);
+  EXPECT_EQ(topo.node(2).group, 1);
+  EXPECT_EQ(topo.node(3).group, 1);
+}
+
+TEST(PackDomainsTest, DegenerateBudgetsFallBackToSingletons) {
+  auto build = [] {
+    Topology topo;
+    for (int n = 0; n < 3; ++n) {
+      topo.AddNode(TopoNodeKind::kComputeHost, "n" + std::to_string(n));
+    }
+    topo.AddEdge(0, 1, 100);
+    topo.AddEdge(1, 2, 100);
+    return topo;
+  };
+  const std::vector<std::uint64_t> rates = {4, 4, 4};
+  for (const int budget : {0, -1, 3, 10}) {
+    Topology topo = build();
+    EXPECT_EQ(net::PackDomains(topo, rates, budget), 3) << budget;
+    for (TopoNodeId n = 0; n < topo.node_count(); ++n) {
+      EXPECT_EQ(topo.node(n).group, n) << "budget " << budget;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace cowbird
